@@ -1,0 +1,101 @@
+//! Criterion microbenchmarks for the expensive kernels underneath the
+//! reproduction: design selection, model fitting, compilation and
+//! simulation throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use emod_compiler::OptConfig;
+use emod_core::vars::design_space;
+use emod_doe::{lhs, DOptimal, ModelSpec};
+use emod_models::{Dataset, LinearModel, LinearTerms, Mars, MarsConfig, RbfConfig, RbfNetwork};
+use emod_uarch::{simulate_sampled, SampleConfig, UarchConfig};
+use emod_workloads::{InputSet, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic synthetic modeling dataset over the real 25-dim space.
+fn synthetic_dataset(n: usize) -> Dataset {
+    let space = design_space();
+    let mut rng = StdRng::seed_from_u64(7);
+    let points = lhs(&space, n, &mut rng);
+    let xs: Vec<Vec<f64>> = points.iter().map(|p| space.encode(p)).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|c| {
+            let mut y = 50.0;
+            for (i, v) in c.iter().enumerate() {
+                y += ((i % 5) as f64 - 2.0) * v;
+            }
+            y + 3.0 * c[1] * c[16] + (c[24] * 2.0).tanh()
+        })
+        .collect();
+    Dataset::new(xs, ys).unwrap()
+}
+
+fn bench_doe(c: &mut Criterion) {
+    let space = design_space();
+    let mut rng = StdRng::seed_from_u64(3);
+    let candidates = lhs(&space, 400, &mut rng);
+    c.bench_function("doptimal_select_40_of_400", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(5),
+            |mut r| {
+                DOptimal::new(&space, ModelSpec::main_effects())
+                    .max_sweeps(5)
+                    .select(&candidates, 40, &mut r)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_models(c: &mut Criterion) {
+    let data = synthetic_dataset(110);
+    c.bench_function("linear_fit_110pts_25dim", |b| {
+        b.iter(|| LinearModel::fit(&data, LinearTerms::MainEffects).unwrap())
+    });
+    c.bench_function("rbf_fit_110pts_25dim", |b| {
+        b.iter(|| RbfNetwork::fit(&data, RbfConfig::default()).unwrap())
+    });
+    let small = synthetic_dataset(60);
+    c.bench_function("mars_fit_60pts_25dim", |b| {
+        b.iter(|| {
+            Mars::fit(
+                &small,
+                MarsConfig {
+                    max_terms: 9,
+                    max_degree: 2,
+                    max_knots: 3,
+                    gcv_penalty: 3.0,
+                },
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    let w = Workload::by_name("177.mesa").unwrap();
+    c.bench_function("compile_mesa_o3", |b| {
+        b.iter(|| w.program(&OptConfig::o3(), InputSet::Train).unwrap())
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let w = Workload::by_name("256.bzip2-graphic").unwrap();
+    let prog = w.program(&OptConfig::o2(), InputSet::Train).unwrap();
+    let sample = SampleConfig {
+        window: 500,
+        interval: 100,
+        warmup: 1000,
+        fuel: u64::MAX,
+    };
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.bench_function("smarts_bzip2_train", |b| {
+        b.iter(|| simulate_sampled(&prog, &UarchConfig::typical(), &sample).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_doe, bench_models, bench_compiler, bench_simulator);
+criterion_main!(benches);

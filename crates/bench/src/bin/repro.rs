@@ -1,0 +1,79 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro table1 | table2 | table3 | table4 | table5 | table6 | table7
+//!       fig3 | fig5 | fig6 | fig7 | all
+//! ```
+//!
+//! Scale is selected with `EMOD_SCALE` = `quick` | `reduced` (default) |
+//! `paper`.
+
+use emod_bench::{experiments, Scale, Session};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: repro <table1..table7|fig3|fig5|fig6|fig7|metrics|ablation-design|ablation-search|all> …");
+        std::process::exit(2);
+    }
+    let scale = Scale::from_env();
+    println!("# scale: {:?} (set EMOD_SCALE=quick|reduced|paper)", scale);
+    let mut session = Session::new(scale);
+    for arg in &args {
+        let t0 = Instant::now();
+        match arg.as_str() {
+            "table1" => experiments::table1(),
+            "table2" => experiments::table2(),
+            "table3" => {
+                experiments::table3(&mut session);
+            }
+            "table4" => {
+                experiments::table4(&mut session);
+            }
+            "table5" => experiments::table5(),
+            "table6" => {
+                experiments::table6(&mut session);
+            }
+            "table7" => {
+                experiments::table7(&mut session);
+            }
+            "fig3" => {
+                experiments::fig3();
+            }
+            "fig5" => {
+                experiments::fig5(&mut session);
+            }
+            "fig6" => {
+                experiments::fig6(&mut session);
+            }
+            "fig7" => {
+                experiments::fig7(&mut session);
+            }
+            "metrics" => experiments::ext_metrics(&mut session),
+            "ablation-design" => experiments::ablation_design(&mut session),
+            "ablation-search" => experiments::ablation_search(&mut session),
+            "all" => {
+                experiments::table1();
+                experiments::table2();
+                experiments::fig3();
+                experiments::table3(&mut session);
+                experiments::fig5(&mut session);
+                experiments::fig6(&mut session);
+                experiments::table4(&mut session);
+                experiments::table5();
+                experiments::table6(&mut session);
+                experiments::fig7(&mut session);
+                experiments::table7(&mut session);
+                experiments::ext_metrics(&mut session);
+                experiments::ablation_design(&mut session);
+                experiments::ablation_search(&mut session);
+            }
+            other => {
+                eprintln!("unknown experiment `{}`", other);
+                std::process::exit(2);
+            }
+        }
+        println!("# {} done in {:?}\n", arg, t0.elapsed());
+    }
+}

@@ -1,0 +1,16 @@
+//! Reproduction harness: one regeneration routine per table and figure of
+//! the paper's evaluation (see DESIGN.md §5 for the index).
+//!
+//! The `repro` binary drives these routines:
+//!
+//! ```text
+//! cargo run --release -p emod-bench --bin repro -- table3
+//! EMOD_SCALE=paper cargo run --release -p emod-bench --bin repro -- all
+//! ```
+
+pub mod experiments;
+pub mod scale;
+pub mod session;
+
+pub use scale::Scale;
+pub use session::Session;

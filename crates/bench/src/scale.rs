@@ -1,0 +1,74 @@
+//! Experiment scale selection.
+
+use emod_core::builder::BuildConfig;
+
+/// How big the experiments run. Selected by the `EMOD_SCALE` environment
+/// variable: `quick`, `reduced` (default) or `paper`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke-test sizes (~seconds per experiment).
+    Quick,
+    /// Laptop sizes preserving the paper's qualitative shape (default).
+    Reduced,
+    /// The paper's 400/100 design sizes (hours).
+    Paper,
+}
+
+impl Scale {
+    /// Reads `EMOD_SCALE` from the environment.
+    pub fn from_env() -> Scale {
+        match std::env::var("EMOD_SCALE").as_deref() {
+            Ok("quick") => Scale::Quick,
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Reduced,
+        }
+    }
+
+    /// The model-building configuration for this scale.
+    pub fn build_config(&self, seed: u64) -> BuildConfig {
+        match self {
+            Scale::Quick => BuildConfig::quick(seed),
+            Scale::Reduced => BuildConfig::reduced(seed),
+            Scale::Paper => BuildConfig::paper(seed),
+        }
+    }
+
+    /// Training-set sizes for the Figure 5 learning curves.
+    pub fn learning_curve_sizes(&self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![10, 20, 30],
+            Scale::Reduced => vec![25, 50, 75, 110],
+            Scale::Paper => vec![50, 100, 150, 200, 250, 300, 350, 400],
+        }
+    }
+
+    /// Seeds used for error-variance estimates (Figure 5's σ band).
+    pub fn replicate_seeds(&self) -> Vec<u64> {
+        match self {
+            Scale::Quick => vec![1],
+            Scale::Reduced => vec![1, 2, 3],
+            Scale::Paper => vec![1, 2, 3, 4, 5],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_reduced() {
+        // (Cannot reliably unset env in-process; just validate mapping.)
+        assert_eq!(Scale::Reduced.build_config(1).train_size, 110);
+        assert_eq!(Scale::Paper.build_config(1).train_size, 400);
+        assert_eq!(Scale::Quick.build_config(1).train_size, 30);
+    }
+
+    #[test]
+    fn learning_sizes_fit_in_train_budget() {
+        for s in [Scale::Quick, Scale::Reduced, Scale::Paper] {
+            let max = *s.learning_curve_sizes().iter().max().unwrap();
+            assert!(max <= s.build_config(0).train_size);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! A reproduction session: caches built models and measurers so that
+//! experiments sharing infrastructure (Tables 3, 4, 6; Figures 5–7) reuse
+//! measurements within one `repro` invocation.
+
+use crate::Scale;
+use emod_core::builder::{BuiltModel, ModelBuilder};
+use emod_core::model::ModelFamily;
+use emod_workloads::{InputSet, Workload};
+use std::collections::HashMap;
+
+/// Shared state across experiments.
+pub struct Session {
+    scale: Scale,
+    builders: HashMap<(&'static str, InputSet), ModelBuilder>,
+    built: HashMap<(&'static str, InputSet, ModelFamily), BuiltModel>,
+}
+
+impl Session {
+    /// Creates a session at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        Session {
+            scale,
+            builders: HashMap::new(),
+            built: HashMap::new(),
+        }
+    }
+
+    /// The session's scale.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The model builder for a workload/input pair (created on first use;
+    /// keeps the response cache).
+    pub fn builder(&mut self, w: &'static Workload, set: InputSet) -> &mut ModelBuilder {
+        let scale = self.scale;
+        self.builders
+            .entry((w.name(), set))
+            .or_insert_with(|| ModelBuilder::new(w, set, scale.build_config(9001)))
+    }
+
+    /// Builds (or fetches) a model for a workload/input/family triple.
+    pub fn model(
+        &mut self,
+        w: &'static Workload,
+        set: InputSet,
+        family: ModelFamily,
+    ) -> &BuiltModel {
+        if !self.built.contains_key(&(w.name(), set, family)) {
+            let built = self
+                .builder(w, set)
+                .build(family)
+                .expect("model fitting should not fail on measured designs");
+            self.built.insert((w.name(), set, family), built);
+        }
+        &self.built[&(w.name(), set, family)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_caches_models() {
+        let mut s = Session::new(Scale::Quick);
+        let w = Workload::by_name("bzip2").unwrap();
+        let a = s.model(w, InputSet::Train, ModelFamily::Rbf).test_mape;
+        let b = s.model(w, InputSet::Train, ModelFamily::Rbf).test_mape;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,968 @@
+//! Code generation: IR → `emod_isa::Program`.
+//!
+//! Applies the three backend flags of Table 1: `-fomit-frame-pointer`
+//! (frees `r30` and skips frame-pointer maintenance), `-freorder-blocks`
+//! (fall-through-maximizing block layout) and `-fschedule-insns2` (post-RA
+//! list scheduling, see [`crate::schedule`]).
+
+use crate::ir::{self, BlockId, CmpOp, Function, Module, Operand, Terminator, Ty, VReg};
+use crate::regalloc::{self, Allocation, Loc};
+use crate::{CompileError, OptConfig, Result};
+use emod_isa::{abi, AluOp, BranchCond, FCmpOp, FReg, Inst, Program, ProgramBuilder, Reg};
+
+/// Generates an executable program for the whole module.
+///
+/// The program starts at a tiny `_start` stub that calls `main` and halts;
+/// `main`'s return value becomes the program exit value.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Codegen`] if `main` is missing or a function
+/// needs more than six arguments.
+pub fn generate(module: &Module, config: &OptConfig) -> Result<Program> {
+    let main = module
+        .func_index("main")
+        .ok_or_else(|| CompileError::Codegen("no `main` function".into()))?;
+
+    let mut b = ProgramBuilder::new();
+    b.call_to(func_label(main));
+    b.push(Inst::Halt);
+
+    for (fi, f) in module.funcs.iter().enumerate() {
+        lower_function(&mut b, f, fi, config)?;
+    }
+    let program = b
+        .build()
+        .map_err(|e| CompileError::Codegen(e.to_string()))?;
+    debug_assert!(program.validate().is_ok());
+    Ok(program)
+}
+
+fn func_label(fi: usize) -> String {
+    format!("f{}", fi)
+}
+
+fn block_label(fi: usize, b: BlockId) -> String {
+    format!("f{}_b{}", fi, b.0)
+}
+
+fn epilogue_label(fi: usize) -> String {
+    format!("f{}_epi", fi)
+}
+
+/// Chooses the emission order of blocks.
+///
+/// Without `-freorder-blocks`: creation order (which scatters inlined and
+/// unrolled bodies at the end of the function, costing jumps and icache
+/// locality). With it: greedy fall-through chaining from the entry,
+/// preferring each block's likely successor.
+pub fn block_layout(f: &Function, reorder: bool) -> Vec<BlockId> {
+    let reachable: Vec<BlockId> = ir::analysis::reverse_postorder(f);
+    if !reorder {
+        // Creation order, restricted to reachable blocks.
+        let mut order: Vec<BlockId> = f.block_ids().filter(|b| reachable.contains(b)).collect();
+        order.sort_by_key(|b| b.0);
+        return order;
+    }
+    let mut placed = vec![false; f.blocks.len()];
+    let mut order = Vec::with_capacity(reachable.len());
+    for &seed in &reachable {
+        if placed[seed.0 as usize] {
+            continue;
+        }
+        // Grow a chain following preferred successors.
+        let mut cur = seed;
+        loop {
+            placed[cur.0 as usize] = true;
+            order.push(cur);
+            let next = match &f.block(cur).term {
+                Terminator::Jump(t) => Some(*t),
+                Terminator::Branch {
+                    then_bb, else_bb, ..
+                } => {
+                    // Prefer the then-side (loop bodies and likely paths);
+                    // fall back to the else-side.
+                    if !placed[then_bb.0 as usize] {
+                        Some(*then_bb)
+                    } else if !placed[else_bb.0 as usize] {
+                        Some(*else_bb)
+                    } else {
+                        None
+                    }
+                }
+                Terminator::Return(_) => None,
+            };
+            match next {
+                Some(nb) if !placed[nb.0 as usize] => cur = nb,
+                _ => break,
+            }
+        }
+    }
+    order
+}
+
+/// Per-function lowering state.
+struct FnCtx<'a> {
+    f: &'a Function,
+    alloc: Allocation,
+    /// Frame-relative byte offset of each spill slot, from the addressing
+    /// base register.
+    slot_base: i64,
+    /// Register used to address the frame (SP, or FP when maintained).
+    frame_reg: Reg,
+    /// Byte offsets (from SP) of saved ra / fp / callee-saved registers.
+    save_offsets: SaveOffsets,
+    body: Vec<Inst>,
+}
+
+#[derive(Debug, Default)]
+struct SaveOffsets {
+    ra: Option<i64>,
+    fp: Option<i64>,
+    int_callee: Vec<(u8, i64)>,
+    fp_callee: Vec<(u8, i64)>,
+}
+
+fn lower_function(
+    b: &mut ProgramBuilder,
+    f: &Function,
+    fi: usize,
+    config: &OptConfig,
+) -> Result<()> {
+    if f.params.len() > abi::ARG_COUNT as usize {
+        return Err(CompileError::Codegen(format!(
+            "`{}` has more than {} parameters",
+            f.name,
+            abi::ARG_COUNT
+        )));
+    }
+    let layout = block_layout(f, config.reorder_blocks);
+    let alloc = regalloc::allocate(f, &layout, config.omit_frame_pointer);
+
+    // Frame layout (from SP after adjustment, going up):
+    //   [ spill slots ][ saved fp callee ][ saved int callee ][ fp? ][ ra? ]
+    let mut offset = alloc.slots as i64 * 8;
+    let mut saves = SaveOffsets::default();
+    for &r in &alloc.used_fp_callee {
+        saves.fp_callee.push((r, offset));
+        offset += 8;
+    }
+    for &r in &alloc.used_int_callee {
+        saves.int_callee.push((r, offset));
+        offset += 8;
+    }
+    if !config.omit_frame_pointer {
+        saves.fp = Some(offset);
+        offset += 8;
+    }
+    if alloc.has_calls {
+        saves.ra = Some(offset);
+        offset += 8;
+    }
+    let frame_size = (offset + 15) & !15;
+
+    let keep_fp = !config.omit_frame_pointer;
+    let mut ctx = FnCtx {
+        f,
+        alloc,
+        // With a frame pointer, FP = SP_old = SP + frame_size, so slot i
+        // sits at FP - frame_size + 8i; otherwise SP + 8i.
+        slot_base: if keep_fp { -frame_size } else { 0 },
+        frame_reg: if keep_fp { abi::FP } else { abi::SP },
+        save_offsets: saves,
+        body: Vec::new(),
+    };
+
+    // --- Prologue ---
+    b.label(func_label(fi));
+    let mut prologue: Vec<Inst> = Vec::new();
+    if frame_size > 0 {
+        prologue.push(Inst::AluImm {
+            op: AluOp::Add,
+            rd: abi::SP,
+            rs: abi::SP,
+            imm: -frame_size,
+        });
+    }
+    if let Some(off) = ctx.save_offsets.ra {
+        prologue.push(Inst::Store {
+            rt: abi::RA,
+            rs: abi::SP,
+            offset: off,
+        });
+    }
+    if let Some(off) = ctx.save_offsets.fp {
+        prologue.push(Inst::Store {
+            rt: abi::FP,
+            rs: abi::SP,
+            offset: off,
+        });
+        prologue.push(Inst::AluImm {
+            op: AluOp::Add,
+            rd: abi::FP,
+            rs: abi::SP,
+            imm: frame_size,
+        });
+    }
+    for &(r, off) in &ctx.save_offsets.int_callee {
+        prologue.push(Inst::Store {
+            rt: Reg(r),
+            rs: abi::SP,
+            offset: off,
+        });
+    }
+    for &(r, off) in &ctx.save_offsets.fp_callee {
+        prologue.push(Inst::FStore {
+            ft: FReg(r),
+            rs: abi::SP,
+            offset: off,
+        });
+    }
+    for inst in prologue {
+        b.push(inst);
+    }
+    // Parameter moves: arg registers into allocated locations.
+    for (i, &p) in f.params.iter().enumerate() {
+        let src_idx = abi::A0.0 + i as u8;
+        match f.ty(p) {
+            Ty::I64 => {
+                let src = Reg(src_idx);
+                match ctx.loc(p) {
+                    Some(Loc::IntReg(r)) => b.push(mov_int(Reg(r), src)),
+                    Some(Loc::Slot(s)) => b.push(Inst::Store {
+                        rt: src,
+                        rs: ctx.frame_reg,
+                        offset: ctx.slot_off(s),
+                    }),
+                    Some(Loc::FpReg(_)) => unreachable!("int param in fp reg"),
+                    None => {} // parameter never used
+                }
+            }
+            Ty::F64 => {
+                let src = FReg(src_idx);
+                match ctx.loc(p) {
+                    Some(Loc::FpReg(r)) => b.push(mov_fp(FReg(r), src)),
+                    Some(Loc::Slot(s)) => b.push(Inst::FStore {
+                        ft: src,
+                        rs: ctx.frame_reg,
+                        offset: ctx.slot_off(s),
+                    }),
+                    Some(Loc::IntReg(_)) => unreachable!("fp param in int reg"),
+                    None => {}
+                }
+            }
+        }
+    }
+    // Fall through to the first block in layout order (emit an explicit
+    // jump if the entry block is not first — reorder keeps it first).
+    if layout.first() != Some(&BlockId(0)) {
+        b.jump_to(block_label(fi, BlockId(0)));
+    }
+
+    // --- Blocks ---
+    for (pos, &bid) in layout.iter().enumerate() {
+        let next = layout.get(pos + 1).copied();
+        b.label(block_label(fi, bid));
+        ctx.body.clear();
+        for i in &f.block(bid).instrs {
+            ctx.lower_instr(i)?;
+        }
+        let mut body = std::mem::take(&mut ctx.body);
+        if config.schedule_insns2 {
+            body = crate::schedule::schedule_block(&body);
+        }
+        emit_body(b, body, fi);
+        // Terminator.
+        match &f.block(bid).term {
+            Terminator::Jump(t) => {
+                if next != Some(*t) {
+                    b.jump_to(block_label(fi, *t));
+                }
+            }
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                ctx.body.clear();
+                let c = ctx.read_int(*cond, 0)?;
+                emit_body(b, std::mem::take(&mut ctx.body), fi);
+                if next == Some(*then_bb) {
+                    // Invert: branch to else when the condition is false.
+                    b.branch_to(BranchCond::Eq, c, abi::ZERO, block_label(fi, *else_bb));
+                } else {
+                    b.branch_to(BranchCond::Ne, c, abi::ZERO, block_label(fi, *then_bb));
+                    if next != Some(*else_bb) {
+                        b.jump_to(block_label(fi, *else_bb));
+                    }
+                }
+            }
+            Terminator::Return(v) => {
+                ctx.body.clear();
+                match f.operand_ty(*v) {
+                    Ty::I64 => {
+                        let r = ctx.read_int(*v, 0)?;
+                        ctx.body.push(mov_int(abi::RV, r));
+                    }
+                    Ty::F64 => {
+                        let r = ctx.read_fp(*v, 0)?;
+                        ctx.body.push(mov_fp(FReg(1), r));
+                    }
+                }
+                emit_body(b, std::mem::take(&mut ctx.body), fi);
+                if pos + 1 != layout.len() {
+                    b.jump_to(epilogue_label(fi));
+                }
+            }
+        }
+    }
+
+    // --- Epilogue ---
+    b.label(epilogue_label(fi));
+    for &(r, off) in &ctx.save_offsets.fp_callee {
+        b.push(Inst::FLoad {
+            fd: FReg(r),
+            rs: abi::SP,
+            offset: off,
+        });
+    }
+    for &(r, off) in &ctx.save_offsets.int_callee {
+        b.push(Inst::Load {
+            rd: Reg(r),
+            rs: abi::SP,
+            offset: off,
+        });
+    }
+    if let Some(off) = ctx.save_offsets.fp {
+        b.push(Inst::Load {
+            rd: abi::FP,
+            rs: abi::SP,
+            offset: off,
+        });
+    }
+    if let Some(off) = ctx.save_offsets.ra {
+        b.push(Inst::Load {
+            rd: abi::RA,
+            rs: abi::SP,
+            offset: off,
+        });
+    }
+    if frame_size > 0 {
+        b.push(Inst::AluImm {
+            op: AluOp::Add,
+            rd: abi::SP,
+            rs: abi::SP,
+            imm: frame_size,
+        });
+    }
+    b.push(Inst::JumpReg { rs: abi::RA });
+    Ok(())
+}
+
+/// Emits a lowered body, turning call placeholders into label fixups.
+fn emit_body(b: &mut ProgramBuilder, body: Vec<Inst>, _fi: usize) {
+    for inst in body {
+        match inst {
+            Inst::Call { target } => b.call_to(func_label(target as usize)),
+            other => b.push(other),
+        }
+    }
+}
+
+fn mov_int(rd: Reg, rs: Reg) -> Inst {
+    Inst::Alu {
+        op: AluOp::Add,
+        rd,
+        rs,
+        rt: abi::ZERO,
+    }
+}
+
+/// Float move via the `f0 = 0.0` convention (f0 is never allocated).
+fn mov_fp(fd: FReg, fs: FReg) -> Inst {
+    Inst::FAdd {
+        fd,
+        fs,
+        ft: FReg(0),
+    }
+}
+
+impl FnCtx<'_> {
+    fn loc(&self, r: VReg) -> Option<Loc> {
+        self.alloc.locs.get(&r).copied()
+    }
+
+    fn slot_off(&self, slot: u32) -> i64 {
+        self.slot_base + slot as i64 * 8
+    }
+
+    fn int_scratch(&self, which: usize) -> Reg {
+        if which == 0 {
+            Reg(regalloc::INT_SCRATCH.0)
+        } else {
+            Reg(regalloc::INT_SCRATCH.1)
+        }
+    }
+
+    fn fp_scratch(&self, which: usize) -> FReg {
+        if which == 0 {
+            FReg(regalloc::FP_SCRATCH.0)
+        } else {
+            FReg(regalloc::FP_SCRATCH.1)
+        }
+    }
+
+    /// Materializes an integer operand into a register (emitting loads for
+    /// spilled values and `li` for constants into scratch register `which`).
+    fn read_int(&mut self, o: Operand, which: usize) -> Result<Reg> {
+        match o {
+            Operand::ConstI(0) => Ok(abi::ZERO),
+            Operand::ConstI(v) => {
+                let s = self.int_scratch(which);
+                self.body.push(Inst::LoadImm { rd: s, imm: v });
+                Ok(s)
+            }
+            Operand::ConstF(_) => Err(CompileError::Codegen(
+                "float constant in integer context".into(),
+            )),
+            Operand::Reg(r) => match self.loc(r) {
+                Some(Loc::IntReg(p)) => Ok(Reg(p)),
+                Some(Loc::Slot(slot)) => {
+                    let s = self.int_scratch(which);
+                    self.body.push(Inst::Load {
+                        rd: s,
+                        rs: self.frame_reg,
+                        offset: self.slot_off(slot),
+                    });
+                    Ok(s)
+                }
+                Some(Loc::FpReg(_)) | None => Err(CompileError::Codegen(format!(
+                    "register {} has no integer location",
+                    r
+                ))),
+            },
+        }
+    }
+
+    /// Materializes a float operand into a register.
+    fn read_fp(&mut self, o: Operand, which: usize) -> Result<FReg> {
+        match o {
+            Operand::ConstF(v) => {
+                // f0 holds +0.0; -0.0 must be materialized (sign matters).
+                if v == 0.0 && v.is_sign_positive() {
+                    return Ok(FReg(0));
+                }
+                let s = self.fp_scratch(which);
+                self.body.push(Inst::FLoadImm { fd: s, imm: v });
+                Ok(s)
+            }
+            Operand::ConstI(_) => Err(CompileError::Codegen(
+                "integer constant in float context".into(),
+            )),
+            Operand::Reg(r) => match self.loc(r) {
+                Some(Loc::FpReg(p)) => Ok(FReg(p)),
+                Some(Loc::Slot(slot)) => {
+                    let s = self.fp_scratch(which);
+                    self.body.push(Inst::FLoad {
+                        fd: s,
+                        rs: self.frame_reg,
+                        offset: self.slot_off(slot),
+                    });
+                    Ok(s)
+                }
+                Some(Loc::IntReg(_)) | None => Err(CompileError::Codegen(format!(
+                    "register {} has no float location",
+                    r
+                ))),
+            },
+        }
+    }
+
+    /// Destination register for an integer def, plus whether a spill store
+    /// must follow.
+    fn write_int(&mut self, r: VReg) -> (Reg, Option<Inst>) {
+        match self.loc(r) {
+            Some(Loc::IntReg(p)) => (Reg(p), None),
+            Some(Loc::Slot(slot)) => {
+                let s = self.int_scratch(0);
+                (
+                    s,
+                    Some(Inst::Store {
+                        rt: s,
+                        rs: self.frame_reg,
+                        offset: self.slot_off(slot),
+                    }),
+                )
+            }
+            // Unused destination (dead code at -O0): compute into scratch.
+            _ => (self.int_scratch(0), None),
+        }
+    }
+
+    fn write_fp(&mut self, r: VReg) -> (FReg, Option<Inst>) {
+        match self.loc(r) {
+            Some(Loc::FpReg(p)) => (FReg(p), None),
+            Some(Loc::Slot(slot)) => {
+                let s = self.fp_scratch(0);
+                (
+                    s,
+                    Some(Inst::FStore {
+                        ft: s,
+                        rs: self.frame_reg,
+                        offset: self.slot_off(slot),
+                    }),
+                )
+            }
+            _ => (self.fp_scratch(0), None),
+        }
+    }
+
+    fn lower_instr(&mut self, i: &ir::Instr) -> Result<()> {
+        use ir::BinOp;
+        match i {
+            ir::Instr::Bin { op, dst, lhs, rhs } => {
+                let rs = self.read_int(*lhs, 0)?;
+                let (rd, post) = match self.loc(*dst) {
+                    Some(Loc::IntReg(p)) => (Reg(p), None),
+                    _ => {
+                        let w = self.write_int(*dst);
+                        (w.0, w.1)
+                    }
+                };
+                // Immediate forms for ALU-class ops.
+                let alu_op = |op: &BinOp| match op {
+                    BinOp::Add => Some(AluOp::Add),
+                    BinOp::Sub => Some(AluOp::Sub),
+                    BinOp::And => Some(AluOp::And),
+                    BinOp::Or => Some(AluOp::Or),
+                    BinOp::Xor => Some(AluOp::Xor),
+                    BinOp::Shl => Some(AluOp::Shl),
+                    BinOp::Shr => Some(AluOp::Shr),
+                    _ => None,
+                };
+                match (alu_op(op), rhs) {
+                    (Some(a), Operand::ConstI(v)) => {
+                        self.body.push(Inst::AluImm {
+                            op: a,
+                            rd,
+                            rs,
+                            imm: *v,
+                        });
+                    }
+                    (Some(a), _) => {
+                        let rt = self.read_int(*rhs, 1)?;
+                        self.body.push(Inst::Alu { op: a, rd, rs, rt });
+                    }
+                    (None, _) => {
+                        let rt = self.read_int(*rhs, 1)?;
+                        let inst = match op {
+                            BinOp::Mul => Inst::Mul { rd, rs, rt },
+                            BinOp::Div => Inst::Div { rd, rs, rt },
+                            BinOp::Rem => Inst::Rem { rd, rs, rt },
+                            _ => unreachable!("alu ops handled above"),
+                        };
+                        self.body.push(inst);
+                    }
+                }
+                self.body.extend(post);
+            }
+            ir::Instr::FBin { op, dst, lhs, rhs } => {
+                let fs = self.read_fp(*lhs, 0)?;
+                let ft = self.read_fp(*rhs, 1)?;
+                let (fd, post) = self.write_fp(*dst);
+                let inst = match op {
+                    ir::FBinOp::Add => Inst::FAdd { fd, fs, ft },
+                    ir::FBinOp::Sub => Inst::FSub { fd, fs, ft },
+                    ir::FBinOp::Mul => Inst::FMul { fd, fs, ft },
+                    ir::FBinOp::Div => Inst::FDiv { fd, fs, ft },
+                };
+                self.body.push(inst);
+                self.body.extend(post);
+            }
+            ir::Instr::Cmp { op, dst, lhs, rhs } => {
+                let (l, r, op) = match *op {
+                    // Only `<` and `==` exist in hardware; synthesize the
+                    // rest by swapping and negating.
+                    CmpOp::Gt => (*rhs, *lhs, CmpOp::Lt),
+                    CmpOp::Le => (*rhs, *lhs, CmpOp::Ge), // a<=b == !(b<a)
+                    other => (*lhs, *rhs, other),
+                };
+                let rs = self.read_int(l, 0)?;
+                let rt = self.read_int(r, 1)?;
+                let (rd, post) = self.write_int(*dst);
+                match op {
+                    CmpOp::Lt => self.body.push(Inst::Alu {
+                        op: AluOp::Slt,
+                        rd,
+                        rs,
+                        rt,
+                    }),
+                    CmpOp::Ge => {
+                        self.body.push(Inst::Alu {
+                            op: AluOp::Slt,
+                            rd,
+                            rs,
+                            rt,
+                        });
+                        self.body.push(Inst::AluImm {
+                            op: AluOp::Xor,
+                            rd,
+                            rs: rd,
+                            imm: 1,
+                        });
+                    }
+                    CmpOp::Eq => self.body.push(Inst::Alu {
+                        op: AluOp::Seq,
+                        rd,
+                        rs,
+                        rt,
+                    }),
+                    CmpOp::Ne => {
+                        self.body.push(Inst::Alu {
+                            op: AluOp::Seq,
+                            rd,
+                            rs,
+                            rt,
+                        });
+                        self.body.push(Inst::AluImm {
+                            op: AluOp::Xor,
+                            rd,
+                            rs: rd,
+                            imm: 1,
+                        });
+                    }
+                    CmpOp::Le | CmpOp::Gt => unreachable!("canonicalized"),
+                }
+                self.body.extend(post);
+            }
+            ir::Instr::FCmp { op, dst, lhs, rhs } => {
+                let (l, r, op) = match *op {
+                    CmpOp::Gt => (*rhs, *lhs, CmpOp::Lt),
+                    CmpOp::Ge => (*rhs, *lhs, CmpOp::Le),
+                    other => (*lhs, *rhs, other),
+                };
+                let fs = self.read_fp(l, 0)?;
+                let ft = self.read_fp(r, 1)?;
+                let (rd, post) = self.write_int(*dst);
+                match op {
+                    CmpOp::Lt => self.body.push(Inst::FCmp {
+                        op: FCmpOp::Lt,
+                        rd,
+                        fs,
+                        ft,
+                    }),
+                    CmpOp::Le => self.body.push(Inst::FCmp {
+                        op: FCmpOp::Le,
+                        rd,
+                        fs,
+                        ft,
+                    }),
+                    CmpOp::Eq => self.body.push(Inst::FCmp {
+                        op: FCmpOp::Eq,
+                        rd,
+                        fs,
+                        ft,
+                    }),
+                    CmpOp::Ne => {
+                        self.body.push(Inst::FCmp {
+                            op: FCmpOp::Eq,
+                            rd,
+                            fs,
+                            ft,
+                        });
+                        self.body.push(Inst::AluImm {
+                            op: AluOp::Xor,
+                            rd,
+                            rs: rd,
+                            imm: 1,
+                        });
+                    }
+                    CmpOp::Gt | CmpOp::Ge => unreachable!("canonicalized"),
+                }
+                self.body.extend(post);
+            }
+            ir::Instr::Copy { dst, src } => match self.f.ty(*dst) {
+                Ty::I64 => {
+                    let (rd, post) = self.write_int(*dst);
+                    match src {
+                        Operand::ConstI(v) => self.body.push(Inst::LoadImm { rd, imm: *v }),
+                        _ => {
+                            let rs = self.read_int(*src, 1)?;
+                            if rs != rd {
+                                self.body.push(mov_int(rd, rs));
+                            } else if post.is_some() {
+                                self.body.push(mov_int(rd, rs));
+                            }
+                        }
+                    }
+                    self.body.extend(post);
+                }
+                Ty::F64 => {
+                    let (fd, post) = self.write_fp(*dst);
+                    match src {
+                        Operand::ConstF(v) => self.body.push(Inst::FLoadImm { fd, imm: *v }),
+                        _ => {
+                            let fs = self.read_fp(*src, 1)?;
+                            if fs != fd || post.is_some() {
+                                self.body.push(mov_fp(fd, fs));
+                            }
+                        }
+                    }
+                    self.body.extend(post);
+                }
+            },
+            ir::Instr::IntToFloat { dst, src } => {
+                let rs = self.read_int(*src, 0)?;
+                let (fd, post) = self.write_fp(*dst);
+                self.body.push(Inst::CvtIf { fd, rs });
+                self.body.extend(post);
+            }
+            ir::Instr::FloatToInt { dst, src } => {
+                let fs = self.read_fp(*src, 0)?;
+                let (rd, post) = self.write_int(*dst);
+                self.body.push(Inst::CvtFi { rd, fs });
+                self.body.extend(post);
+            }
+            ir::Instr::Load { dst, addr } => {
+                let (base, offset) = self.address(*addr)?;
+                match self.f.ty(*dst) {
+                    Ty::I64 => {
+                        let (rd, post) = self.write_int(*dst);
+                        self.body.push(Inst::Load {
+                            rd,
+                            rs: base,
+                            offset,
+                        });
+                        self.body.extend(post);
+                    }
+                    Ty::F64 => {
+                        let (fd, post) = self.write_fp(*dst);
+                        self.body.push(Inst::FLoad {
+                            fd,
+                            rs: base,
+                            offset,
+                        });
+                        self.body.extend(post);
+                    }
+                }
+            }
+            ir::Instr::Store { addr, value } => {
+                let (base, offset) = self.address(*addr)?;
+                match self.f.operand_ty(*value) {
+                    Ty::I64 => {
+                        let rt = self.read_int(*value, 1)?;
+                        self.body.push(Inst::Store {
+                            rt,
+                            rs: base,
+                            offset,
+                        });
+                    }
+                    Ty::F64 => {
+                        let ft = self.read_fp(*value, 1)?;
+                        self.body.push(Inst::FStore {
+                            ft,
+                            rs: base,
+                            offset,
+                        });
+                    }
+                }
+            }
+            ir::Instr::Prefetch { addr, offset } => {
+                let (base, base_off) = self.address(*addr)?;
+                self.body.push(Inst::Prefetch {
+                    rs: base,
+                    offset: base_off + offset,
+                });
+            }
+            ir::Instr::Call { dst, callee, args } => {
+                if args.len() > abi::ARG_COUNT as usize {
+                    return Err(CompileError::Codegen("too many call arguments".into()));
+                }
+                for (k, a) in args.iter().enumerate() {
+                    let slot = abi::A0.0 + k as u8;
+                    match self.f.operand_ty(*a) {
+                        Ty::I64 => match a {
+                            Operand::ConstI(v) => self.body.push(Inst::LoadImm {
+                                rd: Reg(slot),
+                                imm: *v,
+                            }),
+                            _ => {
+                                let rs = self.read_int(*a, 0)?;
+                                self.body.push(mov_int(Reg(slot), rs));
+                            }
+                        },
+                        Ty::F64 => match a {
+                            Operand::ConstF(v) => self.body.push(Inst::FLoadImm {
+                                fd: FReg(slot),
+                                imm: *v,
+                            }),
+                            _ => {
+                                let fs = self.read_fp(*a, 0)?;
+                                self.body.push(mov_fp(FReg(slot), fs));
+                            }
+                        },
+                    }
+                }
+                // Placeholder: rewritten to a label fixup at emission.
+                self.body.push(Inst::Call {
+                    target: *callee as u32,
+                });
+                if let Some(d) = dst {
+                    match self.f.ty(*d) {
+                        Ty::I64 => {
+                            let (rd, post) = self.write_int(*d);
+                            if rd != abi::RV {
+                                self.body.push(mov_int(rd, abi::RV));
+                            }
+                            self.body.extend(post);
+                        }
+                        Ty::F64 => {
+                            let (fd, post) = self.write_fp(*d);
+                            if fd != FReg(1) {
+                                self.body.push(mov_fp(fd, FReg(1)));
+                            }
+                            self.body.extend(post);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Splits an address operand into (base register, constant offset).
+    fn address(&mut self, addr: Operand) -> Result<(Reg, i64)> {
+        match addr {
+            Operand::ConstI(abs) => Ok((abi::ZERO, abs)),
+            _ => Ok((self.read_int(addr, 0)?, 0)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::testutil::run as run_src;
+    use crate::OptConfig;
+
+    #[test]
+    fn backend_flags_preserve_semantics() {
+        let src = r#"
+            global data[64];
+            fn mix(a, b) { return a * 31 + b; }
+            fn main() {
+                var h = 7;
+                for (i = 0; i < 64; i = i + 1) { data[i] = i * i - i; }
+                for (i = 0; i < 64; i = i + 1) { h = mix(h, data[i]); }
+                if (h < 0) { h = -h; }
+                return h % 100000;
+            }
+        "#;
+        let base = run_src(src, &OptConfig::o0());
+        for (omit, reorder, sched) in [
+            (true, false, false),
+            (false, true, false),
+            (false, false, true),
+            (true, true, true),
+        ] {
+            let mut cfg = OptConfig::o0();
+            cfg.omit_frame_pointer = omit;
+            cfg.reorder_blocks = reorder;
+            cfg.schedule_insns2 = sched;
+            assert_eq!(run_src(src, &cfg), base, "omit={} reorder={} sched={}", omit, reorder, sched);
+        }
+    }
+
+    #[test]
+    fn keeping_frame_pointer_costs_instructions() {
+        let src = "fn leafy(a) { return a + 1; } fn main() { return leafy(4); }";
+        let mut with_fp = OptConfig::o0();
+        with_fp.omit_frame_pointer = false;
+        let mut without_fp = OptConfig::o0();
+        without_fp.omit_frame_pointer = true;
+        let p1 = crate::compile(src, &with_fp).unwrap();
+        let p2 = crate::compile(src, &without_fp).unwrap();
+        assert!(
+            p1.len() > p2.len(),
+            "fp maintenance should add instructions: {} vs {}",
+            p1.len(),
+            p2.len()
+        );
+    }
+
+    #[test]
+    fn reorder_blocks_reduces_static_jumps_after_inlining() {
+        let src = r#"
+            fn helper(x) { if (x > 2) { return x * 2; } return x + 9; }
+            fn main() {
+                var s = 0;
+                for (i = 0; i < 10; i = i + 1) { s = s + helper(i); }
+                return s;
+            }
+        "#;
+        let mut plain = OptConfig::o0();
+        plain.inline_functions = true;
+        let mut reordered = plain.clone();
+        reordered.reorder_blocks = true;
+        let count_jumps = |p: &Program| {
+            p.insts()
+                .iter()
+                .filter(|i| matches!(i, Inst::Jump { .. }))
+                .count()
+        };
+        let pj = count_jumps(&crate::compile(src, &plain).unwrap());
+        let rj = count_jumps(&crate::compile(src, &reordered).unwrap());
+        assert!(rj <= pj, "reorder increased jumps: {} -> {}", pj, rj);
+        assert_eq!(
+            run_src(src, &plain),
+            run_src(src, &reordered),
+        );
+    }
+
+    #[test]
+    fn float_returns_and_spilled_floats() {
+        let src = r#"
+            fnf poly(x: float) { return x * x * 0.5 + x * 2.0 + 1.0; }
+            fn main() {
+                var acc = 0.0;
+                for (i = 0; i < 10; i = i + 1) { acc = acc + poly(float(i)); }
+                return int(acc * 10.0);
+            }
+        "#;
+        let expect: f64 = (0..10)
+            .map(|i| {
+                let x = i as f64;
+                x * x * 0.5 + x * 2.0 + 1.0
+            })
+            .sum();
+        assert_eq!(run_src(src, &OptConfig::o0()), (expect * 10.0) as i64);
+        assert_eq!(run_src(src, &OptConfig::o3()), (expect * 10.0) as i64);
+    }
+
+    #[test]
+    fn deep_recursion_uses_stack_correctly() {
+        let src = r#"
+            fn fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+            fn main() { return fib(15); }
+        "#;
+        for cfg in [OptConfig::o0(), OptConfig::o2(), OptConfig::o3()] {
+            assert_eq!(run_src(src, &cfg), 610);
+        }
+    }
+
+    #[test]
+    fn missing_main_is_an_error() {
+        let err = crate::compile("fn helper() { return 1; }", &OptConfig::o2()).unwrap_err();
+        assert!(matches!(err, CompileError::Codegen(_)));
+    }
+
+    #[test]
+    fn too_many_params_rejected() {
+        let err = crate::compile(
+            "fn f(a,b,c,d,e,g,h) { return 0; } fn main() { return f(1,2,3,4,5,6,7); }",
+            &OptConfig::o2(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("parameters"));
+    }
+}

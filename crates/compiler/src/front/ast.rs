@@ -1,0 +1,148 @@
+//! Abstract syntax for Tinylang.
+
+/// A whole source file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// A global array declaration.
+    Global(GlobalDecl),
+    /// A function definition.
+    Func(FuncDecl),
+}
+
+/// `global name[len];` (i64) or `globalf name[len];` (f64).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Array name.
+    pub name: String,
+    /// Element count.
+    pub len: usize,
+    /// Whether elements are floats.
+    pub is_float: bool,
+}
+
+/// A function parameter: integer by default, float when declared
+/// `name: float`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDecl {
+    /// Parameter name.
+    pub name: String,
+    /// Whether the parameter is a float.
+    pub is_float: bool,
+}
+
+/// `fn name(params) { … }` (int-returning) or `fnf …` (float-returning).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameters in order.
+    pub params: Vec<ParamDecl>,
+    /// Whether the function returns a float.
+    pub returns_float: bool,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var name = expr;` — declares a local; its type is the initializer's.
+    VarDecl { name: String, init: Expr },
+    /// `name = expr;`
+    Assign { name: String, value: Expr },
+    /// `name[index] = expr;`
+    StoreIndex {
+        name: String,
+        index: Expr,
+        value: Expr,
+    },
+    /// `if (cond) { … } else { … }`
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+    /// `while (cond) { … }`
+    While { cond: Expr, body: Vec<Stmt> },
+    /// `for (name = init; cond; name = step) { … }` — sugar handled in the
+    /// parser by desugaring into init + while, kept structured here so the
+    /// lowering can form canonical counted loops.
+    For {
+        init: Box<Stmt>,
+        cond: Expr,
+        step: Box<Stmt>,
+        body: Vec<Stmt>,
+    },
+    /// `return expr;`
+    Return(Expr),
+    /// An expression evaluated for effect (a call).
+    Expr(Expr),
+}
+
+/// Binary operators at the AST level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinExprOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    /// Logical and (operands normalized to 0/1, not short-circuit).
+    And,
+    /// Logical or.
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!x` is `x == 0`).
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Variable reference.
+    Var(String),
+    /// Global array element read.
+    Index { name: String, index: Box<Expr> },
+    /// Function call.
+    Call { name: String, args: Vec<Expr> },
+    /// Binary operation.
+    Bin {
+        op: BinExprOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary { op: UnaryOp, operand: Box<Expr> },
+    /// `float(e)` — int to float conversion.
+    ToFloat(Box<Expr>),
+    /// `int(e)` — float to int conversion.
+    ToInt(Box<Expr>),
+}

@@ -1,0 +1,192 @@
+//! Hand-written lexer for Tinylang.
+
+use crate::{CompileError, Result};
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal (contains `.` or exponent).
+    Float(f64),
+    /// Identifier or keyword.
+    Ident(String),
+    /// One of the fixed punctuation/operator spellings.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+const PUNCTS: &[&str] = &[
+    // Two-character operators must come first for maximal munch.
+    "<=", ">=", "==", "!=", "&&", "||", "<<", ">>", "(", ")", "{", "}", "[", "]", ";", ",", "=",
+    "<", ">", "+", "-", "*", "/", "%", "&", "|", "^", "!", ":",
+];
+
+/// Tokenizes `source`.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Parse`] on unknown characters or malformed
+/// numeric literals.
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    'outer: while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments.
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_digit()
+                    || bytes[i] == b'.'
+                    || bytes[i] == b'e'
+                    || bytes[i] == b'E'
+                    || ((bytes[i] == b'+' || bytes[i] == b'-')
+                        && i > start
+                        && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+            {
+                if bytes[i] == b'.' || bytes[i] == b'e' || bytes[i] == b'E' {
+                    is_float = true;
+                }
+                i += 1;
+            }
+            let text = &source[start..i];
+            let kind = if is_float {
+                TokenKind::Float(text.parse().map_err(|_| CompileError::Parse {
+                    line,
+                    message: format!("bad float literal `{}`", text),
+                })?)
+            } else {
+                TokenKind::Int(text.parse().map_err(|_| CompileError::Parse {
+                    line,
+                    message: format!("bad integer literal `{}`", text),
+                })?)
+            };
+            tokens.push(Token { kind, line });
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident(source[start..i].to_string()),
+                line,
+            });
+            continue;
+        }
+        for p in PUNCTS {
+            if source[i..].starts_with(p) {
+                tokens.push(Token {
+                    kind: TokenKind::Punct(p),
+                    line,
+                });
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return Err(CompileError::Parse {
+            line,
+            message: format!("unexpected character `{}`", c),
+        });
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn numbers_and_idents() {
+        assert_eq!(
+            kinds("x1 42 3.5"),
+            vec![
+                TokenKind::Ident("x1".into()),
+                TokenKind::Int(42),
+                TokenKind::Float(3.5),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(
+            kinds("1e3 2.5e-2"),
+            vec![
+                TokenKind::Float(1000.0),
+                TokenKind::Float(0.025),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        assert_eq!(
+            kinds("<= < << == ="),
+            vec![
+                TokenKind::Punct("<="),
+                TokenKind::Punct("<"),
+                TokenKind::Punct("<<"),
+                TokenKind::Punct("=="),
+                TokenKind::Punct("="),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = lex("a // comment\nb").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn unknown_character_errors_with_line() {
+        let err = lex("a\n@").unwrap_err();
+        match err {
+            CompileError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected: {:?}", other),
+        }
+    }
+}

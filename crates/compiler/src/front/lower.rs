@@ -1,0 +1,651 @@
+//! Lowering from the Tinylang AST to the three-address IR, with type
+//! checking.
+
+use super::ast::*;
+use crate::ir::{
+    BinOp, BlockId, CmpOp, FBinOp, Function, Global, Instr, Module, Operand, Terminator, Ty, VReg,
+};
+use crate::{CompileError, Result};
+use std::collections::HashMap;
+
+/// Lowers a parsed program to an IR module.
+///
+/// Global arrays are laid out sequentially in the data segment, each aligned
+/// to a 64-byte cache line. Assignment to an undeclared variable implicitly
+/// declares it (with the type of the right-hand side), which keeps kernel
+/// sources compact.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Semantic`] on type mismatches, unknown names or
+/// arity errors.
+pub fn lower(ast: &Program) -> Result<Module> {
+    // Pass 1: assign global addresses, collect function signatures.
+    let mut globals = Vec::new();
+    let mut global_map: HashMap<String, (u64, Ty)> = HashMap::new();
+    let mut base = emod_isa::DATA_BASE;
+    for item in &ast.items {
+        if let Item::Global(g) = item {
+            let ty = if g.is_float { Ty::F64 } else { Ty::I64 };
+            if global_map.insert(g.name.clone(), (base, ty)).is_some() {
+                return Err(CompileError::Semantic(format!(
+                    "duplicate global `{}`",
+                    g.name
+                )));
+            }
+            globals.push(Global {
+                name: g.name.clone(),
+                len: g.len,
+                ty,
+                base,
+            });
+            // Align the next global to a cache line.
+            base += (g.len as u64 * 8 + 63) & !63;
+        }
+    }
+    let mut signatures: HashMap<String, (usize, Vec<Ty>, Ty)> = HashMap::new();
+    let mut func_decls = Vec::new();
+    for item in &ast.items {
+        if let Item::Func(f) = item {
+            let params: Vec<Ty> = f
+                .params
+                .iter()
+                .map(|p| if p.is_float { Ty::F64 } else { Ty::I64 })
+                .collect();
+            let ret = if f.returns_float { Ty::F64 } else { Ty::I64 };
+            let index = func_decls.len();
+            if signatures
+                .insert(f.name.clone(), (index, params, ret))
+                .is_some()
+            {
+                return Err(CompileError::Semantic(format!(
+                    "duplicate function `{}`",
+                    f.name
+                )));
+            }
+            func_decls.push(f);
+        }
+    }
+
+    // Pass 2: lower bodies.
+    let mut funcs = Vec::new();
+    for decl in &func_decls {
+        let mut ctx = LowerCtx {
+            func: Function::new(decl.name.clone()),
+            current: BlockId(0),
+            vars: HashMap::new(),
+            globals: &global_map,
+            signatures: &signatures,
+            ret_ty: if decl.returns_float { Ty::F64 } else { Ty::I64 },
+            terminated: false,
+        };
+        for p in &decl.params {
+            let ty = if p.is_float { Ty::F64 } else { Ty::I64 };
+            let r = ctx.func.new_vreg(ty);
+            ctx.func.params.push(r);
+            ctx.vars.insert(p.name.clone(), r);
+        }
+        ctx.stmts(&decl.body)?;
+        if !ctx.terminated {
+            let zero = match ctx.ret_ty {
+                Ty::I64 => Operand::ConstI(0),
+                Ty::F64 => Operand::ConstF(0.0),
+            };
+            ctx.func.block_mut(ctx.current).term = Terminator::Return(zero);
+        }
+        ctx.func.assert_valid();
+        funcs.push(ctx.func);
+    }
+    Ok(Module { funcs, globals })
+}
+
+struct LowerCtx<'a> {
+    func: Function,
+    current: BlockId,
+    vars: HashMap<String, VReg>,
+    globals: &'a HashMap<String, (u64, Ty)>,
+    signatures: &'a HashMap<String, (usize, Vec<Ty>, Ty)>,
+    ret_ty: Ty,
+    terminated: bool,
+}
+
+impl LowerCtx<'_> {
+    fn emit(&mut self, i: Instr) {
+        self.func.block_mut(self.current).instrs.push(i);
+    }
+
+    /// Assigns `val` to the variable register `target`, fusing the copy into
+    /// the just-emitted expression when `val` is a fresh temporary — so
+    /// `i = i + 1` lowers to `i = Add i, 1` rather than a temp plus a copy
+    /// (which would hide induction variables from the loop passes).
+    fn assign_to(&mut self, target: VReg, val: Operand) {
+        if let Operand::Reg(t) = val {
+            if t != target && !self.is_variable(t) {
+                if let Some(last) = self.func.block_mut(self.current).instrs.last_mut() {
+                    if last.def() == Some(t) {
+                        last.set_def(target);
+                        return;
+                    }
+                }
+            }
+        }
+        self.emit(Instr::Copy {
+            dst: target,
+            src: val,
+        });
+    }
+
+    /// Whether `r` is bound to a source-level variable or parameter (such
+    /// registers may be read elsewhere, so their defs cannot be retargeted).
+    fn is_variable(&self, r: VReg) -> bool {
+        self.vars.values().any(|&v| v == r) || self.func.params.contains(&r)
+    }
+
+    fn set_term(&mut self, t: Terminator) {
+        self.func.block_mut(self.current).term = t;
+    }
+
+    fn semantic<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(CompileError::Semantic(msg.into()))
+    }
+
+    fn stmts(&mut self, body: &[Stmt]) -> Result<()> {
+        for s in body {
+            if self.terminated {
+                // Unreachable code after return: lower into a fresh dead
+                // block so names still resolve, then forget it.
+                let dead = self.func.new_block();
+                self.current = dead;
+                self.terminated = false;
+            }
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<()> {
+        match s {
+            Stmt::VarDecl { name, init } => {
+                let (val, ty) = self.expr(init)?;
+                let r = self.func.new_vreg(ty);
+                self.vars.insert(name.clone(), r);
+                self.assign_to(r, val);
+            }
+            Stmt::Assign { name, value } => {
+                let (val, ty) = self.expr(value)?;
+                match self.vars.get(name) {
+                    Some(&r) => {
+                        if self.func.ty(r) != ty {
+                            return self.semantic(format!(
+                                "type mismatch assigning to `{}`",
+                                name
+                            ));
+                        }
+                        self.assign_to(r, val);
+                    }
+                    None => {
+                        // Implicit declaration.
+                        let r = self.func.new_vreg(ty);
+                        self.vars.insert(name.clone(), r);
+                        self.assign_to(r, val);
+                    }
+                }
+            }
+            Stmt::StoreIndex { name, index, value } => {
+                let (gbase, gty) = match self.globals.get(name) {
+                    Some(&g) => g,
+                    None => return self.semantic(format!("unknown global `{}`", name)),
+                };
+                let (val, vty) = self.expr(value)?;
+                if vty != gty {
+                    return self.semantic(format!("type mismatch storing to `{}`", name));
+                }
+                let addr = self.index_addr(gbase, index)?;
+                self.emit(Instr::Store { addr, value: val });
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let (c, cty) = self.expr(cond)?;
+                if cty != Ty::I64 {
+                    return self.semantic("if condition must be an integer");
+                }
+                let then_bb = self.func.new_block();
+                let else_bb = self.func.new_block();
+                let join_bb = self.func.new_block();
+                self.set_term(Terminator::Branch {
+                    cond: c,
+                    then_bb,
+                    else_bb,
+                });
+                self.current = then_bb;
+                self.terminated = false;
+                self.stmts(then_body)?;
+                if !self.terminated {
+                    self.set_term(Terminator::Jump(join_bb));
+                }
+                self.current = else_bb;
+                self.terminated = false;
+                self.stmts(else_body)?;
+                if !self.terminated {
+                    self.set_term(Terminator::Jump(join_bb));
+                }
+                self.current = join_bb;
+                self.terminated = false;
+            }
+            Stmt::While { cond, body } => {
+                self.lower_loop(None, cond, None, body)?;
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.lower_loop(Some(init), cond, Some(step), body)?;
+            }
+            Stmt::Return(e) => {
+                let (v, ty) = self.expr(e)?;
+                if ty != self.ret_ty {
+                    return self.semantic(format!(
+                        "return type mismatch in `{}`",
+                        self.func.name
+                    ));
+                }
+                self.set_term(Terminator::Return(v));
+                self.terminated = true;
+            }
+            Stmt::Expr(e) => {
+                let _ = self.expr(e)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Shared lowering for `while` and `for`: init → header(cond) → body
+    /// (+step) → back edge; exit continues after the loop.
+    fn lower_loop(
+        &mut self,
+        init: Option<&Stmt>,
+        cond: &Expr,
+        step: Option<&Stmt>,
+        body: &[Stmt],
+    ) -> Result<()> {
+        if let Some(init) = init {
+            self.stmt(init)?;
+        }
+        let header = self.func.new_block();
+        let body_bb = self.func.new_block();
+        let exit_bb = self.func.new_block();
+        self.set_term(Terminator::Jump(header));
+        self.current = header;
+        self.terminated = false;
+        let (c, cty) = self.expr(cond)?;
+        if cty != Ty::I64 {
+            return self.semantic("loop condition must be an integer");
+        }
+        self.set_term(Terminator::Branch {
+            cond: c,
+            then_bb: body_bb,
+            else_bb: exit_bb,
+        });
+        self.current = body_bb;
+        self.terminated = false;
+        self.stmts(body)?;
+        if let Some(step) = step {
+            if self.terminated {
+                // `return` inside the body; the step is dead but must still
+                // type check — lower it into the dead block.
+                let dead = self.func.new_block();
+                self.current = dead;
+                self.terminated = false;
+                self.stmt(step)?;
+                self.terminated = true;
+            } else {
+                self.stmt(step)?;
+            }
+        }
+        if !self.terminated {
+            self.set_term(Terminator::Jump(header));
+        }
+        self.current = exit_bb;
+        self.terminated = false;
+        Ok(())
+    }
+
+    /// Computes `base + (index << 3)` and returns the address operand.
+    fn index_addr(&mut self, base: u64, index: &Expr) -> Result<Operand> {
+        let (idx, ity) = self.expr(index)?;
+        if ity != Ty::I64 {
+            return self.semantic("array index must be an integer");
+        }
+        // Constant-fold the common `arr[const]` case immediately.
+        if let Operand::ConstI(k) = idx {
+            return Ok(Operand::ConstI(base as i64 + (k << 3)));
+        }
+        let shifted = self.func.new_vreg(Ty::I64);
+        self.emit(Instr::Bin {
+            op: BinOp::Shl,
+            dst: shifted,
+            lhs: idx,
+            rhs: Operand::ConstI(3),
+        });
+        let addr = self.func.new_vreg(Ty::I64);
+        self.emit(Instr::Bin {
+            op: BinOp::Add,
+            dst: addr,
+            lhs: Operand::Reg(shifted),
+            rhs: Operand::ConstI(base as i64),
+        });
+        Ok(Operand::Reg(addr))
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<(Operand, Ty)> {
+        match e {
+            Expr::Int(v) => Ok((Operand::ConstI(*v), Ty::I64)),
+            Expr::Float(v) => Ok((Operand::ConstF(*v), Ty::F64)),
+            Expr::Var(name) => match self.vars.get(name) {
+                Some(&r) => Ok((Operand::Reg(r), self.func.ty(r))),
+                None => self.semantic(format!("unknown variable `{}`", name)),
+            },
+            Expr::Index { name, index } => {
+                let (gbase, gty) = match self.globals.get(name) {
+                    Some(&g) => g,
+                    None => return self.semantic(format!("unknown global `{}`", name)),
+                };
+                let addr = self.index_addr(gbase, index)?;
+                let dst = self.func.new_vreg(gty);
+                self.emit(Instr::Load { dst, addr });
+                Ok((Operand::Reg(dst), gty))
+            }
+            Expr::Call { name, args } => {
+                let (callee, param_tys, ret) = match self.signatures.get(name) {
+                    Some(s) => s.clone(),
+                    None => return self.semantic(format!("unknown function `{}`", name)),
+                };
+                if args.len() != param_tys.len() {
+                    return self.semantic(format!(
+                        "`{}` expects {} arguments, got {}",
+                        name,
+                        param_tys.len(),
+                        args.len()
+                    ));
+                }
+                let mut lowered = Vec::with_capacity(args.len());
+                for (a, want) in args.iter().zip(&param_tys) {
+                    let (v, ty) = self.expr(a)?;
+                    if ty != *want {
+                        return self.semantic(format!("argument type mismatch calling `{}`", name));
+                    }
+                    lowered.push(v);
+                }
+                let dst = self.func.new_vreg(ret);
+                self.emit(Instr::Call {
+                    dst: Some(dst),
+                    callee,
+                    args: lowered,
+                });
+                Ok((Operand::Reg(dst), ret))
+            }
+            Expr::Unary { op, operand } => {
+                let (v, ty) = self.expr(operand)?;
+                match op {
+                    UnaryOp::Neg => match ty {
+                        Ty::I64 => {
+                            let dst = self.func.new_vreg(Ty::I64);
+                            self.emit(Instr::Bin {
+                                op: BinOp::Sub,
+                                dst,
+                                lhs: Operand::ConstI(0),
+                                rhs: v,
+                            });
+                            Ok((Operand::Reg(dst), Ty::I64))
+                        }
+                        Ty::F64 => {
+                            let dst = self.func.new_vreg(Ty::F64);
+                            self.emit(Instr::FBin {
+                                op: FBinOp::Sub,
+                                dst,
+                                lhs: Operand::ConstF(0.0),
+                                rhs: v,
+                            });
+                            Ok((Operand::Reg(dst), Ty::F64))
+                        }
+                    },
+                    UnaryOp::Not => {
+                        if ty != Ty::I64 {
+                            return self.semantic("`!` requires an integer");
+                        }
+                        let dst = self.func.new_vreg(Ty::I64);
+                        self.emit(Instr::Cmp {
+                            op: CmpOp::Eq,
+                            dst,
+                            lhs: v,
+                            rhs: Operand::ConstI(0),
+                        });
+                        Ok((Operand::Reg(dst), Ty::I64))
+                    }
+                }
+            }
+            Expr::ToFloat(inner) => {
+                let (v, ty) = self.expr(inner)?;
+                if ty != Ty::I64 {
+                    return self.semantic("float() requires an integer");
+                }
+                let dst = self.func.new_vreg(Ty::F64);
+                self.emit(Instr::IntToFloat { dst, src: v });
+                Ok((Operand::Reg(dst), Ty::F64))
+            }
+            Expr::ToInt(inner) => {
+                let (v, ty) = self.expr(inner)?;
+                if ty != Ty::F64 {
+                    return self.semantic("int() requires a float");
+                }
+                let dst = self.func.new_vreg(Ty::I64);
+                self.emit(Instr::FloatToInt { dst, src: v });
+                Ok((Operand::Reg(dst), Ty::I64))
+            }
+            Expr::Bin { op, lhs, rhs } => self.bin_expr(*op, lhs, rhs),
+        }
+    }
+
+    fn bin_expr(&mut self, op: BinExprOp, lhs: &Expr, rhs: &Expr) -> Result<(Operand, Ty)> {
+        let (l, lt) = self.expr(lhs)?;
+        let (r, rt) = self.expr(rhs)?;
+        if lt != rt {
+            return self.semantic("mixed int/float operands (use float()/int())");
+        }
+        let is_float = lt == Ty::F64;
+        // Comparisons.
+        if let Some(cmp) = match op {
+            BinExprOp::Lt => Some(CmpOp::Lt),
+            BinExprOp::Le => Some(CmpOp::Le),
+            BinExprOp::Gt => Some(CmpOp::Gt),
+            BinExprOp::Ge => Some(CmpOp::Ge),
+            BinExprOp::Eq => Some(CmpOp::Eq),
+            BinExprOp::Ne => Some(CmpOp::Ne),
+            _ => None,
+        } {
+            let dst = self.func.new_vreg(Ty::I64);
+            let instr = if is_float {
+                Instr::FCmp {
+                    op: cmp,
+                    dst,
+                    lhs: l,
+                    rhs: r,
+                }
+            } else {
+                Instr::Cmp {
+                    op: cmp,
+                    dst,
+                    lhs: l,
+                    rhs: r,
+                }
+            };
+            self.emit(instr);
+            return Ok((Operand::Reg(dst), Ty::I64));
+        }
+        // Logical and/or: normalize both sides to 0/1 then use bit ops.
+        if matches!(op, BinExprOp::And | BinExprOp::Or) {
+            if is_float {
+                return self.semantic("logical operators require integers");
+            }
+            let ln = self.normalize_bool(l);
+            let rn = self.normalize_bool(r);
+            let dst = self.func.new_vreg(Ty::I64);
+            self.emit(Instr::Bin {
+                op: if op == BinExprOp::And {
+                    BinOp::And
+                } else {
+                    BinOp::Or
+                },
+                dst,
+                lhs: ln,
+                rhs: rn,
+            });
+            return Ok((Operand::Reg(dst), Ty::I64));
+        }
+        if is_float {
+            let fop = match op {
+                BinExprOp::Add => FBinOp::Add,
+                BinExprOp::Sub => FBinOp::Sub,
+                BinExprOp::Mul => FBinOp::Mul,
+                BinExprOp::Div => FBinOp::Div,
+                _ => return self.semantic("operator not defined for floats"),
+            };
+            let dst = self.func.new_vreg(Ty::F64);
+            self.emit(Instr::FBin {
+                op: fop,
+                dst,
+                lhs: l,
+                rhs: r,
+            });
+            Ok((Operand::Reg(dst), Ty::F64))
+        } else {
+            let iop = match op {
+                BinExprOp::Add => BinOp::Add,
+                BinExprOp::Sub => BinOp::Sub,
+                BinExprOp::Mul => BinOp::Mul,
+                BinExprOp::Div => BinOp::Div,
+                BinExprOp::Rem => BinOp::Rem,
+                BinExprOp::Shl => BinOp::Shl,
+                BinExprOp::Shr => BinOp::Shr,
+                BinExprOp::BitAnd => BinOp::And,
+                BinExprOp::BitOr => BinOp::Or,
+                BinExprOp::BitXor => BinOp::Xor,
+                _ => unreachable!("comparisons and logicals handled above"),
+            };
+            let dst = self.func.new_vreg(Ty::I64);
+            self.emit(Instr::Bin {
+                op: iop,
+                dst,
+                lhs: l,
+                rhs: r,
+            });
+            Ok((Operand::Reg(dst), Ty::I64))
+        }
+    }
+
+    /// `x != 0` as a 0/1 value.
+    fn normalize_bool(&mut self, v: Operand) -> Operand {
+        let dst = self.func.new_vreg(Ty::I64);
+        self.emit(Instr::Cmp {
+            op: CmpOp::Ne,
+            dst,
+            lhs: v,
+            rhs: Operand::ConstI(0),
+        });
+        Operand::Reg(dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::front::parse;
+
+    fn lower_src(src: &str) -> Module {
+        lower(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn globals_are_cache_line_aligned() {
+        let m = lower_src("global a[3]; global b[5]; fn main() { return 0; }");
+        assert_eq!(m.globals[0].base % 64, 0);
+        assert_eq!(m.globals[1].base % 64, 0);
+        assert!(m.globals[1].base >= m.globals[0].base + 24);
+    }
+
+    #[test]
+    fn while_loop_shape() {
+        let m = lower_src("fn main() { var i = 0; while (i < 4) { i = i + 1; } return i; }");
+        let f = &m.funcs[0];
+        let loops = crate::ir::analysis::natural_loops(f);
+        assert_eq!(loops.len(), 1);
+    }
+
+    #[test]
+    fn for_loop_has_step_in_latch_block() {
+        let m = lower_src("fn main() { var s = 0; for (i = 0; i < 4; i = i + 1) { s = s + i; } return s; }");
+        let f = &m.funcs[0];
+        let loops = crate::ir::analysis::natural_loops(f);
+        assert_eq!(loops.len(), 1);
+        // The body block (single latch) ends with the IV increment.
+        let latch = loops[0].latches[0];
+        let last = f.block(latch).instrs.last().unwrap();
+        assert!(matches!(last, Instr::Bin { op: BinOp::Add, .. }));
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        for src in [
+            "fn main() { return 1.5; }",                     // float from int fn
+            "fn main() { var x = 1; x = 2.0; return x; }",   // mixed assign
+            "fn main() { return 1 + 2.0; }",                 // mixed operands
+            "fn main() { return unknown; }",                 // unknown var
+            "fn main() { return f(1); }",                    // unknown fn
+            "global g[2]; fn main() { g[0] = 1.0; return 0; }", // wrong store ty
+        ] {
+            let err = lower(&parse(src).unwrap()).unwrap_err();
+            assert!(matches!(err, CompileError::Semantic(_)), "{}", src);
+        }
+    }
+
+    #[test]
+    fn call_lowering_checks_arity() {
+        let err = lower(&parse("fn f(a) { return a; } fn main() { return f(); }").unwrap())
+            .unwrap_err();
+        assert!(err.to_string().contains("expects 1"));
+    }
+
+    #[test]
+    fn constant_index_folds_address() {
+        let m = lower_src("global g[4]; fn main() { return g[2]; }");
+        let f = &m.funcs[0];
+        // Address should be a folded constant: no Shl emitted.
+        assert!(!f.blocks[0]
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Bin { op: BinOp::Shl, .. })));
+    }
+
+    #[test]
+    fn implicit_declaration_in_for_init() {
+        let m = lower_src("fn main() { var s = 0; for (i = 0; i < 3; i = i + 1) { s = s + 1; } return s; }");
+        m.funcs[0].assert_valid();
+    }
+
+    #[test]
+    fn logical_ops_normalize() {
+        let m = lower_src("fn main() { var a = 5; var b = 0; return a && !b; }");
+        let f = &m.funcs[0];
+        let cmps = f.blocks[0]
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Cmp { .. }))
+            .count();
+        assert!(cmps >= 3, "expected normalizing compares, got {}", cmps);
+    }
+}

@@ -1,0 +1,55 @@
+//! Tinylang frontend: lexing, parsing, type checking and lowering to IR.
+//!
+//! Tinylang is the small C-like language the workload programs are written
+//! in — playing the role of the SPEC CPU2000 C sources in the paper's setup.
+//! It has 64-bit integer and float scalars, global arrays, functions,
+//! `if`/`while`/`for` control flow and explicit `int()`/`float()`
+//! conversions.
+//!
+//! ```text
+//! global table[1024];
+//!
+//! fn main() {
+//!     var sum = 0;
+//!     for (i = 0; i < 1024; i = i + 1) {
+//!         table[i] = i * 3;
+//!         sum = sum + table[i];
+//!     }
+//!     return sum;
+//! }
+//! ```
+
+mod ast;
+mod lexer;
+mod lower;
+mod parser;
+
+pub use ast::{
+    BinExprOp, Expr, FuncDecl, GlobalDecl, Item, ParamDecl, Program as AstProgram, Stmt, UnaryOp,
+};
+pub use lexer::{lex, Token, TokenKind};
+pub use parser::parse;
+
+use crate::{ir, Result};
+
+/// Parses and lowers Tinylang source to an IR [`ir::Module`].
+///
+/// # Errors
+///
+/// Returns [`crate::CompileError`] on lexical, syntactic or semantic errors.
+pub fn parse_and_lower(source: &str) -> Result<ir::Module> {
+    let ast = parse(source)?;
+    lower::lower(&ast)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_lowering_produces_main() {
+        let m = parse_and_lower("fn main() { return 1; }").unwrap();
+        assert_eq!(m.func_index("main"), Some(0));
+        m.funcs[0].assert_valid();
+    }
+}

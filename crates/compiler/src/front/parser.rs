@@ -1,0 +1,485 @@
+//! Recursive-descent parser for Tinylang.
+
+use super::ast::*;
+use super::lexer::{lex, Token, TokenKind};
+use crate::{CompileError, Result};
+
+/// Parses a Tinylang source file.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Parse`] with a line number on malformed input.
+pub fn parse(source: &str) -> Result<Program> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(CompileError::Parse {
+            line: self.line(),
+            message: message.into(),
+        })
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<()> {
+        match self.peek() {
+            TokenKind::Punct(q) if *q == p => {
+                self.bump();
+                Ok(())
+            }
+            other => {
+                let msg = format!("expected `{}`, found {:?}", p, other);
+                self.error(msg)
+            }
+        }
+    }
+
+    fn try_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => {
+                let msg = format!("expected identifier, found {:?}", other);
+                self.error(msg)
+            }
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn program(&mut self) -> Result<Program> {
+        let mut items = Vec::new();
+        while !matches!(self.peek(), TokenKind::Eof) {
+            if self.keyword("global") {
+                items.push(Item::Global(self.global(false)?));
+            } else if self.keyword("globalf") {
+                items.push(Item::Global(self.global(true)?));
+            } else if self.keyword("fn") {
+                items.push(Item::Func(self.func(false)?));
+            } else if self.keyword("fnf") {
+                items.push(Item::Func(self.func(true)?));
+            } else {
+                return self.error("expected `global`, `globalf`, `fn` or `fnf`");
+            }
+        }
+        Ok(Program { items })
+    }
+
+    fn global(&mut self, is_float: bool) -> Result<GlobalDecl> {
+        let name = self.ident()?;
+        self.eat_punct("[")?;
+        let len = match self.bump() {
+            TokenKind::Int(n) if n > 0 => n as usize,
+            other => return self.error(format!("expected array length, found {:?}", other)),
+        };
+        self.eat_punct("]")?;
+        self.eat_punct(";")?;
+        Ok(GlobalDecl {
+            name,
+            len,
+            is_float,
+        })
+    }
+
+    fn func(&mut self, returns_float: bool) -> Result<FuncDecl> {
+        let name = self.ident()?;
+        self.eat_punct("(")?;
+        let mut params = Vec::new();
+        if !self.try_punct(")") {
+            loop {
+                let pname = self.ident()?;
+                let is_float = if self.try_punct(":") {
+                    if !self.keyword("float") {
+                        return self.error("expected `float` after `:`");
+                    }
+                    true
+                } else {
+                    false
+                };
+                params.push(ParamDecl {
+                    name: pname,
+                    is_float,
+                });
+                if self.try_punct(")") {
+                    break;
+                }
+                self.eat_punct(",")?;
+            }
+        }
+        let body = self.block()?;
+        Ok(FuncDecl {
+            name,
+            params,
+            returns_float,
+            body,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>> {
+        self.eat_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.try_punct("}") {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        if self.keyword("var") {
+            let name = self.ident()?;
+            self.eat_punct("=")?;
+            let init = self.expr()?;
+            self.eat_punct(";")?;
+            return Ok(Stmt::VarDecl { name, init });
+        }
+        if self.keyword("return") {
+            let value = self.expr()?;
+            self.eat_punct(";")?;
+            return Ok(Stmt::Return(value));
+        }
+        if self.keyword("if") {
+            return self.if_stmt();
+        }
+        if self.keyword("while") {
+            self.eat_punct("(")?;
+            let cond = self.expr()?;
+            self.eat_punct(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.keyword("for") {
+            self.eat_punct("(")?;
+            let init = self.simple_stmt()?;
+            self.eat_punct(";")?;
+            let cond = self.expr()?;
+            self.eat_punct(";")?;
+            let step = self.simple_stmt()?;
+            self.eat_punct(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::For {
+                init: Box::new(init),
+                cond,
+                step: Box::new(step),
+                body,
+            });
+        }
+        // Assignment, array store or expression statement.
+        let s = self.simple_stmt()?;
+        self.eat_punct(";")?;
+        Ok(s)
+    }
+
+    /// Parses an `if` statement from just after the `if` keyword;
+    /// `else if` chains recurse into a nested single-statement else.
+    fn if_stmt(&mut self) -> Result<Stmt> {
+        self.eat_punct("(")?;
+        let cond = self.expr()?;
+        self.eat_punct(")")?;
+        let then_body = self.block()?;
+        let else_body = if self.keyword("else") {
+            if self.keyword("if") {
+                vec![self.if_stmt()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        })
+    }
+
+    /// A statement without the trailing semicolon (for-loop slots).
+    fn simple_stmt(&mut self) -> Result<Stmt> {
+        if self.keyword("var") {
+            let name = self.ident()?;
+            self.eat_punct("=")?;
+            let init = self.expr()?;
+            return Ok(Stmt::VarDecl { name, init });
+        }
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            // Lookahead for `name =`, `name[...] =` or a bare call.
+            let save = self.pos;
+            self.bump();
+            if self.try_punct("=") {
+                let value = self.expr()?;
+                return Ok(Stmt::Assign { name, value });
+            }
+            if self.try_punct("[") {
+                let index = self.expr()?;
+                self.eat_punct("]")?;
+                if self.try_punct("=") {
+                    let value = self.expr()?;
+                    return Ok(Stmt::StoreIndex { name, index, value });
+                }
+            }
+            self.pos = save;
+        }
+        let e = self.expr()?;
+        Ok(Stmt::Expr(e))
+    }
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.binary(0)
+    }
+
+    /// Precedence-climbing over binary operators.
+    fn binary(&mut self, min_prec: u8) -> Result<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                TokenKind::Punct("||") => (BinExprOp::Or, 1),
+                TokenKind::Punct("&&") => (BinExprOp::And, 2),
+                TokenKind::Punct("|") => (BinExprOp::BitOr, 3),
+                TokenKind::Punct("^") => (BinExprOp::BitXor, 4),
+                TokenKind::Punct("&") => (BinExprOp::BitAnd, 5),
+                TokenKind::Punct("==") => (BinExprOp::Eq, 6),
+                TokenKind::Punct("!=") => (BinExprOp::Ne, 6),
+                TokenKind::Punct("<") => (BinExprOp::Lt, 7),
+                TokenKind::Punct("<=") => (BinExprOp::Le, 7),
+                TokenKind::Punct(">") => (BinExprOp::Gt, 7),
+                TokenKind::Punct(">=") => (BinExprOp::Ge, 7),
+                TokenKind::Punct("<<") => (BinExprOp::Shl, 8),
+                TokenKind::Punct(">>") => (BinExprOp::Shr, 8),
+                TokenKind::Punct("+") => (BinExprOp::Add, 9),
+                TokenKind::Punct("-") => (BinExprOp::Sub, 9),
+                TokenKind::Punct("*") => (BinExprOp::Mul, 10),
+                TokenKind::Punct("/") => (BinExprOp::Div, 10),
+                TokenKind::Punct("%") => (BinExprOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.try_punct("-") {
+            let operand = self.unary()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                operand: Box::new(operand),
+            });
+        }
+        if self.try_punct("!") {
+            let operand = self.unary()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                operand: Box::new(operand),
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Expr::Float(v))
+            }
+            TokenKind::Punct("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.eat_punct(")")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.try_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.try_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.try_punct(")") {
+                                break;
+                            }
+                            self.eat_punct(",")?;
+                        }
+                    }
+                    // Conversion intrinsics.
+                    if name == "float" {
+                        if args.len() != 1 {
+                            return self.error("float() takes one argument");
+                        }
+                        return Ok(Expr::ToFloat(Box::new(args.remove(0))));
+                    }
+                    if name == "int" {
+                        if args.len() != 1 {
+                            return self.error("int() takes one argument");
+                        }
+                        return Ok(Expr::ToInt(Box::new(args.remove(0))));
+                    }
+                    return Ok(Expr::Call { name, args });
+                }
+                if self.try_punct("[") {
+                    let index = self.expr()?;
+                    self.eat_punct("]")?;
+                    return Ok(Expr::Index {
+                        name,
+                        index: Box::new(index),
+                    });
+                }
+                Ok(Expr::Var(name))
+            }
+            other => {
+                let msg = format!("expected expression, found {:?}", other);
+                self.error(msg)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_global_and_function() {
+        let p = parse("global a[10];\nfn main() { return a[3]; }").unwrap();
+        assert_eq!(p.items.len(), 2);
+        match &p.items[0] {
+            Item::Global(g) => {
+                assert_eq!(g.name, "a");
+                assert_eq!(g.len, 10);
+                assert!(!g.is_float);
+            }
+            other => panic!("expected global, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("fn main() { return 1 + 2 * 3; }").unwrap();
+        let Item::Func(f) = &p.items[0] else {
+            panic!()
+        };
+        let Stmt::Return(Expr::Bin { op, rhs, .. }) = &f.body[0] else {
+            panic!()
+        };
+        assert_eq!(*op, BinExprOp::Add);
+        assert!(matches!(**rhs, Expr::Bin { op: BinExprOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parses_for_and_while() {
+        let src = r#"
+            fn main() {
+                var s = 0;
+                for (i = 0; i < 10; i = i + 1) { s = s + i; }
+                while (s > 0) { s = s - 3; }
+                return s;
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let Item::Func(f) = &p.items[0] else { panic!() };
+        assert!(matches!(f.body[1], Stmt::For { .. }));
+        assert!(matches!(f.body[2], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn parses_else_if_chain() {
+        let src = "fn main() { if (1) { return 1; } else if (2) { return 2; } else { return 3; } }";
+        let p = parse(src).unwrap();
+        let Item::Func(f) = &p.items[0] else { panic!() };
+        let Stmt::If { else_body, .. } = &f.body[0] else {
+            panic!()
+        };
+        assert!(matches!(else_body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parses_float_params_and_fnf() {
+        let p = parse("fnf scale(x: float, k) { return x * float(k); }").unwrap();
+        let Item::Func(f) = &p.items[0] else { panic!() };
+        assert!(f.returns_float);
+        assert!(f.params[0].is_float);
+        assert!(!f.params[1].is_float);
+    }
+
+    #[test]
+    fn conversion_intrinsics() {
+        let p = parse("fn main() { return int(float(3) * 2.0); }").unwrap();
+        let Item::Func(f) = &p.items[0] else { panic!() };
+        assert!(matches!(f.body[0], Stmt::Return(Expr::ToInt(_))));
+    }
+
+    #[test]
+    fn array_store_statement() {
+        let p = parse("global g[4]; fn main() { g[1] = 5; return g[1]; }").unwrap();
+        let Item::Func(f) = &p.items[1] else { panic!() };
+        assert!(matches!(f.body[0], Stmt::StoreIndex { .. }));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("fn main() {\n return $; \n}").unwrap_err();
+        match err {
+            CompileError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn call_statement() {
+        let p = parse("fn f() { return 0; } fn main() { f(); return 0; }").unwrap();
+        let Item::Func(f) = &p.items[1] else { panic!() };
+        assert!(matches!(f.body[0], Stmt::Expr(Expr::Call { .. })));
+    }
+}

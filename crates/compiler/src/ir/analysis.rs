@@ -1,0 +1,336 @@
+//! CFG analyses: predecessors, reverse postorder, dominators, natural loops
+//! and liveness. Consumed by the optimization passes and register allocator.
+
+use super::{BlockId, Function, VReg};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Predecessor lists for every block.
+pub fn predecessors(f: &Function) -> Vec<Vec<BlockId>> {
+    let mut preds = vec![Vec::new(); f.blocks.len()];
+    for id in f.block_ids() {
+        for s in f.block(id).term.successors() {
+            preds[s.0 as usize].push(id);
+        }
+    }
+    preds
+}
+
+/// Reverse postorder over blocks reachable from the entry.
+pub fn reverse_postorder(f: &Function) -> Vec<BlockId> {
+    let mut visited = vec![false; f.blocks.len()];
+    let mut post = Vec::new();
+    // Iterative DFS with an explicit stack of (block, next successor index).
+    let mut stack = vec![(BlockId(0), 0usize)];
+    visited[0] = true;
+    while let Some(&mut (bb, ref mut next)) = stack.last_mut() {
+        let succs = f.block(bb).term.successors();
+        if *next < succs.len() {
+            let s = succs[*next];
+            *next += 1;
+            if !visited[s.0 as usize] {
+                visited[s.0 as usize] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(bb);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Immediate dominators computed with the Cooper–Harvey–Kennedy algorithm.
+///
+/// `idom[entry] == entry`; unreachable blocks have `None`.
+pub fn dominators(f: &Function) -> Vec<Option<BlockId>> {
+    let rpo = reverse_postorder(f);
+    let preds = predecessors(f);
+    let mut rpo_index = vec![usize::MAX; f.blocks.len()];
+    for (i, b) in rpo.iter().enumerate() {
+        rpo_index[b.0 as usize] = i;
+    }
+    let mut idom: Vec<Option<BlockId>> = vec![None; f.blocks.len()];
+    idom[0] = Some(BlockId(0));
+
+    let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+        while a != b {
+            while rpo_index[a.0 as usize] > rpo_index[b.0 as usize] {
+                a = idom[a.0 as usize].expect("processed");
+            }
+            while rpo_index[b.0 as usize] > rpo_index[a.0 as usize] {
+                b = idom[b.0 as usize].expect("processed");
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for &p in &preds[b.0 as usize] {
+                if idom[p.0 as usize].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, cur, p),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[b.0 as usize] != Some(ni) {
+                    idom[b.0 as usize] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+/// Whether `a` dominates `b` under the given idom tree.
+pub fn dominates(idom: &[Option<BlockId>], a: BlockId, b: BlockId) -> bool {
+    let mut cur = b;
+    loop {
+        if cur == a {
+            return true;
+        }
+        match idom[cur.0 as usize] {
+            Some(p) if p != cur => cur = p,
+            _ => return false,
+        }
+    }
+}
+
+/// A natural loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loop {
+    /// The loop header (target of the back edges).
+    pub header: BlockId,
+    /// All blocks in the loop, including the header.
+    pub body: BTreeSet<BlockId>,
+    /// Sources of back edges into the header.
+    pub latches: Vec<BlockId>,
+}
+
+impl Loop {
+    /// Whether `b` is inside the loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.contains(&b)
+    }
+
+    /// Total instruction count of the loop body.
+    pub fn size(&self, f: &Function) -> usize {
+        self.body
+            .iter()
+            .map(|b| f.block(*b).instrs.len() + 1)
+            .sum()
+    }
+}
+
+/// Finds all natural loops (one per header; bodies of back edges into the
+/// same header are merged), sorted innermost-first by body size.
+pub fn natural_loops(f: &Function) -> Vec<Loop> {
+    let idom = dominators(f);
+    let preds = predecessors(f);
+    let mut by_header: HashMap<BlockId, Loop> = HashMap::new();
+    for n in f.block_ids() {
+        // Skip unreachable blocks.
+        if idom[n.0 as usize].is_none() && n != BlockId(0) {
+            continue;
+        }
+        for h in f.block(n).term.successors() {
+            if dominates(&idom, h, n) {
+                // Back edge n -> h: collect body by backwards walk from n.
+                let entry = by_header.entry(h).or_insert_with(|| Loop {
+                    header: h,
+                    body: BTreeSet::from([h]),
+                    latches: Vec::new(),
+                });
+                entry.latches.push(n);
+                let mut stack = Vec::new();
+                if entry.body.insert(n) {
+                    stack.push(n);
+                }
+                while let Some(b) = stack.pop() {
+                    for &p in &preds[b.0 as usize] {
+                        if entry.body.insert(p) {
+                            stack.push(p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut loops: Vec<Loop> = by_header.into_values().collect();
+    loops.sort_by_key(|l| (l.body.len(), l.header.0));
+    loops
+}
+
+/// Per-block liveness: `live_in[b]` / `live_out[b]` sets of virtual registers.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Registers live on entry to each block.
+    pub live_in: Vec<HashSet<VReg>>,
+    /// Registers live on exit from each block.
+    pub live_out: Vec<HashSet<VReg>>,
+}
+
+/// Computes per-block liveness by backwards iteration to a fixed point.
+pub fn liveness(f: &Function) -> Liveness {
+    let n = f.blocks.len();
+    // gen = upward-exposed uses; kill = defs.
+    let mut gen = vec![HashSet::new(); n];
+    let mut kill = vec![HashSet::new(); n];
+    for id in f.block_ids() {
+        let b = f.block(id);
+        let (g, k) = (&mut gen[id.0 as usize], &mut kill[id.0 as usize]);
+        for i in &b.instrs {
+            for u in i.uses() {
+                if !k.contains(&u) {
+                    g.insert(u);
+                }
+            }
+            if let Some(d) = i.def() {
+                k.insert(d);
+            }
+        }
+        if let super::Terminator::Branch { cond, .. } = &b.term {
+            if let Some(r) = cond.as_reg() {
+                if !k.contains(&r) {
+                    g.insert(r);
+                }
+            }
+        }
+        if let super::Terminator::Return(v) = &b.term {
+            if let Some(r) = v.as_reg() {
+                if !k.contains(&r) {
+                    g.insert(r);
+                }
+            }
+        }
+    }
+    let mut live_in = vec![HashSet::new(); n];
+    let mut live_out = vec![HashSet::new(); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for idx in (0..n).rev() {
+            let id = BlockId(idx as u32);
+            let mut out: HashSet<VReg> = HashSet::new();
+            for s in f.block(id).term.successors() {
+                out.extend(live_in[s.0 as usize].iter().copied());
+            }
+            let mut inn: HashSet<VReg> = gen[idx].clone();
+            for &v in &out {
+                if !kill[idx].contains(&v) {
+                    inn.insert(v);
+                }
+            }
+            if out != live_out[idx] || inn != live_in[idx] {
+                live_out[idx] = out;
+                live_in[idx] = inn;
+                changed = true;
+            }
+        }
+    }
+    Liveness { live_in, live_out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Block, Instr, Operand, Terminator, Ty};
+
+    /// Builds the classic diamond-with-loop CFG:
+    /// bb0 -> bb1 (header) ; bb1 -> bb2 (body) | bb3 (exit) ; bb2 -> bb1.
+    fn loop_fn() -> Function {
+        let mut f = Function::new("t");
+        let i = f.new_vreg(Ty::I64);
+        let c = f.new_vreg(Ty::I64);
+        let header = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.blocks[0].instrs.push(Instr::Copy {
+            dst: i,
+            src: Operand::ConstI(0),
+        });
+        f.blocks[0].term = Terminator::Jump(header);
+        f.block_mut(header).instrs.push(Instr::Cmp {
+            op: crate::ir::CmpOp::Lt,
+            dst: c,
+            lhs: Operand::Reg(i),
+            rhs: Operand::ConstI(10),
+        });
+        f.block_mut(header).term = Terminator::Branch {
+            cond: Operand::Reg(c),
+            then_bb: body,
+            else_bb: exit,
+        };
+        f.block_mut(body).instrs.push(Instr::Bin {
+            op: BinOp::Add,
+            dst: i,
+            lhs: Operand::Reg(i),
+            rhs: Operand::ConstI(1),
+        });
+        f.block_mut(body).term = Terminator::Jump(header);
+        f.block_mut(exit).term = Terminator::Return(Operand::Reg(i));
+        f
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let f = loop_fn();
+        let rpo = reverse_postorder(&f);
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), 4);
+    }
+
+    #[test]
+    fn dominators_of_loop() {
+        let f = loop_fn();
+        let idom = dominators(&f);
+        assert_eq!(idom[1], Some(BlockId(0))); // header dominated by entry
+        assert_eq!(idom[2], Some(BlockId(1))); // body by header
+        assert_eq!(idom[3], Some(BlockId(1))); // exit by header
+        assert!(dominates(&idom, BlockId(0), BlockId(3)));
+        assert!(!dominates(&idom, BlockId(2), BlockId(3)));
+    }
+
+    #[test]
+    fn finds_the_natural_loop() {
+        let f = loop_fn();
+        let loops = natural_loops(&f);
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.latches, vec![BlockId(2)]);
+        assert!(l.contains(BlockId(1)) && l.contains(BlockId(2)));
+        assert!(!l.contains(BlockId(0)) && !l.contains(BlockId(3)));
+    }
+
+    #[test]
+    fn liveness_keeps_loop_variable_live() {
+        let f = loop_fn();
+        let lv = liveness(&f);
+        let i = VReg(0);
+        // i is live into the header and the body, and out of the entry.
+        assert!(lv.live_in[1].contains(&i));
+        assert!(lv.live_in[2].contains(&i));
+        assert!(lv.live_out[0].contains(&i));
+        // The compare result is only live within the header.
+        assert!(!lv.live_in[1].contains(&VReg(1)));
+    }
+
+    #[test]
+    fn unreachable_block_excluded() {
+        let mut f = loop_fn();
+        let dead = f.new_block(); // never referenced
+        let rpo = reverse_postorder(&f);
+        assert!(!rpo.contains(&dead));
+        let idom = dominators(&f);
+        assert_eq!(idom[dead.0 as usize], None);
+    }
+}

@@ -1,0 +1,131 @@
+//! The Tinylang optimizing compiler.
+//!
+//! This crate plays the role of gcc 4.0.1 in the paper's experimental setup:
+//! a real optimizing compiler whose behaviour is controlled by the 14
+//! optimization flags and heuristics of the paper's Table 1 (see
+//! [`OptConfig`]). The pipeline is:
+//!
+//! ```text
+//! Tinylang source ── front ──► IR (CFG of three-address blocks)
+//!        │                        │ passes (Table 1 flags):
+//!        │                        │  -finline-functions (+3 heuristics)
+//!        │                        │  -fgcse (+ const/copy propagation)
+//!        │                        │  -floop-optimize (LICM)
+//!        │                        │  -fstrength-reduce
+//!        │                        │  -funroll-loops (+2 heuristics)
+//!        │                        │  -fprefetch-loop-arrays
+//!        │                        ▼
+//!        └──────────── codegen: linear-scan regalloc,
+//!                      -fomit-frame-pointer, -freorder-blocks,
+//!                      -fschedule-insns2 ──► emod_isa::Program
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use emod_compiler::{compile, OptConfig};
+//! use emod_isa::Emulator;
+//!
+//! let src = r#"
+//!     fn main() {
+//!         var s = 0;
+//!         for (i = 1; i <= 10; i = i + 1) { s = s + i * i; }
+//!         return s;
+//!     }
+//! "#;
+//! let prog = compile(src, &OptConfig::o2())?;
+//! assert_eq!(Emulator::new(&prog).run(100_000).unwrap(), 385);
+//! # Ok::<(), emod_compiler::CompileError>(())
+//! ```
+
+pub mod codegen;
+pub mod front;
+pub mod ir;
+mod opts;
+pub mod passes;
+pub mod regalloc;
+pub mod schedule;
+
+pub use opts::OptConfig;
+
+use emod_isa::Program;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced anywhere in the compilation pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Lexical or syntactic error, with a line number.
+    Parse { line: usize, message: String },
+    /// Semantic error (unknown name, type mismatch, arity …).
+    Semantic(String),
+    /// Resource limits exceeded during codegen (e.g. too many arguments).
+    Codegen(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse { line, message } => {
+                write!(f, "parse error at line {}: {}", line, message)
+            }
+            CompileError::Semantic(m) => write!(f, "semantic error: {}", m),
+            CompileError::Codegen(m) => write!(f, "codegen error: {}", m),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+/// Convenience alias for results from this crate.
+pub type Result<T> = std::result::Result<T, CompileError>;
+
+/// Compiles Tinylang source to an executable program under `config`.
+///
+/// This is the equivalent of one `gcc` invocation at one setting of the
+/// Table 1 command line: parse, lower, run the enabled midend passes, then
+/// generate code with the enabled backend options.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for malformed source or codegen limits.
+pub fn compile(source: &str, config: &OptConfig) -> Result<Program> {
+    let module = front::parse_and_lower(source)?;
+    compile_module(module, config)
+}
+
+/// Compiles an already-lowered IR module (used by the workload crate, which
+/// caches parsed modules).
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for codegen limits.
+pub fn compile_module(mut module: ir::Module, config: &OptConfig) -> Result<Program> {
+    passes::run_pipeline(&mut module, config);
+    codegen::generate(&module, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = CompileError::Parse {
+            line: 3,
+            message: "unexpected token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(CompileError::Semantic("x".into()).to_string().contains("x"));
+    }
+
+    #[test]
+    fn compile_minimal_program_all_presets() {
+        let src = "fn main() { return 41 + 1; }";
+        for cfg in [OptConfig::o0(), OptConfig::o2(), OptConfig::o3()] {
+            let prog = compile(src, &cfg).unwrap();
+            let v = emod_isa::Emulator::new(&prog).run(10_000).unwrap();
+            assert_eq!(v, 42);
+        }
+    }
+}

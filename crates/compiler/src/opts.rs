@@ -1,0 +1,226 @@
+//! The 14 optimization flags and heuristics of the paper's Table 1.
+
+/// Compiler configuration: one field per row of the paper's Table 1, with the
+/// paper's ranges and defaults.
+///
+/// | # | Parameter | Range |
+/// |---|-----------|-------|
+/// | 1 | `inline_functions` | 0/1 |
+/// | 2 | `unroll_loops` | 0/1 |
+/// | 3 | `schedule_insns2` | 0/1 |
+/// | 4 | `loop_optimize` | 0/1 |
+/// | 5 | `gcse` | 0/1 |
+/// | 6 | `strength_reduce` | 0/1 |
+/// | 7 | `omit_frame_pointer` | 0/1 |
+/// | 8 | `reorder_blocks` | 0/1 |
+/// | 9 | `prefetch_loop_arrays` | 0/1 |
+/// | 10 | `max_inline_insns_auto` | 50–150 |
+/// | 11 | `inline_unit_growth` | 25–75 (%) |
+/// | 12 | `inline_call_cost` | 12–20 |
+/// | 13 | `max_unroll_times` | 4–12 |
+/// | 14 | `max_unrolled_insns` | 100–300 |
+///
+/// # Examples
+///
+/// ```
+/// use emod_compiler::OptConfig;
+///
+/// let mut cfg = OptConfig::o2();
+/// cfg.unroll_loops = true;
+/// cfg.max_unroll_times = 8;
+/// assert!(cfg.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptConfig {
+    /// `-finline-functions`: inline simple functions into their callers.
+    pub inline_functions: bool,
+    /// `-funroll-loops`: unroll loops whose iteration pattern is recognized.
+    pub unroll_loops: bool,
+    /// `-fschedule-insns2`: post-register-allocation list scheduling.
+    pub schedule_insns2: bool,
+    /// `-floop-optimize`: loop-invariant code motion and test simplification.
+    pub loop_optimize: bool,
+    /// `-fgcse`: global common subexpression elimination, plus constant and
+    /// copy propagation.
+    pub gcse: bool,
+    /// `-fstrength-reduce`: induction-variable strength reduction.
+    pub strength_reduce: bool,
+    /// `-fomit-frame-pointer`: free the frame pointer register when the
+    /// frame is addressable from the stack pointer.
+    pub omit_frame_pointer: bool,
+    /// `-freorder-blocks`: lay out blocks to reduce taken branches and
+    /// improve code locality.
+    pub reorder_blocks: bool,
+    /// `-fprefetch-loop-arrays`: emit prefetches for strided array accesses
+    /// in loops.
+    pub prefetch_loop_arrays: bool,
+    /// Maximum callee size (IR instructions) eligible for automatic inlining.
+    pub max_inline_insns_auto: u32,
+    /// Maximum overall growth of the compilation unit due to inlining, in
+    /// percent of the pre-inlining size.
+    pub inline_unit_growth: u32,
+    /// Cost of a call relative to a simple computation; call sites whose
+    /// callees are too large relative to this saving are skipped.
+    pub inline_call_cost: u32,
+    /// Maximum number of times a single loop is unrolled.
+    pub max_unroll_times: u32,
+    /// Maximum size (IR instructions) of the fully unrolled loop body.
+    pub max_unrolled_insns: u32,
+}
+
+impl OptConfig {
+    /// `-O0`: everything off; heuristics at the paper's defaults.
+    pub fn o0() -> Self {
+        OptConfig {
+            inline_functions: false,
+            unroll_loops: false,
+            schedule_insns2: false,
+            loop_optimize: false,
+            gcse: false,
+            strength_reduce: false,
+            omit_frame_pointer: false,
+            reorder_blocks: false,
+            prefetch_loop_arrays: false,
+            max_inline_insns_auto: 100,
+            inline_unit_growth: 50,
+            inline_call_cost: 16,
+            max_unroll_times: 8,
+            max_unrolled_insns: 200,
+        }
+    }
+
+    /// `-O2`-like baseline: the classic scalar optimizations, no inlining of
+    /// non-trivial functions, no unrolling, no prefetch (mirrors gcc 4.0 -O2).
+    pub fn o2() -> Self {
+        OptConfig {
+            schedule_insns2: true,
+            loop_optimize: true,
+            gcse: true,
+            strength_reduce: true,
+            omit_frame_pointer: true,
+            reorder_blocks: true,
+            ..OptConfig::o0()
+        }
+    }
+
+    /// `-O3`-like: `-O2` plus automatic inlining and prefetching (the paper's
+    /// Table 6 lists the default O3 vector as 1/0/1/1/1/1/1/1/1 with default
+    /// heuristic values).
+    pub fn o3() -> Self {
+        OptConfig {
+            inline_functions: true,
+            prefetch_loop_arrays: true,
+            ..OptConfig::o2()
+        }
+    }
+
+    /// Builds a config from the paper's 14-element design-point encoding
+    /// (flags as 0/1 in Table 1 order, then the 5 heuristic values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != 14`.
+    pub fn from_design_values(values: &[f64]) -> Self {
+        assert_eq!(values.len(), 14, "expected 14 compiler parameters");
+        let flag = |v: f64| v >= 0.5;
+        OptConfig {
+            inline_functions: flag(values[0]),
+            unroll_loops: flag(values[1]),
+            schedule_insns2: flag(values[2]),
+            loop_optimize: flag(values[3]),
+            gcse: flag(values[4]),
+            strength_reduce: flag(values[5]),
+            omit_frame_pointer: flag(values[6]),
+            reorder_blocks: flag(values[7]),
+            prefetch_loop_arrays: flag(values[8]),
+            max_inline_insns_auto: values[9].round() as u32,
+            inline_unit_growth: values[10].round() as u32,
+            inline_call_cost: values[11].round() as u32,
+            max_unroll_times: values[12].round() as u32,
+            max_unrolled_insns: values[13].round() as u32,
+        }
+    }
+
+    /// The inverse of [`OptConfig::from_design_values`].
+    pub fn to_design_values(&self) -> Vec<f64> {
+        vec![
+            self.inline_functions as u8 as f64,
+            self.unroll_loops as u8 as f64,
+            self.schedule_insns2 as u8 as f64,
+            self.loop_optimize as u8 as f64,
+            self.gcse as u8 as f64,
+            self.strength_reduce as u8 as f64,
+            self.omit_frame_pointer as u8 as f64,
+            self.reorder_blocks as u8 as f64,
+            self.prefetch_loop_arrays as u8 as f64,
+            self.max_inline_insns_auto as f64,
+            self.inline_unit_growth as f64,
+            self.inline_call_cost as f64,
+            self.max_unroll_times as f64,
+            self.max_unrolled_insns as f64,
+        ]
+    }
+
+    /// Checks heuristic values against the paper's Table 1 ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the out-of-range heuristic.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        let checks = [
+            ("max-inline-insns-auto", self.max_inline_insns_auto, 50, 150),
+            ("inline-unit-growth", self.inline_unit_growth, 25, 75),
+            ("inline-call-cost", self.inline_call_cost, 12, 20),
+            ("max-unroll-times", self.max_unroll_times, 4, 12),
+            ("max-unrolled-insns", self.max_unrolled_insns, 100, 300),
+        ];
+        for (name, v, lo, hi) in checks {
+            if v < lo || v > hi {
+                return Err(format!("{} = {} outside [{}, {}]", name, v, lo, hi));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        OptConfig::o2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for cfg in [OptConfig::o0(), OptConfig::o2(), OptConfig::o3()] {
+            assert!(cfg.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn o3_is_o2_plus_inline_prefetch() {
+        let o2 = OptConfig::o2();
+        let o3 = OptConfig::o3();
+        assert!(!o2.inline_functions && o3.inline_functions);
+        assert!(!o2.prefetch_loop_arrays && o3.prefetch_loop_arrays);
+        assert_eq!(o2.gcse, o3.gcse);
+    }
+
+    #[test]
+    fn design_value_roundtrip() {
+        let cfg = OptConfig::o3();
+        let vals = cfg.to_design_values();
+        assert_eq!(vals.len(), 14);
+        assert_eq!(OptConfig::from_design_values(&vals), cfg);
+    }
+
+    #[test]
+    fn validate_catches_out_of_range() {
+        let mut cfg = OptConfig::o2();
+        cfg.max_unroll_times = 99;
+        assert!(cfg.validate().unwrap_err().contains("max-unroll-times"));
+    }
+}

@@ -1,0 +1,420 @@
+//! Constant propagation, local copy propagation and dead-code elimination —
+//! the scalar cleanups bundled with `-fgcse` (gcc folds constant and copy
+//! propagation into its GCSE pass; Table 1 row 5).
+
+use crate::ir::{BinOp, CmpOp, FBinOp, Function, Instr, Operand, Terminator, VReg};
+use std::collections::HashMap;
+
+/// Lattice value for one register.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Lattice {
+    /// Known constant.
+    ConstI(i64),
+    /// Known float constant (stored as bits so NaN compares reflexively and
+    /// the fixpoint iteration terminates).
+    ConstF(u64),
+    /// Not a constant.
+    Bottom,
+}
+
+/// Global (whole-function) constant propagation and folding.
+///
+/// A classic forward dataflow over the non-SSA IR: per-block maps of
+/// register → lattice value, merged at join points, iterated to a fixed
+/// point, then each block is rewritten with the incoming facts.
+pub fn propagate_constants(f: &mut Function) {
+    let n = f.blocks.len();
+    let mut ins: Vec<HashMap<VReg, Lattice>> = vec![HashMap::new(); n];
+    let mut outs: Vec<HashMap<VReg, Lattice>> = vec![HashMap::new(); n];
+    let preds = crate::ir::analysis::predecessors(f);
+    // Entry: parameters are unknown.
+    let mut entry = HashMap::new();
+    for &p in &f.params {
+        entry.insert(p, Lattice::Bottom);
+    }
+    ins[0] = entry;
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..n {
+            if b != 0 {
+                // Merge predecessors: absent = Top (takes the other side),
+                // conflicting constants = Bottom.
+                let mut merged: HashMap<VReg, Lattice> = HashMap::new();
+                for p in &preds[b] {
+                    for (&r, &v) in &outs[p.0 as usize] {
+                        merged
+                            .entry(r)
+                            .and_modify(|cur| {
+                                if *cur != v {
+                                    *cur = Lattice::Bottom;
+                                }
+                            })
+                            .or_insert(v);
+                    }
+                }
+                if merged != ins[b] {
+                    ins[b] = merged;
+                    changed = true;
+                }
+            }
+            let mut env = ins[b].clone();
+            for i in &f.blocks[b].instrs {
+                transfer(i, &mut env);
+            }
+            if env != outs[b] {
+                outs[b] = env;
+                changed = true;
+            }
+        }
+    }
+
+    // Rewrite with the computed facts.
+    for b in 0..n {
+        let mut env = ins[b].clone();
+        let block = &mut f.blocks[b];
+        for i in &mut block.instrs {
+            // Substitute known-constant operands.
+            for u in i.uses() {
+                match env.get(&u) {
+                    Some(Lattice::ConstI(v)) => i.replace_use(u, Operand::ConstI(*v)),
+                    Some(Lattice::ConstF(v)) => {
+                        i.replace_use(u, Operand::ConstF(f64::from_bits(*v)))
+                    }
+                    _ => {}
+                }
+            }
+            // Fold if now fully constant.
+            if let Some(folded) = fold(i) {
+                *i = folded;
+            }
+            transfer(i, &mut env);
+        }
+        // Fold branch conditions.
+        if let Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } = block.term.clone()
+        {
+            let known = match cond {
+                Operand::ConstI(v) => Some(v != 0),
+                Operand::Reg(r) => match env.get(&r) {
+                    Some(Lattice::ConstI(v)) => Some(*v != 0),
+                    _ => None,
+                },
+                Operand::ConstF(_) => None,
+            };
+            if let Some(taken) = known {
+                block.term = Terminator::Jump(if taken { then_bb } else { else_bb });
+            }
+        }
+        if let Terminator::Return(v) = block.term.clone() {
+            if let Some(r) = v.as_reg() {
+                match env.get(&r) {
+                    Some(Lattice::ConstI(c)) => block.term = Terminator::Return(Operand::ConstI(*c)),
+                    Some(Lattice::ConstF(c)) => {
+                        block.term = Terminator::Return(Operand::ConstF(f64::from_bits(*c)))
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Applies one instruction's effect to the lattice environment.
+fn transfer(i: &Instr, env: &mut HashMap<VReg, Lattice>) {
+    let Some(dst) = i.def() else { return };
+    let value = match i {
+        Instr::Copy { src, .. } => match src {
+            Operand::ConstI(v) => Lattice::ConstI(*v),
+            Operand::ConstF(v) => Lattice::ConstF(v.to_bits()),
+            Operand::Reg(r) => env.get(r).copied().unwrap_or(Lattice::Bottom),
+        },
+        _ => match fold(i) {
+            Some(Instr::Copy {
+                src: Operand::ConstI(v),
+                ..
+            }) => Lattice::ConstI(v),
+            Some(Instr::Copy {
+                src: Operand::ConstF(v),
+                ..
+            }) => Lattice::ConstF(v.to_bits()),
+            _ => Lattice::Bottom,
+        },
+    };
+    env.insert(dst, value);
+}
+
+/// Folds a pure instruction with constant operands to a `Copy` of the result.
+fn fold(i: &Instr) -> Option<Instr> {
+    match i {
+        Instr::Bin { op, dst, lhs, rhs } => {
+            let (a, b) = (lhs.as_const_i()?, rhs.as_const_i()?);
+            let v = match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::Div => {
+                    if b == 0 {
+                        return None; // preserve the fault
+                    }
+                    a.wrapping_div(b)
+                }
+                BinOp::Rem => {
+                    if b == 0 {
+                        return None;
+                    }
+                    a.wrapping_rem(b)
+                }
+                BinOp::And => a & b,
+                BinOp::Or => a | b,
+                BinOp::Xor => a ^ b,
+                BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+                BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+            };
+            Some(Instr::Copy {
+                dst: *dst,
+                src: Operand::ConstI(v),
+            })
+        }
+        Instr::FBin { op, dst, lhs, rhs } => {
+            let a = match lhs {
+                Operand::ConstF(v) => *v,
+                _ => return None,
+            };
+            let b = match rhs {
+                Operand::ConstF(v) => *v,
+                _ => return None,
+            };
+            let v = match op {
+                FBinOp::Add => a + b,
+                FBinOp::Sub => a - b,
+                FBinOp::Mul => a * b,
+                FBinOp::Div => a / b,
+            };
+            Some(Instr::Copy {
+                dst: *dst,
+                src: Operand::ConstF(v),
+            })
+        }
+        Instr::Cmp { op, dst, lhs, rhs } => {
+            let (a, b) = (lhs.as_const_i()?, rhs.as_const_i()?);
+            let v = match op {
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Ge => a >= b,
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+            };
+            Some(Instr::Copy {
+                dst: *dst,
+                src: Operand::ConstI(v as i64),
+            })
+        }
+        Instr::IntToFloat { dst, src } => Some(Instr::Copy {
+            dst: *dst,
+            src: Operand::ConstF(src.as_const_i()? as f64),
+        }),
+        _ => None,
+    }
+}
+
+/// Block-local copy propagation: forwards `dst = src_reg` copies to later
+/// uses within the block, as long as neither side is redefined.
+pub fn local_copy_propagation(f: &mut Function) {
+    for b in 0..f.blocks.len() {
+        let mut copies: HashMap<VReg, VReg> = HashMap::new(); // dst -> src
+        let block = &mut f.blocks[b];
+        for i in &mut block.instrs {
+            // Rewrite uses through known copies.
+            for u in i.uses() {
+                if let Some(&src) = copies.get(&u) {
+                    i.replace_use(u, Operand::Reg(src));
+                }
+            }
+            if let Some(d) = i.def() {
+                // Any mapping using d as a source or target dies.
+                copies.retain(|&k, &mut v| k != d && v != d);
+                if let Instr::Copy {
+                    dst,
+                    src: Operand::Reg(s),
+                } = i
+                {
+                    if dst != s {
+                        copies.insert(*dst, *s);
+                    }
+                }
+            }
+        }
+        // Terminator operands.
+        let rewrite = |o: &mut Operand| {
+            if let Some(r) = o.as_reg() {
+                if let Some(&src) = copies.get(&r) {
+                    *o = Operand::Reg(src);
+                }
+            }
+        };
+        match &mut block.term {
+            Terminator::Branch { cond, .. } => rewrite(cond),
+            Terminator::Return(v) => rewrite(v),
+            Terminator::Jump(_) => {}
+        }
+    }
+}
+
+/// Removes pure instructions whose results are never used, iterating until
+/// nothing changes.
+pub fn eliminate_dead_code(f: &mut Function) {
+    loop {
+        let mut used: std::collections::HashSet<VReg> = std::collections::HashSet::new();
+        for b in &f.blocks {
+            for i in &b.instrs {
+                used.extend(i.uses());
+            }
+            match &b.term {
+                Terminator::Branch { cond, .. } => used.extend(cond.as_reg()),
+                Terminator::Return(v) => used.extend(v.as_reg()),
+                Terminator::Jump(_) => {}
+            }
+        }
+        let mut removed = false;
+        for b in &mut f.blocks {
+            let before = b.instrs.len();
+            b.instrs.retain(|i| {
+                i.def().map_or(true, |d| used.contains(&d)) || !i.is_pure()
+            });
+            removed |= b.instrs.len() != before;
+        }
+        if !removed {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::testutil::module;
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let mut m = module("fn main() { var a = 3; var b = 4; return a * b + 2; }");
+        propagate_constants(&mut m.funcs[0]);
+        let f = &m.funcs[0];
+        // After folding, the return value should be the constant 14.
+        let has_const_return = f
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, Terminator::Return(Operand::ConstI(14))));
+        assert!(has_const_return, "{}", f);
+    }
+
+    #[test]
+    fn folds_branches_on_constants() {
+        let mut m = module("fn main() { if (1 < 2) { return 5; } return 6; }");
+        propagate_constants(&mut m.funcs[0]);
+        // The entry block's branch must have become a jump.
+        assert!(matches!(m.funcs[0].blocks[0].term, Terminator::Jump(_)));
+    }
+
+    #[test]
+    fn constants_survive_joins_when_equal() {
+        let src = "fn main(p) { var a = 7; if (p) { var x = 1; } else { var y = 2; } return a + 1; }";
+        let mut m = module(src);
+        propagate_constants(&mut m.funcs[0]);
+        let f = &m.funcs[0];
+        assert!(
+            f.blocks
+                .iter()
+                .any(|b| matches!(b.term, Terminator::Return(Operand::ConstI(8)))),
+            "{}",
+            f
+        );
+    }
+
+    #[test]
+    fn conflicting_values_stay_dynamic() {
+        let src = "fn main(p) { var a = 1; if (p) { a = 2; } return a; }";
+        let mut m = module(src);
+        propagate_constants(&mut m.funcs[0]);
+        let f = &m.funcs[0];
+        assert!(
+            !f.blocks
+                .iter()
+                .any(|b| matches!(b.term, Terminator::Return(Operand::ConstI(_)))),
+            "a must not fold: {}",
+            f
+        );
+    }
+
+    #[test]
+    fn division_by_zero_not_folded() {
+        let mut m = module("fn main() { var z = 0; return 4 / z; }");
+        propagate_constants(&mut m.funcs[0]);
+        let f = &m.funcs[0];
+        let still_divides = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| matches!(i, Instr::Bin { op: BinOp::Div, .. }));
+        assert!(still_divides);
+    }
+
+    #[test]
+    fn copy_propagation_forwards_sources() {
+        let mut m = module("fn main(p) { var a = p; var b = a; return b + a; }");
+        local_copy_propagation(&mut m.funcs[0]);
+        eliminate_dead_code(&mut m.funcs[0]);
+        let f = &m.funcs[0];
+        // b + a should now read p directly: one Bin over the param register.
+        let param = f.params[0];
+        let ok = f.blocks[0].instrs.iter().any(|i| {
+            matches!(i, Instr::Bin { op: BinOp::Add, lhs: Operand::Reg(a), rhs: Operand::Reg(b), .. }
+                if *a == param && *b == param)
+        });
+        assert!(ok, "{}", f);
+    }
+
+    #[test]
+    fn dce_removes_unused_pure_code_only() {
+        let src = "global g[2]; fn main(p) { var dead = p * 3; g[0] = p; return p; }";
+        let mut m = module(src);
+        eliminate_dead_code(&mut m.funcs[0]);
+        let f = &m.funcs[0];
+        assert!(
+            !f.blocks
+                .iter()
+                .flat_map(|b| &b.instrs)
+                .any(|i| matches!(i, Instr::Bin { op: BinOp::Mul, .. })),
+            "dead multiply survived"
+        );
+        assert!(
+            f.blocks
+                .iter()
+                .flat_map(|b| &b.instrs)
+                .any(|i| matches!(i, Instr::Store { .. })),
+            "store must survive"
+        );
+    }
+
+    #[test]
+    fn semantics_preserved_end_to_end() {
+        let src = r#"
+            global g[8];
+            fn main() {
+                var s = 0;
+                for (i = 0; i < 8; i = i + 1) { g[i] = i * 2 + 1; }
+                for (i = 0; i < 8; i = i + 1) { s = s + g[i]; }
+                return s;
+            }
+        "#;
+        let mut cfg = crate::OptConfig::o0();
+        cfg.gcse = true;
+        let v = crate::passes::testutil::assert_equivalent(src, &cfg);
+        assert_eq!(v, 64);
+    }
+}

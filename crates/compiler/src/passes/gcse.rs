@@ -1,0 +1,372 @@
+//! Global common subexpression elimination (`-fgcse`, Table 1 row 5).
+//!
+//! Two cooperating scopes keep the pass sound on the mutable (non-SSA) IR:
+//!
+//! 1. **Block-local value numbering** with full kill tracking — any operand
+//!    whose register is redefined invalidates the expression. This is where
+//!    the big post-unrolling redundancy (duplicated address arithmetic in
+//!    replicated loop bodies) disappears.
+//! 2. **Dominator-scoped CSE restricted to single-definition registers** —
+//!    registers defined exactly once in the whole function (expression
+//!    temporaries from lowering, parameters) can never change, so an
+//!    expression over them computed in a dominating block is still valid.
+
+use crate::ir::analysis::dominators;
+use crate::ir::{BlockId, Function, Instr, Operand, VReg};
+use std::collections::HashMap;
+
+/// Canonical key of a pure expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ExprKey {
+    Bin(crate::ir::BinOp, OpKey, OpKey),
+    FBin(crate::ir::FBinOp, OpKey, OpKey),
+    Cmp(crate::ir::CmpOp, OpKey, OpKey),
+    FCmp(crate::ir::CmpOp, OpKey, OpKey),
+    I2F(OpKey),
+    F2I(OpKey),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum OpKey {
+    Reg(VReg),
+    ConstI(i64),
+    ConstF(u64),
+}
+
+fn op_key(o: Operand) -> OpKey {
+    match o {
+        Operand::Reg(r) => OpKey::Reg(r),
+        Operand::ConstI(v) => OpKey::ConstI(v),
+        Operand::ConstF(v) => OpKey::ConstF(v.to_bits()),
+    }
+}
+
+/// Key for a pure, CSE-able instruction, commutative ops canonicalized.
+fn expr_key(i: &Instr) -> Option<(ExprKey, VReg)> {
+    let key = match i {
+        Instr::Bin { op, dst, lhs, rhs } => {
+            let (mut a, mut b) = (op_key(*lhs), op_key(*rhs));
+            if op.commutative() && format!("{:?}", a) > format!("{:?}", b) {
+                std::mem::swap(&mut a, &mut b);
+            }
+            if op.can_fault() {
+                return None;
+            }
+            (ExprKey::Bin(*op, a, b), *dst)
+        }
+        Instr::FBin { op, dst, lhs, rhs } => {
+            (ExprKey::FBin(*op, op_key(*lhs), op_key(*rhs)), *dst)
+        }
+        Instr::Cmp { op, dst, lhs, rhs } => (ExprKey::Cmp(*op, op_key(*lhs), op_key(*rhs)), *dst),
+        Instr::FCmp { op, dst, lhs, rhs } => {
+            (ExprKey::FCmp(*op, op_key(*lhs), op_key(*rhs)), *dst)
+        }
+        Instr::IntToFloat { dst, src } => (ExprKey::I2F(op_key(*src)), *dst),
+        Instr::FloatToInt { dst, src } => (ExprKey::F2I(op_key(*src)), *dst),
+        _ => return None,
+    };
+    Some(key)
+}
+
+/// Registers read by an expression key.
+fn key_regs(k: &ExprKey) -> Vec<VReg> {
+    let mut out = Vec::new();
+    let mut push = |o: &OpKey| {
+        if let OpKey::Reg(r) = o {
+            out.push(*r);
+        }
+    };
+    match k {
+        ExprKey::Bin(_, a, b)
+        | ExprKey::FBin(_, a, b)
+        | ExprKey::Cmp(_, a, b)
+        | ExprKey::FCmp(_, a, b) => {
+            push(a);
+            push(b);
+        }
+        ExprKey::I2F(a) | ExprKey::F2I(a) => push(a),
+    }
+    out
+}
+
+/// Runs GCSE over one function.
+pub fn run(f: &mut Function) {
+    let def_counts = definition_counts(f);
+    local_value_numbering(f);
+    dominator_cse(f, &def_counts);
+}
+
+/// Number of static definitions of each register.
+fn definition_counts(f: &Function) -> Vec<u32> {
+    let mut counts = vec![0u32; f.vreg_types.len()];
+    for &p in &f.params {
+        counts[p.0 as usize] += 1;
+    }
+    for b in &f.blocks {
+        for i in &b.instrs {
+            if let Some(d) = i.def() {
+                counts[d.0 as usize] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Pass 1: value numbering within each block, killing expressions whose
+/// operand (or holder) registers are redefined.
+fn local_value_numbering(f: &mut Function) {
+    for b in 0..f.blocks.len() {
+        let mut table: HashMap<ExprKey, VReg> = HashMap::new();
+        // Value aliases from copies (CSE-introduced or pre-existing), so
+        // chained expressions over equal values key identically.
+        let mut aliases: HashMap<VReg, VReg> = HashMap::new();
+        let block = &mut f.blocks[b];
+        for i in &mut block.instrs {
+            for u in i.uses() {
+                if let Some(&c) = aliases.get(&u) {
+                    i.replace_use(u, Operand::Reg(c));
+                }
+            }
+            let replacement = expr_key(i).and_then(|(key, _)| table.get(&key).copied());
+            if let (Some(prev), Some(dst)) = (replacement, i.def()) {
+                *i = Instr::Copy {
+                    dst,
+                    src: Operand::Reg(prev),
+                };
+            }
+            if let Some(d) = i.def() {
+                // Kill entries that read d or are held in d — before
+                // inserting this instruction's own facts.
+                table.retain(|k, holder| *holder != d && !key_regs(k).contains(&d));
+                aliases.retain(|dst, src| *dst != d && *src != d);
+            }
+            if let Some((key, dst)) = expr_key(i) {
+                // Self-referencing updates (`i = i + 1`) define a *new*
+                // value of an operand; the expression over the old value is
+                // not available afterwards.
+                if !key_regs(&key).contains(&dst) {
+                    table.insert(key, dst);
+                }
+            }
+            if let Instr::Copy {
+                dst,
+                src: Operand::Reg(s),
+            } = i
+            {
+                if dst != s {
+                    aliases.insert(*dst, *s);
+                }
+            }
+        }
+    }
+}
+
+/// Pass 2: dominator-tree CSE over single-definition registers.
+fn dominator_cse(f: &mut Function, def_counts: &[u32]) {
+    let idom = dominators(f);
+    // Children lists of the dominator tree.
+    let mut children: Vec<Vec<BlockId>> = vec![Vec::new(); f.blocks.len()];
+    for b in f.block_ids() {
+        if b == BlockId(0) {
+            continue;
+        }
+        if let Some(p) = idom[b.0 as usize] {
+            children[p.0 as usize].push(b);
+        }
+    }
+    let single_def = |r: VReg| def_counts[r.0 as usize] <= 1;
+
+    // Iterative preorder walk with scoped table and alias map (undo logs).
+    let mut table: HashMap<ExprKey, VReg> = HashMap::new();
+    let mut aliases: HashMap<VReg, VReg> = HashMap::new();
+    let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+    let mut undo: Vec<Undo> = vec![Undo::default()];
+    // Process entry block on push.
+    process_block(f, BlockId(0), &mut table, &mut aliases, &mut undo[0], single_def);
+    while let Some(frame) = stack.last_mut() {
+        let bb = frame.0;
+        if frame.1 < children[bb.0 as usize].len() {
+            let c = children[bb.0 as usize][frame.1];
+            frame.1 += 1;
+            let mut log = Undo::default();
+            process_block(f, c, &mut table, &mut aliases, &mut log, single_def);
+            undo.push(log);
+            stack.push((c, 0));
+        } else {
+            stack.pop();
+            let log = undo.pop().expect("balanced");
+            for (k, prev) in log.table.into_iter().rev() {
+                match prev {
+                    Some(v) => table.insert(k, v),
+                    None => table.remove(&k),
+                };
+            }
+            for (r, prev) in log.aliases.into_iter().rev() {
+                match prev {
+                    Some(v) => aliases.insert(r, v),
+                    None => aliases.remove(&r),
+                };
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct Undo {
+    table: Vec<(ExprKey, Option<VReg>)>,
+    aliases: Vec<(VReg, Option<VReg>)>,
+}
+
+fn process_block(
+    f: &mut Function,
+    bb: BlockId,
+    table: &mut HashMap<ExprKey, VReg>,
+    aliases: &mut HashMap<VReg, VReg>,
+    log: &mut Undo,
+    single_def: impl Fn(VReg) -> bool,
+) {
+    let block = f.block_mut(bb);
+    for i in &mut block.instrs {
+        // Canonicalize single-def operands through known value aliases, so
+        // chained redundant expressions key identically. Sound because both
+        // sides of every alias are single-def and the alias's definition
+        // dominates this point.
+        for u in i.uses() {
+            if let Some(&c) = aliases.get(&u) {
+                i.replace_use(u, Operand::Reg(c));
+            }
+        }
+        let Some((key, dst)) = expr_key(i) else {
+            continue;
+        };
+        // Only expressions whose operands and holder can never change.
+        if !key_regs(&key).iter().all(|&r| single_def(r)) || !single_def(dst) {
+            continue;
+        }
+        if let Some(&prev) = table.get(&key) {
+            if prev != dst {
+                *i = Instr::Copy {
+                    dst,
+                    src: Operand::Reg(prev),
+                };
+                log.aliases.push((dst, aliases.get(&dst).copied()));
+                aliases.insert(dst, prev);
+                continue;
+            }
+        }
+        log.table.push((key.clone(), table.get(&key).copied()));
+        table.insert(key, dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::BinOp;
+    use crate::passes::testutil::{assert_equivalent, module};
+
+    fn count_op(f: &Function, op: BinOp) -> usize {
+        f.blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter(|i| matches!(i, Instr::Bin { op: o, .. } if *o == op))
+            .count()
+    }
+
+    #[test]
+    fn local_cse_removes_duplicate_expression() {
+        // g[i] read twice in one statement: two Shl/Add address chains.
+        let src = "global g[8]; fn main(i) { return g[i] + g[i]; }";
+        let mut m = module(src);
+        let before = count_op(&m.funcs[0], BinOp::Shl);
+        run(&mut m.funcs[0]);
+        crate::passes::constprop::eliminate_dead_code(&mut m.funcs[0]);
+        let after = count_op(&m.funcs[0], BinOp::Shl);
+        assert!(before >= 2, "expected duplicated address math");
+        assert_eq!(after, 1, "{}", m.funcs[0]);
+    }
+
+    #[test]
+    fn redefinition_kills_local_cse() {
+        // i changes between the two identical-looking expressions.
+        let src = "fn main(i) { var a = i * 2; i = i + 1; var b = i * 2; return a + b; }";
+        let mut m = module(src);
+        run(&mut m.funcs[0]);
+        crate::passes::constprop::eliminate_dead_code(&mut m.funcs[0]);
+        assert_eq!(count_op(&m.funcs[0], BinOp::Mul), 2, "{}", m.funcs[0]);
+    }
+
+    #[test]
+    fn dominator_cse_across_blocks_on_single_def_temps() {
+        // p*3 computed before the branch and again in the join — the temps
+        // feeding both are single-def, so the second compute collapses.
+        let src = r#"
+            fn main(p) {
+                var a = (p + 1) * 3;
+                var r = 0;
+                if (p) { r = a; } else { r = 1; }
+                var b = (p + 1) * 3;
+                return r + b;
+            }
+        "#;
+        let mut m = module(src);
+        let before = count_op(&m.funcs[0], BinOp::Mul);
+        run(&mut m.funcs[0]);
+        crate::passes::constprop::local_copy_propagation(&mut m.funcs[0]);
+        crate::passes::constprop::eliminate_dead_code(&mut m.funcs[0]);
+        let after = count_op(&m.funcs[0], BinOp::Mul);
+        assert_eq!(before, 2);
+        assert_eq!(after, 1, "{}", m.funcs[0]);
+    }
+
+    #[test]
+    fn sibling_blocks_do_not_share_expressions() {
+        // then/else compute the same expression but neither dominates the
+        // other; both must survive.
+        let src = r#"
+            fn main(p) {
+                var r = 0;
+                if (p) { r = p * 5; } else { r = p * 5 + 1; }
+                return r;
+            }
+        "#;
+        let mut m = module(src);
+        run(&mut m.funcs[0]);
+        crate::passes::constprop::eliminate_dead_code(&mut m.funcs[0]);
+        assert_eq!(count_op(&m.funcs[0], BinOp::Mul), 2, "{}", m.funcs[0]);
+    }
+
+    #[test]
+    fn gcse_preserves_semantics() {
+        let src = r#"
+            global g[16];
+            fn main() {
+                var acc = 0;
+                for (i = 0; i < 16; i = i + 1) { g[i] = i * i; }
+                for (i = 0; i < 16; i = i + 1) {
+                    acc = acc + g[i] * 2 + g[i] * 2;
+                }
+                return acc;
+            }
+        "#;
+        let mut cfg = crate::OptConfig::o0();
+        cfg.gcse = true;
+        assert_equivalent(src, &cfg);
+    }
+
+    #[test]
+    fn loads_are_never_csed() {
+        // Two loads of the same address with an intervening store must both
+        // survive (no memory value numbering).
+        let src = "global g[2]; fn main(p) { var a = g[0]; g[0] = p; var b = g[0]; return a + b; }";
+        let mut m = module(src);
+        run(&mut m.funcs[0]);
+        let loads = m.funcs[0]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter(|i| matches!(i, Instr::Load { .. }))
+            .count();
+        assert_eq!(loads, 2);
+    }
+}

@@ -1,0 +1,359 @@
+//! Function inlining (`-finline-functions`, Table 1 row 1), governed by the
+//! `max-inline-insns-auto` (row 10), `inline-unit-growth` (row 11) and
+//! `inline-call-cost` (row 12) heuristics.
+//!
+//! Call sites are processed bottom-up over the call graph (callees first, so
+//! already-inlined bodies propagate). A site is inlined when the callee is
+//! small enough after crediting the saved call overhead, and the compilation
+//! unit has not yet grown past the configured percentage.
+
+use crate::ir::{BlockId, Function, Instr, Module, Operand, Terminator, VReg};
+use crate::OptConfig;
+use std::collections::HashSet;
+
+/// Units smaller than this are treated as this size when applying the
+/// `inline-unit-growth` percentage (gcc's `large-unit-insns` parameter, so
+/// tiny modules are not starved of inlining).
+pub const LARGE_UNIT_INSNS: usize = 150;
+
+/// Runs the inliner over the module.
+pub fn run(module: &mut Module, config: &OptConfig) {
+    let original_size = module.size();
+    let growth_base = original_size.max(LARGE_UNIT_INSNS);
+    let budget = original_size + growth_base * config.inline_unit_growth as usize / 100;
+    let order = bottom_up_order(module);
+    for caller in order {
+        loop {
+            if module.size() >= budget {
+                return;
+            }
+            let Some((block, idx, callee)) = find_inlinable_site(module, caller, config) else {
+                break;
+            };
+            // The callee body is cloned out first so the caller can be
+            // mutated freely.
+            let callee_fn = module.funcs[callee].clone();
+            inline_site(&mut module.funcs[caller], block, idx, &callee_fn);
+        }
+    }
+}
+
+/// Callees-before-callers order; functions in call-graph cycles keep their
+/// original relative order (self-recursive calls are never inlined anyway).
+fn bottom_up_order(module: &Module) -> Vec<usize> {
+    let n = module.funcs.len();
+    let mut callees: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+    for (i, f) in module.funcs.iter().enumerate() {
+        for b in &f.blocks {
+            for instr in &b.instrs {
+                if let Instr::Call { callee, .. } = instr {
+                    callees[i].insert(*callee);
+                }
+            }
+        }
+    }
+    // Kahn-style: repeatedly take functions whose unprocessed callees are
+    // empty; break ties (cycles) by taking the lowest index.
+    let mut done = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    while order.len() < n {
+        let next = (0..n)
+            .find(|&i| !done[i] && callees[i].iter().all(|&c| done[c] || c == i))
+            .unwrap_or_else(|| (0..n).find(|&i| !done[i]).expect("undone exists"));
+        done[next] = true;
+        order.push(next);
+    }
+    order
+}
+
+/// Finds the first call site in `caller` whose callee passes the heuristics.
+fn find_inlinable_site(
+    module: &Module,
+    caller: usize,
+    config: &OptConfig,
+) -> Option<(BlockId, usize, usize)> {
+    let f = &module.funcs[caller];
+    for bid in f.block_ids() {
+        for (idx, i) in f.block(bid).instrs.iter().enumerate() {
+            let Instr::Call { callee, .. } = i else {
+                continue;
+            };
+            if *callee == caller {
+                continue; // never inline self-recursion
+            }
+            let callee_size = module.funcs[*callee].size();
+            // The call itself costs `inline-call-cost` simple instructions;
+            // inlining is profitable while the body, net of that saving,
+            // stays within the auto-inline threshold.
+            let effective = callee_size.saturating_sub(config.inline_call_cost as usize);
+            if effective <= config.max_inline_insns_auto as usize {
+                return Some((bid, idx, *callee));
+            }
+        }
+    }
+    None
+}
+
+/// Splices `callee` into `caller` at the given call site.
+fn inline_site(caller: &mut Function, site_block: BlockId, site_idx: usize, callee: &Function) {
+    // 1. Extract the call.
+    let call = caller.block(site_block).instrs[site_idx].clone();
+    let Instr::Call { dst, args, .. } = call else {
+        panic!("site is not a call");
+    };
+
+    // 2. Split the site block: everything after the call moves to a new
+    //    continuation block that inherits the terminator.
+    let cont = caller.new_block();
+    let site = caller.block_mut(site_block);
+    let tail: Vec<Instr> = site.instrs.drain(site_idx + 1..).collect();
+    site.instrs.pop(); // remove the call itself
+    let old_term = std::mem::replace(&mut site.term, Terminator::Jump(cont));
+    let cont_block = caller.block_mut(cont);
+    cont_block.instrs = tail;
+    cont_block.term = old_term;
+
+    // 3. Map callee registers and blocks into the caller.
+    let reg_base = caller.vreg_types.len() as u32;
+    for &ty in &callee.vreg_types {
+        caller.vreg_types.push(ty);
+    }
+    let map_reg = |r: VReg| VReg(r.0 + reg_base);
+    let block_base = caller.blocks.len() as u32;
+    let map_block = |b: BlockId| BlockId(b.0 + block_base);
+
+    // 4. Bind arguments in the site block, then jump to the mapped entry.
+    for (param, arg) in callee.params.iter().zip(&args) {
+        caller.block_mut(site_block).instrs.push(Instr::Copy {
+            dst: map_reg(*param),
+            src: *arg,
+        });
+    }
+    caller.block_mut(site_block).term = Terminator::Jump(map_block(BlockId(0)));
+
+    // 5. Clone callee blocks, remapping registers, blocks and returns.
+    for cb in &callee.blocks {
+        let mut instrs = Vec::with_capacity(cb.instrs.len());
+        for i in &cb.instrs {
+            let mut ni = i.clone();
+            remap_instr(&mut ni, &map_reg);
+            instrs.push(ni);
+        }
+        let term = match &cb.term {
+            Terminator::Jump(t) => Terminator::Jump(map_block(*t)),
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => Terminator::Branch {
+                cond: remap_operand(*cond, &map_reg),
+                then_bb: map_block(*then_bb),
+                else_bb: map_block(*else_bb),
+            },
+            Terminator::Return(v) => {
+                let v = remap_operand(*v, &map_reg);
+                if let Some(d) = dst {
+                    instrs.push(Instr::Copy { dst: d, src: v });
+                }
+                Terminator::Jump(cont)
+            }
+        };
+        caller.blocks.push(crate::ir::Block { instrs, term });
+    }
+}
+
+fn remap_operand(o: Operand, map_reg: &impl Fn(VReg) -> VReg) -> Operand {
+    match o {
+        Operand::Reg(r) => Operand::Reg(map_reg(r)),
+        other => other,
+    }
+}
+
+fn remap_instr(i: &mut Instr, map_reg: &impl Fn(VReg) -> VReg) {
+    // Remap the destination in place, then every operand.
+    match i {
+        Instr::Bin { dst, lhs, rhs, .. }
+        | Instr::FBin { dst, lhs, rhs, .. }
+        | Instr::Cmp { dst, lhs, rhs, .. }
+        | Instr::FCmp { dst, lhs, rhs, .. } => {
+            *dst = map_reg(*dst);
+            *lhs = remap_operand(*lhs, map_reg);
+            *rhs = remap_operand(*rhs, map_reg);
+        }
+        Instr::Copy { dst, src }
+        | Instr::IntToFloat { dst, src }
+        | Instr::FloatToInt { dst, src } => {
+            *dst = map_reg(*dst);
+            *src = remap_operand(*src, map_reg);
+        }
+        Instr::Load { dst, addr } => {
+            *dst = map_reg(*dst);
+            *addr = remap_operand(*addr, map_reg);
+        }
+        Instr::Store { addr, value } => {
+            *addr = remap_operand(*addr, map_reg);
+            *value = remap_operand(*value, map_reg);
+        }
+        Instr::Prefetch { addr, .. } => {
+            *addr = remap_operand(*addr, map_reg);
+        }
+        Instr::Call { dst, args, .. } => {
+            if let Some(d) = dst {
+                *d = map_reg(*d);
+            }
+            for a in args {
+                *a = remap_operand(*a, map_reg);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::testutil::{module, run as run_src};
+
+    fn call_count(m: &Module, func: usize) -> usize {
+        m.funcs[func]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter(|i| matches!(i, Instr::Call { .. }))
+            .count()
+    }
+
+    fn inline_cfg() -> OptConfig {
+        let mut c = OptConfig::o0();
+        c.inline_functions = true;
+        c
+    }
+
+    #[test]
+    fn inlines_small_callee() {
+        let src = r#"
+            fn square(x) { return x * x; }
+            fn main() { return square(6) + square(7); }
+        "#;
+        let mut m = module(src);
+        let main = m.func_index("main").unwrap();
+        assert_eq!(call_count(&m, main), 2);
+        run(&mut m, &inline_cfg());
+        assert_eq!(call_count(&m, main), 0);
+        m.funcs[main].assert_valid();
+        assert_eq!(run_src(src, &inline_cfg()), 36 + 49);
+    }
+
+    #[test]
+    fn inlines_transitively_bottom_up() {
+        let src = r#"
+            fn add1(x) { return x + 1; }
+            fn add2(x) { return add1(add1(x)); }
+            fn main() { return add2(40); }
+        "#;
+        let mut m = module(src);
+        run(&mut m, &inline_cfg());
+        let main = m.func_index("main").unwrap();
+        assert_eq!(call_count(&m, main), 0, "{}", m.funcs[main]);
+        assert_eq!(run_src(src, &inline_cfg()), 42);
+    }
+
+    #[test]
+    fn self_recursion_never_inlined() {
+        let src = r#"
+            fn fact(n) { if (n < 2) { return 1; } return n * fact(n - 1); }
+            fn main() { return fact(6); }
+        "#;
+        let mut m = module(src);
+        run(&mut m, &inline_cfg());
+        let fact = m.func_index("fact").unwrap();
+        assert!(call_count(&m, fact) >= 1, "self call must remain");
+        assert_eq!(run_src(src, &inline_cfg()), 720);
+    }
+
+    #[test]
+    fn max_inline_insns_auto_gates_large_callees() {
+        // A callee much larger than the threshold (minus call cost) stays.
+        let body: String = (0..200)
+            .map(|k| format!("x = x + {};", k))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let src = format!(
+            "fn big(x) {{ {} return x; }} fn main() {{ return big(1); }}",
+            body
+        );
+        let mut m = module(&src);
+        let mut cfg = inline_cfg();
+        cfg.max_inline_insns_auto = 50;
+        cfg.inline_call_cost = 12;
+        run(&mut m, &cfg);
+        let main = m.func_index("main").unwrap();
+        assert_eq!(call_count(&m, main), 1, "big callee must not inline");
+        // Raising the threshold far enough inlines it.
+        let mut m2 = module(&src);
+        let mut cfg2 = inline_cfg();
+        cfg2.max_inline_insns_auto = 150;
+        cfg2.inline_call_cost = 20;
+        cfg2.inline_unit_growth = 75;
+        // 200-insn callee still exceeds 150+20; verify the gate math instead
+        // with a ~160-insn callee.
+        let body2: String = (0..155)
+            .map(|k| format!("x = x + {};", k))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let src2 = format!(
+            "fn big(x) {{ {} return x; }} fn main() {{ return big(1); }}",
+            body2
+        );
+        m2 = module(&src2);
+        run(&mut m2, &cfg2);
+        let main2 = m2.func_index("main").unwrap();
+        assert_eq!(call_count(&m2, main2), 0, "callee within threshold inlines");
+    }
+
+    #[test]
+    fn unit_growth_budget_stops_inlining() {
+        // Many call sites to a mid-size callee: with a tiny growth budget
+        // only some get inlined.
+        let calls: String = (0..20).map(|_| "s = s + f(s);".to_string()).collect();
+        let src = format!(
+            "fn f(x) {{ return x * 2 + 1; }} fn main() {{ var s = 1; {} return s; }}",
+            calls
+        );
+        let mut m = module(&src);
+        let mut cfg = inline_cfg();
+        cfg.inline_unit_growth = 25;
+        run(&mut m, &cfg);
+        let main = m.func_index("main").unwrap();
+        let remaining = call_count(&m, main);
+        assert!(
+            remaining > 0 && remaining < 20,
+            "expected partial inlining, {} calls remain",
+            remaining
+        );
+    }
+
+    #[test]
+    fn inlined_control_flow_is_correct() {
+        let src = r#"
+            fn max2(a, b) { if (a > b) { return a; } return b; }
+            fn main() { return max2(3, 9) * 10 + max2(8, 2); }
+        "#;
+        let mut m = module(src);
+        run(&mut m, &inline_cfg());
+        let main = m.func_index("main").unwrap();
+        assert_eq!(call_count(&m, main), 0);
+        assert_eq!(run_src(src, &inline_cfg()), 98);
+    }
+
+    #[test]
+    fn float_callee_inlines() {
+        let src = r#"
+            fnf scale(x: float) { return x * 2.5; }
+            fn main() { return int(scale(4.0)); }
+        "#;
+        assert_eq!(run_src(src, &inline_cfg()), 10);
+        let mut m = module(src);
+        run(&mut m, &inline_cfg());
+        assert_eq!(call_count(&m, m.func_index("main").unwrap()), 0);
+    }
+}

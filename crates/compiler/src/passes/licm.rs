@@ -1,0 +1,242 @@
+//! Loop-invariant code motion (`-floop-optimize`, Table 1 row 4): "perform
+//! simple loop optimizations such as moving constant expressions" out of
+//! loops.
+
+use crate::ir::analysis::{liveness, natural_loops, predecessors, Loop};
+#[cfg(test)]
+use crate::ir::Instr;
+use crate::ir::{BlockId, Function, Terminator, VReg};
+use std::collections::HashSet;
+
+/// Runs LICM over every natural loop of the function, innermost first.
+pub fn run(f: &mut Function) {
+    // Loop discovery is repeated after each processed loop because preheader
+    // insertion renumbers nothing but adds blocks.
+    let loop_headers: Vec<BlockId> = natural_loops(f).iter().map(|l| l.header).collect();
+    for header in loop_headers {
+        // Re-find the loop (block set may have grown).
+        let loops = natural_loops(f);
+        let Some(l) = loops.iter().find(|l| l.header == header) else {
+            continue;
+        };
+        let l = l.clone();
+        let preheader = ensure_preheader(f, &l);
+        hoist(f, &l, preheader);
+    }
+}
+
+/// Returns the loop's preheader, creating one if necessary: a block that is
+/// the unique non-latch predecessor of the header.
+pub fn ensure_preheader(f: &mut Function, l: &Loop) -> BlockId {
+    let preds = predecessors(f);
+    let outside: Vec<BlockId> = preds[l.header.0 as usize]
+        .iter()
+        .copied()
+        .filter(|p| !l.contains(*p))
+        .collect();
+    if outside.len() == 1 {
+        let p = outside[0];
+        // An existing block that only jumps to the header qualifies.
+        if f.block(p).term == Terminator::Jump(l.header) {
+            return p;
+        }
+    }
+    let pre = f.new_block();
+    f.block_mut(pre).term = Terminator::Jump(l.header);
+    for p in outside {
+        f.block_mut(p).term.retarget(l.header, pre);
+    }
+    pre
+}
+
+/// Hoists invariant pure instructions into the preheader until fixpoint.
+fn hoist(f: &mut Function, l: &Loop, preheader: BlockId) {
+    loop {
+        // Registers defined anywhere in the loop.
+        let mut defined: HashSet<VReg> = HashSet::new();
+        let mut def_counts: std::collections::HashMap<VReg, usize> =
+            std::collections::HashMap::new();
+        for &b in &l.body {
+            for i in &f.block(b).instrs {
+                if let Some(d) = i.def() {
+                    defined.insert(d);
+                    *def_counts.entry(d).or_insert(0) += 1;
+                }
+            }
+        }
+        let live = liveness(f);
+        // Loop exit blocks (successors outside the loop).
+        let exits: Vec<BlockId> = l
+            .body
+            .iter()
+            .flat_map(|&b| f.block(b).term.successors())
+            .filter(|s| !l.contains(*s))
+            .collect();
+
+        let mut moved = None;
+        'search: for &b in &l.body {
+            for (idx, i) in f.block(b).instrs.iter().enumerate() {
+                if !i.is_pure() {
+                    continue;
+                }
+                let Some(d) = i.def() else { continue };
+                // Operands must be invariant.
+                if i.uses().iter().any(|u| defined.contains(u)) {
+                    continue;
+                }
+                // Must be the only definition of d in the loop.
+                if def_counts.get(&d).copied().unwrap_or(0) != 1 {
+                    continue;
+                }
+                // d must not be live into the header (loop-carried) …
+                if live.live_in[l.header.0 as usize].contains(&d) {
+                    continue;
+                }
+                // … and must not be observed after a zero-trip exit.
+                if exits.iter().any(|e| live.live_in[e.0 as usize].contains(&d)) {
+                    continue;
+                }
+                moved = Some((b, idx));
+                break 'search;
+            }
+        }
+        match moved {
+            Some((b, idx)) => {
+                let instr = f.block_mut(b).instrs.remove(idx);
+                f.block_mut(preheader).instrs.push(instr);
+            }
+            None => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::BinOp;
+    use crate::passes::testutil::{assert_equivalent, module};
+
+    fn loop_mul_count(f: &Function) -> usize {
+        let loops = natural_loops(f);
+        loops
+            .iter()
+            .flat_map(|l| l.body.iter())
+            .map(|&b| {
+                f.block(b)
+                    .instrs
+                    .iter()
+                    .filter(|i| matches!(i, Instr::Bin { op: BinOp::Mul, .. }))
+                    .count()
+            })
+            .sum()
+    }
+
+    #[test]
+    fn hoists_invariant_multiply() {
+        let src = r#"
+            fn main(n, k) {
+                var s = 0;
+                for (i = 0; i < n; i = i + 1) {
+                    s = s + k * 13;
+                }
+                return s;
+            }
+        "#;
+        let mut m = module(src);
+        assert_eq!(loop_mul_count(&m.funcs[0]), 1);
+        run(&mut m.funcs[0]);
+        assert_eq!(loop_mul_count(&m.funcs[0]), 0, "{}", m.funcs[0]);
+        m.funcs[0].assert_valid();
+    }
+
+    #[test]
+    fn does_not_hoist_variant_code() {
+        let src = r#"
+            fn main(n) {
+                var s = 0;
+                for (i = 0; i < n; i = i + 1) { s = s + i * 2; }
+                return s;
+            }
+        "#;
+        let mut m = module(src);
+        run(&mut m.funcs[0]);
+        assert_eq!(loop_mul_count(&m.funcs[0]), 1, "{}", m.funcs[0]);
+    }
+
+    #[test]
+    fn does_not_hoist_loads_or_faulting_ops() {
+        let src = r#"
+            global g[4];
+            fn main(n, d) {
+                var s = 0;
+                for (i = 0; i < n; i = i + 1) {
+                    s = s + g[0];
+                    s = s + 100 / d;
+                }
+                return s;
+            }
+        "#;
+        let mut m = module(src);
+        run(&mut m.funcs[0]);
+        let f = &m.funcs[0];
+        let loops = natural_loops(f);
+        let in_loop: Vec<&Instr> = loops[0]
+            .body
+            .iter()
+            .flat_map(|&b| f.block(b).instrs.iter())
+            .collect();
+        assert!(in_loop.iter().any(|i| matches!(i, Instr::Load { .. })));
+        assert!(in_loop
+            .iter()
+            .any(|i| matches!(i, Instr::Bin { op: BinOp::Div, .. })));
+    }
+
+    #[test]
+    fn preheader_created_once() {
+        let src = "fn main(n) { var s = 0; while (s < n) { s = s + 1; } return s; }";
+        let mut m = module(src);
+        let before = m.funcs[0].blocks.len();
+        run(&mut m.funcs[0]);
+        let after = m.funcs[0].blocks.len();
+        assert!(after <= before + 1);
+        m.funcs[0].assert_valid();
+    }
+
+    #[test]
+    fn licm_preserves_semantics_with_zero_trip_loop() {
+        // n = 0: the loop never runs; hoisted code must not change results.
+        let src = r#"
+            fn compute(n, k) {
+                var s = 7;
+                for (i = 0; i < n; i = i + 1) { s = s + k * 5; }
+                return s;
+            }
+            fn main() { return compute(0, 3) * 1000 + compute(4, 3); }
+        "#;
+        let mut cfg = crate::OptConfig::o0();
+        cfg.loop_optimize = true;
+        let v = assert_equivalent(src, &cfg);
+        assert_eq!(v, 7 * 1000 + 7 + 4 * 15);
+    }
+
+    #[test]
+    fn nested_loops_hoist_to_correct_level() {
+        let src = r#"
+            fn main(n, k) {
+                var s = 0;
+                for (i = 0; i < n; i = i + 1) {
+                    for (j = 0; j < n; j = j + 1) {
+                        s = s + k * 7;
+                    }
+                }
+                return s;
+            }
+        "#;
+        let mut m = module(src);
+        run(&mut m.funcs[0]);
+        assert_eq!(loop_mul_count(&m.funcs[0]), 0, "{}", m.funcs[0]);
+        let mut cfg = crate::OptConfig::o0();
+        cfg.loop_optimize = true;
+        assert_equivalent(src, &cfg);
+    }
+}

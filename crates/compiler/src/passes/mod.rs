@@ -1,0 +1,97 @@
+//! The midend optimization pipeline, driven by the Table 1 flags.
+//!
+//! Pass order mirrors gcc 4.0's tree/RTL pipeline closely enough for the
+//! flags to interact the way the paper observes: inlining first (exposing
+//! intraprocedural redundancy), then scalar cleanups, loop optimizations,
+//! unrolling (whose duplicated bodies the second GCSE round cleans up) and
+//! finally prefetch insertion. Block reordering, scheduling and frame-pointer
+//! omission are backend concerns handled in [`crate::codegen`].
+
+pub mod constprop;
+pub mod gcse;
+pub mod inline;
+pub mod licm;
+pub mod prefetch;
+pub mod strength;
+pub mod unroll;
+
+use crate::ir::Module;
+use crate::OptConfig;
+
+/// Runs every enabled midend pass over the module, in pipeline order.
+pub fn run_pipeline(module: &mut Module, config: &OptConfig) {
+    if config.inline_functions {
+        inline::run(module, config);
+    }
+    if config.gcse {
+        for f in &mut module.funcs {
+            constprop::propagate_constants(f);
+            constprop::local_copy_propagation(f);
+            gcse::run(f);
+            constprop::eliminate_dead_code(f);
+        }
+    }
+    if config.loop_optimize {
+        for f in &mut module.funcs {
+            licm::run(f);
+        }
+    }
+    if config.strength_reduce {
+        for f in &mut module.funcs {
+            strength::run(f);
+        }
+    }
+    if config.unroll_loops {
+        for f in &mut module.funcs {
+            unroll::run(f, config);
+        }
+    }
+    // Second scalar-cleanup round, as in gcc's post-loop GCSE: strength
+    // reduction leaves copies and unrolling duplicates address math; when
+    // -fgcse is off those leftovers stay — a real flag interaction.
+    if config.gcse && (config.strength_reduce || config.unroll_loops || config.loop_optimize) {
+        for f in &mut module.funcs {
+            constprop::propagate_constants(f);
+            constprop::local_copy_propagation(f);
+            gcse::run(f);
+            constprop::eliminate_dead_code(f);
+        }
+    }
+    if config.prefetch_loop_arrays {
+        for f in &mut module.funcs {
+            prefetch::run(f);
+        }
+    }
+    for f in &module.funcs {
+        f.assert_valid();
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::front::parse_and_lower;
+    use crate::ir::Module;
+    use crate::OptConfig;
+    use emod_isa::Emulator;
+
+    /// Lowers `src` to IR (no optimization).
+    pub fn module(src: &str) -> Module {
+        parse_and_lower(src).unwrap()
+    }
+
+    /// Compiles `src` under `config` and runs it, returning the exit value.
+    pub fn run(src: &str, config: &OptConfig) -> i64 {
+        let prog = crate::compile(src, config).unwrap();
+        Emulator::new(&prog)
+            .run(50_000_000)
+            .expect("program faulted")
+    }
+
+    /// Asserts that `src` computes the same result at -O0 and under `config`.
+    pub fn assert_equivalent(src: &str, config: &OptConfig) -> i64 {
+        let base = run(src, &OptConfig::o0());
+        let opt = run(src, config);
+        assert_eq!(base, opt, "optimization changed semantics");
+        base
+    }
+}

@@ -1,0 +1,399 @@
+//! Induction-variable strength reduction (`-fstrength-reduce`, Table 1
+//! row 6).
+//!
+//! For a basic induction variable `i` (single in-loop definition
+//! `i = i ± c`), computations `t = i * k`, `t = i << s` and `t = i + base`
+//! are replaced by a new register `t_sr` that is initialized in the
+//! preheader and advanced by a constant right after the increment of `i` —
+//! turning per-iteration multiplies/shifts into adds and, importantly,
+//! turning array address arithmetic into *striding* registers that the
+//! prefetch pass recognizes.
+
+use crate::ir::analysis::{natural_loops, Loop};
+use crate::ir::{BinOp, BlockId, Function, Instr, Operand, Ty, VReg};
+use std::collections::HashMap;
+
+/// Runs strength reduction over every loop, innermost first.
+pub fn run(f: &mut Function) {
+    let headers: Vec<BlockId> = natural_loops(f).iter().map(|l| l.header).collect();
+    for header in headers {
+        // Two rounds: the first reduces multiplies/shifts of the IV, the
+        // second reduces adds of the registers created by the first round
+        // (completing base+offset address chains). Copies left by the
+        // previous round are forwarded first so derived computations read
+        // the new striding registers directly.
+        for _ in 0..2 {
+            super::constprop::local_copy_propagation(f);
+            let loops = natural_loops(f);
+            let Some(l) = loops.iter().find(|l| l.header == header) else {
+                break;
+            };
+            let l = l.clone();
+            if !reduce_once(f, &l) {
+                break;
+            }
+        }
+    }
+}
+
+/// A basic induction variable.
+#[derive(Debug, Clone, Copy)]
+struct Iv {
+    reg: VReg,
+    step: i64,
+    /// Location of the increment: (block, instruction index).
+    def_at: (BlockId, usize),
+}
+
+/// Finds basic IVs: registers with exactly one in-loop definition of the
+/// form `i = i + c` / `i = i - c` / `i = c + i`.
+fn find_basic_ivs(f: &Function, l: &Loop) -> Vec<Iv> {
+    let mut def_counts: HashMap<VReg, usize> = HashMap::new();
+    for &b in &l.body {
+        for i in &f.block(b).instrs {
+            if let Some(d) = i.def() {
+                *def_counts.entry(d).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut ivs = Vec::new();
+    for &b in &l.body {
+        for (idx, i) in f.block(b).instrs.iter().enumerate() {
+            let Instr::Bin { op, dst, lhs, rhs } = i else {
+                continue;
+            };
+            if def_counts.get(dst) != Some(&1) {
+                continue;
+            }
+            let step = match (op, lhs, rhs) {
+                (BinOp::Add, Operand::Reg(r), Operand::ConstI(c)) if r == dst => Some(*c),
+                (BinOp::Add, Operand::ConstI(c), Operand::Reg(r)) if r == dst => Some(*c),
+                (BinOp::Sub, Operand::Reg(r), Operand::ConstI(c)) if r == dst => Some(-*c),
+                _ => None,
+            };
+            if let Some(step) = step {
+                ivs.push(Iv {
+                    reg: *dst,
+                    step,
+                    def_at: (b, idx),
+                });
+            }
+        }
+    }
+    ivs
+}
+
+/// Performs at most a handful of reductions for one loop; returns whether
+/// anything changed (so the caller can run the second round).
+fn reduce_once(f: &mut Function, l: &Loop) -> bool {
+    let ivs = find_basic_ivs(f, l);
+    if ivs.is_empty() {
+        return false;
+    }
+    let iv_of: HashMap<VReg, Iv> = ivs.iter().map(|iv| (iv.reg, *iv)).collect();
+
+    // Candidate: (block, index, iv, multiplier k, adder a) meaning
+    // t = iv * k + a with exactly one of k != 1 / a != 0 coming from the
+    // instruction form (Mul/Shl give k, Add gives a).
+    struct Candidate {
+        at: (BlockId, usize),
+        dst: VReg,
+        iv: Iv,
+        scale: i64,
+        offset: i64,
+    }
+    let mut candidates = Vec::new();
+    let mut def_counts: HashMap<VReg, usize> = HashMap::new();
+    for &b in &l.body {
+        for i in &f.block(b).instrs {
+            if let Some(d) = i.def() {
+                *def_counts.entry(d).or_insert(0) += 1;
+            }
+        }
+    }
+    // Only reduce computations that execute on *every* iteration (their
+    // block dominates every latch): a reduced IV advances unconditionally,
+    // so reducing conditionally executed math would add per-iteration cost
+    // — gcc's profitability model makes the same call.
+    let idom = crate::ir::analysis::dominators(f);
+    let every_iteration = |b: crate::ir::BlockId| {
+        l.latches
+            .iter()
+            .all(|&latch| crate::ir::analysis::dominates(&idom, b, latch))
+    };
+    for &b in &l.body {
+        if !every_iteration(b) {
+            continue;
+        }
+        for (idx, i) in f.block(b).instrs.iter().enumerate() {
+            let Instr::Bin { op, dst, lhs, rhs } = i else {
+                continue;
+            };
+            // The IV increment itself is not a candidate.
+            if iv_of.contains_key(dst) {
+                continue;
+            }
+            if def_counts.get(dst) != Some(&1) {
+                continue;
+            }
+            let cand = match (op, lhs, rhs) {
+                (BinOp::Mul, Operand::Reg(r), Operand::ConstI(k)) if iv_of.contains_key(r) => {
+                    Some((iv_of[r], *k, 0))
+                }
+                (BinOp::Mul, Operand::ConstI(k), Operand::Reg(r)) if iv_of.contains_key(r) => {
+                    Some((iv_of[r], *k, 0))
+                }
+                (BinOp::Shl, Operand::Reg(r), Operand::ConstI(s))
+                    if iv_of.contains_key(r) && (0..32).contains(s) =>
+                {
+                    Some((iv_of[r], 1i64 << s, 0))
+                }
+                (BinOp::Add, Operand::Reg(r), Operand::ConstI(a)) if iv_of.contains_key(r) => {
+                    Some((iv_of[r], 1, *a))
+                }
+                (BinOp::Add, Operand::ConstI(a), Operand::Reg(r)) if iv_of.contains_key(r) => {
+                    Some((iv_of[r], 1, *a))
+                }
+                _ => None,
+            };
+            if let Some((iv, scale, offset)) = cand {
+                candidates.push(Candidate {
+                    at: (b, idx),
+                    dst: *dst,
+                    iv,
+                    scale,
+                    offset,
+                });
+            }
+        }
+    }
+    if candidates.is_empty() {
+        return false;
+    }
+    // Register-pressure guard (gcc's IV cost model, simplified): each
+    // reduction creates a loop-long striding register, so cap the total
+    // number of induction variables per loop. Multiplies are reduced first
+    // (largest saving), then shifts, then address adds.
+    const MAX_IVS_PER_LOOP: usize = 6;
+    let budget = MAX_IVS_PER_LOOP.saturating_sub(ivs.len());
+    if budget == 0 {
+        return false;
+    }
+    candidates.sort_by_key(|c| match c.scale {
+        s if s != 1 && (s <= 0 || !(s as u64).is_power_of_two()) => 0, // true multiplies
+        s if s != 1 => 1,                                              // shifts
+        _ => 2,                                                        // address adds
+    });
+    candidates.truncate(budget);
+
+    let preheader = super::licm::ensure_preheader(f, l);
+    // Group inserts after each IV increment so indices stay coherent:
+    // collect (block, after_index, instrs) and apply back-to-front.
+    let mut post_increment_inserts: Vec<(BlockId, usize, Instr)> = Vec::new();
+    for c in &candidates {
+        let t_sr = f.new_vreg(Ty::I64);
+        // Preheader init: t_sr = iv * scale + offset (folded where possible).
+        let init_mul = f.new_vreg(Ty::I64);
+        f.block_mut(preheader).instrs.push(Instr::Bin {
+            op: BinOp::Mul,
+            dst: init_mul,
+            lhs: Operand::Reg(c.iv.reg),
+            rhs: Operand::ConstI(c.scale),
+        });
+        f.block_mut(preheader).instrs.push(Instr::Bin {
+            op: BinOp::Add,
+            dst: t_sr,
+            lhs: Operand::Reg(init_mul),
+            rhs: Operand::ConstI(c.offset),
+        });
+        // Replace the original computation with a copy.
+        let (b, idx) = c.at;
+        f.block_mut(b).instrs[idx] = Instr::Copy {
+            dst: c.dst,
+            src: Operand::Reg(t_sr),
+        };
+        // Advance t_sr right after the IV increment.
+        post_increment_inserts.push((
+            c.iv.def_at.0,
+            c.iv.def_at.1,
+            Instr::Bin {
+                op: BinOp::Add,
+                dst: t_sr,
+                lhs: Operand::Reg(t_sr),
+                rhs: Operand::ConstI(c.iv.step.wrapping_mul(c.scale)),
+            },
+        ));
+    }
+    // Insert updates after the increments, highest index first per block.
+    post_increment_inserts.sort_by(|a, b| (b.0 .0, b.1).cmp(&(a.0 .0, a.1)));
+    for (b, idx, instr) in post_increment_inserts {
+        f.block_mut(b).instrs.insert(idx + 1, instr);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::analysis;
+    use crate::passes::testutil::{assert_equivalent, module};
+
+    fn in_loop_count(f: &Function, pred: impl Fn(&Instr) -> bool) -> usize {
+        analysis::natural_loops(f)
+            .iter()
+            .flat_map(|l| l.body.iter())
+            .map(|&b| f.block(b).instrs.iter().filter(|i| pred(i)).count())
+            .sum()
+    }
+
+    #[test]
+    fn replaces_iv_multiply_with_add() {
+        let src = r#"
+            fn main(n) {
+                var s = 0;
+                for (i = 0; i < n; i = i + 1) { s = s + i * 24; }
+                return s;
+            }
+        "#;
+        let mut m = module(src);
+        assert_eq!(
+            in_loop_count(&m.funcs[0], |i| matches!(
+                i,
+                Instr::Bin { op: BinOp::Mul, .. }
+            )),
+            1
+        );
+        run(&mut m.funcs[0]);
+        assert_eq!(
+            in_loop_count(&m.funcs[0], |i| matches!(
+                i,
+                Instr::Bin { op: BinOp::Mul, .. }
+            )),
+            0,
+            "{}",
+            m.funcs[0]
+        );
+        m.funcs[0].assert_valid();
+    }
+
+    #[test]
+    fn reduces_array_address_shifts() {
+        let src = r#"
+            global g[64];
+            fn main(n) {
+                var s = 0;
+                for (i = 0; i < n; i = i + 1) { s = s + g[i]; }
+                return s;
+            }
+        "#;
+        let mut m = module(src);
+        run(&mut m.funcs[0]);
+        assert_eq!(
+            in_loop_count(&m.funcs[0], |i| matches!(
+                i,
+                Instr::Bin { op: BinOp::Shl, .. }
+            )),
+            0,
+            "shift not reduced: {}",
+            m.funcs[0]
+        );
+    }
+
+    #[test]
+    fn second_round_reduces_address_add() {
+        // After round 1, addr = t_sr + base remains; round 2 turns it into
+        // its own striding register, leaving zero non-IV adds on the address
+        // path (only the two IV advances).
+        let src = r#"
+            global g[64];
+            fn main(n) {
+                var s = 0;
+                for (i = 0; i < n; i = i + 1) { s = s + g[i]; }
+                return s;
+            }
+        "#;
+        let mut m = module(src);
+        run(&mut m.funcs[0]);
+        // Loads must now be addressed by a register that is itself an IV.
+        let f = &m.funcs[0];
+        let loops = analysis::natural_loops(f);
+        let ivs: Vec<VReg> = super::find_basic_ivs(f, &loops[0])
+            .iter()
+            .map(|iv| iv.reg)
+            .collect();
+        let mut load_addr_regs = Vec::new();
+        for &b in &loops[0].body {
+            for i in &f.block(b).instrs {
+                if let Instr::Load { addr, .. } = i {
+                    // Trace through the copy the reduction left behind.
+                    if let Some(r) = addr.as_reg() {
+                        load_addr_regs.push(r);
+                    }
+                }
+            }
+        }
+        // Each load address traces to an IV via at most one copy.
+        for r in load_addr_regs {
+            let mut src_reg = r;
+            for &b in &loops[0].body {
+                for i in &f.block(b).instrs {
+                    if let Instr::Copy {
+                        dst,
+                        src: Operand::Reg(s),
+                    } = i
+                    {
+                        if *dst == src_reg {
+                            src_reg = *s;
+                        }
+                    }
+                }
+            }
+            assert!(ivs.contains(&src_reg), "load addr {} not an IV: {}", r, f);
+        }
+    }
+
+    #[test]
+    fn semantics_preserved() {
+        let src = r#"
+            global g[32];
+            fn main() {
+                for (i = 0; i < 32; i = i + 1) { g[i] = i * 5 + 2; }
+                var s = 0;
+                for (i = 0; i < 32; i = i + 1) { s = s + g[i] * 3; }
+                return s;
+            }
+        "#;
+        let mut cfg = crate::OptConfig::o0();
+        cfg.strength_reduce = true;
+        let v = assert_equivalent(src, &cfg);
+        // sum of (5i+2)*3 for i in 0..32
+        let expect: i64 = (0..32).map(|i| (5 * i + 2) * 3).sum();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn downward_counting_loops_reduce_too() {
+        let src = r#"
+            fn main(n) {
+                var s = 0;
+                var i = 100;
+                while (i > 0) { s = s + i * 4; i = i - 2; }
+                return s;
+            }
+        "#;
+        let mut m = module(src);
+        run(&mut m.funcs[0]);
+        assert_eq!(
+            in_loop_count(&m.funcs[0], |i| matches!(
+                i,
+                Instr::Bin { op: BinOp::Mul, .. }
+            )),
+            0,
+            "{}",
+            m.funcs[0]
+        );
+        let mut cfg = crate::OptConfig::o0();
+        cfg.strength_reduce = true;
+        assert_equivalent(src, &cfg);
+    }
+}

@@ -1,0 +1,326 @@
+//! Loop unrolling (`-funroll-loops`, Table 1 row 2), governed by the
+//! `max-unroll-times` (row 13) and `max-unrolled-insns` (row 14) heuristics.
+//!
+//! Handles the canonical counted loop produced by the frontend — a header
+//! testing `i < bound` (or `<=`) and a single body block incrementing `i` by
+//! a positive constant — with a *runtime* trip count: the transformed code
+//! keeps the original loop as the remainder loop, preceded by an unrolled
+//! main loop guarded by `i + (u-1)·step < bound`:
+//!
+//! ```text
+//!   preds ──► H' : t = i + (u-1)·step ; if t < bound ──► B' (u copies) ─┐
+//!               │ else                                                  │
+//!               ▼                                           back to H' ─┘
+//!              H : if i < bound ──► B ──► H   (remainder)
+//!               │ else ──► exit
+//! ```
+
+use crate::ir::analysis::{natural_loops, predecessors};
+use crate::ir::{BinOp, CmpOp, Function, Instr, Operand, Terminator, Ty};
+use crate::OptConfig;
+
+/// Unrolls every eligible loop in the function.
+pub fn run(f: &mut Function, config: &OptConfig) {
+    // Headers are captured up front: unrolling adds blocks but never
+    // invalidates other loops' headers.
+    let headers: Vec<_> = natural_loops(f).iter().map(|l| l.header).collect();
+    for header in headers {
+        let loops = natural_loops(f);
+        if let Some(l) = loops.iter().find(|l| l.header == header) {
+            let l = l.clone();
+            try_unroll(f, &l, config);
+        }
+    }
+}
+
+fn try_unroll(f: &mut Function, l: &crate::ir::analysis::Loop, config: &OptConfig) -> bool {
+    // Shape: loop is exactly {header, body}; body is the single latch and
+    // ends with a jump back to the header.
+    if l.body.len() != 2 || l.latches.len() != 1 {
+        return false;
+    }
+    let header = l.header;
+    let body = l.latches[0];
+    if f.block(body).term != Terminator::Jump(header) {
+        return false;
+    }
+    // Header: cond = Cmp(Lt|Le, i, bound); Branch(cond, body, exit).
+    let Terminator::Branch {
+        cond: Operand::Reg(cond_reg),
+        then_bb,
+        else_bb: _,
+    } = f.block(header).term
+    else {
+        return false;
+    };
+    if then_bb != body {
+        return false;
+    }
+    // The compare must be the last instruction of the header, defining the
+    // branch condition from an induction variable and an invariant bound.
+    let Some(Instr::Cmp { op, dst, lhs, rhs }) = f.block(header).instrs.last().cloned() else {
+        return false;
+    };
+    if dst != cond_reg || !matches!(op, CmpOp::Lt | CmpOp::Le) {
+        return false;
+    }
+    let Operand::Reg(iv) = lhs else { return false };
+    // Find the unique IV increment in the body: iv = iv + c, c > 0.
+    let mut iv_defs = 0usize;
+    let mut step = None;
+    for i in &f.block(body).instrs {
+        if i.def() == Some(iv) {
+            iv_defs += 1;
+            if let Instr::Bin {
+                op: BinOp::Add,
+                dst: d,
+                lhs: Operand::Reg(r),
+                rhs: Operand::ConstI(c),
+            } = i
+            {
+                if *d == iv && *r == iv && *c > 0 {
+                    step = Some(*c);
+                }
+            }
+        }
+    }
+    let Some(step) = step else { return false };
+    if iv_defs != 1 {
+        return false;
+    }
+    // The bound and any other header computation must be loop-invariant:
+    // conservatively require the header to contain only the compare, and the
+    // bound to be a constant or a register not defined in the loop.
+    if f.block(header).instrs.len() != 1 {
+        return false;
+    }
+    let bound_invariant = match rhs {
+        Operand::ConstI(_) => true,
+        Operand::Reg(b) => {
+            b != iv
+                && !f.block(body).instrs.iter().any(|i| i.def() == Some(b))
+        }
+        Operand::ConstF(_) => false,
+    };
+    if !bound_invariant {
+        return false;
+    }
+    // Body must not contain calls (their side effects complicate the guard
+    // condition reasoning only in that iteration counts must stay exact —
+    // they do — but calls can modify the bound through globals; the bound
+    // registers are locals, so calls are actually fine. gcc similarly
+    // unrolls loops with calls; we keep them.)
+
+    // Pick the unroll factor.
+    let body_size = f.block(body).instrs.len();
+    let mut factor = config.max_unroll_times.max(1) as usize;
+    while factor > 1 && body_size * factor > config.max_unrolled_insns as usize {
+        factor -= 1;
+    }
+    if factor < 2 {
+        return false;
+    }
+
+    // Build the unrolled loop.
+    let new_header = f.new_block();
+    let new_body = f.new_block();
+    // Retarget every non-latch predecessor of the old header to the new one.
+    let preds = predecessors(f);
+    for p in preds[header.0 as usize].clone() {
+        if p != body {
+            f.block_mut(p).term.retarget(header, new_header);
+        }
+    }
+    // New header: t = iv + (factor-1)*step ; guard = Cmp(op, t, bound) ;
+    // br guard, new_body, old_header.
+    let t = f.new_vreg(Ty::I64);
+    let guard = f.new_vreg(Ty::I64);
+    f.block_mut(new_header).instrs.push(Instr::Bin {
+        op: BinOp::Add,
+        dst: t,
+        lhs: Operand::Reg(iv),
+        rhs: Operand::ConstI((factor as i64 - 1) * step),
+    });
+    f.block_mut(new_header).instrs.push(Instr::Cmp {
+        op,
+        dst: guard,
+        lhs: Operand::Reg(t),
+        rhs,
+    });
+    f.block_mut(new_header).term = Terminator::Branch {
+        cond: Operand::Reg(guard),
+        then_bb: new_body,
+        else_bb: header,
+    };
+    // New body: `factor` copies of the original body's instructions. The IR
+    // is not SSA, so literal replication preserves semantics: each copy
+    // advances the induction variable exactly as a real iteration would.
+    //
+    // Temporaries that are local to the body (neither live in nor live out)
+    // are renamed per copy; otherwise one register would span all copies of
+    // the merged block and the register allocator would see artificial
+    // block-long live ranges — pressure real unrollers avoid the same way.
+    let live = crate::ir::analysis::liveness(f);
+    let locals: Vec<crate::ir::VReg> = {
+        let b = body.0 as usize;
+        f.block(body)
+            .instrs
+            .iter()
+            .filter_map(|i| i.def())
+            .filter(|v| !live.live_in[b].contains(v) && !live.live_out[b].contains(v))
+            .collect()
+    };
+    let template = f.block(body).instrs.clone();
+    for copy in 0..factor {
+        let mut rename: std::collections::HashMap<crate::ir::VReg, crate::ir::VReg> =
+            std::collections::HashMap::new();
+        if copy > 0 {
+            for &v in &locals {
+                let ty = f.ty(v);
+                rename.insert(v, f.new_vreg(ty));
+            }
+        }
+        for inst in &template {
+            let mut ni = inst.clone();
+            for (&old, &new) in &rename {
+                if ni.def() == Some(old) {
+                    ni.set_def(new);
+                }
+                ni.replace_use(old, Operand::Reg(new));
+            }
+            f.block_mut(new_body).instrs.push(ni);
+        }
+    }
+    f.block_mut(new_body).term = Terminator::Jump(new_header);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::testutil::{assert_equivalent, module, run as run_src};
+
+    fn unrolled_src() -> &'static str {
+        r#"
+            global g[100];
+            fn main() {
+                for (i = 0; i < 100; i = i + 1) { g[i] = i * 7; }
+                var s = 0;
+                for (i = 0; i < 100; i = i + 1) { s = s + g[i]; }
+                return s;
+            }
+        "#
+    }
+
+    fn cfg(times: u32, insns: u32) -> OptConfig {
+        let mut c = OptConfig::o0();
+        c.unroll_loops = true;
+        c.max_unroll_times = times;
+        c.max_unrolled_insns = insns;
+        c
+    }
+
+    #[test]
+    fn unroll_preserves_semantics_all_factors() {
+        for times in [4, 7, 8, 12] {
+            let v = assert_equivalent(unrolled_src(), &cfg(times, 300));
+            assert_eq!(v, (0..100).map(|i| i * 7).sum::<i64>());
+        }
+    }
+
+    #[test]
+    fn unroll_with_non_divisible_trip_count() {
+        // 100 iterations unrolled by 7 leaves a remainder of 2.
+        let src = r#"
+            fn main() {
+                var s = 0;
+                for (i = 0; i < 23; i = i + 3) { s = s + i; }
+                return s;
+            }
+        "#;
+        let expect: i64 = (0..23).step_by(3).map(|i| i as i64).sum();
+        for times in [4, 5, 12] {
+            assert_eq!(run_src(src, &cfg(times, 300)), expect);
+        }
+    }
+
+    #[test]
+    fn unroll_duplicates_body_blocks() {
+        let mut m = module(unrolled_src());
+        let before = m.funcs[0].blocks.len();
+        run(&mut m.funcs[0], &cfg(8, 300));
+        let after = m.funcs[0].blocks.len();
+        assert_eq!(after, before + 4, "two loops, two new blocks each");
+        m.funcs[0].assert_valid();
+    }
+
+    #[test]
+    fn max_unrolled_insns_limits_factor() {
+        let mut m = module(unrolled_src());
+        // Store loop body is ~5 instructions; a budget of 10 caps u at 2.
+        run(&mut m.funcs[0], &cfg(12, 100));
+        let f = &m.funcs[0];
+        // The largest block must stay within the budget.
+        let max_block = f.blocks.iter().map(|b| b.instrs.len()).max().unwrap();
+        assert!(max_block <= 100, "block of {} instrs", max_block);
+        assert_equivalent(unrolled_src(), &cfg(12, 100));
+    }
+
+    #[test]
+    fn tiny_budget_disables_unrolling() {
+        let mut m = module(unrolled_src());
+        let before = m.funcs[0].blocks.len();
+        let mut c = cfg(12, 100);
+        c.max_unrolled_insns = 1; // below one body copy — skip entirely
+        run(&mut m.funcs[0], &c);
+        assert_eq!(m.funcs[0].blocks.len(), before);
+    }
+
+    #[test]
+    fn loops_with_branches_in_body_are_skipped() {
+        let src = r#"
+            fn main(n) {
+                var s = 0;
+                for (i = 0; i < 50; i = i + 1) {
+                    if (i & 1) { s = s + i; } else { s = s - 1; }
+                }
+                return s;
+            }
+        "#;
+        let mut m = module(src);
+        let before = m.funcs[0].blocks.len();
+        run(&mut m.funcs[0], &cfg(8, 300));
+        assert_eq!(m.funcs[0].blocks.len(), before, "must skip multi-block body");
+        assert_equivalent(src, &cfg(8, 300));
+    }
+
+    #[test]
+    fn le_bounds_and_register_bounds_unroll() {
+        let src = r#"
+            fn main() {
+                var n = 37;
+                var s = 0;
+                for (i = 1; i <= n; i = i + 1) { s = s + i; }
+                return s;
+            }
+        "#;
+        let v = assert_equivalent(src, &cfg(6, 300));
+        assert_eq!(v, (1..=37).sum::<i64>());
+        let mut m = module(src);
+        let before = m.funcs[0].blocks.len();
+        run(&mut m.funcs[0], &cfg(6, 300));
+        assert!(m.funcs[0].blocks.len() > before, "loop was not unrolled");
+    }
+
+    #[test]
+    fn zero_trip_loops_still_correct() {
+        let src = r#"
+            fn main() {
+                var s = 5;
+                for (i = 10; i < 10; i = i + 1) { s = s + 100; }
+                return s;
+            }
+        "#;
+        assert_eq!(run_src(src, &cfg(8, 300)), 5);
+    }
+}

@@ -1,0 +1,430 @@
+//! Linear-scan register allocation.
+//!
+//! Virtual registers get physical registers from caller-saved or
+//! callee-saved pools (intervals that span a call must avoid caller-saved
+//! registers), or spill to stack slots. `-fomit-frame-pointer` enlarges the
+//! integer callee-saved pool by one register (the frame pointer), which is
+//! precisely how the flag helps register-pressure-bound code.
+
+use crate::ir::analysis::liveness;
+use crate::ir::{BlockId, Function, Instr, Ty, VReg};
+use std::collections::HashMap;
+
+/// Where a virtual register lives after allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loc {
+    /// A physical integer register (`r<n>`).
+    IntReg(u8),
+    /// A physical float register (`f<n>`).
+    FpReg(u8),
+    /// A stack slot index (8 bytes each).
+    Slot(u32),
+}
+
+/// Caller-saved integer registers available for allocation.
+pub const INT_CALLER: &[u8] = &[8, 9, 10, 11, 12, 13, 14, 15];
+/// Callee-saved integer registers available for allocation (r30, the frame
+/// pointer, is appended when `-fomit-frame-pointer` is on).
+pub const INT_CALLEE: &[u8] = &[16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26];
+/// Integer scratch registers reserved for spill traffic.
+pub const INT_SCRATCH: (u8, u8) = (27, 28);
+/// Caller-saved float registers.
+pub const FP_CALLER: &[u8] = &[8, 9, 10, 11, 12, 13, 14, 15];
+/// Callee-saved float registers.
+pub const FP_CALLEE: &[u8] = &[16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29];
+/// Float scratch registers reserved for spill traffic. `f0` is additionally
+/// reserved as an always-zero register for float moves.
+pub const FP_SCRATCH: (u8, u8) = (30, 31);
+
+/// The result of register allocation for one function.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// Location of every virtual register that appears in the function.
+    pub locs: HashMap<VReg, Loc>,
+    /// Number of stack slots used by spills.
+    pub slots: u32,
+    /// Callee-saved integer registers the function must save/restore.
+    pub used_int_callee: Vec<u8>,
+    /// Callee-saved float registers the function must save/restore.
+    pub used_fp_callee: Vec<u8>,
+    /// Whether the function contains any calls (needs `ra` saved).
+    pub has_calls: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Interval {
+    reg: VReg,
+    ty: Ty,
+    start: u32,
+    end: u32,
+    crosses_call: bool,
+    /// Number of static touches (defs + uses) — a proxy for spill cost, so
+    /// rarely-touched long ranges are spilled in preference to hot loop
+    /// variables.
+    uses: u32,
+}
+
+impl Interval {
+    /// Touches per covered position: the spill-cost density. Long sparse
+    /// ranges (striding address registers, rarely-read accumulators) have
+    /// low density; short expression temporaries have high density.
+    fn density(&self) -> f64 {
+        self.uses as f64 / (self.end - self.start).max(1) as f64
+    }
+}
+
+/// Runs linear scan over `f`, with blocks linearized in `layout` order.
+///
+/// # Panics
+///
+/// Panics if `layout` does not cover every reachable block exactly once
+/// (callers derive it from the layout pass).
+pub fn allocate(f: &Function, layout: &[BlockId], omit_frame_pointer: bool) -> Allocation {
+    // 1. Linearize: assign each block a position range.
+    let mut block_start: HashMap<BlockId, u32> = HashMap::new();
+    let mut block_end: HashMap<BlockId, u32> = HashMap::new();
+    let mut pos = 0u32;
+    let mut call_positions = Vec::new();
+    for &b in layout {
+        block_start.insert(b, pos);
+        for i in &f.block(b).instrs {
+            if matches!(i, Instr::Call { .. }) {
+                call_positions.push(pos);
+            }
+            pos += 1;
+        }
+        pos += 1; // terminator
+        block_end.insert(b, pos);
+    }
+
+    // 2. Build intervals from occurrences and per-block liveness.
+    let live = liveness(f);
+    let mut ranges: HashMap<VReg, (u32, u32, u32)> = HashMap::new();
+    let touch = |r: VReg, at: u32, ranges: &mut HashMap<VReg, (u32, u32, u32)>| {
+        let e = ranges.entry(r).or_insert((at, at + 1, 0));
+        e.0 = e.0.min(at);
+        e.1 = e.1.max(at + 1);
+        e.2 += 1;
+    };
+    for &p in &f.params {
+        touch(p, 0, &mut ranges);
+    }
+    for &b in layout {
+        let mut at = block_start[&b];
+        for i in &f.block(b).instrs {
+            if let Some(d) = i.def() {
+                touch(d, at, &mut ranges);
+            }
+            for u in i.uses() {
+                touch(u, at, &mut ranges);
+            }
+            at += 1;
+        }
+        // Terminator reads.
+        match &f.block(b).term {
+            crate::ir::Terminator::Branch { cond, .. } => {
+                if let Some(r) = cond.as_reg() {
+                    touch(r, at, &mut ranges);
+                }
+            }
+            crate::ir::Terminator::Return(v) => {
+                if let Some(r) = v.as_reg() {
+                    touch(r, at, &mut ranges);
+                }
+            }
+            crate::ir::Terminator::Jump(_) => {}
+        }
+        // Live-through extension (does not count as a touch).
+        for &r in &live.live_in[b.0 as usize] {
+            let e = ranges.entry(r).or_insert((block_start[&b], block_start[&b] + 1, 0));
+            e.0 = e.0.min(block_start[&b]);
+            e.1 = e.1.max(block_start[&b] + 1);
+        }
+        for &r in &live.live_out[b.0 as usize] {
+            let at = block_end[&b] - 1;
+            let e = ranges.entry(r).or_insert((at, at + 1, 0));
+            e.0 = e.0.min(at);
+            e.1 = e.1.max(at + 1);
+        }
+    }
+
+    let mut intervals: Vec<Interval> = ranges
+        .into_iter()
+        .map(|(reg, (start, end, uses))| Interval {
+            reg,
+            ty: f.ty(reg),
+            start,
+            end,
+            crosses_call: call_positions
+                .iter()
+                .any(|&c| c >= start && c < end),
+            uses,
+        })
+        .collect();
+    intervals.sort_by_key(|iv| (iv.start, iv.reg.0));
+
+    // 3. Scan.
+    let mut int_callee: Vec<u8> = INT_CALLEE.to_vec();
+    if omit_frame_pointer {
+        int_callee.push(30);
+    }
+    let mut scan = Scan {
+        free_caller: [INT_CALLER.to_vec(), FP_CALLER.to_vec()],
+        free_callee: [int_callee, FP_CALLEE.to_vec()],
+        active: Vec::new(),
+        locs: HashMap::new(),
+        slots: 0,
+        used_callee: [Vec::new(), Vec::new()],
+    };
+    for iv in intervals {
+        scan.expire(iv.start);
+        scan.place(iv);
+    }
+
+    Allocation {
+        locs: scan.locs,
+        slots: scan.slots,
+        used_int_callee: scan.used_callee[0].clone(),
+        used_fp_callee: scan.used_callee[1].clone(),
+        has_calls: !call_positions.is_empty(),
+    }
+}
+
+struct Scan {
+    /// Free pools indexed by class (0 = int, 1 = fp).
+    free_caller: [Vec<u8>; 2],
+    free_callee: [Vec<u8>; 2],
+    active: Vec<(Interval, Loc)>,
+    locs: HashMap<VReg, Loc>,
+    slots: u32,
+    used_callee: [Vec<u8>; 2],
+}
+
+fn class_of(ty: Ty) -> usize {
+    match ty {
+        Ty::I64 => 0,
+        Ty::F64 => 1,
+    }
+}
+
+impl Scan {
+    fn expire(&mut self, now: u32) {
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].0.end <= now {
+                let (iv, loc) = self.active.swap_remove(i);
+                match loc {
+                    Loc::IntReg(r) => self.release(0, r),
+                    Loc::FpReg(r) => self.release(1, r),
+                    Loc::Slot(_) => {}
+                }
+                let _ = iv;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn release(&mut self, class: usize, r: u8) {
+        if INT_CALLER.contains(&r) && class == 0 || FP_CALLER.contains(&r) && class == 1 {
+            self.free_caller[class].push(r);
+        } else {
+            self.free_callee[class].push(r);
+        }
+    }
+
+    fn take(&mut self, class: usize, crosses_call: bool) -> Option<u8> {
+        if crosses_call {
+            // Must survive calls: callee-saved only.
+            self.free_callee[class].pop().map(|r| {
+                if !self.used_callee[class].contains(&r) {
+                    self.used_callee[class].push(r);
+                }
+                r
+            })
+        } else {
+            // Prefer caller-saved; fall back to callee-saved.
+            if let Some(r) = self.free_caller[class].pop() {
+                return Some(r);
+            }
+            self.free_callee[class].pop().map(|r| {
+                if !self.used_callee[class].contains(&r) {
+                    self.used_callee[class].push(r);
+                }
+                r
+            })
+        }
+    }
+
+    fn place(&mut self, iv: Interval) {
+        let class = class_of(iv.ty);
+        if let Some(r) = self.take(class, iv.crosses_call) {
+            let loc = if class == 0 {
+                Loc::IntReg(r)
+            } else {
+                Loc::FpReg(r)
+            };
+            self.locs.insert(iv.reg, loc);
+            self.active.push((iv, loc));
+            return;
+        }
+        // No register: spill the cheapest eligible active interval — the
+        // one with the fewest touches (ties broken toward the furthest
+        // end), provided it ends after the current interval and is not
+        // hotter than it. Pure furthest-end selection would evict hot loop
+        // induction variables in favour of rarely-read long-lived scalars.
+        let candidate = self
+            .active
+            .iter()
+            .enumerate()
+            .filter(|(_, (a, loc))| {
+                class_of(a.ty) == class
+                    && a.end > iv.end
+                    && match loc {
+                        Loc::IntReg(r) => {
+                            !iv.crosses_call
+                                || !INT_CALLER.contains(r)
+                        }
+                        Loc::FpReg(r) => !iv.crosses_call || !FP_CALLER.contains(r),
+                        Loc::Slot(_) => false,
+                    }
+            })
+            .min_by(|(_, (a, _)), (_, (b, _))| {
+                a.density()
+                    .total_cmp(&b.density())
+                    .then(b.end.cmp(&a.end))
+            });
+        match candidate {
+            Some((idx, (a, _))) if a.density() <= iv.density() => {
+                let (victim, loc) = self.active.swap_remove(idx);
+                self.locs.insert(victim.reg, Loc::Slot(self.slots));
+                self.slots += 1;
+                self.locs.insert(iv.reg, loc);
+                self.active.push((iv, loc));
+            }
+            _ => {
+                self.locs.insert(iv.reg, Loc::Slot(self.slots));
+                self.slots += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::front::parse_and_lower;
+
+    fn alloc_for(src: &str, omit_fp: bool) -> (Function, Allocation) {
+        let m = parse_and_lower(src).unwrap();
+        let f = m.funcs[0].clone();
+        let layout: Vec<BlockId> = f.block_ids().collect();
+        let a = allocate(&f, &layout, omit_fp);
+        (f, a)
+    }
+
+    #[test]
+    fn small_function_gets_registers_only() {
+        let (f, a) = alloc_for("fn main(x, y) { return x * 2 + y; }", true);
+        assert_eq!(a.slots, 0);
+        for (_, loc) in &a.locs {
+            assert!(matches!(loc, Loc::IntReg(_)));
+        }
+        // Every vreg that appears has a location.
+        for b in &f.blocks {
+            for i in &b.instrs {
+                for u in i.uses() {
+                    assert!(a.locs.contains_key(&u));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn values_across_calls_avoid_caller_saved() {
+        let src = r#"
+            fn g(x) { return x + 1; }
+            fn main(a) {
+                var keep = a * 3;
+                var r = g(a);
+                return keep + r;
+            }
+        "#;
+        let m = parse_and_lower(src).unwrap();
+        let main = m.funcs[m.func_index("main").unwrap()].clone();
+        let layout: Vec<BlockId> = main.block_ids().collect();
+        let a = allocate(&main, &layout, true);
+        assert!(a.has_calls);
+        // `keep` must not be in a caller-saved register.
+        // Find the vreg holding keep: defined by the Mul.
+        let keep = main
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .find_map(|i| match i {
+                Instr::Bin {
+                    op: crate::ir::BinOp::Mul,
+                    dst,
+                    ..
+                } => Some(*dst),
+                _ => None,
+            })
+            .unwrap();
+        match a.locs[&keep] {
+            Loc::IntReg(r) => assert!(!INT_CALLER.contains(&r), "keep in caller-saved r{}", r),
+            Loc::Slot(_) => {}
+            Loc::FpReg(_) => panic!("wrong class"),
+        }
+    }
+
+    #[test]
+    fn high_pressure_spills() {
+        // 30 simultaneously-live integer values exceed the 19-20 registers.
+        let mut decls = String::new();
+        let mut uses = String::new();
+        for k in 0..30 {
+            decls.push_str(&format!("var x{} = p + {};\n", k, k));
+            uses.push_str(&format!(" + x{}", k));
+        }
+        let src = format!("fn main(p) {{ {} return 0 {}; }}", decls, uses);
+        let (_, with_fp) = alloc_for(&src, false);
+        let (_, without_fp) = alloc_for(&src, true);
+        assert!(with_fp.slots > 0, "expected spills under pressure");
+        // Omitting the frame pointer frees one register: spills shrink.
+        assert!(
+            without_fp.slots < with_fp.slots,
+            "omit-fp {} vs fp {}",
+            without_fp.slots,
+            with_fp.slots
+        );
+    }
+
+    #[test]
+    fn float_and_int_pools_are_independent() {
+        let src = "fnf main(x: float, n) { var y = x * 2.0; var m = n * 2; return y + float(m); }";
+        let (f, a) = alloc_for(src, true);
+        for (r, loc) in &a.locs {
+            match f.ty(*r) {
+                Ty::I64 => assert!(!matches!(loc, Loc::FpReg(_))),
+                Ty::F64 => assert!(!matches!(loc, Loc::IntReg(_))),
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_registers_for_overlapping_intervals() {
+        let (f, a) = alloc_for("fn main(p) { var a = p + 1; var b = p + 2; var c = a * b; return c + a + b; }", true);
+        // a and b overlap: must differ.
+        let mut seen = Vec::new();
+        for b in &f.blocks {
+            for i in &b.instrs {
+                if let Some(d) = i.def() {
+                    seen.push(d);
+                }
+            }
+        }
+        let locs: Vec<Loc> = seen.iter().map(|r| a.locs[r]).collect();
+        // The two adds' destinations must not share a register.
+        assert_ne!(locs[0], locs[1]);
+    }
+}

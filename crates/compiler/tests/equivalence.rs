@@ -1,0 +1,294 @@
+//! The compiler's most important invariant: every setting of the 14
+//! Table 1 flags/heuristics compiles programs to the *same results* as -O0.
+//!
+//! Random, guaranteed-terminating Tinylang programs are generated from a
+//! seed and executed at -O0 and at a battery of random optimization
+//! configurations; the exit values must agree.
+
+use emod_compiler::{compile, OptConfig};
+use emod_isa::Emulator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random but always-terminating Tinylang program.
+///
+/// Control flow is restricted to canonical counted `for` loops (constant
+/// bounds, unit step) and `if/else`; divisions are by nonzero constants; all
+/// arithmetic wraps, matching the ISA semantics.
+struct Gen {
+    rng: StdRng,
+    src: String,
+    /// Variables guaranteed initialized at every later program point
+    /// (declared unconditionally at the top level of `main`).
+    vars: Vec<String>,
+    /// The subset of `vars` that statements may reassign (never loop IVs).
+    mutable_vars: Vec<String>,
+    globals: Vec<(String, usize)>,
+    funcs: Vec<(String, usize)>, // (name, arity)
+    counter: usize,
+    depth: usize,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen {
+            rng: StdRng::seed_from_u64(seed),
+            src: String::new(),
+            vars: Vec::new(),
+            mutable_vars: Vec::new(),
+            globals: Vec::new(),
+            funcs: Vec::new(),
+            counter: 0,
+            depth: 0,
+        }
+    }
+
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.counter += 1;
+        format!("{}{}", prefix, self.counter)
+    }
+
+    fn expr(&mut self, depth: usize) -> String {
+        if depth == 0 || self.rng.gen_bool(0.3) {
+            // Leaf.
+            return match self.rng.gen_range(0..4) {
+                0 => format!("{}", self.rng.gen_range(-50..50)),
+                1 if !self.vars.is_empty() => {
+                    self.vars[self.rng.gen_range(0..self.vars.len())].clone()
+                }
+                2 if !self.globals.is_empty() => {
+                    let (g, len) = self.globals[self.rng.gen_range(0..self.globals.len())].clone();
+                    let idx = self.rng.gen_range(0..len);
+                    format!("{}[{}]", g, idx)
+                }
+                _ => format!("{}", self.rng.gen_range(0..9)),
+            };
+        }
+        match self.rng.gen_range(0..9) {
+            0 => format!("({} + {})", self.expr(depth - 1), self.expr(depth - 1)),
+            1 => format!("({} - {})", self.expr(depth - 1), self.expr(depth - 1)),
+            2 => format!("({} * {})", self.expr(depth - 1), self.expr(depth - 1)),
+            3 => format!(
+                "({} / {})",
+                self.expr(depth - 1),
+                self.rng.gen_range(1..9) // nonzero constant divisor
+            ),
+            4 => format!(
+                "({} % {})",
+                self.expr(depth - 1),
+                self.rng.gen_range(1..9)
+            ),
+            5 => format!("({} & {})", self.expr(depth - 1), self.expr(depth - 1)),
+            6 => format!("({} ^ {})", self.expr(depth - 1), self.expr(depth - 1)),
+            7 => format!("({} < {})", self.expr(depth - 1), self.expr(depth - 1)),
+            _ if !self.funcs.is_empty() && self.depth == 0 => {
+                let (name, arity) = self.funcs[self.rng.gen_range(0..self.funcs.len())].clone();
+                let args: Vec<String> = (0..arity).map(|_| self.expr(1)).collect();
+                format!("{}({})", name, args.join(", "))
+            }
+            _ => format!("({} + 1)", self.expr(depth - 1)),
+        }
+    }
+
+    fn stmt(&mut self, indent: usize) {
+        let pad = "    ".repeat(indent);
+        match self.rng.gen_range(0..10) {
+            // Declarations only at the top level, so every registered
+            // variable is guaranteed initialized.
+            0..=2 if indent == 1 => {
+                let name = self.fresh("v");
+                let e = self.expr(2);
+                self.src.push_str(&format!("{}var {} = {};\n", pad, name, e));
+                self.vars.push(name.clone());
+                self.mutable_vars.push(name);
+            }
+            3..=4 if !self.mutable_vars.is_empty() => {
+                let v =
+                    self.mutable_vars[self.rng.gen_range(0..self.mutable_vars.len())].clone();
+                let e = self.expr(2);
+                self.src.push_str(&format!("{}{} = {};\n", pad, v, e));
+            }
+            5 if !self.globals.is_empty() => {
+                let (g, len) = self.globals[self.rng.gen_range(0..self.globals.len())].clone();
+                let idx = self.rng.gen_range(0..len);
+                let e = self.expr(2);
+                self.src
+                    .push_str(&format!("{}{}[{}] = {};\n", pad, g, idx, e));
+            }
+            6 if indent < 3 => {
+                let c = self.expr(1);
+                self.src.push_str(&format!("{}if ({}) {{\n", pad, c));
+                let n = self.rng.gen_range(1..3);
+                for _ in 0..n {
+                    self.stmt(indent + 1);
+                }
+                if self.rng.gen_bool(0.5) {
+                    self.src.push_str(&format!("{}}} else {{\n", pad));
+                    self.stmt(indent + 1);
+                }
+                self.src.push_str(&format!("{}}}\n", pad));
+            }
+            7..=8 if indent < 3 => {
+                // Canonical counted loop over a fresh index variable. The IV
+                // is readable afterwards only when the loop itself runs
+                // unconditionally (top level), and is never reassigned.
+                let iv = self.fresh("i");
+                let bound = self.rng.gen_range(2..24);
+                self.src.push_str(&format!(
+                    "{}for ({} = 0; {} < {}; {} = {} + 1) {{\n",
+                    pad, iv, iv, bound, iv, iv
+                ));
+                let n = self.rng.gen_range(1..3);
+                for _ in 0..n {
+                    self.stmt(indent + 1);
+                }
+                if !self.globals.is_empty() && self.rng.gen_bool(0.7) {
+                    let (g, len) =
+                        self.globals[self.rng.gen_range(0..self.globals.len())].clone();
+                    self.src.push_str(&format!(
+                        "{}    {}[{} % {}] = {}[{} % {}] + {};\n",
+                        pad, g, iv, len, g, iv, len, iv
+                    ));
+                }
+                self.src.push_str(&format!("{}}}\n", pad));
+                if indent == 1 {
+                    self.vars.push(iv);
+                }
+            }
+            _ if !self.mutable_vars.is_empty() => {
+                let v =
+                    self.mutable_vars[self.rng.gen_range(0..self.mutable_vars.len())].clone();
+                let e = self.expr(1);
+                self.src
+                    .push_str(&format!("{}{} = {} + {};\n", pad, v, v, e));
+            }
+            _ => {
+                let name = self.fresh("p");
+                self.src.push_str(&format!("{}var {} = 1;\n", pad, name));
+                if indent == 1 {
+                    self.vars.push(name.clone());
+                    self.mutable_vars.push(name);
+                }
+            }
+        }
+    }
+
+    fn program(mut self) -> String {
+        // Globals.
+        for k in 0..self.rng.gen_range(1..4) {
+            let len = self.rng.gen_range(4..64);
+            self.src.push_str(&format!("global g{}[{}];\n", k, len));
+            self.globals.push((format!("g{}", k), len));
+        }
+        // Helper functions (leaf, small, arithmetic-only).
+        for k in 0..self.rng.gen_range(0..3) {
+            let arity = self.rng.gen_range(1..3);
+            let params: Vec<String> = (0..arity).map(|i| format!("p{}", i)).collect();
+            self.depth = 1;
+            let saved_vars = std::mem::replace(&mut self.vars, params.clone());
+            let body = self.expr(2);
+            self.vars = saved_vars;
+            self.depth = 0;
+            self.src.push_str(&format!(
+                "fn h{}({}) {{ return {}; }}\n",
+                k,
+                params.join(", "),
+                body
+            ));
+            self.funcs.push((format!("h{}", k), arity));
+        }
+        // Main.
+        self.src.push_str("fn main() {\nvar acc = 7;\n");
+        self.vars.push("acc".into());
+        self.mutable_vars.push("acc".into());
+        let stmts = self.rng.gen_range(4..12);
+        for _ in 0..stmts {
+            self.stmt(1);
+        }
+        // Fold everything observable into the exit value.
+        self.src.push_str("    var sum = acc;\n");
+        let var_list: Vec<String> = self.vars.clone();
+        for v in var_list {
+            self.src.push_str(&format!("    sum = sum * 31 + {};\n", v));
+        }
+        let globals = self.globals.clone();
+        for (g, len) in globals {
+            self.src.push_str(&format!(
+                "    for (z = 0; z < {}; z = z + 1) {{ sum = sum * 3 + {}[z]; }}\n",
+                len, g
+            ));
+        }
+        self.src.push_str("    return sum;\n}\n");
+        self.src
+    }
+}
+
+fn random_config(rng: &mut StdRng) -> OptConfig {
+    let mut cfg = OptConfig::o0();
+    cfg.inline_functions = rng.gen_bool(0.5);
+    cfg.unroll_loops = rng.gen_bool(0.5);
+    cfg.schedule_insns2 = rng.gen_bool(0.5);
+    cfg.loop_optimize = rng.gen_bool(0.5);
+    cfg.gcse = rng.gen_bool(0.5);
+    cfg.strength_reduce = rng.gen_bool(0.5);
+    cfg.omit_frame_pointer = rng.gen_bool(0.5);
+    cfg.reorder_blocks = rng.gen_bool(0.5);
+    cfg.prefetch_loop_arrays = rng.gen_bool(0.5);
+    cfg.max_inline_insns_auto = rng.gen_range(50..=150);
+    cfg.inline_unit_growth = rng.gen_range(25..=75);
+    cfg.inline_call_cost = rng.gen_range(12..=20);
+    cfg.max_unroll_times = rng.gen_range(4..=12);
+    cfg.max_unrolled_insns = rng.gen_range(100..=300);
+    cfg
+}
+
+fn run_with(src: &str, cfg: &OptConfig) -> i64 {
+    let prog = compile(src, cfg).unwrap_or_else(|e| panic!("compile failed: {}\n{}", e, src));
+    Emulator::new(&prog)
+        .run(200_000_000)
+        .unwrap_or_else(|e| panic!("execution failed: {}\n{}", e, src))
+}
+
+#[test]
+fn random_programs_agree_across_flag_settings() {
+    for seed in 0..40u64 {
+        let src = Gen::new(seed).program();
+        let baseline = run_with(&src, &OptConfig::o0());
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(977) + 5);
+        for trial in 0..6 {
+            let cfg = random_config(&mut rng);
+            let got = run_with(&src, &cfg);
+            assert_eq!(
+                got, baseline,
+                "seed {} trial {} diverged with {:?}\n{}",
+                seed, trial, cfg, src
+            );
+        }
+        // The named presets must agree as well.
+        for cfg in [OptConfig::o2(), OptConfig::o3()] {
+            assert_eq!(run_with(&src, &cfg), baseline, "preset diverged seed {}", seed);
+        }
+    }
+}
+
+#[test]
+fn heuristic_extremes_agree() {
+    // Pin the flags on and sweep each heuristic to its extremes.
+    let src = Gen::new(123).program();
+    let baseline = run_with(&src, &OptConfig::o0());
+    for (a, b, c, d, e) in [
+        (50, 25, 12, 4, 100),
+        (150, 75, 20, 12, 300),
+        (50, 75, 12, 12, 100),
+        (150, 25, 20, 4, 300),
+    ] {
+        let mut cfg = OptConfig::o3();
+        cfg.unroll_loops = true;
+        cfg.max_inline_insns_auto = a;
+        cfg.inline_unit_growth = b;
+        cfg.inline_call_cost = c;
+        cfg.max_unroll_times = d;
+        cfg.max_unrolled_insns = e;
+        assert_eq!(run_with(&src, &cfg), baseline);
+    }
+}

@@ -1,0 +1,269 @@
+//! Directed semantic tests: language constructs compiled and executed at
+//! every preset, checked against values computed in Rust.
+
+use emod_compiler::{compile, OptConfig};
+use emod_isa::Emulator;
+
+fn run_all_presets(src: &str) -> i64 {
+    let mut result = None;
+    for cfg in [OptConfig::o0(), OptConfig::o2(), OptConfig::o3()] {
+        let prog = compile(src, &cfg).unwrap_or_else(|e| panic!("{}\n{}", e, src));
+        let v = Emulator::new(&prog)
+            .run(100_000_000)
+            .unwrap_or_else(|e| panic!("{}\n{}", e, src));
+        if let Some(prev) = result {
+            assert_eq!(prev, v, "presets disagree\n{}", src);
+        }
+        result = Some(v);
+    }
+    result.unwrap()
+}
+
+#[test]
+fn integer_comparisons_all_ops() {
+    // Each comparison exercised in value position with both outcomes.
+    let src = r#"
+        fn main() {
+            var r = 0;
+            r = r * 2 + (3 < 5);
+            r = r * 2 + (5 < 3);
+            r = r * 2 + (3 <= 3);
+            r = r * 2 + (4 <= 3);
+            r = r * 2 + (5 > 3);
+            r = r * 2 + (3 > 5);
+            r = r * 2 + (3 >= 3);
+            r = r * 2 + (2 >= 3);
+            r = r * 2 + (7 == 7);
+            r = r * 2 + (7 == 8);
+            r = r * 2 + (7 != 8);
+            r = r * 2 + (7 != 7);
+            return r;
+        }
+    "#;
+    // Expected bits: 1,0,1,0,1,0,1,0,1,0,1,0 -> 0b101010101010.
+    assert_eq!(run_all_presets(src), 0b101010101010);
+}
+
+#[test]
+fn float_comparisons_all_ops() {
+    let src = r#"
+        fn main() {
+            var a = 2.5;
+            var b = 3.5;
+            var r = 0;
+            r = r * 2 + (a < b);
+            r = r * 2 + (b < a);
+            r = r * 2 + (a <= a);
+            r = r * 2 + (b <= a);
+            r = r * 2 + (b > a);
+            r = r * 2 + (a > b);
+            r = r * 2 + (a >= a);
+            r = r * 2 + (a >= b);
+            r = r * 2 + (a == a);
+            r = r * 2 + (a == b);
+            r = r * 2 + (a != b);
+            r = r * 2 + (a != a);
+            return r;
+        }
+    "#;
+    assert_eq!(run_all_presets(src), 0b101010101010);
+}
+
+#[test]
+fn negative_division_and_remainder_truncate() {
+    let src = r#"
+        fn main() {
+            var a = -17;
+            var b = 5;
+            return (a / b) * 1000 + (a % b) + 500;
+        }
+    "#;
+    // Rust semantics: -17/5 = -3, -17%5 = -2 (truncating), matching the ISA.
+    assert_eq!(run_all_presets(src), -3 * 1000 - 2 + 500);
+}
+
+#[test]
+fn shifts_and_bitops() {
+    let src = r#"
+        fn main() {
+            var x = 13;
+            var r = (x << 3) ^ (x >> 1) ^ (x & 9) ^ (x | 18);
+            var neg = -16;
+            r = r + (neg >> 2);
+            return r;
+        }
+    "#;
+    let x: i64 = 13;
+    let expect = ((x << 3) ^ (x >> 1) ^ (x & 9) ^ (x | 18)) + (-16i64 >> 2);
+    assert_eq!(run_all_presets(src), expect);
+}
+
+#[test]
+fn six_argument_calls() {
+    let src = r#"
+        fn weigh(a, b, c, d, e, f) {
+            return a + b * 2 + c * 4 + d * 8 + e * 16 + f * 32;
+        }
+        fn main() { return weigh(1, 2, 3, 4, 5, 6); }
+    "#;
+    assert_eq!(run_all_presets(src), 1 + 4 + 12 + 32 + 80 + 192);
+}
+
+#[test]
+fn mutual_recursion() {
+    let src = r#"
+        fn is_even(n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+        fn is_odd(n) { if (n == 0) { return 0; } return is_even(n - 1); }
+        fn main() { return is_even(10) * 10 + is_odd(7); }
+    "#;
+    assert_eq!(run_all_presets(src), 11);
+}
+
+#[test]
+fn float_int_conversions_roundtrip() {
+    let src = r#"
+        fn main() {
+            var x = 7;
+            var f = float(x) * 1.5;   // 10.5
+            var t = int(f);           // truncates to 10
+            var neg = int(0.0 - 2.7); // truncates toward zero: -2
+            return t * 100 + neg + 50;
+        }
+    "#;
+    assert_eq!(run_all_presets(src), 10 * 100 - 2 + 50);
+}
+
+#[test]
+fn deep_expression_register_pressure() {
+    // An expression tree deep enough to force temporaries to spill.
+    let mut expr = String::from("1");
+    for k in 2..40 {
+        expr = format!("({} + {} * (g[{}] + 1))", expr, k, k % 8);
+    }
+    let src = format!(
+        "global g[8]; fn main() {{ for (i = 0; i < 8; i = i + 1) {{ g[i] = i; }} return {} % 1000003; }}",
+        expr
+    );
+    let v = run_all_presets(&src);
+    // Compute the oracle in Rust.
+    let g: Vec<i64> = (0..8).collect();
+    let mut acc: i64 = 1;
+    for k in 2..40i64 {
+        acc = acc.wrapping_add(k.wrapping_mul(g[(k % 8) as usize] + 1));
+    }
+    assert_eq!(v, acc % 1000003);
+}
+
+#[test]
+fn global_arrays_shared_across_functions() {
+    let src = r#"
+        global buf[16];
+        fn fill(n) {
+            for (i = 0; i < n; i = i + 1) { buf[i] = i * i; }
+            return 0;
+        }
+        fn total(n) {
+            var s = 0;
+            for (i = 0; i < n; i = i + 1) { s = s + buf[i]; }
+            return s;
+        }
+        fn main() {
+            var unused = fill(16);
+            return total(16);
+        }
+    "#;
+    assert_eq!(run_all_presets(src), (0..16).map(|i| i * i).sum::<i64>());
+}
+
+#[test]
+fn while_with_compound_condition() {
+    let src = r#"
+        fn main() {
+            var i = 0;
+            var s = 0;
+            while ((i < 100) && (s < 50)) {
+                s = s + i;
+                i = i + 1;
+            }
+            return i * 1000 + s;
+        }
+    "#;
+    let (mut i, mut s) = (0i64, 0i64);
+    while i < 100 && s < 50 {
+        s += i;
+        i += 1;
+    }
+    assert_eq!(run_all_presets(src), i * 1000 + s);
+}
+
+#[test]
+fn unary_operators() {
+    let src = r#"
+        fn main() {
+            var a = 5;
+            var b = -a;
+            var c = !b;     // 0
+            var d = !c;     // 1
+            var e = 0.0 - 2.5;
+            return b * 100 + c * 10 + d + int(e * 2.0);
+        }
+    "#;
+    assert_eq!(run_all_presets(src), -500 + 0 + 1 - 5);
+}
+
+#[test]
+fn else_if_chains() {
+    let src = r#"
+        fn classify(x) {
+            if (x < 10) { return 1; }
+            else if (x < 100) { return 2; }
+            else if (x < 1000) { return 3; }
+            else { return 4; }
+        }
+        fn main() {
+            return classify(5) * 1000 + classify(50) * 100
+                 + classify(500) * 10 + classify(5000);
+        }
+    "#;
+    assert_eq!(run_all_presets(src), 1234);
+}
+
+#[test]
+fn float_returning_helpers_compose() {
+    let src = r#"
+        fnf half(x: float) { return x * 0.5; }
+        fnf square(x: float) { return x * x; }
+        fn main() {
+            return int(square(half(6.0)) * 100.0);
+        }
+    "#;
+    assert_eq!(run_all_presets(src), 900);
+}
+
+#[test]
+fn aggressive_heuristics_on_nested_loops() {
+    // Large unroll budgets plus inlining on a triple nest.
+    let src = r#"
+        fn touch(x) { return x * 3 + 1; }
+        fn main() {
+            var s = 0;
+            for (a = 0; a < 6; a = a + 1) {
+                for (b = 0; b < 6; b = b + 1) {
+                    for (c = 0; c < 6; c = c + 1) {
+                        s = s + touch(a * 36 + b * 6 + c);
+                    }
+                }
+            }
+            return s;
+        }
+    "#;
+    let mut cfg = OptConfig::o3();
+    cfg.unroll_loops = true;
+    cfg.max_unroll_times = 12;
+    cfg.max_unrolled_insns = 300;
+    let prog = compile(src, &cfg).unwrap();
+    let v = Emulator::new(&prog).run(10_000_000).unwrap();
+    let expect: i64 = (0..216).map(|x| x * 3 + 1).sum();
+    assert_eq!(v, expect);
+    assert_eq!(run_all_presets(src), expect);
+}

@@ -1,0 +1,221 @@
+//! Response measurement: compile at a design point's flags, simulate at its
+//! microarchitecture, return cycles.
+
+use crate::vars::decode_point;
+use emod_compiler::OptConfig;
+use emod_isa::Program;
+use emod_uarch::{simulate_sampled, SampleConfig, UarchConfig};
+use emod_workloads::{InputSet, Workload};
+use std::collections::HashMap;
+
+/// The response variable being modeled. The paper models execution time but
+/// notes (§2.2) that "models can also be built for other metrics such as
+/// power consumption or code size".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Metric {
+    /// Execution time in cycles (the paper's response).
+    #[default]
+    Cycles,
+    /// Activity-based energy estimate (see `emod_uarch::op_energy`).
+    Energy,
+    /// Static code size in bytes.
+    CodeSize,
+}
+
+impl Metric {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::Cycles => "cycles",
+            Metric::Energy => "energy",
+            Metric::CodeSize => "code-size",
+        }
+    }
+}
+
+/// Measures execution time (in cycles) at design points for one
+/// program/input pair, with caching.
+///
+/// Two layers of reuse mirror the paper's experimental setup: program
+/// binaries are cached per compiler configuration ("each design point may
+/// correspond to a different program binary"), and full responses are cached
+/// per design point, since D-optimal designs may repeat points.
+pub struct Measurer {
+    workload: &'static Workload,
+    set: InputSet,
+    sample: SampleConfig,
+    binaries: HashMap<Vec<u64>, Program>,
+    responses: HashMap<Vec<u64>, u64>, // f64 value bits, keyed by point+metric
+    measurements: u64,
+}
+
+impl std::fmt::Debug for Measurer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Measurer")
+            .field("workload", &self.workload.name())
+            .field("set", &self.set)
+            .field("measurements", &self.measurements)
+            .finish()
+    }
+}
+
+fn quantize(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+impl Measurer {
+    /// Creates a measurer for a workload/input pair.
+    pub fn new(workload: &'static Workload, set: InputSet, sample: SampleConfig) -> Self {
+        Measurer {
+            workload,
+            set,
+            sample,
+            binaries: HashMap::new(),
+            responses: HashMap::new(),
+            measurements: 0,
+        }
+    }
+
+    /// The workload being measured.
+    pub fn workload(&self) -> &'static Workload {
+        self.workload
+    }
+
+    /// The input set in use.
+    pub fn input_set(&self) -> InputSet {
+        self.set
+    }
+
+    /// Number of actual (non-cached) simulations performed.
+    pub fn measurement_count(&self) -> u64 {
+        self.measurements
+    }
+
+    /// Compiles (or fetches) the binary for a compiler configuration.
+    fn binary(&mut self, opt: &OptConfig) -> &Program {
+        let key = quantize(&opt.to_design_values());
+        self.binaries.entry(key).or_insert_with(|| {
+            self.workload
+                .program(opt, self.set)
+                .expect("bundled workloads compile at any valid setting")
+        })
+    }
+
+    /// Measures cycles at a raw 25-dimensional design point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if simulation faults — impossible for the bundled workloads
+    /// unless the compiler is broken, which tests catch far earlier.
+    pub fn measure(&mut self, point: &[f64]) -> u64 {
+        self.measure_metric(point, Metric::Cycles).round() as u64
+    }
+
+    /// Measures an arbitrary response metric at a design point (cached per
+    /// point × metric).
+    pub fn measure_metric(&mut self, point: &[f64], metric: Metric) -> f64 {
+        let mut key = quantize(point);
+        key.push(metric as u64);
+        if let Some(&c) = self.responses.get(&key) {
+            return f64::from_bits(c);
+        }
+        let (opt, uarch) = decode_point(point);
+        let value = self.measure_configs_metric(&opt, &uarch, metric);
+        self.responses.insert(key, value.to_bits());
+        value
+    }
+
+    /// Measures cycles for explicit configurations (used for speedup
+    /// evaluations at settings outside the design).
+    pub fn measure_configs(&mut self, opt: &OptConfig, uarch: &UarchConfig) -> u64 {
+        self.measure_configs_metric(opt, uarch, Metric::Cycles).round() as u64
+    }
+
+    /// Measures an arbitrary metric for explicit configurations.
+    pub fn measure_configs_metric(
+        &mut self,
+        opt: &OptConfig,
+        uarch: &UarchConfig,
+        metric: Metric,
+    ) -> f64 {
+        let sample = self.sample;
+        let expected = self.workload.reference_checksum(self.set);
+        let program = self.binary(opt).clone();
+        if metric == Metric::CodeSize {
+            return (program.len() as u64 * emod_isa::INST_BYTES) as f64;
+        }
+        self.measurements += 1;
+        let res = simulate_sampled(&program, uarch, &sample)
+            .unwrap_or_else(|e| panic!("{} simulation faulted: {}", self.workload.name(), e));
+        assert_eq!(
+            res.exit_value,
+            expected,
+            "{}: checksum mismatch at {:?}",
+            self.workload.name(),
+            opt
+        );
+        match metric {
+            Metric::Cycles => res.cycles as f64,
+            Metric::Energy => res.energy,
+            Metric::CodeSize => unreachable!("handled above"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vars::{design_space, encode_point};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fast_sample() -> SampleConfig {
+        SampleConfig {
+            window: 500,
+            interval: 100,
+            warmup: 1000,
+            fuel: u64::MAX,
+        }
+    }
+
+    #[test]
+    fn measures_and_caches() {
+        let w = Workload::by_name("bzip2").unwrap();
+        let mut m = Measurer::new(w, InputSet::Train, fast_sample());
+        let p = encode_point(&OptConfig::o2(), &UarchConfig::typical());
+        let c1 = m.measure(&p);
+        let c2 = m.measure(&p);
+        assert_eq!(c1, c2);
+        assert_eq!(m.measurement_count(), 1, "second call must hit the cache");
+        assert!(c1 > 100_000, "cycles {}", c1);
+    }
+
+    #[test]
+    fn different_flags_different_binaries_same_checksum() {
+        let w = Workload::by_name("gzip").unwrap();
+        let mut m = Measurer::new(w, InputSet::Train, fast_sample());
+        let space = design_space();
+        let mut rng = StdRng::seed_from_u64(2);
+        // A few random points: the checksum assertion inside measure()
+        // validates semantic equivalence on every one.
+        for _ in 0..3 {
+            let p = space.random_point(&mut rng);
+            let _ = m.measure(&p);
+        }
+        assert_eq!(m.measurement_count(), 3);
+    }
+
+    #[test]
+    fn constrained_machine_is_slower_than_aggressive() {
+        let w = Workload::by_name("mcf").unwrap();
+        let mut m = Measurer::new(w, InputSet::Train, fast_sample());
+        let slow = m.measure(&encode_point(&OptConfig::o2(), &UarchConfig::constrained()));
+        let fast = m.measure(&encode_point(&OptConfig::o2(), &UarchConfig::aggressive()));
+        assert!(
+            slow as f64 > fast as f64 * 1.15,
+            "constrained {} vs aggressive {}",
+            slow,
+            fast
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! The 25 predictor variables of the paper's Tables 1 and 2.
+
+use emod_compiler::OptConfig;
+use emod_doe::{DesignPoint, Parameter, ParameterSpace};
+use emod_uarch::UarchConfig;
+
+/// Number of compiler parameters (Table 1 rows 1–14).
+pub const COMPILER_PARAMS: usize = 14;
+
+/// Number of microarchitectural parameters (Table 2 rows 15–25).
+pub const UARCH_PARAMS: usize = 11;
+
+/// The 14 compiler optimization flags and heuristics of Table 1, with the
+/// paper's ranges and level counts.
+pub fn compiler_parameters() -> Vec<Parameter> {
+    vec![
+        Parameter::flag("finline-functions"),
+        Parameter::flag("funroll-loops"),
+        Parameter::flag("fschedule-insns2"),
+        Parameter::flag("floop-optimize"),
+        Parameter::flag("fgcse"),
+        Parameter::flag("fstrength-reduce"),
+        Parameter::flag("fomit-frame-pointer"),
+        Parameter::flag("freorder-blocks"),
+        Parameter::flag("fprefetch-loop-arrays"),
+        Parameter::discrete("max-inline-insns-auto", 50.0, 150.0, 11),
+        Parameter::discrete("inline-unit-growth", 25.0, 75.0, 11),
+        Parameter::discrete("inline-call-cost", 12.0, 20.0, 9),
+        Parameter::discrete("max-unroll-times", 4.0, 12.0, 9),
+        Parameter::discrete("max-unrolled-insns", 100.0, 300.0, 21),
+    ]
+}
+
+/// The 11 microarchitectural parameters of Table 2 (the `*`-marked
+/// power-of-two parameters are log-transformed).
+pub fn uarch_parameters() -> Vec<Parameter> {
+    vec![
+        Parameter::discrete("issue-width", 2.0, 4.0, 2),
+        Parameter::log_discrete("bpred-size", 512.0, 8192.0, 5),
+        Parameter::log_discrete("ruu-size", 16.0, 128.0, 4),
+        Parameter::log_discrete("il1-size", 8192.0, 131072.0, 5),
+        Parameter::log_discrete("dl1-size", 8192.0, 131072.0, 5),
+        Parameter::discrete("dl1-assoc", 1.0, 2.0, 2),
+        Parameter::discrete("dl1-latency", 1.0, 3.0, 3),
+        Parameter::log_discrete("ul2-size", 262144.0, 8388608.0, 6),
+        Parameter::log_discrete("ul2-assoc", 1.0, 8.0, 4),
+        Parameter::discrete("ul2-latency", 6.0, 16.0, 11),
+        Parameter::discrete("memory-latency", 50.0, 150.0, 21),
+    ]
+}
+
+/// The full 25-dimensional design space, compiler parameters first (the
+/// paper's numbering: #1–14 compiler, #15–25 microarchitecture).
+pub fn design_space() -> ParameterSpace {
+    let mut params = compiler_parameters();
+    params.extend(uarch_parameters());
+    ParameterSpace::new(params)
+}
+
+/// Splits a raw design point into its compiler and machine configurations.
+///
+/// # Panics
+///
+/// Panics if `point.len() != 25`.
+pub fn decode_point(point: &[f64]) -> (OptConfig, UarchConfig) {
+    assert_eq!(
+        point.len(),
+        COMPILER_PARAMS + UARCH_PARAMS,
+        "expected a 25-dimensional design point"
+    );
+    (
+        OptConfig::from_design_values(&point[..COMPILER_PARAMS]),
+        UarchConfig::from_design_values(&point[COMPILER_PARAMS..]),
+    )
+}
+
+/// Builds a raw design point from configurations (the inverse of
+/// [`decode_point`]).
+pub fn encode_point(opt: &OptConfig, uarch: &UarchConfig) -> DesignPoint {
+    let mut p = opt.to_design_values();
+    p.extend(uarch.to_design_values());
+    p
+}
+
+/// Convenience accessors on raw 25-dimensional design points.
+pub trait DesignPointExt {
+    /// The compiler half of the point.
+    fn opt_config(&self) -> OptConfig;
+    /// The microarchitecture half of the point.
+    fn uarch_config(&self) -> UarchConfig;
+}
+
+impl DesignPointExt for [f64] {
+    fn opt_config(&self) -> OptConfig {
+        decode_point(self).0
+    }
+
+    fn uarch_config(&self) -> UarchConfig {
+        decode_point(self).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn space_has_25_parameters_in_paper_order() {
+        let s = design_space();
+        assert_eq!(s.len(), 25);
+        assert_eq!(s.parameters()[0].name(), "finline-functions");
+        assert_eq!(s.index_of("issue-width"), Some(14));
+        assert_eq!(s.index_of("memory-latency"), Some(24));
+    }
+
+    #[test]
+    fn level_counts_match_tables() {
+        let s = design_space();
+        let expect = [
+            ("max-inline-insns-auto", 11),
+            ("inline-unit-growth", 11),
+            ("inline-call-cost", 9),
+            ("max-unroll-times", 9),
+            ("max-unrolled-insns", 21),
+            ("issue-width", 2),
+            ("bpred-size", 5),
+            ("ruu-size", 4),
+            ("il1-size", 5),
+            ("dl1-size", 5),
+            ("dl1-assoc", 2),
+            ("dl1-latency", 3),
+            ("ul2-size", 6),
+            ("ul2-assoc", 4),
+            ("ul2-latency", 11),
+            ("memory-latency", 21),
+        ];
+        for (name, levels) in expect {
+            let idx = s.index_of(name).unwrap_or_else(|| panic!("{} missing", name));
+            assert_eq!(
+                s.parameters()[idx].level_count(),
+                levels,
+                "{} level count",
+                name
+            );
+        }
+    }
+
+    #[test]
+    fn log_parameters_hit_power_of_two_levels() {
+        let s = design_space();
+        let bp = &s.parameters()[s.index_of("bpred-size").unwrap()];
+        assert_eq!(bp.levels(), vec![512.0, 1024.0, 2048.0, 4096.0, 8192.0]);
+        let ruu = &s.parameters()[s.index_of("ruu-size").unwrap()];
+        assert_eq!(ruu.levels(), vec![16.0, 32.0, 64.0, 128.0]);
+        let ul2 = &s.parameters()[s.index_of("ul2-size").unwrap()];
+        assert_eq!(ul2.levels().len(), 6);
+        assert_eq!(ul2.levels()[0], 262144.0);
+        assert_eq!(ul2.levels()[5], 8388608.0);
+    }
+
+    #[test]
+    fn random_points_decode_to_valid_configs() {
+        let s = design_space();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let p = s.random_point(&mut rng);
+            let (opt, ua) = decode_point(&p);
+            opt.validate().unwrap_or_else(|e| panic!("{} from {:?}", e, p));
+            ua.validate().unwrap_or_else(|e| panic!("{} from {:?}", e, p));
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let opt = OptConfig::o3();
+        let ua = UarchConfig::aggressive();
+        let p = encode_point(&opt, &ua);
+        let (opt2, ua2) = decode_point(&p);
+        assert_eq!(opt, opt2);
+        assert_eq!(ua, ua2);
+        assert_eq!(p.opt_config(), opt);
+        assert_eq!(p.uarch_config(), ua);
+    }
+
+    #[test]
+    fn full_factorial_is_intractable() {
+        // The paper's motivation for designed experiments: the space is
+        // astronomically large.
+        assert!(design_space().cardinality() > 1e12);
+    }
+}

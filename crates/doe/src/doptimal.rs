@@ -1,0 +1,303 @@
+//! D-optimal design selection via Fedorov exchange.
+
+use crate::{DesignPoint, ModelSpec, ParameterSpace};
+use emod_linalg::{Cholesky, Matrix};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Fedorov-exchange D-optimal design generator (paper §3).
+///
+/// Given a candidate set `Z`, selects `n` design points `X ⊆ Z` that
+/// (locally) maximize `det(X'X)` of the model-expanded design matrix,
+/// "roughly equivalent to increasing the confidence in the empirical models
+/// generated using the design". Designs are *extensible*: [`DOptimal::augment`]
+/// greedily adds points to an existing design, supporting the paper's
+/// iterative collect-more-data loop (Figure 1).
+///
+/// # Examples
+///
+/// ```
+/// use emod_doe::{lhs, DOptimal, ModelSpec, Parameter, ParameterSpace};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let space = ParameterSpace::new(vec![
+///     Parameter::flag("a"),
+///     Parameter::flag("b"),
+/// ]);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let cands = lhs(&space, 32, &mut rng);
+/// let dopt = DOptimal::new(&space, ModelSpec::two_factor());
+/// let design = dopt.select(&cands, 8, &mut rng);
+/// // A D-optimal 2^2 design balances both factors.
+/// let ones = design.iter().filter(|p| p[0] == 1.0).count();
+/// assert_eq!(ones, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DOptimal {
+    space: ParameterSpace,
+    spec: ModelSpec,
+    max_sweeps: usize,
+    ridge: f64,
+}
+
+impl DOptimal {
+    /// Creates a generator for `space` optimizing the `spec` term structure.
+    pub fn new(space: &ParameterSpace, spec: ModelSpec) -> Self {
+        DOptimal {
+            space: space.clone(),
+            spec,
+            max_sweeps: 20,
+            ridge: 1e-9,
+        }
+    }
+
+    /// Sets the maximum number of full exchange sweeps (default 20).
+    pub fn max_sweeps(mut self, sweeps: usize) -> Self {
+        self.max_sweeps = sweeps;
+        self
+    }
+
+    /// Expands raw design points into the model matrix `X`.
+    fn expand_all(&self, points: &[DesignPoint]) -> Matrix {
+        let p = self.spec.term_count(&self.space);
+        let mut x = Matrix::zeros(0, p);
+        // Matrix::zeros(0, p) has no rows; push each expansion.
+        for pt in points {
+            let coded = self.space.encode(pt);
+            x.push_row(&self.spec.expand(&coded));
+        }
+        x
+    }
+
+    /// Regularized information matrix `X'X + ridge*I`.
+    fn info(&self, x: &Matrix) -> Matrix {
+        let mut m = x.gram();
+        let scale = m
+            .as_slice()
+            .iter()
+            .fold(0.0f64, |a, v| a.max(v.abs()))
+            .max(1.0);
+        m.add_diagonal(self.ridge * scale);
+        m
+    }
+
+    /// `log det(X'X)` of a design's model-expanded information matrix — the
+    /// quantity Fedorov exchange maximizes.
+    pub fn log_det(&self, design: &[DesignPoint]) -> f64 {
+        let x = self.expand_all(design);
+        match Cholesky::new(&self.info(&x)) {
+            Ok(c) => c.logdet(),
+            Err(_) => f64::NEG_INFINITY,
+        }
+    }
+
+    /// Selects an `n`-point D-optimal design from `candidates`.
+    ///
+    /// Starts from a random subset and repeatedly applies the best Fedorov
+    /// exchange (swap a design point for a candidate) until no exchange
+    /// improves `det(X'X)` or the sweep budget is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates.len() < n` or `n == 0`.
+    pub fn select<R: Rng + ?Sized>(
+        &self,
+        candidates: &[DesignPoint],
+        n: usize,
+        rng: &mut R,
+    ) -> Vec<DesignPoint> {
+        assert!(n > 0, "design size must be positive");
+        assert!(
+            candidates.len() >= n,
+            "need at least {} candidates, got {}",
+            n,
+            candidates.len()
+        );
+        let mut indices: Vec<usize> = (0..candidates.len()).collect();
+        indices.shuffle(rng);
+        let mut chosen: Vec<usize> = indices[..n].to_vec();
+
+        // Pre-expand every candidate once.
+        let rows: Vec<Vec<f64>> = candidates
+            .iter()
+            .map(|p| self.spec.expand(&self.space.encode(p)))
+            .collect();
+        let p = self.spec.term_count(&self.space);
+
+        for _sweep in 0..self.max_sweeps {
+            // Information matrix of the current design.
+            let mut x = Matrix::zeros(0, p);
+            for &i in &chosen {
+                x.push_row(&rows[i]);
+            }
+            let minv = match Cholesky::new(&self.info(&x)) {
+                Ok(c) => c.inverse(),
+                Err(_) => break,
+            };
+            // u_i = M⁻¹ x_i for all candidates (covers design rows too).
+            let u: Vec<Vec<f64>> = rows
+                .iter()
+                .map(|r| minv.matvec(r).expect("dimension matches"))
+                .collect();
+            let v: Vec<f64> = rows
+                .iter()
+                .zip(&u)
+                .map(|(r, ui)| r.iter().zip(ui).map(|(a, b)| a * b).sum())
+                .collect();
+
+            // Find the best (design point, candidate) exchange by the Fedorov
+            // delta: Δ = v(xj) - [v(xi)v(xj) - d(xi,xj)²] - v(xi).
+            let mut best: Option<(usize, usize, f64)> = None;
+            for (slot, &i) in chosen.iter().enumerate() {
+                for (j, row_j) in rows.iter().enumerate() {
+                    if chosen.contains(&j) {
+                        continue;
+                    }
+                    let d: f64 = row_j.iter().zip(&u[i]).map(|(a, b)| a * b).sum();
+                    let delta = v[j] - (v[i] * v[j] - d * d) - v[i];
+                    if delta > best.map_or(1e-9, |(_, _, b)| b) {
+                        best = Some((slot, j, delta));
+                    }
+                }
+            }
+            match best {
+                Some((slot, j, _)) => chosen[slot] = j,
+                None => break,
+            }
+        }
+        chosen.into_iter().map(|i| candidates[i].clone()).collect()
+    }
+
+    /// Greedily augments `design` with `extra` additional points from
+    /// `candidates`, each chosen to maximize the determinant gain
+    /// `1 + x' (X'X)⁻¹ x` (the standard sequential/dykstra update).
+    pub fn augment(
+        &self,
+        design: &[DesignPoint],
+        candidates: &[DesignPoint],
+        extra: usize,
+    ) -> Vec<DesignPoint> {
+        let mut all = design.to_vec();
+        for _ in 0..extra {
+            let x = self.expand_all(&all);
+            let minv = match Cholesky::new(&self.info(&x)) {
+                Ok(c) => c.inverse(),
+                Err(_) => break,
+            };
+            let best = candidates
+                .iter()
+                .map(|c| {
+                    let row = self.spec.expand(&self.space.encode(c));
+                    let u = minv.matvec(&row).expect("dimension matches");
+                    let gain: f64 = row.iter().zip(&u).map(|(a, b)| a * b).sum();
+                    (c, gain)
+                })
+                .max_by(|a, b| a.1.total_cmp(&b.1));
+            match best {
+                Some((c, _)) => all.push(c.clone()),
+                None => break,
+            }
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lhs, Parameter};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> ParameterSpace {
+        ParameterSpace::new(vec![
+            Parameter::flag("a"),
+            Parameter::flag("b"),
+            Parameter::discrete("c", 0.0, 10.0, 11),
+        ])
+    }
+
+    #[test]
+    fn select_beats_random_subset() {
+        let s = space();
+        let dopt = DOptimal::new(&s, ModelSpec::main_effects());
+        let mut rng = StdRng::seed_from_u64(42);
+        let cands = lhs(&s, 200, &mut rng);
+        let design = dopt.select(&cands, 12, &mut rng);
+        assert_eq!(design.len(), 12);
+
+        // Average log-det of random 12-subsets must not exceed the optimized one.
+        let opt_ld = dopt.log_det(&design);
+        let mut worse = 0;
+        for seed in 0..20 {
+            let mut r2 = StdRng::seed_from_u64(1000 + seed);
+            let mut idx: Vec<usize> = (0..cands.len()).collect();
+            idx.shuffle(&mut r2);
+            let random: Vec<_> = idx[..12].iter().map(|&i| cands[i].clone()).collect();
+            if dopt.log_det(&random) <= opt_ld + 1e-9 {
+                worse += 1;
+            }
+        }
+        assert!(worse >= 18, "optimized design beaten by {} random sets", 20 - worse);
+    }
+
+    #[test]
+    fn exchange_never_decreases_logdet() {
+        let s = space();
+        let dopt = DOptimal::new(&s, ModelSpec::two_factor());
+        let mut rng = StdRng::seed_from_u64(3);
+        let cands = lhs(&s, 100, &mut rng);
+        // Random start.
+        let start: Vec<_> = cands[..10].to_vec();
+        let before = dopt.log_det(&start);
+        let after = dopt.log_det(&dopt.select(&cands, 10, &mut rng));
+        assert!(
+            after >= before - 1e-6,
+            "after {} < before {}",
+            after,
+            before
+        );
+    }
+
+    #[test]
+    fn balanced_two_level_design_for_flags() {
+        // For a pure flag space with the main-effects model, the D-optimal
+        // design is orthogonal: each flag appears half on / half off.
+        let s = ParameterSpace::new(vec![
+            Parameter::flag("a"),
+            Parameter::flag("b"),
+            Parameter::flag("c"),
+        ]);
+        let dopt = DOptimal::new(&s, ModelSpec::main_effects()).max_sweeps(50);
+        let mut rng = StdRng::seed_from_u64(9);
+        let cands = lhs(&s, 64, &mut rng);
+        let design = dopt.select(&cands, 8, &mut rng);
+        for col in 0..3 {
+            let ones = design.iter().filter(|p| p[col] == 1.0).count();
+            assert_eq!(ones, 4, "column {} unbalanced: {:?}", col, design);
+        }
+    }
+
+    #[test]
+    fn augment_grows_design_and_logdet() {
+        let s = space();
+        let dopt = DOptimal::new(&s, ModelSpec::main_effects());
+        let mut rng = StdRng::seed_from_u64(17);
+        let cands = lhs(&s, 80, &mut rng);
+        let base = dopt.select(&cands, 8, &mut rng);
+        let grown = dopt.augment(&base, &cands, 4);
+        assert_eq!(grown.len(), 12);
+        assert_eq!(&grown[..8], &base[..]);
+        assert!(dopt.log_det(&grown) > dopt.log_det(&base));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn select_rejects_small_candidate_sets() {
+        let s = space();
+        let dopt = DOptimal::new(&s, ModelSpec::main_effects());
+        let mut rng = StdRng::seed_from_u64(1);
+        let cands = lhs(&s, 4, &mut rng);
+        let _ = dopt.select(&cands, 10, &mut rng);
+    }
+}

@@ -1,0 +1,40 @@
+//! Design of experiments for empirical model building.
+//!
+//! This crate implements the experiment-selection half of the CGO 2007
+//! methodology (paper §2–§3):
+//!
+//! * [`Parameter`] / [`ParameterSpace`] — predictor variables with ranges,
+//!   level counts and the paper's coding conventions (linear transform onto
+//!   `[-1, 1]`; power-of-two parameters are log-transformed first),
+//! * [`lhs`] — Latin hypercube candidate generation,
+//! * [`DOptimal`] — Fedorov-exchange D-optimal design selection over a
+//!   candidate set, maximizing `det(X'X)` of the model-expanded design
+//!   matrix, with support for augmenting an existing design (paper §3).
+//!
+//! # Examples
+//!
+//! ```
+//! use emod_doe::{DOptimal, ModelSpec, Parameter, ParameterSpace};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let space = ParameterSpace::new(vec![
+//!     Parameter::flag("unroll"),
+//!     Parameter::discrete("max-unroll-times", 4.0, 12.0, 9),
+//!     Parameter::log_discrete("icache-size", 8192.0, 131072.0, 5),
+//! ]);
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let candidates = emod_doe::lhs(&space, 64, &mut rng);
+//! let design = DOptimal::new(&space, ModelSpec::main_effects())
+//!     .select(&candidates, 12, &mut rng);
+//! assert_eq!(design.len(), 12);
+//! ```
+
+mod doptimal;
+mod model;
+mod param;
+mod space;
+
+pub use doptimal::DOptimal;
+pub use model::ModelSpec;
+pub use param::{Parameter, ParameterKind};
+pub use space::{lhs, DesignPoint, ParameterSpace};

@@ -1,0 +1,275 @@
+//! Predictor variables: kinds, ranges, levels and coding transforms.
+
+use std::fmt;
+
+/// How a predictor variable varies over its range (paper §2.2–§2.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParameterKind {
+    /// Binary categorical variable taking the raw values `0` and `1`
+    /// (compiler optimization flags, in-order/out-of-order, …).
+    Flag,
+    /// Ordinary discrete variable with equally spaced levels in
+    /// `[low, high]` (heuristic thresholds, latencies, …).
+    Discrete {
+        /// Smallest raw value.
+        low: f64,
+        /// Largest raw value.
+        high: f64,
+        /// Number of distinct levels, `>= 2`.
+        levels: usize,
+    },
+    /// Variable that varies in powers of two (cache sizes, predictor table
+    /// sizes). Coded on a log2 scale, per the paper's `*`-marked parameters.
+    LogDiscrete {
+        /// Smallest raw value (a power of two in practice).
+        low: f64,
+        /// Largest raw value.
+        high: f64,
+        /// Number of geometrically spaced levels, `>= 2`.
+        levels: usize,
+    },
+}
+
+/// A single predictor variable: an optimization flag, a compiler heuristic
+/// or a microarchitectural parameter.
+///
+/// Each parameter knows its operating range and level count (Tables 1–2 of
+/// the paper) and codes raw values onto the modeling scale `[-1, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use emod_doe::Parameter;
+///
+/// let p = Parameter::discrete("max-unroll-times", 4.0, 12.0, 9);
+/// assert_eq!(p.code(8.0), 0.0);
+/// assert_eq!(p.decode(1.0), 12.0);
+///
+/// let c = Parameter::log_discrete("dl1-size", 8192.0, 131072.0, 5);
+/// assert_eq!(c.decode(c.code(32768.0)), 32768.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Parameter {
+    name: String,
+    kind: ParameterKind,
+}
+
+impl Parameter {
+    /// Creates a binary flag parameter (2 levels, raw values 0 and 1).
+    pub fn flag(name: impl Into<String>) -> Self {
+        Parameter {
+            name: name.into(),
+            kind: ParameterKind::Flag,
+        }
+    }
+
+    /// Creates a discrete parameter with `levels` equally spaced values in
+    /// `[low, high]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high` or `levels < 2`.
+    pub fn discrete(name: impl Into<String>, low: f64, high: f64, levels: usize) -> Self {
+        assert!(low < high, "low must be < high");
+        assert!(levels >= 2, "need at least two levels");
+        Parameter {
+            name: name.into(),
+            kind: ParameterKind::Discrete { low, high, levels },
+        }
+    }
+
+    /// Creates a log-transformed discrete parameter with `levels`
+    /// geometrically spaced values in `[low, high]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`, `low <= 0`, or `levels < 2`.
+    pub fn log_discrete(name: impl Into<String>, low: f64, high: f64, levels: usize) -> Self {
+        assert!(low > 0.0, "log parameter needs positive low");
+        assert!(low < high, "low must be < high");
+        assert!(levels >= 2, "need at least two levels");
+        Parameter {
+            name: name.into(),
+            kind: ParameterKind::LogDiscrete { low, high, levels },
+        }
+    }
+
+    /// The parameter's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parameter's kind.
+    pub fn kind(&self) -> ParameterKind {
+        self.kind
+    }
+
+    /// Number of distinct levels.
+    pub fn level_count(&self) -> usize {
+        match self.kind {
+            ParameterKind::Flag => 2,
+            ParameterKind::Discrete { levels, .. } | ParameterKind::LogDiscrete { levels, .. } => {
+                levels
+            }
+        }
+    }
+
+    /// All raw values the parameter can take, in increasing order.
+    pub fn levels(&self) -> Vec<f64> {
+        match self.kind {
+            ParameterKind::Flag => vec![0.0, 1.0],
+            ParameterKind::Discrete { low, high, levels } => (0..levels)
+                .map(|i| {
+                    let t = i as f64 / (levels - 1) as f64;
+                    let v = low + t * (high - low);
+                    // Heuristic thresholds are integers in the paper's tables.
+                    v.round()
+                })
+                .collect(),
+            ParameterKind::LogDiscrete { low, high, levels } => (0..levels)
+                .map(|i| {
+                    let t = i as f64 / (levels - 1) as f64;
+                    let lg = low.log2() + t * (high.log2() - low.log2());
+                    2f64.powf(lg).round()
+                })
+                .collect(),
+        }
+    }
+
+    /// Codes a raw value onto `[-1, 1]` (log2 scale for log parameters).
+    pub fn code(&self, raw: f64) -> f64 {
+        match self.kind {
+            ParameterKind::Flag => raw * 2.0 - 1.0,
+            ParameterKind::Discrete { low, high, .. } => 2.0 * (raw - low) / (high - low) - 1.0,
+            ParameterKind::LogDiscrete { low, high, .. } => {
+                2.0 * (raw.log2() - low.log2()) / (high.log2() - low.log2()) - 1.0
+            }
+        }
+    }
+
+    /// Decodes a coded value in `[-1, 1]` back to the nearest raw level.
+    pub fn decode(&self, coded: f64) -> f64 {
+        let coded = coded.clamp(-1.0, 1.0);
+        let levels = self.levels();
+        let raw = match self.kind {
+            ParameterKind::Flag => (coded + 1.0) / 2.0,
+            ParameterKind::Discrete { low, high, .. } => low + (coded + 1.0) / 2.0 * (high - low),
+            ParameterKind::LogDiscrete { low, high, .. } => {
+                2f64.powf(low.log2() + (coded + 1.0) / 2.0 * (high.log2() - low.log2()))
+            }
+        };
+        // Snap to the nearest representable level.
+        let key = |v: f64| match self.kind {
+            ParameterKind::LogDiscrete { .. } => v.log2(),
+            _ => v,
+        };
+        *levels
+            .iter()
+            .min_by(|a, b| {
+                (key(**a) - key(raw))
+                    .abs()
+                    .total_cmp(&(key(**b) - key(raw)).abs())
+            })
+            .expect("levels is never empty")
+    }
+
+    /// Whether `raw` is (close to) one of the parameter's levels.
+    pub fn is_valid(&self, raw: f64) -> bool {
+        self.levels().iter().any(|l| (l - raw).abs() < 1e-9)
+    }
+}
+
+impl fmt::Display for Parameter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let levels = self.levels();
+        write!(
+            f,
+            "{} [{} .. {}] ({} levels)",
+            self.name,
+            levels[0],
+            levels[levels.len() - 1],
+            levels.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_levels_and_coding() {
+        let p = Parameter::flag("inline");
+        assert_eq!(p.levels(), vec![0.0, 1.0]);
+        assert_eq!(p.code(0.0), -1.0);
+        assert_eq!(p.code(1.0), 1.0);
+        assert_eq!(p.decode(-1.0), 0.0);
+        assert_eq!(p.decode(0.9), 1.0);
+    }
+
+    #[test]
+    fn discrete_levels_match_paper_table1() {
+        // max-inline-insns-auto: 50..150, 11 levels -> 50, 60, ..., 150.
+        let p = Parameter::discrete("max-inline-insns-auto", 50.0, 150.0, 11);
+        let levels = p.levels();
+        assert_eq!(levels.len(), 11);
+        assert_eq!(levels[0], 50.0);
+        assert_eq!(levels[1], 60.0);
+        assert_eq!(levels[10], 150.0);
+    }
+
+    #[test]
+    fn log_levels_are_powers_of_two() {
+        // icache: 8KB..128KB, 5 levels -> 8K, 16K, 32K, 64K, 128K.
+        let p = Parameter::log_discrete("il1-size", 8192.0, 131072.0, 5);
+        assert_eq!(
+            p.levels(),
+            vec![8192.0, 16384.0, 32768.0, 65536.0, 131072.0]
+        );
+    }
+
+    #[test]
+    fn code_decode_roundtrip_all_levels() {
+        let params = [
+            Parameter::flag("f"),
+            Parameter::discrete("d", 12.0, 20.0, 9),
+            Parameter::log_discrete("l", 256.0 * 1024.0, 8.0 * 1024.0 * 1024.0, 6),
+        ];
+        for p in &params {
+            for v in p.levels() {
+                let coded = p.code(v);
+                assert!((-1.0..=1.0).contains(&coded), "{} codes to {}", v, coded);
+                assert_eq!(p.decode(coded), v, "roundtrip failed for {}", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn log_coding_is_linear_in_log2() {
+        let p = Parameter::log_discrete("ul2", 256.0, 4096.0, 5);
+        // 256 -> -1, 1024 -> 0, 4096 -> 1 on the log2 scale.
+        assert!((p.code(256.0) + 1.0).abs() < 1e-12);
+        assert!(p.code(1024.0).abs() < 1e-12);
+        assert!((p.code(4096.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decode_clamps_out_of_range() {
+        let p = Parameter::discrete("d", 0.0, 10.0, 11);
+        assert_eq!(p.decode(5.0), 10.0);
+        assert_eq!(p.decode(-5.0), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_range() {
+        let p = Parameter::discrete("inline-call-cost", 12.0, 20.0, 9);
+        let s = p.to_string();
+        assert!(s.contains("inline-call-cost") && s.contains("12") && s.contains("20"));
+    }
+
+    #[test]
+    #[should_panic(expected = "low must be < high")]
+    fn rejects_inverted_range() {
+        let _ = Parameter::discrete("bad", 5.0, 1.0, 3);
+    }
+}

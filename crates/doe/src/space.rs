@@ -1,0 +1,263 @@
+//! Parameter spaces, design points and Latin hypercube sampling.
+
+use crate::Parameter;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A design point: one raw value per parameter, in space order.
+pub type DesignPoint = Vec<f64>;
+
+/// An ordered collection of predictor variables defining the design space
+/// `D ⊂ Rⁿ` of the paper's Equation 1.
+///
+/// # Examples
+///
+/// ```
+/// use emod_doe::{Parameter, ParameterSpace};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let space = ParameterSpace::new(vec![
+///     Parameter::flag("gcse"),
+///     Parameter::discrete("memory-latency", 50.0, 150.0, 21),
+/// ]);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let p = space.random_point(&mut rng);
+/// assert!(space.is_valid(&p));
+/// let coded = space.encode(&p);
+/// assert_eq!(space.decode(&coded), p);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParameterSpace {
+    params: Vec<Parameter>,
+}
+
+impl ParameterSpace {
+    /// Creates a space from an ordered parameter list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` is empty or contains duplicate names.
+    pub fn new(params: Vec<Parameter>) -> Self {
+        assert!(!params.is_empty(), "parameter space cannot be empty");
+        for (i, p) in params.iter().enumerate() {
+            for q in &params[i + 1..] {
+                assert_ne!(p.name(), q.name(), "duplicate parameter {}", p.name());
+            }
+        }
+        ParameterSpace { params }
+    }
+
+    /// The parameters, in order.
+    pub fn parameters(&self) -> &[Parameter] {
+        &self.params
+    }
+
+    /// Number of parameters (the dimension `k` of design points).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the space has no parameters (never true for a constructed
+    /// space, provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Index of the parameter named `name`, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name() == name)
+    }
+
+    /// Total number of points in the full-factorial design space.
+    ///
+    /// The paper notes this is exponential in the number of parameters, which
+    /// is why designed experiments are needed at all.
+    pub fn cardinality(&self) -> f64 {
+        self.params
+            .iter()
+            .map(|p| p.level_count() as f64)
+            .product()
+    }
+
+    /// Draws a uniformly random design point (each parameter picks an
+    /// independent random level).
+    pub fn random_point<R: Rng + ?Sized>(&self, rng: &mut R) -> DesignPoint {
+        self.params
+            .iter()
+            .map(|p| {
+                let levels = p.levels();
+                levels[rng.gen_range(0..levels.len())]
+            })
+            .collect()
+    }
+
+    /// Codes a raw design point onto `[-1, 1]ᵏ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.len()`.
+    pub fn encode(&self, point: &[f64]) -> Vec<f64> {
+        assert_eq!(point.len(), self.len(), "point dimension mismatch");
+        self.params
+            .iter()
+            .zip(point)
+            .map(|(p, &v)| p.code(v))
+            .collect()
+    }
+
+    /// Decodes a coded point back to raw values (snapping to levels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coded.len() != self.len()`.
+    pub fn decode(&self, coded: &[f64]) -> DesignPoint {
+        assert_eq!(coded.len(), self.len(), "point dimension mismatch");
+        self.params
+            .iter()
+            .zip(coded)
+            .map(|(p, &v)| p.decode(v))
+            .collect()
+    }
+
+    /// Whether every coordinate of `point` is a valid level of its parameter.
+    pub fn is_valid(&self, point: &[f64]) -> bool {
+        point.len() == self.len()
+            && self
+                .params
+                .iter()
+                .zip(point)
+                .all(|(p, &v)| p.is_valid(v))
+    }
+}
+
+/// Generates `n` candidate design points by Latin hypercube sampling.
+///
+/// Each parameter's levels are cycled through a stratified permutation so the
+/// sample covers every region of every one-dimensional projection — the
+/// candidate-generation method the paper suggests for seeding D-optimal
+/// selection (§3).
+///
+/// # Examples
+///
+/// ```
+/// use emod_doe::{lhs, Parameter, ParameterSpace};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let space = ParameterSpace::new(vec![Parameter::discrete("x", 0.0, 9.0, 10)]);
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let pts = lhs(&space, 10, &mut rng);
+/// // One-dimensional LHS with 10 strata over 10 levels hits every level once.
+/// let mut seen: Vec<f64> = pts.iter().map(|p| p[0]).collect();
+/// seen.sort_by(f64::total_cmp);
+/// seen.dedup();
+/// assert_eq!(seen.len(), 10);
+/// ```
+pub fn lhs<R: Rng + ?Sized>(space: &ParameterSpace, n: usize, rng: &mut R) -> Vec<DesignPoint> {
+    let k = space.len();
+    let mut columns: Vec<Vec<f64>> = Vec::with_capacity(k);
+    for p in space.parameters() {
+        let levels = p.levels();
+        // Stratify [0, n) into n cells, map each cell to a level, shuffle.
+        let mut col: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = (i as f64 + rng.gen::<f64>()) / n as f64;
+                let idx = ((t * levels.len() as f64) as usize).min(levels.len() - 1);
+                levels[idx]
+            })
+            .collect();
+        col.shuffle(rng);
+        columns.push(col);
+    }
+    (0..n)
+        .map(|i| columns.iter().map(|c| c[i]).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space3() -> ParameterSpace {
+        ParameterSpace::new(vec![
+            Parameter::flag("a"),
+            Parameter::discrete("b", 4.0, 12.0, 9),
+            Parameter::log_discrete("c", 8192.0, 131072.0, 5),
+        ])
+    }
+
+    #[test]
+    fn cardinality_multiplies_levels() {
+        assert_eq!(space3().cardinality(), 2.0 * 9.0 * 5.0);
+    }
+
+    #[test]
+    fn index_of_finds_parameters() {
+        let s = space3();
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("zzz"), None);
+    }
+
+    #[test]
+    fn random_points_are_valid() {
+        let s = space3();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let p = s.random_point(&mut rng);
+            assert!(s.is_valid(&p), "invalid point {:?}", p);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = space3();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let p = s.random_point(&mut rng);
+            assert_eq!(s.decode(&s.encode(&p)), p);
+        }
+    }
+
+    #[test]
+    fn lhs_produces_valid_points_with_spread() {
+        let s = space3();
+        let mut rng = StdRng::seed_from_u64(2);
+        let pts = lhs(&s, 40, &mut rng);
+        assert_eq!(pts.len(), 40);
+        for p in &pts {
+            assert!(s.is_valid(p));
+        }
+        // Column 1 (9 levels, 40 samples) should cover most levels.
+        let mut bs: Vec<f64> = pts.iter().map(|p| p[1]).collect();
+        bs.sort_by(f64::total_cmp);
+        bs.dedup();
+        assert!(bs.len() >= 7, "LHS covered only {} of 9 levels", bs.len());
+    }
+
+    #[test]
+    fn lhs_flag_column_is_balanced() {
+        let s = ParameterSpace::new(vec![Parameter::flag("f")]);
+        let mut rng = StdRng::seed_from_u64(8);
+        let pts = lhs(&s, 100, &mut rng);
+        let ones = pts.iter().filter(|p| p[0] == 1.0).count();
+        assert!(
+            (40..=60).contains(&ones),
+            "flag imbalance: {} ones of 100",
+            ones
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter")]
+    fn rejects_duplicate_names() {
+        let _ = ParameterSpace::new(vec![Parameter::flag("x"), Parameter::flag("x")]);
+    }
+
+    #[test]
+    fn is_valid_rejects_wrong_dimension_and_levels() {
+        let s = space3();
+        assert!(!s.is_valid(&[1.0]));
+        assert!(!s.is_valid(&[0.5, 4.0, 8192.0])); // 0.5 not a flag level
+    }
+}

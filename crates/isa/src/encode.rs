@@ -1,0 +1,519 @@
+//! Binary instruction encoding.
+//!
+//! Every instruction occupies exactly [`crate::INST_BYTES`] = 16 bytes:
+//!
+//! ```text
+//! byte 0      opcode
+//! byte 1      rd / fd / rt (store data) register index
+//! byte 2      rs / fs register index
+//! byte 3      rt / ft register index
+//! bytes 4..8  sub-opcode (ALU op, compare predicate, branch condition)
+//! bytes 8..16 64-bit immediate / offset / target (little endian)
+//! ```
+//!
+//! The encoding exists so programs are real byte artifacts (the instruction
+//! cache simulates fetches of these bytes) and round-trips losslessly.
+
+use crate::inst::{AluOp, BranchCond, FCmpOp, FReg, Inst, Reg};
+use crate::INST_BYTES;
+use std::error::Error;
+use std::fmt;
+
+/// Error from [`decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The byte buffer is not a multiple of the instruction width.
+    BadLength(usize),
+    /// Unknown opcode byte at the given instruction index.
+    BadOpcode(usize, u8),
+    /// Unknown sub-opcode at the given instruction index.
+    BadSubOpcode(usize, u32),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadLength(n) => write!(f, "buffer of {} bytes is not a multiple of 16", n),
+            DecodeError::BadOpcode(i, op) => write!(f, "unknown opcode {:#04x} at inst {}", op, i),
+            DecodeError::BadSubOpcode(i, s) => {
+                write!(f, "unknown sub-opcode {} at inst {}", s, i)
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+const OP_ALU: u8 = 0x01;
+const OP_ALUI: u8 = 0x02;
+const OP_LI: u8 = 0x03;
+const OP_MUL: u8 = 0x04;
+const OP_DIV: u8 = 0x05;
+const OP_REM: u8 = 0x06;
+const OP_FADD: u8 = 0x10;
+const OP_FSUB: u8 = 0x11;
+const OP_FMUL: u8 = 0x12;
+const OP_FDIV: u8 = 0x13;
+const OP_FCMP: u8 = 0x14;
+const OP_CVTIF: u8 = 0x15;
+const OP_CVTFI: u8 = 0x16;
+const OP_FLI: u8 = 0x17;
+const OP_LD: u8 = 0x20;
+const OP_ST: u8 = 0x21;
+const OP_LDB: u8 = 0x22;
+const OP_STB: u8 = 0x23;
+const OP_FLD: u8 = 0x24;
+const OP_FST: u8 = 0x25;
+const OP_PREFETCH: u8 = 0x26;
+const OP_BR: u8 = 0x30;
+const OP_J: u8 = 0x31;
+const OP_CALL: u8 = 0x32;
+const OP_JR: u8 = 0x33;
+const OP_NOP: u8 = 0x40;
+const OP_HALT: u8 = 0x41;
+
+fn alu_code(op: AluOp) -> u32 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::And => 2,
+        AluOp::Or => 3,
+        AluOp::Xor => 4,
+        AluOp::Shl => 5,
+        AluOp::Shr => 6,
+        AluOp::Slt => 7,
+        AluOp::Seq => 8,
+    }
+}
+
+fn alu_from(code: u32) -> Option<AluOp> {
+    Some(match code {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::And,
+        3 => AluOp::Or,
+        4 => AluOp::Xor,
+        5 => AluOp::Shl,
+        6 => AluOp::Shr,
+        7 => AluOp::Slt,
+        8 => AluOp::Seq,
+        _ => return None,
+    })
+}
+
+fn fcmp_code(op: FCmpOp) -> u32 {
+    match op {
+        FCmpOp::Lt => 0,
+        FCmpOp::Le => 1,
+        FCmpOp::Eq => 2,
+    }
+}
+
+fn fcmp_from(code: u32) -> Option<FCmpOp> {
+    Some(match code {
+        0 => FCmpOp::Lt,
+        1 => FCmpOp::Le,
+        2 => FCmpOp::Eq,
+        _ => return None,
+    })
+}
+
+fn cond_code(c: BranchCond) -> u32 {
+    match c {
+        BranchCond::Eq => 0,
+        BranchCond::Ne => 1,
+        BranchCond::Lt => 2,
+        BranchCond::Ge => 3,
+    }
+}
+
+fn cond_from(code: u32) -> Option<BranchCond> {
+    Some(match code {
+        0 => BranchCond::Eq,
+        1 => BranchCond::Ne,
+        2 => BranchCond::Lt,
+        3 => BranchCond::Ge,
+        _ => return None,
+    })
+}
+
+/// Encodes one instruction into its 16-byte form.
+pub fn encode(inst: &Inst) -> [u8; INST_BYTES as usize] {
+    let mut b = [0u8; INST_BYTES as usize];
+    let put = |op: u8, r1: u8, r2: u8, r3: u8, sub: u32, imm: u64, buf: &mut [u8; 16]| {
+        buf[0] = op;
+        buf[1] = r1;
+        buf[2] = r2;
+        buf[3] = r3;
+        buf[4..8].copy_from_slice(&sub.to_le_bytes());
+        buf[8..16].copy_from_slice(&imm.to_le_bytes());
+    };
+    match *inst {
+        Inst::Alu { op, rd, rs, rt } => put(OP_ALU, rd.0, rs.0, rt.0, alu_code(op), 0, &mut b),
+        Inst::AluImm { op, rd, rs, imm } => {
+            put(OP_ALUI, rd.0, rs.0, 0, alu_code(op), imm as u64, &mut b)
+        }
+        Inst::LoadImm { rd, imm } => put(OP_LI, rd.0, 0, 0, 0, imm as u64, &mut b),
+        Inst::Mul { rd, rs, rt } => put(OP_MUL, rd.0, rs.0, rt.0, 0, 0, &mut b),
+        Inst::Div { rd, rs, rt } => put(OP_DIV, rd.0, rs.0, rt.0, 0, 0, &mut b),
+        Inst::Rem { rd, rs, rt } => put(OP_REM, rd.0, rs.0, rt.0, 0, 0, &mut b),
+        Inst::FAdd { fd, fs, ft } => put(OP_FADD, fd.0, fs.0, ft.0, 0, 0, &mut b),
+        Inst::FSub { fd, fs, ft } => put(OP_FSUB, fd.0, fs.0, ft.0, 0, 0, &mut b),
+        Inst::FMul { fd, fs, ft } => put(OP_FMUL, fd.0, fs.0, ft.0, 0, 0, &mut b),
+        Inst::FDiv { fd, fs, ft } => put(OP_FDIV, fd.0, fs.0, ft.0, 0, 0, &mut b),
+        Inst::FCmp { op, rd, fs, ft } => put(OP_FCMP, rd.0, fs.0, ft.0, fcmp_code(op), 0, &mut b),
+        Inst::CvtIf { fd, rs } => put(OP_CVTIF, fd.0, rs.0, 0, 0, 0, &mut b),
+        Inst::CvtFi { rd, fs } => put(OP_CVTFI, rd.0, fs.0, 0, 0, 0, &mut b),
+        Inst::FLoadImm { fd, imm } => put(OP_FLI, fd.0, 0, 0, 0, imm.to_bits(), &mut b),
+        Inst::Load { rd, rs, offset } => put(OP_LD, rd.0, rs.0, 0, 0, offset as u64, &mut b),
+        Inst::Store { rt, rs, offset } => put(OP_ST, rt.0, rs.0, 0, 0, offset as u64, &mut b),
+        Inst::LoadByte { rd, rs, offset } => put(OP_LDB, rd.0, rs.0, 0, 0, offset as u64, &mut b),
+        Inst::StoreByte { rt, rs, offset } => put(OP_STB, rt.0, rs.0, 0, 0, offset as u64, &mut b),
+        Inst::FLoad { fd, rs, offset } => put(OP_FLD, fd.0, rs.0, 0, 0, offset as u64, &mut b),
+        Inst::FStore { ft, rs, offset } => put(OP_FST, ft.0, rs.0, 0, 0, offset as u64, &mut b),
+        Inst::Prefetch { rs, offset } => put(OP_PREFETCH, 0, rs.0, 0, 0, offset as u64, &mut b),
+        Inst::Branch {
+            cond,
+            rs,
+            rt,
+            target,
+        } => put(OP_BR, 0, rs.0, rt.0, cond_code(cond), target as u64, &mut b),
+        Inst::Jump { target } => put(OP_J, 0, 0, 0, 0, target as u64, &mut b),
+        Inst::Call { target } => put(OP_CALL, 0, 0, 0, 0, target as u64, &mut b),
+        Inst::JumpReg { rs } => put(OP_JR, 0, rs.0, 0, 0, 0, &mut b),
+        Inst::Nop => put(OP_NOP, 0, 0, 0, 0, 0, &mut b),
+        Inst::Halt => put(OP_HALT, 0, 0, 0, 0, 0, &mut b),
+    }
+    b
+}
+
+/// Encodes a whole instruction stream.
+pub fn encode_all(insts: &[Inst]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(insts.len() * INST_BYTES as usize);
+    for i in insts {
+        out.extend_from_slice(&encode(i));
+    }
+    out
+}
+
+/// Decodes an instruction stream from bytes.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated buffers or unknown encodings.
+pub fn decode(bytes: &[u8]) -> Result<Vec<Inst>, DecodeError> {
+    if bytes.len() % INST_BYTES as usize != 0 {
+        return Err(DecodeError::BadLength(bytes.len()));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / INST_BYTES as usize);
+    for (i, chunk) in bytes.chunks_exact(INST_BYTES as usize).enumerate() {
+        let op = chunk[0];
+        let r1 = chunk[1];
+        let r2 = chunk[2];
+        let r3 = chunk[3];
+        let sub = u32::from_le_bytes(chunk[4..8].try_into().expect("4 bytes"));
+        let imm = u64::from_le_bytes(chunk[8..16].try_into().expect("8 bytes"));
+        let bad_sub = || DecodeError::BadSubOpcode(i, sub);
+        let inst = match op {
+            OP_ALU => Inst::Alu {
+                op: alu_from(sub).ok_or_else(bad_sub)?,
+                rd: Reg(r1),
+                rs: Reg(r2),
+                rt: Reg(r3),
+            },
+            OP_ALUI => Inst::AluImm {
+                op: alu_from(sub).ok_or_else(bad_sub)?,
+                rd: Reg(r1),
+                rs: Reg(r2),
+                imm: imm as i64,
+            },
+            OP_LI => Inst::LoadImm {
+                rd: Reg(r1),
+                imm: imm as i64,
+            },
+            OP_MUL => Inst::Mul {
+                rd: Reg(r1),
+                rs: Reg(r2),
+                rt: Reg(r3),
+            },
+            OP_DIV => Inst::Div {
+                rd: Reg(r1),
+                rs: Reg(r2),
+                rt: Reg(r3),
+            },
+            OP_REM => Inst::Rem {
+                rd: Reg(r1),
+                rs: Reg(r2),
+                rt: Reg(r3),
+            },
+            OP_FADD => Inst::FAdd {
+                fd: FReg(r1),
+                fs: FReg(r2),
+                ft: FReg(r3),
+            },
+            OP_FSUB => Inst::FSub {
+                fd: FReg(r1),
+                fs: FReg(r2),
+                ft: FReg(r3),
+            },
+            OP_FMUL => Inst::FMul {
+                fd: FReg(r1),
+                fs: FReg(r2),
+                ft: FReg(r3),
+            },
+            OP_FDIV => Inst::FDiv {
+                fd: FReg(r1),
+                fs: FReg(r2),
+                ft: FReg(r3),
+            },
+            OP_FCMP => Inst::FCmp {
+                op: fcmp_from(sub).ok_or_else(bad_sub)?,
+                rd: Reg(r1),
+                fs: FReg(r2),
+                ft: FReg(r3),
+            },
+            OP_CVTIF => Inst::CvtIf {
+                fd: FReg(r1),
+                rs: Reg(r2),
+            },
+            OP_CVTFI => Inst::CvtFi {
+                rd: Reg(r1),
+                fs: FReg(r2),
+            },
+            OP_FLI => Inst::FLoadImm {
+                fd: FReg(r1),
+                imm: f64::from_bits(imm),
+            },
+            OP_LD => Inst::Load {
+                rd: Reg(r1),
+                rs: Reg(r2),
+                offset: imm as i64,
+            },
+            OP_ST => Inst::Store {
+                rt: Reg(r1),
+                rs: Reg(r2),
+                offset: imm as i64,
+            },
+            OP_LDB => Inst::LoadByte {
+                rd: Reg(r1),
+                rs: Reg(r2),
+                offset: imm as i64,
+            },
+            OP_STB => Inst::StoreByte {
+                rt: Reg(r1),
+                rs: Reg(r2),
+                offset: imm as i64,
+            },
+            OP_FLD => Inst::FLoad {
+                fd: FReg(r1),
+                rs: Reg(r2),
+                offset: imm as i64,
+            },
+            OP_FST => Inst::FStore {
+                ft: FReg(r1),
+                rs: Reg(r2),
+                offset: imm as i64,
+            },
+            OP_PREFETCH => Inst::Prefetch {
+                rs: Reg(r2),
+                offset: imm as i64,
+            },
+            OP_BR => Inst::Branch {
+                cond: cond_from(sub).ok_or_else(bad_sub)?,
+                rs: Reg(r2),
+                rt: Reg(r3),
+                target: imm as u32,
+            },
+            OP_J => Inst::Jump { target: imm as u32 },
+            OP_CALL => Inst::Call { target: imm as u32 },
+            OP_JR => Inst::JumpReg { rs: Reg(r2) },
+            OP_NOP => Inst::Nop,
+            OP_HALT => Inst::Halt,
+            other => return Err(DecodeError::BadOpcode(i, other)),
+        };
+        out.push(inst);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_instructions() -> Vec<Inst> {
+        vec![
+            Inst::Alu {
+                op: AluOp::Xor,
+                rd: Reg(3),
+                rs: Reg(4),
+                rt: Reg(5),
+            },
+            Inst::AluImm {
+                op: AluOp::Shr,
+                rd: Reg(6),
+                rs: Reg(7),
+                imm: -12345,
+            },
+            Inst::LoadImm {
+                rd: Reg(1),
+                imm: i64::MIN,
+            },
+            Inst::Mul {
+                rd: Reg(8),
+                rs: Reg(9),
+                rt: Reg(10),
+            },
+            Inst::Div {
+                rd: Reg(8),
+                rs: Reg(9),
+                rt: Reg(10),
+            },
+            Inst::Rem {
+                rd: Reg(8),
+                rs: Reg(9),
+                rt: Reg(10),
+            },
+            Inst::FAdd {
+                fd: FReg(1),
+                fs: FReg(2),
+                ft: FReg(3),
+            },
+            Inst::FSub {
+                fd: FReg(1),
+                fs: FReg(2),
+                ft: FReg(3),
+            },
+            Inst::FMul {
+                fd: FReg(1),
+                fs: FReg(2),
+                ft: FReg(3),
+            },
+            Inst::FDiv {
+                fd: FReg(1),
+                fs: FReg(2),
+                ft: FReg(3),
+            },
+            Inst::FCmp {
+                op: FCmpOp::Le,
+                rd: Reg(2),
+                fs: FReg(4),
+                ft: FReg(5),
+            },
+            Inst::CvtIf {
+                fd: FReg(6),
+                rs: Reg(7),
+            },
+            Inst::CvtFi {
+                rd: Reg(7),
+                fs: FReg(6),
+            },
+            Inst::FLoadImm {
+                fd: FReg(9),
+                imm: -0.0,
+            },
+            Inst::Load {
+                rd: Reg(11),
+                rs: Reg(12),
+                offset: -8,
+            },
+            Inst::Store {
+                rt: Reg(13),
+                rs: Reg(14),
+                offset: 4096,
+            },
+            Inst::LoadByte {
+                rd: Reg(15),
+                rs: Reg(16),
+                offset: 3,
+            },
+            Inst::StoreByte {
+                rt: Reg(17),
+                rs: Reg(18),
+                offset: 5,
+            },
+            Inst::FLoad {
+                fd: FReg(19),
+                rs: Reg(20),
+                offset: 64,
+            },
+            Inst::FStore {
+                ft: FReg(21),
+                rs: Reg(22),
+                offset: 72,
+            },
+            Inst::Prefetch {
+                rs: Reg(23),
+                offset: 256,
+            },
+            Inst::Branch {
+                cond: BranchCond::Ge,
+                rs: Reg(24),
+                rt: Reg(25),
+                target: 99,
+            },
+            Inst::Jump { target: 7 },
+            Inst::Call { target: 42 },
+            Inst::JumpReg { rs: Reg(31) },
+            Inst::Nop,
+            Inst::Halt,
+        ]
+    }
+
+    #[test]
+    fn every_instruction_roundtrips() {
+        let insts = sample_instructions();
+        let bytes = encode_all(&insts);
+        assert_eq!(bytes.len(), insts.len() * INST_BYTES as usize);
+        let decoded = decode(&bytes).unwrap();
+        for (orig, dec) in insts.iter().zip(&decoded) {
+            match (orig, dec) {
+                // -0.0 must preserve its bit pattern.
+                (Inst::FLoadImm { imm: a, .. }, Inst::FLoadImm { imm: b, .. }) => {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+                _ => assert_eq!(orig, dec),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_buffer_rejected() {
+        let bytes = encode(&Inst::Nop);
+        assert_eq!(
+            decode(&bytes[..10]).unwrap_err(),
+            DecodeError::BadLength(10)
+        );
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        let mut bytes = encode(&Inst::Nop).to_vec();
+        bytes[0] = 0xff;
+        assert!(matches!(
+            decode(&bytes),
+            Err(DecodeError::BadOpcode(0, 0xff))
+        ));
+    }
+
+    #[test]
+    fn unknown_sub_opcode_rejected() {
+        let mut bytes = encode(&Inst::Alu {
+            op: AluOp::Add,
+            rd: Reg(1),
+            rs: Reg(2),
+            rt: Reg(3),
+        })
+        .to_vec();
+        bytes[4] = 200;
+        assert!(matches!(
+            decode(&bytes),
+            Err(DecodeError::BadSubOpcode(0, 200))
+        ));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(DecodeError::BadLength(3).to_string().contains("3"));
+        assert!(DecodeError::BadOpcode(1, 0xff).to_string().contains("0xff"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Sparse paged byte-addressable memory.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// A sparse 64-bit address space backed by 4 KiB pages allocated on demand.
+///
+/// Unwritten memory reads as zero, which matches zero-initialized globals and
+/// bss in the programs the compiler emits.
+///
+/// # Examples
+///
+/// ```
+/// use emod_isa::Memory;
+///
+/// let mut mem = Memory::new();
+/// mem.write_u64(0x1000_0000, 0xdead_beef);
+/// assert_eq!(mem.read_u64(0x1000_0000), 0xdead_beef);
+/// assert_eq!(mem.read_u64(0x2000_0000), 0); // untouched memory is zero
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Number of resident pages (for footprint diagnostics).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Reads a little-endian u64 (unaligned access allowed).
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let off = (addr & PAGE_MASK) as usize;
+        if off <= PAGE_SIZE - 8 {
+            // Fast path: the value lives in one page.
+            match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(page) => {
+                    u64::from_le_bytes(page[off..off + 8].try_into().expect("8 bytes"))
+                }
+                None => 0,
+            }
+        } else {
+            let mut v = 0u64;
+            for i in 0..8 {
+                v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+            }
+            v
+        }
+    }
+
+    /// Writes a little-endian u64.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        let off = (addr & PAGE_MASK) as usize;
+        if off <= PAGE_SIZE - 8 {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            page[off..off + 8].copy_from_slice(&value.to_le_bytes());
+        } else {
+            for i in 0..8 {
+                self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+            }
+        }
+    }
+
+    /// Reads an i64.
+    pub fn read_i64(&self, addr: u64) -> i64 {
+        self.read_u64(addr) as i64
+    }
+
+    /// Writes an i64.
+    pub fn write_i64(&mut self, addr: u64, value: i64) {
+        self.write_u64(addr, value as u64);
+    }
+
+    /// Reads an f64 (bit pattern).
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an f64 (bit pattern).
+    pub fn write_f64(&mut self, addr: u64, value: f64) {
+        self.write_u64(addr, value.to_bits());
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_on_fresh_read() {
+        let mem = Memory::new();
+        assert_eq!(mem.read_u8(12345), 0);
+        assert_eq!(mem.read_u64(0xffff_ffff_0000), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn u64_roundtrip_and_endianness() {
+        let mut mem = Memory::new();
+        mem.write_u64(100, 0x0102_0304_0506_0708);
+        assert_eq!(mem.read_u8(100), 0x08); // little endian LSB first
+        assert_eq!(mem.read_u8(107), 0x01);
+        assert_eq!(mem.read_u64(100), 0x0102_0304_0506_0708);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut mem = Memory::new();
+        let addr = (1 << PAGE_SHIFT) - 4; // straddles a page boundary
+        mem.write_u64(addr, u64::MAX);
+        assert_eq!(mem.read_u64(addr), u64::MAX);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn signed_and_float_roundtrip() {
+        let mut mem = Memory::new();
+        mem.write_i64(8, -42);
+        assert_eq!(mem.read_i64(8), -42);
+        mem.write_f64(16, -2.5);
+        assert_eq!(mem.read_f64(16), -2.5);
+    }
+
+    #[test]
+    fn write_bytes_copies() {
+        let mut mem = Memory::new();
+        mem.write_bytes(1000, &[1, 2, 3]);
+        assert_eq!(mem.read_u8(1000), 1);
+        assert_eq!(mem.read_u8(1002), 3);
+        assert_eq!(mem.read_u8(1003), 0);
+    }
+}

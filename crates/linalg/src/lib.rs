@@ -1,0 +1,87 @@
+//! Dense linear algebra kernels used by the empirical-modeling stack.
+//!
+//! The modeling crates need a small, dependable set of numerical routines:
+//! matrix products, Cholesky and QR factorizations, least-squares solves and
+//! (log-)determinants for the D-optimality criterion. This crate implements
+//! them from scratch over a row-major [`Matrix`] type with `f64` entries.
+//!
+//! # Examples
+//!
+//! ```
+//! use emod_linalg::Matrix;
+//!
+//! // Solve the least-squares problem min ||X b - y||^2.
+//! let x = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]);
+//! let y = [1.0, 3.0, 5.0];
+//! let beta = x.solve_lstsq(&y).unwrap();
+//! assert!((beta[0] - 1.0).abs() < 1e-9 && (beta[1] - 2.0).abs() < 1e-9);
+//! ```
+
+mod cholesky;
+mod matrix;
+mod qr;
+
+pub use cholesky::Cholesky;
+pub use matrix::Matrix;
+pub use qr::Qr;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Shape of the left/first operand.
+        left: (usize, usize),
+        /// Shape of the right/second operand.
+        right: (usize, usize),
+    },
+    /// The matrix is not positive definite (Cholesky) or is rank deficient
+    /// beyond what the routine can handle.
+    NotPositiveDefinite,
+    /// The system is singular and no ridge fallback was permitted.
+    Singular,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { left, right } => write!(
+                f,
+                "shape mismatch: ({}x{}) incompatible with ({}x{})",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
+            LinalgError::Singular => write!(f, "matrix is singular"),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+/// Convenience alias for results from this crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_nonempty() {
+        let e = LinalgError::ShapeMismatch {
+            left: (2, 3),
+            right: (4, 5),
+        };
+        assert!(e.to_string().contains("2x3"));
+        assert!(!LinalgError::Singular.to_string().is_empty());
+        assert!(!LinalgError::NotPositiveDefinite.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

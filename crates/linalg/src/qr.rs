@@ -1,0 +1,257 @@
+//! Householder QR factorization and least-squares solves.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Householder QR factorization of an `m x n` matrix with `m >= n`.
+///
+/// Stores the Householder vectors packed below the diagonal of `R`, the
+/// standard LAPACK-style compact representation, and applies `Qᵀ` implicitly.
+///
+/// # Examples
+///
+/// ```
+/// use emod_linalg::{Matrix, Qr};
+///
+/// let x = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
+/// let qr = Qr::new(&x)?;
+/// let beta = qr.solve(&[2.0, 3.0, 4.0])?; // y = 1 + x
+/// assert!((beta[0] - 1.0).abs() < 1e-10 && (beta[1] - 1.0).abs() < 1e-10);
+/// # Ok::<(), emod_linalg::LinalgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Packed factorization: R on and above the diagonal, Householder
+    /// vectors (with implicit leading 1) below it.
+    packed: Matrix,
+    /// Scalar tau for each reflector.
+    taus: Vec<f64>,
+    full_rank: bool,
+}
+
+impl Qr {
+    /// Factorizes `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `a` has more columns than
+    /// rows (the least-squares use case requires `m >= n`).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::ShapeMismatch {
+                left: a.shape(),
+                right: (n, n),
+            });
+        }
+        let mut packed = a.clone();
+        let mut taus = Vec::with_capacity(n);
+        let mut full_rank = true;
+        // Scale tolerance by the largest column norm.
+        let mut max_norm = 0.0f64;
+        for j in 0..n {
+            let norm: f64 = (0..m).map(|i| packed[(i, j)].powi(2)).sum::<f64>().sqrt();
+            max_norm = max_norm.max(norm);
+        }
+        let tol = 1e-12 * max_norm.max(1.0);
+
+        for k in 0..n {
+            // Compute the norm of the k-th column below the diagonal.
+            let mut norm2 = 0.0;
+            for i in k..m {
+                norm2 += packed[(i, k)] * packed[(i, k)];
+            }
+            let norm = norm2.sqrt();
+            if norm <= tol {
+                // Rank-deficient column; record a null reflector.
+                taus.push(0.0);
+                full_rank = false;
+                continue;
+            }
+            let alpha = if packed[(k, k)] >= 0.0 { -norm } else { norm };
+            // v = x - alpha * e1, normalized so v[0] = 1.
+            let v0 = packed[(k, k)] - alpha;
+            let tau = -v0 / alpha;
+            for i in k + 1..m {
+                packed[(i, k)] /= v0;
+            }
+            packed[(k, k)] = alpha;
+            // Apply the reflector to the trailing columns.
+            for j in k + 1..n {
+                let mut dot = packed[(k, j)];
+                for i in k + 1..m {
+                    dot += packed[(i, k)] * packed[(i, j)];
+                }
+                dot *= tau;
+                packed[(k, j)] -= dot;
+                for i in k + 1..m {
+                    let vik = packed[(i, k)];
+                    packed[(i, j)] -= dot * vik;
+                }
+            }
+            taus.push(tau);
+        }
+        Ok(Qr {
+            packed,
+            taus,
+            full_rank,
+        })
+    }
+
+    /// Whether every diagonal entry of `R` is significantly nonzero.
+    pub fn is_full_rank(&self) -> bool {
+        self.full_rank
+    }
+
+    /// The upper-triangular factor `R` (top `n x n` block).
+    pub fn r(&self) -> Matrix {
+        let n = self.packed.cols();
+        let mut r = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                r[(i, j)] = self.packed[(i, j)];
+            }
+        }
+        r
+    }
+
+    /// The explicit (thin) orthogonal factor `Q` (`m x n`).
+    pub fn q(&self) -> Matrix {
+        let (m, n) = self.packed.shape();
+        let mut q = Matrix::zeros(m, n);
+        for j in 0..n {
+            // Start from e_j and apply reflectors in reverse.
+            let mut col = vec![0.0; m];
+            col[j] = 1.0;
+            for k in (0..n).rev() {
+                let tau = self.taus[k];
+                if tau == 0.0 {
+                    continue;
+                }
+                let mut dot = col[k];
+                for i in k + 1..m {
+                    dot += self.packed[(i, k)] * col[i];
+                }
+                dot *= tau;
+                col[k] -= dot;
+                for i in k + 1..m {
+                    col[i] -= dot * self.packed[(i, k)];
+                }
+            }
+            for i in 0..m {
+                q[(i, j)] = col[i];
+            }
+        }
+        q
+    }
+
+    /// Solves `min ||A x - b||²` via `R x = Qᵀ b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] on a length mismatch and
+    /// [`LinalgError::Singular`] when `A` was rank deficient.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.packed.shape();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                left: (m, n),
+                right: (b.len(), 1),
+            });
+        }
+        if !self.full_rank {
+            return Err(LinalgError::Singular);
+        }
+        // qtb = Qᵀ b, applying reflectors forward.
+        let mut qtb = b.to_vec();
+        for k in 0..n {
+            let tau = self.taus[k];
+            if tau == 0.0 {
+                continue;
+            }
+            let mut dot = qtb[k];
+            for i in k + 1..m {
+                dot += self.packed[(i, k)] * qtb[i];
+            }
+            dot *= tau;
+            qtb[k] -= dot;
+            for i in k + 1..m {
+                qtb[i] -= dot * self.packed[(i, k)];
+            }
+        }
+        // Back substitution with R.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = qtb[i];
+            for j in i + 1..n {
+                sum -= self.packed[(i, j)] * x[j];
+            }
+            x[i] = sum / self.packed[(i, i)];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> Matrix {
+        Matrix::from_rows(&[
+            &[1.0, 2.0, 0.0],
+            &[0.0, 1.0, 1.0],
+            &[1.0, 0.0, 1.0],
+            &[2.0, 1.0, 1.0],
+        ])
+    }
+
+    #[test]
+    fn qr_reconstructs_a() {
+        let a = example();
+        let qr = Qr::new(&a).unwrap();
+        let recon = qr.q().matmul(&qr.r()).unwrap();
+        assert!(recon.max_abs_diff(&a).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let qr = Qr::new(&example()).unwrap();
+        let q = qr.q();
+        let qtq = q.transpose().matmul(&q).unwrap();
+        assert!(qtq.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn solve_overdetermined_matches_normal_equations() {
+        let a = example();
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let qr = Qr::new(&a).unwrap();
+        let x = qr.solve(&b).unwrap();
+        // Residual must be orthogonal to the column space: Aᵀ(Ax - b) = 0.
+        let ax = a.matvec(&x).unwrap();
+        let resid: Vec<f64> = ax.iter().zip(&b).map(|(p, t)| p - t).collect();
+        let at_r = a.transpose().matvec(&resid).unwrap();
+        for v in at_r {
+            assert!(v.abs() < 1e-10, "residual not orthogonal: {}", v);
+        }
+    }
+
+    #[test]
+    fn detects_rank_deficiency() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let qr = Qr::new(&a).unwrap();
+        assert!(!qr.is_full_rank());
+        assert_eq!(qr.solve(&[1.0, 2.0, 3.0]).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn rejects_underdetermined() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Qr::new(&a), Err(LinalgError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn solve_wrong_len_errors() {
+        let qr = Qr::new(&example()).unwrap();
+        assert!(qr.solve(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the linear algebra kernels.
+
+use emod_linalg::{Cholesky, Matrix, Qr};
+use proptest::prelude::*;
+
+/// Strategy producing a well-conditioned random matrix with m >= n.
+fn tall_matrix() -> impl Strategy<Value = Matrix> {
+    (2usize..6, 1usize..4).prop_flat_map(|(extra, n)| {
+        let m = n + extra;
+        proptest::collection::vec(-10.0f64..10.0, m * n)
+            .prop_map(move |data| Matrix::from_vec(m, n, data))
+    })
+}
+
+fn square_entries(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-5.0f64..5.0, n * n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn qr_reconstruction(a in tall_matrix()) {
+        let qr = Qr::new(&a).unwrap();
+        let recon = qr.q().matmul(&qr.r()).unwrap();
+        prop_assert!(recon.max_abs_diff(&a).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn qr_q_orthonormal(a in tall_matrix()) {
+        let qr = Qr::new(&a).unwrap();
+        let q = qr.q();
+        let qtq = q.transpose().matmul(&q).unwrap();
+        prop_assert!(qtq.max_abs_diff(&Matrix::identity(a.cols())).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn cholesky_reconstruction(n in 1usize..5, entries in square_entries(4)) {
+        // Build an SPD matrix as B Bᵀ + n*I from random B.
+        let b = Matrix::from_vec(4, 4, entries);
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        a.add_diagonal(n as f64 + 1.0);
+        let chol = Cholesky::new(&a).unwrap();
+        let llt = chol.l().matmul(&chol.l().transpose()).unwrap();
+        prop_assert!(llt.max_abs_diff(&a).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn cholesky_solve_roundtrip(entries in square_entries(3), x in proptest::collection::vec(-3.0f64..3.0, 3)) {
+        let b = Matrix::from_vec(3, 3, entries);
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        a.add_diagonal(2.0);
+        let rhs = a.matvec(&x).unwrap();
+        let got = Cholesky::new(&a).unwrap().solve(&rhs).unwrap();
+        for (g, t) in got.iter().zip(&x) {
+            prop_assert!((g - t).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn lstsq_residual_orthogonality(a in tall_matrix(), seed in 0u64..1000) {
+        // Deterministic pseudo-random rhs from the seed.
+        let m = a.rows();
+        let b: Vec<f64> = (0..m).map(|i| (((seed + i as u64 * 31) % 17) as f64) - 8.0).collect();
+        if let Ok(x) = a.solve_lstsq(&b) {
+            let ax = a.matvec(&x).unwrap();
+            let resid: Vec<f64> = ax.iter().zip(&b).map(|(p, t)| p - t).collect();
+            let atr = a.transpose().matvec(&resid).unwrap();
+            let scale = a.norm().max(1.0);
+            for v in atr {
+                prop_assert!(v.abs() < 1e-5 * scale, "non-orthogonal residual: {}", v);
+            }
+        }
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diag(a in tall_matrix()) {
+        let g = a.gram();
+        for i in 0..g.rows() {
+            prop_assert!(g[(i, i)] >= -1e-12);
+            for j in 0..g.cols() {
+                prop_assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-12);
+            }
+        }
+    }
+}

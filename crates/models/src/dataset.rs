@@ -1,0 +1,190 @@
+//! Training/test datasets of coded design points and measured responses.
+
+use crate::{ModelError, Result};
+
+/// A set of `(coded design point, response)` samples.
+///
+/// This is the paper's *training data set* (or, generated independently, its
+/// *test data set*, §2.1). Points are coded onto `[-1, 1]` per coordinate.
+///
+/// # Examples
+///
+/// ```
+/// use emod_models::Dataset;
+///
+/// let data = Dataset::new(vec![vec![0.0], vec![1.0]], vec![1.0, 2.0])?;
+/// assert_eq!(data.len(), 2);
+/// assert_eq!(data.dim(), 1);
+/// # Ok::<(), emod_models::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    xs: Vec<Vec<f64>>,
+    ys: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates a dataset from points and responses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidDataset`] when empty, when lengths differ,
+    /// when point dimensions are ragged, or when any value is non-finite.
+    pub fn new(xs: Vec<Vec<f64>>, ys: Vec<f64>) -> Result<Self> {
+        if xs.is_empty() {
+            return Err(ModelError::InvalidDataset("no samples".into()));
+        }
+        if xs.len() != ys.len() {
+            return Err(ModelError::InvalidDataset(format!(
+                "{} points but {} responses",
+                xs.len(),
+                ys.len()
+            )));
+        }
+        let dim = xs[0].len();
+        if dim == 0 {
+            return Err(ModelError::InvalidDataset("zero-dimensional points".into()));
+        }
+        for (i, x) in xs.iter().enumerate() {
+            if x.len() != dim {
+                return Err(ModelError::InvalidDataset(format!(
+                    "point {} has dimension {} (expected {})",
+                    i,
+                    x.len(),
+                    dim
+                )));
+            }
+            if x.iter().any(|v| !v.is_finite()) {
+                return Err(ModelError::InvalidDataset(format!(
+                    "point {} has a non-finite coordinate",
+                    i
+                )));
+            }
+        }
+        if ys.iter().any(|v| !v.is_finite()) {
+            return Err(ModelError::InvalidDataset("non-finite response".into()));
+        }
+        Ok(Dataset { xs, ys })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the dataset has no samples (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Dimension of each design point.
+    pub fn dim(&self) -> usize {
+        self.xs[0].len()
+    }
+
+    /// The design points.
+    pub fn points(&self) -> &[Vec<f64>] {
+        &self.xs
+    }
+
+    /// The responses.
+    pub fn responses(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// The `i`-th sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn sample(&self, i: usize) -> (&[f64], f64) {
+        (&self.xs[i], self.ys[i])
+    }
+
+    /// Mean of the responses.
+    pub fn response_mean(&self) -> f64 {
+        self.ys.iter().sum::<f64>() / self.ys.len() as f64
+    }
+
+    /// Restricts to the samples at `indices` (cloning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            xs: indices.iter().map(|&i| self.xs[i].clone()).collect(),
+            ys: indices.iter().map(|&i| self.ys[i]).collect(),
+        }
+    }
+
+    /// Takes the first `n` samples (or all if fewer).
+    pub fn take(&self, n: usize) -> Dataset {
+        let n = n.min(self.len());
+        Dataset {
+            xs: self.xs[..n].to_vec(),
+            ys: self.ys[..n].to_vec(),
+        }
+    }
+
+    /// Distinct sorted values of coordinate `var` — candidate MARS knots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= self.dim()`.
+    pub fn distinct_values(&self, var: usize) -> Vec<f64> {
+        assert!(var < self.dim(), "variable {} out of range", var);
+        let mut vals: Vec<f64> = self.xs.iter().map(|x| x[var]).collect();
+        vals.sort_by(f64::total_cmp);
+        vals.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        vals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(Dataset::new(vec![], vec![]).is_err());
+        assert!(Dataset::new(vec![vec![1.0]], vec![]).is_err());
+        assert!(Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0.0, 0.0]).is_err());
+        assert!(Dataset::new(vec![vec![]], vec![0.0]).is_err());
+        assert!(Dataset::new(vec![vec![f64::NAN]], vec![0.0]).is_err());
+        assert!(Dataset::new(vec![vec![0.0]], vec![f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let d = Dataset::new(vec![vec![1.0, 2.0], vec![3.0, 4.0]], vec![10.0, 20.0]).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.sample(1), (&[3.0, 4.0][..], 20.0));
+        assert_eq!(d.response_mean(), 15.0);
+    }
+
+    #[test]
+    fn subset_and_take() {
+        let d = Dataset::new(
+            vec![vec![0.0], vec![1.0], vec![2.0]],
+            vec![0.0, 1.0, 2.0],
+        )
+        .unwrap();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.points(), &[vec![2.0], vec![0.0]]);
+        assert_eq!(s.responses(), &[2.0, 0.0]);
+        assert_eq!(d.take(2).len(), 2);
+        assert_eq!(d.take(99).len(), 3);
+    }
+
+    #[test]
+    fn distinct_values_sorted_deduped() {
+        let d = Dataset::new(
+            vec![vec![1.0], vec![-1.0], vec![1.0], vec![0.0]],
+            vec![0.0; 4],
+        )
+        .unwrap();
+        assert_eq!(d.distinct_values(0), vec![-1.0, 0.0, 1.0]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Empirical regression models (paper §4).
+//!
+//! Three families of models relate a response (execution time) to coded
+//! predictor variables, exactly as evaluated in the paper:
+//!
+//! * [`LinearModel`] — global parametric least-squares fit with main effects
+//!   and optional two-factor interactions (§4.1),
+//! * [`Mars`] — multivariate adaptive regression splines: recursive
+//!   partitioning with hinge (q = 1 spline) basis functions, pruned by
+//!   generalized cross validation (§4.2),
+//! * [`RbfNetwork`] — radial basis function network whose centers and radii
+//!   come from a [`RegressionTree`] over the training data, weights solved by
+//!   least squares, model size selected by BIC (§4.3–§4.4).
+//!
+//! All models consume *coded* design points (each coordinate in `[-1, 1]`,
+//! see `emod_doe::ParameterSpace::encode`) and implement [`Regressor`].
+//!
+//! # Examples
+//!
+//! ```
+//! use emod_models::{Dataset, Regressor, RbfConfig, RbfNetwork};
+//!
+//! // y = x0² (nonlinear: a linear model cannot fit it, an RBF can).
+//! let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![-1.0 + i as f64 / 20.0]).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[0]).collect();
+//! let data = Dataset::new(xs, ys)?;
+//! let rbf = RbfNetwork::fit(&data, RbfConfig::default())?;
+//! assert!((rbf.predict(&[0.5]) - 0.25).abs() < 0.15);
+//! # Ok::<(), emod_models::ModelError>(())
+//! ```
+
+mod dataset;
+mod linear;
+mod mars;
+pub mod metrics;
+mod rbf;
+mod tree;
+
+pub use dataset::Dataset;
+pub use linear::{LinearModel, LinearTerms};
+pub use mars::{BasisFunction, Hinge, Mars, MarsConfig};
+pub use rbf::{Kernel, RbfConfig, RbfNetwork};
+pub use tree::{RegressionTree, TreeConfig, TreeLeaf};
+
+use std::error::Error;
+use std::fmt;
+
+/// A fitted regression model mapping coded design points to a response.
+///
+/// The `Regressor` trait is object safe so heterogeneous model collections
+/// (e.g. the paper's three-way comparison) can be stored together.
+pub trait Regressor {
+    /// Predicts the response at a coded design point.
+    fn predict(&self, x: &[f64]) -> f64;
+
+    /// Predicts the response at each of a batch of points.
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Number of free parameters, used by complexity-penalizing criteria.
+    fn parameter_count(&self) -> usize;
+}
+
+/// Error produced when fitting a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The dataset is empty or has inconsistent dimensions.
+    InvalidDataset(String),
+    /// The numerical solve failed (singular system and no fallback).
+    NumericalFailure(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidDataset(msg) => write!(f, "invalid dataset: {}", msg),
+            ModelError::NumericalFailure(msg) => write!(f, "numerical failure: {}", msg),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+/// Convenience alias for results from this crate.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_error_display() {
+        assert!(ModelError::InvalidDataset("empty".into())
+            .to_string()
+            .contains("empty"));
+        assert!(ModelError::NumericalFailure("qr".into())
+            .to_string()
+            .contains("qr"));
+    }
+
+    #[test]
+    fn regressor_is_object_safe() {
+        fn _takes(_: &dyn Regressor) {}
+    }
+}

@@ -1,0 +1,264 @@
+//! Global parametric linear regression models (paper §4.1).
+
+use crate::{metrics, Dataset, ModelError, Regressor, Result};
+use emod_linalg::Matrix;
+
+/// Which terms a [`LinearModel`] includes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinearTerms {
+    /// Intercept + one coefficient per predictor (paper's simplest form).
+    MainEffects,
+    /// Intercept + mains + all two-factor interactions (paper Equation 2) —
+    /// the configuration evaluated in the paper.
+    TwoFactor,
+}
+
+/// A least-squares linear regression model over coded predictors.
+///
+/// The partial regression coefficients "reflect the effect or significance of
+/// the corresponding predictor variable on the response" (§4.1); with coded
+/// `[-1, 1]` predictors each main coefficient is one-half the predicted
+/// change from a variable's low to high value.
+///
+/// # Examples
+///
+/// ```
+/// use emod_models::{Dataset, LinearModel, LinearTerms, Regressor};
+///
+/// // y = 3 + 2*x0 - x1 + x0*x1
+/// let xs = vec![
+///     vec![-1.0, -1.0], vec![-1.0, 1.0], vec![1.0, -1.0], vec![1.0, 1.0],
+///     vec![0.0, 0.0],
+/// ];
+/// let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x[0] - x[1] + x[0] * x[1]).collect();
+/// let data = Dataset::new(xs, ys)?;
+/// let model = LinearModel::fit(&data, LinearTerms::TwoFactor)?;
+/// assert!((model.predict(&[0.5, -0.5]) - (3.0 + 1.0 + 0.5 - 0.25)).abs() < 1e-9);
+/// # Ok::<(), emod_models::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearModel {
+    terms: LinearTerms,
+    dim: usize,
+    coefficients: Vec<f64>,
+    training_sse: f64,
+    training_samples: usize,
+}
+
+impl LinearModel {
+    /// Fits the model by least squares (paper Equation 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NumericalFailure`] if the least-squares system
+    /// cannot be solved even with ridge regularization.
+    pub fn fit(data: &Dataset, terms: LinearTerms) -> Result<Self> {
+        let dim = data.dim();
+        let p = Self::term_count_for(dim, terms);
+        let mut x = Matrix::zeros(0, p);
+        for pt in data.points() {
+            x.push_row(&Self::expand_point(pt, terms));
+        }
+        let coefficients = x
+            .solve_lstsq(data.responses())
+            .map_err(|e| ModelError::NumericalFailure(e.to_string()))?;
+        let predicted = x
+            .matvec(&coefficients)
+            .map_err(|e| ModelError::NumericalFailure(e.to_string()))?;
+        let training_sse = metrics::sse(&predicted, data.responses());
+        Ok(LinearModel {
+            terms,
+            dim,
+            coefficients,
+            training_sse,
+            training_samples: data.len(),
+        })
+    }
+
+    fn term_count_for(dim: usize, terms: LinearTerms) -> usize {
+        match terms {
+            LinearTerms::MainEffects => 1 + dim,
+            LinearTerms::TwoFactor => 1 + dim + dim * (dim - 1) / 2,
+        }
+    }
+
+    fn expand_point(x: &[f64], terms: LinearTerms) -> Vec<f64> {
+        let mut row = Vec::with_capacity(Self::term_count_for(x.len(), terms));
+        row.push(1.0);
+        row.extend_from_slice(x);
+        if terms == LinearTerms::TwoFactor {
+            for i in 0..x.len() {
+                for j in i + 1..x.len() {
+                    row.push(x[i] * x[j]);
+                }
+            }
+        }
+        row
+    }
+
+    /// The fitted coefficients: `[β0, β1..βk, (βij…)]`.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// The intercept `β0`.
+    pub fn intercept(&self) -> f64 {
+        self.coefficients[0]
+    }
+
+    /// Coefficient of main effect `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn main_effect(&self, var: usize) -> f64 {
+        assert!(var < self.dim, "variable out of range");
+        self.coefficients[1 + var]
+    }
+
+    /// Coefficient of the `(i, j)` interaction, if the model includes
+    /// interactions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` or either index is out of range.
+    pub fn interaction(&self, i: usize, j: usize) -> Option<f64> {
+        assert!(i < self.dim && j < self.dim && i != j, "bad index pair");
+        if self.terms == LinearTerms::MainEffects {
+            return None;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        // Offset of pair (a, b) in the upper-triangle enumeration.
+        let mut idx = 1 + self.dim;
+        for r in 0..a {
+            idx += self.dim - r - 1;
+        }
+        idx += b - a - 1;
+        Some(self.coefficients[idx])
+    }
+
+    /// SSE on the training data.
+    pub fn training_sse(&self) -> f64 {
+        self.training_sse
+    }
+
+    /// BIC on the training data (paper Equation 9).
+    pub fn bic(&self) -> f64 {
+        metrics::bic(
+            self.training_sse,
+            self.training_samples,
+            self.coefficients.len(),
+        )
+    }
+
+    /// Term structure the model was fit with.
+    pub fn terms(&self) -> LinearTerms {
+        self.terms
+    }
+}
+
+impl Regressor for LinearModel {
+    fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim, "point dimension mismatch");
+        Self::expand_point(x, self.terms)
+            .iter()
+            .zip(&self.coefficients)
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    fn parameter_count(&self) -> usize {
+        self.coefficients.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid2() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in -2..=2 {
+            for j in -2..=2 {
+                pts.push(vec![i as f64 / 2.0, j as f64 / 2.0]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_exact_linear_function() {
+        let xs = grid2();
+        let ys: Vec<f64> = xs.iter().map(|x| 5.0 - 3.0 * x[0] + 0.5 * x[1]).collect();
+        let m = LinearModel::fit(&Dataset::new(xs, ys).unwrap(), LinearTerms::MainEffects)
+            .unwrap();
+        assert!((m.intercept() - 5.0).abs() < 1e-10);
+        assert!((m.main_effect(0) + 3.0).abs() < 1e-10);
+        assert!((m.main_effect(1) - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn recovers_interaction_coefficient() {
+        let xs = grid2();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 2.0 * x[0] * x[1]).collect();
+        let m =
+            LinearModel::fit(&Dataset::new(xs, ys).unwrap(), LinearTerms::TwoFactor).unwrap();
+        assert!((m.interaction(0, 1).unwrap() - 2.0).abs() < 1e-10);
+        assert!((m.interaction(1, 0).unwrap() - 2.0).abs() < 1e-10);
+        assert!(m.main_effect(0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn interaction_indexing_three_vars() {
+        // y = x0*x2 only; checks the pair-offset arithmetic.
+        let mut xs = Vec::new();
+        for a in [-1.0, 1.0] {
+            for b in [-1.0, 1.0] {
+                for c in [-1.0, 1.0] {
+                    xs.push(vec![a, b, c]);
+                }
+            }
+        }
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[2]).collect();
+        let m =
+            LinearModel::fit(&Dataset::new(xs, ys).unwrap(), LinearTerms::TwoFactor).unwrap();
+        assert!((m.interaction(0, 2).unwrap() - 1.0).abs() < 1e-10);
+        assert!(m.interaction(0, 1).unwrap().abs() < 1e-10);
+        assert!(m.interaction(1, 2).unwrap().abs() < 1e-10);
+    }
+
+    #[test]
+    fn main_effects_model_has_no_interactions() {
+        let xs = grid2();
+        let ys = vec![1.0; xs.len()];
+        let m = LinearModel::fit(&Dataset::new(xs, ys).unwrap(), LinearTerms::MainEffects)
+            .unwrap();
+        assert_eq!(m.interaction(0, 1), None);
+        assert_eq!(m.parameter_count(), 3);
+    }
+
+    #[test]
+    fn cannot_fit_quadratic_exactly() {
+        // The motivating example from the paper's Figure 3: a response with a
+        // ridge (quadratic) cannot be captured by a linear model.
+        let xs: Vec<Vec<f64>> = (0..21).map(|i| vec![-1.0 + i as f64 / 10.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[0]).collect();
+        let m = LinearModel::fit(
+            &Dataset::new(xs.clone(), ys.clone()).unwrap(),
+            LinearTerms::MainEffects,
+        )
+        .unwrap();
+        let preds = m.predict_batch(&xs);
+        assert!(metrics::r_squared(&preds, &ys) < 0.1);
+        assert!(m.training_sse() > 0.1);
+    }
+
+    #[test]
+    fn bic_finite_for_reasonable_fit() {
+        let xs = grid2();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0]).collect();
+        let m = LinearModel::fit(&Dataset::new(xs, ys).unwrap(), LinearTerms::MainEffects)
+            .unwrap();
+        assert!(m.bic().is_finite());
+    }
+}

@@ -1,0 +1,502 @@
+//! Multivariate Adaptive Regression Splines (paper §4.2, Friedman 1991).
+
+use crate::{metrics, Dataset, ModelError, Regressor, Result};
+use emod_linalg::Matrix;
+
+/// One hinge factor `max(0, x_v - t)` or `max(0, t - x_v)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hinge {
+    /// Index of the predictor variable the hinge looks at.
+    pub var: usize,
+    /// Knot location (in coded units).
+    pub knot: f64,
+    /// `+1` for `max(0, x - t)`, `-1` for `max(0, t - x)`.
+    pub direction: i8,
+}
+
+impl Hinge {
+    /// Evaluates the hinge at a point.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        let d = if self.direction >= 0 {
+            x[self.var] - self.knot
+        } else {
+            self.knot - x[self.var]
+        };
+        d.max(0.0)
+    }
+}
+
+/// A MARS basis function: a product of at most `max_degree` hinges
+/// (the constant function when `hinges` is empty).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasisFunction {
+    hinges: Vec<Hinge>,
+}
+
+impl BasisFunction {
+    /// The constant basis function `B0(x) = 1`.
+    pub fn constant() -> Self {
+        BasisFunction { hinges: Vec::new() }
+    }
+
+    /// Evaluates the product of hinge factors at `x`.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        self.hinges.iter().map(|h| h.eval(x)).product()
+    }
+
+    /// Interaction degree (number of distinct variables involved).
+    pub fn degree(&self) -> usize {
+        self.variables().len()
+    }
+
+    /// The sorted set of distinct variables the function depends on.
+    pub fn variables(&self) -> Vec<usize> {
+        let mut vars: Vec<usize> = self.hinges.iter().map(|h| h.var).collect();
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+
+    /// Whether the function already involves variable `var`.
+    pub fn involves(&self, var: usize) -> bool {
+        self.hinges.iter().any(|h| h.var == var)
+    }
+
+    /// The hinge factors.
+    pub fn hinges(&self) -> &[Hinge] {
+        &self.hinges
+    }
+
+    fn extended(&self, hinge: Hinge) -> BasisFunction {
+        let mut hinges = self.hinges.clone();
+        hinges.push(hinge);
+        BasisFunction { hinges }
+    }
+}
+
+/// Configuration for the MARS forward/backward passes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarsConfig {
+    /// Maximum number of basis functions added by the forward pass
+    /// (including the constant).
+    pub max_terms: usize,
+    /// Maximum interaction degree of any basis function. The paper's linear
+    /// models stop at two-factor interactions; MARS uses the same cap.
+    pub max_degree: usize,
+    /// Maximum number of candidate knots per (parent, variable) pair;
+    /// knots are taken at evenly spaced order statistics of the data.
+    pub max_knots: usize,
+    /// GCV knot penalty (Friedman's `d`, conventionally ~3).
+    pub gcv_penalty: f64,
+}
+
+impl Default for MarsConfig {
+    fn default() -> Self {
+        MarsConfig {
+            max_terms: 21,
+            max_degree: 2,
+            max_knots: 16,
+            gcv_penalty: 3.0,
+        }
+    }
+}
+
+/// A fitted MARS model: `f(x) = Σ w_m B_m(x)` (paper Equation 6).
+///
+/// Fit in two stages: a greedy *forward pass* that repeatedly adds the
+/// reflected pair of hinge functions that most reduces training SSE, and a
+/// *backward pruning pass* that removes terms while the GCV criterion
+/// improves — the overfitting control the paper attributes to the `polspline`
+/// package.
+///
+/// # Examples
+///
+/// ```
+/// use emod_models::{Dataset, Mars, MarsConfig, Regressor};
+///
+/// // A hinge-shaped response: flat then rising, like the paper's Figure 3
+/// // unroll-factor curve.
+/// let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![-1.0 + i as f64 / 25.0]).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| 2.0 + 3.0 * (x[0] - 0.2f64).max(0.0)).collect();
+/// let model = Mars::fit(&Dataset::new(xs, ys)?, MarsConfig::default())?;
+/// assert!((model.predict(&[-0.5]) - 2.0).abs() < 0.1);
+/// assert!((model.predict(&[0.8]) - 3.8).abs() < 0.15);
+/// # Ok::<(), emod_models::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mars {
+    basis: Vec<BasisFunction>,
+    weights: Vec<f64>,
+    dim: usize,
+    training_gcv: f64,
+    training_sse: f64,
+}
+
+impl Mars {
+    /// Fits a MARS model to `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NumericalFailure`] if a least-squares solve
+    /// fails irrecoverably.
+    pub fn fit(data: &Dataset, config: MarsConfig) -> Result<Self> {
+        let n = data.len();
+        let mut basis = vec![BasisFunction::constant()];
+        // Scale for "the fit is already (near-)perfect" early exit.
+        let mean = data.response_mean();
+        let sst: f64 = data
+            .responses()
+            .iter()
+            .map(|y| (y - mean) * (y - mean))
+            .sum::<f64>()
+            .max(1e-12);
+        let mut best_sse = sst;
+
+        // Forward pass: always add the SSE-best reflected hinge pair, like
+        // Friedman's algorithm — the backward pass is responsible for
+        // removing unhelpful terms.
+        while basis.len() + 2 <= config.max_terms.max(1) && basis.len() + 2 < n {
+            if best_sse < 1e-10 * sst {
+                break; // interpolating already
+            }
+            let mut best_addition: Option<(usize, Hinge, f64)> = None; // (parent, hinge, sse)
+            for (parent_idx, parent) in basis.iter().enumerate() {
+                if parent.degree() >= config.max_degree {
+                    continue;
+                }
+                for var in 0..data.dim() {
+                    if parent.involves(var) {
+                        continue;
+                    }
+                    for knot in knot_candidates(data, var, config.max_knots) {
+                        let plus = parent.extended(Hinge {
+                            var,
+                            knot,
+                            direction: 1,
+                        });
+                        let minus = parent.extended(Hinge {
+                            var,
+                            knot,
+                            direction: -1,
+                        });
+                        let mut trial = basis.clone();
+                        trial.push(plus);
+                        trial.push(minus);
+                        if let Ok((_, sse)) = solve_weights(&trial, data) {
+                            if best_addition.as_ref().map_or(true, |b| sse < b.2) {
+                                best_addition = Some((
+                                    parent_idx,
+                                    Hinge {
+                                        var,
+                                        knot,
+                                        direction: 1,
+                                    },
+                                    sse,
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            match best_addition {
+                Some((parent_idx, hinge, sse)) => {
+                    let parent = basis[parent_idx].clone();
+                    basis.push(parent.extended(hinge));
+                    basis.push(parent.extended(Hinge {
+                        direction: -1,
+                        ..hinge
+                    }));
+                    best_sse = sse;
+                }
+                None => break,
+            }
+        }
+
+        // Backward pass: prune terms while GCV improves, keeping the best
+        // subset seen.
+        let (mut weights, mut sse) = solve_weights(&basis, data)?;
+        let mut best_model = (basis.clone(), weights.clone(), sse);
+        let mut best_gcv = metrics::gcv(sse, n, basis.len(), config.gcv_penalty);
+        while basis.len() > 1 {
+            // Remove the non-constant term whose deletion yields the best GCV.
+            let mut round_best: Option<(usize, f64, Vec<f64>, f64)> = None;
+            for remove in 1..basis.len() {
+                let mut trial = basis.clone();
+                trial.remove(remove);
+                if let Ok((w, s)) = solve_weights(&trial, data) {
+                    // Clamp numerically-zero SSE so GCV ties resolve toward
+                    // the smaller model instead of chasing rounding noise.
+                    let s = if s < 1e-10 * sst { 0.0 } else { s };
+                    let g = metrics::gcv(s, n, trial.len(), config.gcv_penalty);
+                    if round_best.as_ref().map_or(true, |b| g < b.1) {
+                        round_best = Some((remove, g, w, s));
+                    }
+                }
+            }
+            match round_best {
+                Some((remove, g, w, s)) => {
+                    basis.remove(remove);
+                    weights = w;
+                    sse = s;
+                    // `<=` prefers the smaller model on GCV ties, so pure
+                    // noise terms never survive pruning.
+                    if g <= best_gcv {
+                        best_gcv = g;
+                        best_model = (basis.clone(), weights.clone(), sse);
+                    }
+                }
+                None => break,
+            }
+        }
+
+        let (basis, weights, sse) = best_model;
+        Ok(Mars {
+            dim: data.dim(),
+            training_gcv: best_gcv,
+            training_sse: sse,
+            basis,
+            weights,
+        })
+    }
+
+    /// The basis functions (index 0 is the constant).
+    pub fn basis(&self) -> &[BasisFunction] {
+        &self.basis
+    }
+
+    /// The regression weights, aligned with [`Mars::basis`].
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// GCV of the selected model on the training data.
+    pub fn training_gcv(&self) -> f64 {
+        self.training_gcv
+    }
+
+    /// SSE of the selected model on the training data.
+    pub fn training_sse(&self) -> f64 {
+        self.training_sse
+    }
+
+    /// The variable sets the model found worth including — each entry is a
+    /// sorted list of variable indices with the summed |weight| of basis
+    /// functions over exactly that set. This is the "simplified form" the
+    /// paper uses to rank effects and interactions (Table 4).
+    pub fn effect_groups(&self) -> Vec<(Vec<usize>, f64)> {
+        let mut groups: Vec<(Vec<usize>, f64)> = Vec::new();
+        for (b, w) in self.basis.iter().zip(&self.weights) {
+            if b.degree() == 0 {
+                continue;
+            }
+            let vars = b.variables();
+            match groups.iter_mut().find(|(v, _)| *v == vars) {
+                Some((_, acc)) => *acc += w.abs(),
+                None => groups.push((vars, w.abs())),
+            }
+        }
+        groups.sort_by(|a, b| b.1.total_cmp(&a.1));
+        groups
+    }
+}
+
+impl Regressor for Mars {
+    fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim, "point dimension mismatch");
+        self.basis
+            .iter()
+            .zip(&self.weights)
+            .map(|(b, w)| w * b.eval(x))
+            .sum()
+    }
+
+    fn parameter_count(&self) -> usize {
+        // A weight per basis function plus a knot per hinge.
+        self.weights.len() + self.basis.iter().map(|b| b.hinges().len()).sum::<usize>()
+    }
+}
+
+/// Candidate knots for `var`: up to `max_knots` evenly spaced order
+/// statistics, excluding the extremes (a hinge at an extreme is degenerate).
+fn knot_candidates(data: &Dataset, var: usize, max_knots: usize) -> Vec<f64> {
+    let values = data.distinct_values(var);
+    if values.len() <= 2 {
+        // Binary variable: the midpoint makes the hinge behave linearly.
+        return if values.len() == 2 {
+            vec![(values[0] + values[1]) / 2.0]
+        } else {
+            Vec::new()
+        };
+    }
+    let interior = &values[..values.len() - 1]; // knots below the max
+    if interior.len() <= max_knots {
+        return interior.to_vec();
+    }
+    (0..max_knots)
+        .map(|i| {
+            let idx = i * (interior.len() - 1) / (max_knots - 1);
+            interior[idx]
+        })
+        .collect()
+}
+
+/// Least-squares weights for a basis set; returns `(weights, sse)`.
+fn solve_weights(basis: &[BasisFunction], data: &Dataset) -> Result<(Vec<f64>, f64)> {
+    let mut x = Matrix::zeros(0, basis.len());
+    for pt in data.points() {
+        let row: Vec<f64> = basis.iter().map(|b| b.eval(pt)).collect();
+        x.push_row(&row);
+    }
+    let w = x
+        .solve_lstsq(data.responses())
+        .map_err(|e| ModelError::NumericalFailure(e.to_string()))?;
+    let pred = x
+        .matvec(&w)
+        .map_err(|e| ModelError::NumericalFailure(e.to_string()))?;
+    let sse = metrics::sse(&pred, data.responses());
+    Ok((w, sse))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid1(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| vec![-1.0 + 2.0 * i as f64 / (n - 1) as f64])
+            .collect()
+    }
+
+    #[test]
+    fn hinge_eval() {
+        let h = Hinge {
+            var: 0,
+            knot: 0.5,
+            direction: 1,
+        };
+        assert_eq!(h.eval(&[0.0]), 0.0);
+        assert_eq!(h.eval(&[1.0]), 0.5);
+        let m = Hinge {
+            direction: -1,
+            ..h
+        };
+        assert_eq!(m.eval(&[0.0]), 0.5);
+        assert_eq!(m.eval(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn basis_product_and_degree() {
+        let b = BasisFunction::constant()
+            .extended(Hinge {
+                var: 0,
+                knot: 0.0,
+                direction: 1,
+            })
+            .extended(Hinge {
+                var: 1,
+                knot: 0.0,
+                direction: -1,
+            });
+        assert_eq!(b.degree(), 2);
+        assert_eq!(b.variables(), vec![0, 1]);
+        assert_eq!(b.eval(&[0.5, -0.5]), 0.25);
+        assert_eq!(b.eval(&[-0.5, -0.5]), 0.0);
+    }
+
+    #[test]
+    fn fits_single_hinge_closely() {
+        let xs = grid1(60);
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 2.0 * (0.3 - x[0]).max(0.0)).collect();
+        let m = Mars::fit(&Dataset::new(xs.clone(), ys.clone()).unwrap(), MarsConfig::default())
+            .unwrap();
+        let preds = m.predict_batch(&xs);
+        assert!(
+            metrics::r_squared(&preds, &ys) > 0.99,
+            "R² = {}",
+            metrics::r_squared(&preds, &ys)
+        );
+    }
+
+    #[test]
+    fn captures_threshold_then_slowdown_shape() {
+        // The paper's Figure 3 story: improves to a floor, then degrades.
+        let xs = grid1(80);
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 5.0 - 2.0 * (x[0] + 1.0).min(1.2) + 3.0 * (x[0] - 0.5f64).max(0.0))
+            .collect();
+        let m = Mars::fit(&Dataset::new(xs.clone(), ys.clone()).unwrap(), MarsConfig::default())
+            .unwrap();
+        let preds = m.predict_batch(&xs);
+        assert!(metrics::r_squared(&preds, &ys) > 0.97);
+        // A pure linear fit is strictly worse.
+        let lin = crate::LinearModel::fit(
+            &Dataset::new(xs.clone(), ys.clone()).unwrap(),
+            crate::LinearTerms::MainEffects,
+        )
+        .unwrap();
+        assert!(metrics::sse(&lin.predict_batch(&xs), &ys) > 2.0 * metrics::sse(&preds, &ys));
+    }
+
+    #[test]
+    fn discovers_interaction_group() {
+        // y = x0 * x1 over a 2-level grid: MARS must use a degree-2 basis.
+        let mut xs = Vec::new();
+        for a in [-1.0f64, -0.5, 0.5, 1.0] {
+            for b in [-1.0f64, -0.5, 0.5, 1.0] {
+                xs.push(vec![a, b]);
+            }
+        }
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[1]).collect();
+        let m = Mars::fit(&Dataset::new(xs.clone(), ys.clone()).unwrap(), MarsConfig::default())
+            .unwrap();
+        let preds = m.predict_batch(&xs);
+        assert!(metrics::r_squared(&preds, &ys) > 0.9);
+        let groups = m.effect_groups();
+        assert!(
+            groups.iter().any(|(vars, _)| vars == &vec![0, 1]),
+            "no interaction group found: {:?}",
+            groups
+        );
+    }
+
+    #[test]
+    fn pruning_removes_noise_terms() {
+        // Constant response: after pruning only the intercept should remain.
+        let xs = grid1(30);
+        let ys = vec![4.0; 30];
+        let m = Mars::fit(&Dataset::new(xs, ys).unwrap(), MarsConfig::default()).unwrap();
+        assert_eq!(m.basis().len(), 1, "basis: {:?}", m.basis());
+        assert!((m.predict(&[0.123]) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_degree_one_excludes_interactions() {
+        let mut xs = Vec::new();
+        for a in [-1.0f64, 0.0, 1.0] {
+            for b in [-1.0f64, 0.0, 1.0] {
+                xs.push(vec![a, b]);
+            }
+        }
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[1]).collect();
+        let cfg = MarsConfig {
+            max_degree: 1,
+            ..MarsConfig::default()
+        };
+        let m = Mars::fit(&Dataset::new(xs, ys).unwrap(), cfg).unwrap();
+        for b in m.basis() {
+            assert!(b.degree() <= 1);
+        }
+    }
+
+    #[test]
+    fn knot_candidates_respect_cap() {
+        let xs = grid1(100);
+        let d = Dataset::new(xs, vec![0.0; 100]).unwrap();
+        let knots = knot_candidates(&d, 0, 8);
+        assert!(knots.len() <= 8);
+        // Binary variable gets its midpoint.
+        let d2 = Dataset::new(vec![vec![-1.0], vec![1.0]], vec![0.0, 1.0]).unwrap();
+        assert_eq!(knot_candidates(&d2, 0, 8), vec![0.0]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Model-quality metrics: SSE, MAPE, R², BIC and GCV.
+//!
+//! The paper reports *average percentage error in prediction* (MAPE) on an
+//! independent test design (Table 3), and guards against overfitting with the
+//! Bayesian Information Criterion (Equation 9) and Generalized Cross
+//! Validation (§4.4).
+
+/// Sum of squared errors `Σ (ŷᵢ - yᵢ)²` (paper Equation 4).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sse(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum()
+}
+
+/// Mean squared error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mse(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert!(!actual.is_empty(), "empty input");
+    sse(predicted, actual) / actual.len() as f64
+}
+
+/// Mean absolute percentage error, in percent — the paper's "% error in
+/// prediction". Samples with `actual == 0` are skipped.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mape(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    assert!(!actual.is_empty(), "empty input");
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (p, a) in predicted.iter().zip(actual) {
+        if *a != 0.0 {
+            total += ((p - a) / a).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        100.0 * total / count as f64
+    }
+}
+
+/// Coefficient of determination `R² = 1 - SSE / SST`.
+///
+/// Returns 1.0 when the actual responses are constant and perfectly
+/// predicted, 0.0 when constant and mispredicted.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn r_squared(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert!(!actual.is_empty(), "empty input");
+    let mean = actual.iter().sum::<f64>() / actual.len() as f64;
+    let sst: f64 = actual.iter().map(|a| (a - mean) * (a - mean)).sum();
+    let err = sse(predicted, actual);
+    if sst == 0.0 {
+        if err == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - err / sst
+    }
+}
+
+/// Bayesian Information Criterion, paper Equation 9:
+///
+/// `BIC = (p + (ln(p) - 1) γ) / (p (p - γ)) * SSE`
+///
+/// where `p` is the number of training samples and `γ` the number of model
+/// parameters. Lower is better. Returns `f64::INFINITY` when `γ >= p` (the
+/// model has as many parameters as data — guaranteed overfit).
+pub fn bic(sse_value: f64, samples: usize, params: usize) -> f64 {
+    let p = samples as f64;
+    let gamma = params as f64;
+    if gamma >= p {
+        return f64::INFINITY;
+    }
+    (p + (p.ln() - 1.0) * gamma) / (p * (p - gamma)) * sse_value
+}
+
+/// Generalized Cross Validation criterion used by MARS pruning:
+///
+/// `GCV = SSE / (n (1 - C(M)/n)²)` with effective parameter count
+/// `C(M) = params + penalty * (params - 1) / 2` (Friedman's d ≈ 3 knot
+/// penalty). Lower is better; `f64::INFINITY` when `C(M) >= n`.
+pub fn gcv(sse_value: f64, samples: usize, params: usize, penalty: f64) -> f64 {
+    let n = samples as f64;
+    let m = params as f64;
+    let c = m + penalty * (m - 1.0).max(0.0) / 2.0;
+    let denom = 1.0 - c / n;
+    if denom <= 0.0 {
+        return f64::INFINITY;
+    }
+    sse_value / (n * denom * denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sse_basic() {
+        assert_eq!(sse(&[1.0, 2.0], &[1.0, 4.0]), 4.0);
+        assert_eq!(sse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mse_basic() {
+        assert_eq!(mse(&[1.0, 3.0], &[1.0, 1.0]), 2.0);
+    }
+
+    #[test]
+    fn mape_percent() {
+        // |(110-100)/100| = 10%, |(90-100)/100| = 10% -> mean 10%.
+        assert!((mape(&[110.0, 90.0], &[100.0, 100.0]) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        assert_eq!(mape(&[5.0, 110.0], &[0.0, 100.0]), 10.0);
+    }
+
+    #[test]
+    fn r2_perfect_and_mean() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(r_squared(&y, &y), 1.0);
+        assert!((r_squared(&[2.0, 2.0, 2.0], &y) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bic_penalizes_complexity() {
+        // Same SSE, more parameters -> worse (larger) BIC.
+        let a = bic(10.0, 100, 5);
+        let b = bic(10.0, 100, 20);
+        assert!(b > a);
+        assert_eq!(bic(10.0, 10, 10), f64::INFINITY);
+    }
+
+    #[test]
+    fn bic_matches_formula() {
+        // p=100, gamma=5, SSE=10: (100 + (ln100 - 1)*5)/(100*95)*10.
+        let p = 100.0f64;
+        let expect = (p + (p.ln() - 1.0) * 5.0) / (p * 95.0) * 10.0;
+        assert!((bic(10.0, 100, 5) - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gcv_penalizes_complexity() {
+        let a = gcv(10.0, 100, 5, 3.0);
+        let b = gcv(10.0, 100, 30, 3.0);
+        assert!(b > a);
+        assert_eq!(gcv(10.0, 10, 20, 3.0), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn sse_length_mismatch_panics() {
+        let _ = sse(&[1.0], &[1.0, 2.0]);
+    }
+}

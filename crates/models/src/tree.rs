@@ -1,0 +1,419 @@
+//! CART-style regression trees.
+//!
+//! Used directly as a (piecewise-constant) regressor and, more importantly,
+//! as the center/radius selector for [`crate::RbfNetwork`]: the tree
+//! "recursively partitions the design space into regions with uniform
+//! response", and each region contributes one RBF unit (paper §4.3,
+//! following Orr et al.).
+
+use crate::{Dataset, ModelError, Regressor, Result};
+
+/// Configuration for growing a [`RegressionTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeConfig {
+    /// Maximum number of leaves (regions). Growth is best-first, so the
+    /// highest-variance-reduction splits happen first.
+    pub max_leaves: usize,
+    /// Minimum number of samples per leaf.
+    pub min_leaf: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_leaves: 16,
+            min_leaf: 2,
+        }
+    }
+}
+
+/// A leaf region of a fitted tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeLeaf {
+    /// Geometric center of the region's bounding box over the training
+    /// samples it contains.
+    pub center: Vec<f64>,
+    /// Half-extent of the region per dimension (at least a small floor so
+    /// degenerate boxes still give usable RBF radii).
+    pub half_extent: Vec<f64>,
+    /// Mean response of the samples in the region.
+    pub mean: f64,
+    /// Number of training samples in the region.
+    pub count: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        leaf_index: usize,
+    },
+    Split {
+        var: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A binary regression tree fit by recursive variance-reduction splitting.
+///
+/// # Examples
+///
+/// ```
+/// use emod_models::{Dataset, RegressionTree, Regressor, TreeConfig};
+///
+/// // Step function: y = 0 for x < 0, 10 for x >= 0.
+/// let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![-1.0 + i as f64 / 10.0]).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| if x[0] < 0.0 { 0.0 } else { 10.0 }).collect();
+/// let tree = RegressionTree::fit(&Dataset::new(xs, ys)?, TreeConfig::default())?;
+/// assert_eq!(tree.predict(&[-0.7]), 0.0);
+/// assert_eq!(tree.predict(&[0.7]), 10.0);
+/// # Ok::<(), emod_models::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    leaves: Vec<TreeLeaf>,
+    root: usize,
+    dim: usize,
+}
+
+struct Grower<'a> {
+    data: &'a Dataset,
+    config: TreeConfig,
+    nodes: Vec<Node>,
+    leaves: Vec<TreeLeaf>,
+}
+
+/// A candidate split of one pending region.
+struct Candidate {
+    node_slot: usize,
+    samples: Vec<usize>,
+    gain: f64,
+    var: usize,
+    threshold: f64,
+}
+
+impl<'a> Grower<'a> {
+    /// Finds the best (gain, var, threshold) split of `samples`, if any.
+    fn best_split(&self, samples: &[usize]) -> Option<(f64, usize, f64)> {
+        let n = samples.len();
+        if n < 2 * self.config.min_leaf {
+            return None;
+        }
+        let ys: Vec<f64> = samples.iter().map(|&i| self.data.responses()[i]).collect();
+        let total_sum: f64 = ys.iter().sum();
+        let total_sq: f64 = ys.iter().map(|y| y * y).sum();
+        let parent_sse = total_sq - total_sum * total_sum / n as f64;
+
+        let mut best: Option<(f64, usize, f64)> = None;
+        for var in 0..self.data.dim() {
+            // Sort sample indices by this coordinate.
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| {
+                self.data.points()[samples[a]][var]
+                    .total_cmp(&self.data.points()[samples[b]][var])
+            });
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            for split_at in 1..n {
+                let idx = samples[order[split_at - 1]];
+                let y = self.data.responses()[idx];
+                left_sum += y;
+                left_sq += y * y;
+                let x_prev = self.data.points()[idx][var];
+                let x_next = self.data.points()[samples[order[split_at]]][var];
+                if x_next - x_prev < 1e-12 {
+                    continue; // cannot split between equal coordinates
+                }
+                if split_at < self.config.min_leaf || n - split_at < self.config.min_leaf {
+                    continue;
+                }
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let left_sse = left_sq - left_sum * left_sum / split_at as f64;
+                let right_sse = right_sq - right_sum * right_sum / (n - split_at) as f64;
+                let gain = parent_sse - left_sse - right_sse;
+                if gain > best.map_or(1e-12, |(g, _, _)| g) {
+                    best = Some((gain, var, (x_prev + x_next) / 2.0));
+                }
+            }
+        }
+        best
+    }
+
+    fn make_leaf(&mut self, samples: &[usize]) -> usize {
+        let dim = self.data.dim();
+        let mut lo = vec![f64::INFINITY; dim];
+        let mut hi = vec![f64::NEG_INFINITY; dim];
+        let mut sum = 0.0;
+        for &i in samples {
+            let (x, y) = self.data.sample(i);
+            sum += y;
+            for d in 0..dim {
+                lo[d] = lo[d].min(x[d]);
+                hi[d] = hi[d].max(x[d]);
+            }
+        }
+        let center: Vec<f64> = lo.iter().zip(&hi).map(|(a, b)| (a + b) / 2.0).collect();
+        let half_extent: Vec<f64> = lo
+            .iter()
+            .zip(&hi)
+            .map(|(a, b)| ((b - a) / 2.0).max(1e-3))
+            .collect();
+        self.leaves.push(TreeLeaf {
+            center,
+            half_extent,
+            mean: sum / samples.len() as f64,
+            count: samples.len(),
+        });
+        self.leaves.len() - 1
+    }
+}
+
+impl RegressionTree {
+    /// Grows a tree on `data` (best-first, up to `config.max_leaves` leaves).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidDataset`] when `config.max_leaves == 0`
+    /// or `config.min_leaf == 0`.
+    pub fn fit(data: &Dataset, config: TreeConfig) -> Result<Self> {
+        if config.max_leaves == 0 || config.min_leaf == 0 {
+            return Err(ModelError::InvalidDataset(
+                "max_leaves and min_leaf must be positive".into(),
+            ));
+        }
+        let mut grower = Grower {
+            data,
+            config,
+            nodes: Vec::new(),
+            leaves: Vec::new(),
+        };
+        // Root starts as a pending region occupying node slot 0.
+        grower.nodes.push(Node::Leaf { leaf_index: 0 }); // placeholder, patched below
+        let all: Vec<usize> = (0..data.len()).collect();
+        let mut pending: Vec<Candidate> = Vec::new();
+        let mut leaf_regions: Vec<(usize, Vec<usize>)> = Vec::new(); // (node_slot, samples)
+
+        match grower.best_split(&all) {
+            Some((gain, var, threshold)) if grower.leaves.is_empty() => pending.push(Candidate {
+                node_slot: 0,
+                samples: all.clone(),
+                gain,
+                var,
+                threshold,
+            }),
+            _ => leaf_regions.push((0, all.clone())),
+        }
+
+        let mut n_regions = 1usize;
+        while n_regions < config.max_leaves && !pending.is_empty() {
+            // Pop the candidate with the largest gain (best-first growth).
+            let best_idx = pending
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.gain.total_cmp(&b.1.gain))
+                .map(|(i, _)| i)
+                .expect("pending is non-empty");
+            let cand = pending.swap_remove(best_idx);
+            let (mut left_samples, mut right_samples) = (Vec::new(), Vec::new());
+            for &i in &cand.samples {
+                if grower.data.points()[i][cand.var] <= cand.threshold {
+                    left_samples.push(i);
+                } else {
+                    right_samples.push(i);
+                }
+            }
+            let left_slot = grower.nodes.len();
+            grower.nodes.push(Node::Leaf { leaf_index: 0 });
+            let right_slot = grower.nodes.len();
+            grower.nodes.push(Node::Leaf { leaf_index: 0 });
+            grower.nodes[cand.node_slot] = Node::Split {
+                var: cand.var,
+                threshold: cand.threshold,
+                left: left_slot,
+                right: right_slot,
+            };
+            n_regions += 1;
+            for (slot, samples) in [(left_slot, left_samples), (right_slot, right_samples)] {
+                match grower.best_split(&samples) {
+                    Some((gain, var, threshold)) => pending.push(Candidate {
+                        node_slot: slot,
+                        samples,
+                        gain,
+                        var,
+                        threshold,
+                    }),
+                    None => leaf_regions.push((slot, samples)),
+                }
+            }
+        }
+        // Whatever is still pending becomes a leaf.
+        for cand in pending {
+            leaf_regions.push((cand.node_slot, cand.samples));
+        }
+        for (slot, samples) in leaf_regions {
+            let leaf_index = grower.make_leaf(&samples);
+            grower.nodes[slot] = Node::Leaf { leaf_index };
+        }
+        Ok(RegressionTree {
+            nodes: grower.nodes,
+            leaves: grower.leaves,
+            root: 0,
+            dim: data.dim(),
+        })
+    }
+
+    /// The leaf regions (for RBF center/radius selection).
+    pub fn leaves(&self) -> &[TreeLeaf] {
+        &self.leaves
+    }
+
+    /// Number of leaf regions.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// The leaf containing `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training dimension.
+    pub fn leaf_for(&self, x: &[f64]) -> &TreeLeaf {
+        assert_eq!(x.len(), self.dim, "point dimension mismatch");
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { leaf_index } => return &self.leaves[*leaf_index],
+                Node::Split {
+                    var,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*var] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+impl Regressor for RegressionTree {
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.leaf_for(x).mean
+    }
+
+    fn parameter_count(&self) -> usize {
+        // One mean per leaf plus one (var, threshold) pair per internal node.
+        self.leaves.len() + (self.nodes.len() - self.leaves.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> Dataset {
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![-1.0 + i as f64 / 20.0]).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| if x[0] < -0.25 { 1.0 } else if x[0] < 0.5 { 5.0 } else { 2.0 })
+            .collect();
+        Dataset::new(xs, ys).unwrap()
+    }
+
+    #[test]
+    fn fits_piecewise_constant_exactly() {
+        let tree = RegressionTree::fit(&step_data(), TreeConfig::default()).unwrap();
+        assert_eq!(tree.predict(&[-0.8]), 1.0);
+        assert_eq!(tree.predict(&[0.0]), 5.0);
+        assert_eq!(tree.predict(&[0.9]), 2.0);
+        assert!(tree.leaf_count() >= 3);
+    }
+
+    #[test]
+    fn max_leaves_respected() {
+        let cfg = TreeConfig {
+            max_leaves: 2,
+            min_leaf: 1,
+        };
+        let tree = RegressionTree::fit(&step_data(), cfg).unwrap();
+        assert!(tree.leaf_count() <= 2);
+    }
+
+    #[test]
+    fn constant_response_single_leaf() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let d = Dataset::new(xs, vec![7.0; 10]).unwrap();
+        let tree = RegressionTree::fit(&d, TreeConfig::default()).unwrap();
+        assert_eq!(tree.leaf_count(), 1);
+        assert_eq!(tree.predict(&[99.0]), 7.0);
+    }
+
+    #[test]
+    fn min_leaf_respected() {
+        let cfg = TreeConfig {
+            max_leaves: 64,
+            min_leaf: 5,
+        };
+        let tree = RegressionTree::fit(&step_data(), cfg).unwrap();
+        for leaf in tree.leaves() {
+            assert!(leaf.count >= 5, "leaf with {} samples", leaf.count);
+        }
+    }
+
+    #[test]
+    fn splits_on_relevant_dimension_in_2d() {
+        // y depends on x1 only.
+        let mut xs = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                xs.push(vec![i as f64, j as f64]);
+            }
+        }
+        let ys: Vec<f64> = xs.iter().map(|x| if x[1] < 5.0 { 0.0 } else { 1.0 }).collect();
+        let d = Dataset::new(xs, ys).unwrap();
+        let tree = RegressionTree::fit(
+            &d,
+            TreeConfig {
+                max_leaves: 2,
+                min_leaf: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(tree.predict(&[0.0, 0.0]), 0.0);
+        assert_eq!(tree.predict(&[0.0, 9.0]), 1.0);
+        // Prediction must be invariant in x0.
+        assert_eq!(tree.predict(&[9.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn leaf_geometry_covers_samples() {
+        let tree = RegressionTree::fit(&step_data(), TreeConfig::default()).unwrap();
+        for leaf in tree.leaves() {
+            assert_eq!(leaf.center.len(), 1);
+            assert!(leaf.half_extent[0] >= 1e-3);
+            assert!(leaf.count > 0);
+        }
+    }
+
+    #[test]
+    fn rejects_zero_config() {
+        let d = step_data();
+        assert!(RegressionTree::fit(
+            &d,
+            TreeConfig {
+                max_leaves: 0,
+                min_leaf: 1
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn parameter_count_counts_leaves_and_splits() {
+        let tree = RegressionTree::fit(&step_data(), TreeConfig::default()).unwrap();
+        assert!(tree.parameter_count() >= tree.leaf_count());
+    }
+}

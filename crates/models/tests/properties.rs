@@ -1,0 +1,97 @@
+//! Property-based tests for the model families.
+
+use emod_models::{
+    metrics, Dataset, LinearModel, LinearTerms, Mars, MarsConfig, RbfConfig, RbfNetwork,
+    RegressionTree, Regressor, TreeConfig,
+};
+use proptest::prelude::*;
+
+/// Random dataset: n points in d dims with responses from a noisy linear
+/// function (coefficients derived from the seed).
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (10usize..40, 1usize..4, 0u64..1000).prop_map(|(n, d, seed)| {
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0 // [-1, 1)
+        };
+        let coefs: Vec<f64> = (0..d).map(|_| next() * 3.0).collect();
+        for _ in 0..n {
+            let x: Vec<f64> = (0..d).map(|_| next()).collect();
+            let y: f64 =
+                5.0 + x.iter().zip(&coefs).map(|(a, b)| a * b).sum::<f64>() + next() * 0.1;
+            xs.push(x);
+            ys.push(y);
+        }
+        Dataset::new(xs, ys).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn linear_fit_never_produces_nan(data in dataset_strategy()) {
+        let m = LinearModel::fit(&data, LinearTerms::MainEffects).unwrap();
+        for p in data.points() {
+            prop_assert!(m.predict(p).is_finite());
+        }
+        prop_assert!(m.training_sse().is_finite());
+    }
+
+    #[test]
+    fn linear_training_sse_not_worse_than_constant_model(data in dataset_strategy()) {
+        let m = LinearModel::fit(&data, LinearTerms::MainEffects).unwrap();
+        let mean = data.response_mean();
+        let const_preds = vec![mean; data.len()];
+        let const_sse = metrics::sse(&const_preds, data.responses());
+        prop_assert!(m.training_sse() <= const_sse + 1e-6);
+    }
+
+    #[test]
+    fn tree_predictions_within_response_range(data in dataset_strategy()) {
+        let t = RegressionTree::fit(&data, TreeConfig::default()).unwrap();
+        let lo = data.responses().iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = data.responses().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for p in data.points() {
+            let y = t.predict(p);
+            prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9, "{} outside [{}, {}]", y, lo, hi);
+        }
+    }
+
+    #[test]
+    fn rbf_fits_are_finite_and_sized_by_bic(data in dataset_strategy()) {
+        let net = RbfNetwork::fit(&data, RbfConfig::default()).unwrap();
+        prop_assert!(net.unit_count() < data.len());
+        for p in data.points() {
+            prop_assert!(net.predict(p).is_finite());
+        }
+    }
+
+    #[test]
+    fn mars_training_error_not_worse_than_intercept(data in dataset_strategy()) {
+        let cfg = MarsConfig { max_terms: 7, max_degree: 2, max_knots: 3, gcv_penalty: 3.0 };
+        let m = Mars::fit(&data, cfg).unwrap();
+        let mean = data.response_mean();
+        let const_sse = metrics::sse(&vec![mean; data.len()], data.responses());
+        prop_assert!(m.training_sse() <= const_sse + 1e-6);
+        for p in data.points() {
+            prop_assert!(m.predict(p).is_finite());
+        }
+    }
+
+    #[test]
+    fn metrics_are_scale_consistent(data in dataset_strategy(), k in 1.0f64..100.0) {
+        // MAPE is invariant under scaling both predictions and actuals.
+        let preds: Vec<f64> = data.responses().iter().map(|y| y * 1.05).collect();
+        let m1 = metrics::mape(&preds, data.responses());
+        let scaled_preds: Vec<f64> = preds.iter().map(|p| p * k).collect();
+        let scaled_actual: Vec<f64> = data.responses().iter().map(|y| y * k).collect();
+        let m2 = metrics::mape(&scaled_preds, &scaled_actual);
+        prop_assert!((m1 - m2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,276 @@
+//! Microarchitectural configuration: the 11 parameters of the paper's
+//! Table 2.
+
+/// Functional-unit pool, derived from the issue width ("the number of
+/// functional units is usually dependent on the issue width; we use the
+/// issue width parameter to determine the functional unit configuration",
+/// paper §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuPoolConfig {
+    /// Single-cycle integer ALUs.
+    pub int_alu: u32,
+    /// Integer multiply/divide units.
+    pub int_mul: u32,
+    /// Floating-point adders.
+    pub fp_add: u32,
+    /// Floating-point multiply/divide units.
+    pub fp_mul: u32,
+    /// Cache ports (loads/stores/prefetches per cycle).
+    pub mem_ports: u32,
+}
+
+/// The simulated machine configuration (Table 2).
+///
+/// Sizes are in bytes; latencies in cycles. The `*`-marked parameters of the
+/// paper vary in powers of two and are log-coded by the modeling layer.
+///
+/// # Examples
+///
+/// ```
+/// use emod_uarch::UarchConfig;
+///
+/// let cfg = UarchConfig::typical();
+/// assert_eq!(cfg.issue_width, 4);
+/// assert!(cfg.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct UarchConfig {
+    /// 15: issue (and fetch/commit) width, 2 or 4.
+    pub issue_width: u32,
+    /// 16: entries in each table of the combined branch predictor.
+    pub bpred_size: u32,
+    /// 17: register update unit (unified ROB/RS) entries.
+    pub ruu_size: u32,
+    /// 18: instruction cache size in bytes.
+    pub il1_size: u64,
+    /// 19: data cache size in bytes.
+    pub dl1_size: u64,
+    /// 20: data cache associativity.
+    pub dl1_assoc: u32,
+    /// 21: data cache hit latency.
+    pub dl1_latency: u32,
+    /// 22: unified L2 size in bytes.
+    pub ul2_size: u64,
+    /// 23: unified L2 associativity.
+    pub ul2_assoc: u32,
+    /// 24: unified L2 hit latency.
+    pub ul2_latency: u32,
+    /// 25: main memory latency.
+    pub mem_latency: u32,
+}
+
+/// Cache line size (fixed, as in the paper's setup).
+pub const LINE_SIZE: u64 = 64;
+
+/// Instruction-cache associativity (not varied in Table 2).
+pub const IL1_ASSOC: u32 = 2;
+
+/// Instruction-cache hit latency.
+pub const IL1_LATENCY: u32 = 1;
+
+/// Front-end depth: cycles from fetch to dispatch.
+pub const FRONT_END_DEPTH: u64 = 3;
+
+/// Extra cycles to redirect fetch after a branch misprediction (on top of
+/// waiting for the branch to resolve and the front end to refill).
+pub const REDIRECT_PENALTY: u64 = 2;
+
+impl UarchConfig {
+    /// The paper's *constrained* configuration (Table 5).
+    pub fn constrained() -> Self {
+        UarchConfig {
+            issue_width: 2,
+            bpred_size: 512,
+            ruu_size: 16,
+            il1_size: 8 * 1024,
+            dl1_size: 8 * 1024,
+            dl1_assoc: 1,
+            dl1_latency: 1,
+            ul2_size: 256 * 1024,
+            ul2_assoc: 2,
+            ul2_latency: 6,
+            mem_latency: 50,
+        }
+    }
+
+    /// The paper's *typical* configuration (Table 5).
+    pub fn typical() -> Self {
+        UarchConfig {
+            issue_width: 4,
+            bpred_size: 2048,
+            ruu_size: 64,
+            il1_size: 32 * 1024,
+            dl1_size: 32 * 1024,
+            dl1_assoc: 1,
+            dl1_latency: 2,
+            ul2_size: 1024 * 1024,
+            ul2_assoc: 4,
+            ul2_latency: 10,
+            mem_latency: 100,
+        }
+    }
+
+    /// The paper's *aggressive* configuration (Table 5).
+    pub fn aggressive() -> Self {
+        UarchConfig {
+            issue_width: 4,
+            bpred_size: 8192,
+            ruu_size: 128,
+            il1_size: 128 * 1024,
+            dl1_size: 128 * 1024,
+            dl1_assoc: 2,
+            dl1_latency: 3,
+            ul2_size: 8 * 1024 * 1024,
+            ul2_assoc: 8,
+            ul2_latency: 16,
+            mem_latency: 150,
+        }
+    }
+
+    /// Builds a configuration from the 11-element design-point encoding
+    /// (Table 2 order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != 11`.
+    pub fn from_design_values(values: &[f64]) -> Self {
+        assert_eq!(values.len(), 11, "expected 11 microarchitecture parameters");
+        UarchConfig {
+            issue_width: values[0].round() as u32,
+            bpred_size: values[1].round() as u32,
+            ruu_size: values[2].round() as u32,
+            il1_size: values[3].round() as u64,
+            dl1_size: values[4].round() as u64,
+            dl1_assoc: values[5].round() as u32,
+            dl1_latency: values[6].round() as u32,
+            ul2_size: values[7].round() as u64,
+            ul2_assoc: values[8].round() as u32,
+            ul2_latency: values[9].round() as u32,
+            mem_latency: values[10].round() as u32,
+        }
+    }
+
+    /// The inverse of [`UarchConfig::from_design_values`].
+    pub fn to_design_values(&self) -> Vec<f64> {
+        vec![
+            self.issue_width as f64,
+            self.bpred_size as f64,
+            self.ruu_size as f64,
+            self.il1_size as f64,
+            self.dl1_size as f64,
+            self.dl1_assoc as f64,
+            self.dl1_latency as f64,
+            self.ul2_size as f64,
+            self.ul2_assoc as f64,
+            self.ul2_latency as f64,
+            self.mem_latency as f64,
+        ]
+    }
+
+    /// Functional-unit pool for this issue width.
+    pub fn fu_pool(&self) -> FuPoolConfig {
+        if self.issue_width <= 2 {
+            FuPoolConfig {
+                int_alu: 2,
+                int_mul: 1,
+                fp_add: 1,
+                fp_mul: 1,
+                mem_ports: 1,
+            }
+        } else {
+            FuPoolConfig {
+                int_alu: 4,
+                int_mul: 2,
+                fp_add: 2,
+                fp_mul: 2,
+                mem_ports: 2,
+            }
+        }
+    }
+
+    /// Load/store queue size (half the RUU, the SimpleScalar convention).
+    pub fn lsq_size(&self) -> u32 {
+        (self.ruu_size / 2).max(4)
+    }
+
+    /// Checks parameters against the paper's Table 2 ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        fn check<T: PartialOrd + std::fmt::Display>(
+            name: &str,
+            v: T,
+            lo: T,
+            hi: T,
+        ) -> Result<(), String> {
+            if v < lo || v > hi {
+                Err(format!("{} = {} outside [{}, {}]", name, v, lo, hi))
+            } else {
+                Ok(())
+            }
+        }
+        check("issue-width", self.issue_width, 2, 4)?;
+        check("bpred-size", self.bpred_size, 512, 8192)?;
+        check("ruu-size", self.ruu_size, 16, 128)?;
+        check("il1-size", self.il1_size, 8 * 1024, 128 * 1024)?;
+        check("dl1-size", self.dl1_size, 8 * 1024, 128 * 1024)?;
+        check("dl1-assoc", self.dl1_assoc, 1, 2)?;
+        check("dl1-latency", self.dl1_latency, 1, 3)?;
+        check("ul2-size", self.ul2_size, 256 * 1024, 8 * 1024 * 1024)?;
+        check("ul2-assoc", self.ul2_assoc, 1, 8)?;
+        check("ul2-latency", self.ul2_latency, 6, 16)?;
+        check("memory-latency", self.mem_latency, 50, 150)?;
+        Ok(())
+    }
+}
+
+impl Default for UarchConfig {
+    fn default() -> Self {
+        UarchConfig::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for cfg in [
+            UarchConfig::constrained(),
+            UarchConfig::typical(),
+            UarchConfig::aggressive(),
+        ] {
+            assert!(cfg.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn design_value_roundtrip() {
+        let cfg = UarchConfig::aggressive();
+        assert_eq!(UarchConfig::from_design_values(&cfg.to_design_values()), cfg);
+    }
+
+    #[test]
+    fn fu_pool_scales_with_width() {
+        let narrow = UarchConfig::constrained().fu_pool();
+        let wide = UarchConfig::typical().fu_pool();
+        assert!(wide.int_alu > narrow.int_alu);
+        assert!(wide.mem_ports > narrow.mem_ports);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let mut cfg = UarchConfig::typical();
+        cfg.ruu_size = 256;
+        assert!(cfg.validate().unwrap_err().contains("ruu-size"));
+    }
+
+    #[test]
+    fn lsq_is_half_ruu() {
+        let cfg = UarchConfig::typical();
+        assert_eq!(cfg.lsq_size(), 32);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests: the timing model must never perturb architectural
+//! results, and its clock must respect physical bounds, on arbitrary
+//! (terminating) programs.
+
+use emod_isa::{abi, AluOp, BranchCond, Emulator, Inst, Program, ProgramBuilder, Reg};
+use emod_uarch::{simulate, simulate_sampled, SampleConfig, UarchConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random terminating program: a counted outer loop whose body
+/// is a random mix of ALU, memory and conditional-skip instructions.
+fn random_program(seed: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = ProgramBuilder::new();
+    let iters = rng.gen_range(50..400);
+    b.push(Inst::LoadImm { rd: Reg(8), imm: 0 });
+    b.push(Inst::LoadImm {
+        rd: Reg(9),
+        imm: iters,
+    });
+    b.push(Inst::LoadImm {
+        rd: Reg(10),
+        imm: emod_isa::DATA_BASE as i64,
+    });
+    b.label("loop");
+    let body = rng.gen_range(3..25);
+    for k in 0..body {
+        match rng.gen_range(0..6) {
+            0 => b.push(Inst::AluImm {
+                op: AluOp::Add,
+                rd: Reg(11 + (k % 8) as u8),
+                rs: Reg(11 + ((k + 1) % 8) as u8),
+                imm: rng.gen_range(-9..9),
+            }),
+            1 => b.push(Inst::Mul {
+                rd: Reg(11 + (k % 8) as u8),
+                rs: Reg(8),
+                rt: Reg(9),
+            }),
+            2 => b.push(Inst::Load {
+                rd: Reg(11 + (k % 8) as u8),
+                rs: Reg(10),
+                offset: rng.gen_range(0..64) * 8,
+            }),
+            3 => b.push(Inst::Store {
+                rt: Reg(8),
+                rs: Reg(10),
+                offset: rng.gen_range(0..64) * 8,
+            }),
+            4 => {
+                // Conditional forward skip.
+                let lbl = format!("skip{}_{}", seed, k);
+                b.branch_to(
+                    BranchCond::Lt,
+                    Reg(11 + (k % 8) as u8),
+                    Reg(9),
+                    &lbl,
+                );
+                b.push(Inst::AluImm {
+                    op: AluOp::Xor,
+                    rd: Reg(12),
+                    rs: Reg(12),
+                    imm: 5,
+                });
+                b.label(lbl);
+            }
+            _ => b.push(Inst::Prefetch {
+                rs: Reg(10),
+                offset: rng.gen_range(0..2048),
+            }),
+        }
+    }
+    b.push(Inst::AluImm {
+        op: AluOp::Add,
+        rd: Reg(8),
+        rs: Reg(8),
+        imm: 1,
+    });
+    b.branch_to(BranchCond::Lt, Reg(8), Reg(9), "loop");
+    b.push(Inst::Alu {
+        op: AluOp::Add,
+        rd: abi::RV,
+        rs: Reg(12),
+        rt: Reg(8),
+    });
+    b.push(Inst::Halt);
+    b.build().unwrap()
+}
+
+fn random_config(seed: u64) -> UarchConfig {
+    use emod_doe::ParameterSpace;
+    let params = emod_core_free_space();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let space = ParameterSpace::new(params);
+    UarchConfig::from_design_values(&space.random_point(&mut rng))
+}
+
+/// The 11 Table 2 parameters, duplicated here to keep this crate's tests
+/// free of a dependency cycle on emod-core.
+fn emod_core_free_space() -> Vec<emod_doe::Parameter> {
+    use emod_doe::Parameter;
+    vec![
+        Parameter::discrete("issue-width", 2.0, 4.0, 2),
+        Parameter::log_discrete("bpred-size", 512.0, 8192.0, 5),
+        Parameter::log_discrete("ruu-size", 16.0, 128.0, 4),
+        Parameter::log_discrete("il1-size", 8192.0, 131072.0, 5),
+        Parameter::log_discrete("dl1-size", 8192.0, 131072.0, 5),
+        Parameter::discrete("dl1-assoc", 1.0, 2.0, 2),
+        Parameter::discrete("dl1-latency", 1.0, 3.0, 3),
+        Parameter::log_discrete("ul2-size", 262144.0, 8388608.0, 6),
+        Parameter::log_discrete("ul2-assoc", 1.0, 8.0, 4),
+        Parameter::discrete("ul2-latency", 6.0, 16.0, 11),
+        Parameter::discrete("memory-latency", 50.0, 150.0, 21),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn timing_is_transparent_to_architecture(pseed in 0u64..500, cseed in 0u64..500) {
+        let prog = random_program(pseed);
+        let cfg = random_config(cseed);
+        let functional = Emulator::new(&prog).run(50_000_000).unwrap();
+        let timed = simulate(&prog, &cfg).unwrap();
+        prop_assert_eq!(functional, timed.exit_value);
+        // Physical bounds: cycles at least insts/width, at most insts * the
+        // worst-case per-instruction latency.
+        let min = timed.instructions / cfg.issue_width as u64;
+        prop_assert!(timed.cycles >= min, "{} < {}", timed.cycles, min);
+        let max = timed.instructions
+            * (cfg.dl1_latency + cfg.ul2_latency + cfg.mem_latency + 40) as u64
+            + 1000;
+        prop_assert!(timed.cycles <= max, "{} > {}", timed.cycles, max);
+    }
+
+    #[test]
+    fn sampled_simulation_matches_architecture_too(pseed in 0u64..200) {
+        let prog = random_program(pseed);
+        let cfg = UarchConfig::typical();
+        let functional = Emulator::new(&prog).run(50_000_000).unwrap();
+        let sample = SampleConfig { window: 200, interval: 5, warmup: 300, fuel: u64::MAX };
+        let sampled = simulate_sampled(&prog, &cfg, &sample).unwrap();
+        prop_assert_eq!(functional, sampled.exit_value);
+        prop_assert!(sampled.cycles > 0);
+    }
+
+    #[test]
+    fn slower_memory_never_speeds_programs_up(pseed in 0u64..200) {
+        let prog = random_program(pseed);
+        let mut fast = UarchConfig::typical();
+        fast.mem_latency = 50;
+        let mut slow = UarchConfig::typical();
+        slow.mem_latency = 150;
+        let f = simulate(&prog, &fast).unwrap();
+        let s = simulate(&prog, &slow).unwrap();
+        prop_assert!(s.cycles >= f.cycles, "slow {} < fast {}", s.cycles, f.cycles);
+    }
+}

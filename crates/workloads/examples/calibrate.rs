@@ -1,0 +1,21 @@
+//! Prints dynamic instruction counts and simulation timings per workload.
+use emod_compiler::OptConfig;
+use emod_uarch::{simulate_sampled, SampleConfig, UarchConfig};
+use emod_workloads::{InputSet, Workload};
+use std::time::Instant;
+
+fn main() {
+    for w in Workload::all() {
+        for set in [InputSet::Train, InputSet::Ref] {
+            let prog = w.program(&OptConfig::o2(), set).unwrap();
+            let t0 = Instant::now();
+            let res = simulate_sampled(&prog, &UarchConfig::typical(), &SampleConfig {
+                window: 1000, interval: 20, warmup: 2000, fuel: u64::MAX,
+            }).unwrap();
+            println!(
+                "{:22} {:5} insts={:>9} cpi={:.3} cycles={:>10} err={:.4} wall={:?}",
+                w.name(), set.name(), res.instructions, res.cpi, res.cycles, res.rel_error, t0.elapsed()
+            );
+        }
+    }
+}

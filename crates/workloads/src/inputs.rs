@@ -1,0 +1,249 @@
+//! Deterministic input generators for the workloads.
+//!
+//! Inputs are produced from fixed seeds per (workload, input-set); `ref`
+//! inputs are larger and differently distributed than `train`, which is
+//! what makes the paper's Table 7 profile-transfer experiment meaningful.
+
+use crate::{base_of, encode_f64s, encode_i64s, InputSet};
+use emod_compiler::ir::Module;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+type Segments = Vec<(u64, Vec<u8>)>;
+
+fn rng_for(name: &str, set: InputSet) -> StdRng {
+    let mut seed = 0xE0D_u64;
+    for b in name.bytes() {
+        seed = seed.wrapping_mul(31).wrapping_add(b as u64);
+    }
+    if set == InputSet::Ref {
+        seed = seed.wrapping_add(0x5eed_0000);
+    }
+    StdRng::seed_from_u64(seed)
+}
+
+fn params_segment(module: &Module, values: &[i64]) -> (u64, Vec<u8>) {
+    (base_of(module, "params"), encode_i64s(values))
+}
+
+/// Compressible byte stream: runs and back-references like image data.
+fn compressible_bytes(rng: &mut StdRng, len: usize) -> Vec<i64> {
+    let mut out: Vec<i64> = Vec::with_capacity(len);
+    while out.len() < len {
+        if out.len() > 64 && rng.gen_bool(0.55) {
+            // Copy a short run from earlier (creates LZ matches).
+            let src = rng.gen_range(0..out.len() - 32);
+            let run = rng.gen_range(4..24).min(len - out.len());
+            for k in 0..run {
+                let v = out[src + k];
+                out.push(v);
+            }
+        } else {
+            let v = rng.gen_range(0..256);
+            let run = rng.gen_range(1..6).min(len - out.len());
+            for _ in 0..run {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// 164.gzip inputs.
+pub fn gzip(module: &Module, set: InputSet) -> Segments {
+    let mut rng = rng_for("gzip", set);
+    let (n, reps) = match set {
+        InputSet::Train => (8192i64, 2i64),
+        InputSet::Ref => (30000, 3),
+    };
+    let data = compressible_bytes(&mut rng, n as usize);
+    vec![
+        params_segment(module, &[n, 0, reps]),
+        (base_of(module, "input"), encode_i64s(&data)),
+    ]
+}
+
+/// 175.vpr inputs.
+pub fn vpr(module: &Module, set: InputSet) -> Segments {
+    let mut rng = rng_for("vpr", set);
+    let (ncells, nnets, moves) = match set {
+        InputSet::Train => (2048i64, 4096i64, 10_000i64),
+        InputSet::Ref => (4096, 8192, 40_000),
+    };
+    let cellx: Vec<i64> = (0..ncells).map(|_| rng.gen_range(0..256)).collect();
+    let celly: Vec<i64> = (0..ncells).map(|_| rng.gen_range(0..256)).collect();
+    let neta: Vec<i64> = (0..nnets).map(|_| rng.gen_range(0..ncells)).collect();
+    let netb: Vec<i64> = (0..nnets).map(|_| rng.gen_range(0..ncells)).collect();
+    vec![
+        params_segment(module, &[ncells, nnets, moves]),
+        (base_of(module, "cellx"), encode_i64s(&cellx)),
+        (base_of(module, "celly"), encode_i64s(&celly)),
+        (base_of(module, "neta"), encode_i64s(&neta)),
+        (base_of(module, "netb"), encode_i64s(&netb)),
+    ]
+}
+
+/// 177.mesa inputs.
+pub fn mesa(module: &Module, set: InputSet) -> Segments {
+    let mut rng = rng_for("mesa", set);
+    let (ntris, size, reps) = match set {
+        InputSet::Train => (64i64, 64i64, 2i64),
+        InputSet::Ref => (128, 128, 2),
+    };
+    let mut tri = Vec::with_capacity((ntris * 8) as usize);
+    for _ in 0..ntris {
+        let cx = rng.gen_range(4.0..(size as f64 - 4.0));
+        let cy = rng.gen_range(4.0..(size as f64 - 4.0));
+        let extent = rng.gen_range(4.0..(size as f64 / 2.5));
+        // Counter-clockwise triangle around (cx, cy) so the edge functions
+        // are positive inside.
+        tri.push(cx);
+        tri.push(cy - extent);
+        tri.push(cx - extent);
+        tri.push(cy + extent * 0.8);
+        tri.push(cx + extent);
+        tri.push(cy + extent * 0.7);
+        tri.push(rng.gen_range(0.0..100.0)); // z
+        tri.push(rng.gen_range(0.0..1.0)); // shade
+    }
+    vec![
+        params_segment(module, &[ntris, size, reps]),
+        (base_of(module, "tri"), encode_f64s(&tri)),
+    ]
+}
+
+/// 179.art inputs.
+pub fn art(module: &Module, set: InputSet) -> Segments {
+    let mut rng = rng_for("art", set);
+    let (n1, n2, reps) = match set {
+        InputSet::Train => (64i64, 256i64, 25i64),
+        InputSet::Ref => (64, 1024, 25),
+    };
+    let f1: Vec<f64> = (0..64).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let weights: Vec<f64> = (0..(n2 * 64) as usize)
+        .map(|_| rng.gen_range(0.0..1.0))
+        .collect();
+    vec![
+        params_segment(module, &[n1, n2, reps]),
+        (base_of(module, "f1"), encode_f64s(&f1)),
+        (base_of(module, "weights"), encode_f64s(&weights)),
+    ]
+}
+
+/// 181.mcf inputs: a single-cycle random permutation (Sattolo's algorithm)
+/// so the pointer chase visits every node.
+pub fn mcf(module: &Module, set: InputSet) -> Segments {
+    let mut rng = rng_for("mcf", set);
+    let (n, steps) = match set {
+        InputSet::Train => (16384i64, 150_000i64),
+        InputSet::Ref => (32768, 400_000),
+    };
+    let mut nxt: Vec<i64> = (0..n).collect();
+    // Sattolo: single cycle.
+    for i in (1..n as usize).rev() {
+        let j = rng.gen_range(0..i);
+        nxt.swap(i, j);
+    }
+    let cost: Vec<i64> = (0..n).map(|_| rng.gen_range(-100..100)).collect();
+    vec![
+        params_segment(module, &[n, 0, steps]),
+        (base_of(module, "nxt"), encode_i64s(&nxt)),
+        (base_of(module, "cost"), encode_i64s(&cost)),
+    ]
+}
+
+/// 255.vortex inputs: a query stream with ~60% hits.
+pub fn vortex(module: &Module, set: InputSet) -> Segments {
+    let mut rng = rng_for("vortex", set);
+    let (nobjs, nqueries, reps) = match set {
+        InputSet::Train => (4096i64, 8192i64, 5i64),
+        InputSet::Ref => (8192, 16384, 6),
+    };
+    let queries: Vec<i64> = (0..nqueries)
+        .map(|_| {
+            if rng.gen_bool(0.6) {
+                let i = rng.gen_range(0..nobjs);
+                (i * 7919 + 13) % 65536
+            } else {
+                rng.gen_range(0..65536)
+            }
+        })
+        .collect();
+    vec![
+        params_segment(module, &[nobjs, nqueries, reps]),
+        (base_of(module, "queries"), encode_i64s(&queries)),
+    ]
+}
+
+/// 256.bzip2 inputs (buffer length must be a power of two for the program's
+/// masking).
+pub fn bzip2(module: &Module, set: InputSet) -> Segments {
+    let mut rng = rng_for("bzip2", set);
+    let (n, reps) = match set {
+        InputSet::Train => (4096i64, 6i64),
+        InputSet::Ref => (16384, 4),
+    };
+    assert!(n > 0 && (n & (n - 1)) == 0, "bzip2 buffer must be 2^k");
+    let buf = compressible_bytes(&mut rng, n as usize);
+    vec![
+        params_segment(module, &[n, 0, reps]),
+        (base_of(module, "buf"), encode_i64s(&buf)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+
+    #[test]
+    fn segments_fit_declared_globals() {
+        for w in Workload::all() {
+            let module = w.module();
+            for set in [InputSet::Train, InputSet::Ref] {
+                for (base, bytes) in w.input(set) {
+                    let g = module
+                        .globals
+                        .iter()
+                        .find(|g| g.base == base)
+                        .unwrap_or_else(|| panic!("{}: no global at {:#x}", w.name(), base));
+                    assert!(
+                        bytes.len() <= g.len * 8,
+                        "{}: segment for {} overflows ({} > {})",
+                        w.name(),
+                        g.name,
+                        bytes.len(),
+                        g.len * 8
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ref_inputs_are_larger_scale() {
+        // The first param (size) or step count must grow from train to ref.
+        for w in Workload::all() {
+            let module = w.module();
+            let pbase = base_of(module, "params");
+            let get = |set: InputSet| -> Vec<i64> {
+                let seg = w
+                    .input(set)
+                    .into_iter()
+                    .find(|(b, _)| *b == pbase)
+                    .expect("params segment");
+                seg.1
+                    .chunks(8)
+                    .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+                    .collect()
+            };
+            let train = get(InputSet::Train);
+            let reff = get(InputSet::Ref);
+            assert!(
+                reff.iter().sum::<i64>() > train.iter().sum::<i64>(),
+                "{}: ref not larger",
+                w.name()
+            );
+        }
+    }
+}

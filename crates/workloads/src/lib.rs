@@ -1,0 +1,289 @@
+//! Synthetic stand-ins for the seven SPEC CPU2000 program/input pairs the
+//! paper evaluates (§5–§6).
+//!
+//! SPEC CPU2000 is proprietary, so each workload here is a Tinylang program
+//! whose dominant kernel exercises the same bottlenecks as its namesake:
+//!
+//! | Workload | Namesake | Character |
+//! |---|---|---|
+//! | `164.gzip-graphic` | gzip | LZ77 hash-chain matching: int ops, data-dependent branches, tables |
+//! | `175.vpr-route` | vpr | Annealing-style swap evaluation: scattered int reads, small helper calls |
+//! | `177.mesa` | mesa | Triangle rasterization: FP interpolation, z-buffer, mixed int/FP |
+//! | `179.art` | art | Neural-network resonance: streaming FP dot products, L2-sized weights |
+//! | `181.mcf` | mcf | Network relaxation: pointer chasing, memory-latency bound |
+//! | `255.vortex-lendian1` | vortex | Object DB lookups: hash chains, many small functions, icache/call heavy |
+//! | `256.bzip2-graphic` | bzip2 | Block-sort compression: counting sort + MTF, int + branchy |
+//!
+//! Each workload has deterministic, seeded `train` and `ref` inputs; inputs
+//! are written into the program's global arrays as initial data segments, so
+//! the same binary semantics hold at every optimization setting.
+//!
+//! # Examples
+//!
+//! ```
+//! use emod_workloads::{InputSet, Workload};
+//! use emod_compiler::OptConfig;
+//! use emod_isa::Emulator;
+//!
+//! let w = Workload::by_name("179.art").unwrap();
+//! let prog = w.program(&OptConfig::o2(), InputSet::Train).unwrap();
+//! let checksum = Emulator::new(&prog).run(200_000_000).unwrap();
+//! assert_eq!(checksum, w.reference_checksum(InputSet::Train));
+//! ```
+
+mod inputs;
+mod sources;
+
+use emod_compiler::ir::Module;
+use emod_compiler::{front, CompileError, OptConfig};
+use emod_isa::Program;
+use std::sync::OnceLock;
+
+/// Which input the program runs on: the paper builds models on `train` and
+/// evaluates the profile-guided scenario on `ref` (Table 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InputSet {
+    /// Smaller model-building input.
+    Train,
+    /// Larger evaluation input.
+    Ref,
+}
+
+impl InputSet {
+    /// The conventional name ("train"/"ref").
+    pub fn name(&self) -> &'static str {
+        match self {
+            InputSet::Train => "train",
+            InputSet::Ref => "ref",
+        }
+    }
+}
+
+/// A benchmark program: source, input generators, reference checksums.
+pub struct Workload {
+    name: &'static str,
+    source: &'static str,
+    gen: fn(&Module, InputSet) -> Vec<(u64, Vec<u8>)>,
+    module: OnceLock<Module>,
+    checksums: OnceLock<[i64; 2]>,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload").field("name", &self.name).finish()
+    }
+}
+
+macro_rules! workload {
+    ($name:expr, $source:expr, $gen:path) => {
+        Workload {
+            name: $name,
+            source: $source,
+            gen: $gen,
+            module: OnceLock::new(),
+            checksums: OnceLock::new(),
+        }
+    };
+}
+
+static WORKLOADS: OnceLock<Vec<Workload>> = OnceLock::new();
+
+impl Workload {
+    /// All seven workloads, in the paper's Table 3 order.
+    pub fn all() -> &'static [Workload] {
+        WORKLOADS.get_or_init(|| {
+            vec![
+                workload!("164.gzip-graphic", sources::GZIP, inputs::gzip),
+                workload!("175.vpr-route", sources::VPR, inputs::vpr),
+                workload!("177.mesa", sources::MESA, inputs::mesa),
+                workload!("179.art", sources::ART, inputs::art),
+                workload!("181.mcf", sources::MCF, inputs::mcf),
+                workload!("255.vortex-lendian1", sources::VORTEX, inputs::vortex),
+                workload!("256.bzip2-graphic", sources::BZIP2, inputs::bzip2),
+            ]
+        })
+    }
+
+    /// Looks a workload up by (prefix of) its name.
+    pub fn by_name(name: &str) -> Option<&'static Workload> {
+        Workload::all()
+            .iter()
+            .find(|w| w.name == name || w.name.contains(name))
+    }
+
+    /// The workload's name, e.g. `"181.mcf"`.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The Tinylang source text.
+    pub fn source(&self) -> &'static str {
+        self.source
+    }
+
+    /// The lowered IR module (parsed once and cached). Global addresses are
+    /// deterministic, so inputs are valid for every compiled variant.
+    pub fn module(&self) -> &Module {
+        self.module.get_or_init(|| {
+            front::parse_and_lower(self.source)
+                .unwrap_or_else(|e| panic!("workload {} does not lower: {}", self.name, e))
+        })
+    }
+
+    /// The input data segments for `set`.
+    pub fn input(&self, set: InputSet) -> Vec<(u64, Vec<u8>)> {
+        (self.gen)(self.module(), set)
+    }
+
+    /// Compiles the workload under `config` with the `set` input attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] if compilation fails (it never should for
+    /// the bundled sources — configurations are validated upstream).
+    pub fn program(&self, config: &OptConfig, set: InputSet) -> Result<Program, CompileError> {
+        let mut prog = emod_compiler::compile_module(self.module().clone(), config)?;
+        for (base, bytes) in self.input(set) {
+            prog.add_data(base, bytes);
+        }
+        Ok(prog)
+    }
+
+    /// The expected exit value (checksum), computed once at `-O0` and used
+    /// to validate every other configuration.
+    pub fn reference_checksum(&self, set: InputSet) -> i64 {
+        let idx = match set {
+            InputSet::Train => 0,
+            InputSet::Ref => 1,
+        };
+        self.checksums.get_or_init(|| {
+            let run = |set| {
+                let prog = self
+                    .program(&OptConfig::o0(), set)
+                    .expect("bundled workload compiles");
+                emod_isa::Emulator::new(&prog)
+                    .run(2_000_000_000)
+                    .unwrap_or_else(|e| panic!("workload {} faulted: {}", self.name, e))
+            };
+            [run(InputSet::Train), run(InputSet::Ref)]
+        })[idx]
+    }
+}
+
+/// Encodes a slice of i64 values as little-endian bytes.
+pub(crate) fn encode_i64s(values: &[i64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Encodes a slice of f64 values as little-endian bit patterns.
+pub(crate) fn encode_f64s(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Resolves a global's base address in a module.
+///
+/// # Panics
+///
+/// Panics if the global does not exist (a workload-source bug).
+pub(crate) fn base_of(module: &Module, name: &str) -> u64 {
+    module
+        .global_base(name)
+        .unwrap_or_else(|| panic!("global `{}` missing", name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emod_isa::Emulator;
+
+    #[test]
+    fn seven_workloads_with_paper_names() {
+        let names: Vec<&str> = Workload::all().iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), 7);
+        for expect in [
+            "164.gzip-graphic",
+            "175.vpr-route",
+            "177.mesa",
+            "179.art",
+            "181.mcf",
+            "255.vortex-lendian1",
+            "256.bzip2-graphic",
+        ] {
+            assert!(names.contains(&expect), "missing {}", expect);
+        }
+    }
+
+    #[test]
+    fn by_name_finds_prefixes() {
+        assert_eq!(Workload::by_name("181.mcf").unwrap().name(), "181.mcf");
+        assert_eq!(Workload::by_name("mcf").unwrap().name(), "181.mcf");
+        assert!(Workload::by_name("999.nope").is_none());
+    }
+
+    #[test]
+    fn all_workloads_compile_and_run_at_o0_train() {
+        for w in Workload::all() {
+            let prog = w.program(&OptConfig::o0(), InputSet::Train).unwrap();
+            let v = Emulator::new(&prog)
+                .run(2_000_000_000)
+                .unwrap_or_else(|e| panic!("{} faulted: {}", w.name(), e));
+            assert_ne!(v, 0, "{} checksum should be nonzero", w.name());
+        }
+    }
+
+    #[test]
+    fn optimization_preserves_checksums() {
+        for w in Workload::all() {
+            let expect = w.reference_checksum(InputSet::Train);
+            for cfg in [OptConfig::o2(), OptConfig::o3()] {
+                let prog = w.program(&cfg, InputSet::Train).unwrap();
+                let v = Emulator::new(&prog).run(2_000_000_000).unwrap();
+                assert_eq!(v, expect, "{} diverged", w.name());
+            }
+        }
+    }
+
+    #[test]
+    fn train_and_ref_differ() {
+        for w in Workload::all() {
+            assert_ne!(
+                w.reference_checksum(InputSet::Train),
+                w.reference_checksum(InputSet::Ref),
+                "{}: inputs should produce different results",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn workloads_are_big_enough_to_sample() {
+        // Each workload should retire at least ~1M instructions on train so
+        // SMARTS has material to sample.
+        for w in Workload::all() {
+            let prog = w.program(&OptConfig::o2(), InputSet::Train).unwrap();
+            let mut emu = Emulator::new(&prog);
+            emu.run(2_000_000_000).unwrap();
+            assert!(
+                emu.retired_count() > 500_000,
+                "{} retired only {}",
+                w.name(),
+                emu.retired_count()
+            );
+        }
+    }
+
+    #[test]
+    fn inputs_are_deterministic() {
+        let w = Workload::by_name("mcf").unwrap();
+        assert_eq!(w.input(InputSet::Train), w.input(InputSet::Train));
+        assert_ne!(w.input(InputSet::Train), w.input(InputSet::Ref));
+    }
+}

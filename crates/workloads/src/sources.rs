@@ -1,0 +1,383 @@
+//! Tinylang source text for the seven workloads.
+//!
+//! Every program reads its run parameters from `params[]`
+//! (`params[0..3]` = size / secondary size / repetitions) and returns a
+//! checksum so that architectural results validate optimization
+//! correctness.
+
+/// 164.gzip-graphic — LZ77 hash-chain match searching over a byte buffer.
+/// Integer-dominated with data-dependent inner loops, hash tables and
+/// chains, like gzip's deflate.
+pub const GZIP: &str = r#"
+global params[4];
+global input[32768];
+global hashhead[4096];
+global hashnext[32768];
+
+fn hash3(a, b, c) {
+    return ((a * 33 + b) * 33 + c) & 4095;
+}
+
+fn main() {
+    var n = params[0];
+    var reps = params[2];
+    var checksum = 1;
+    for (r = 0; r < reps; r = r + 1) {
+        for (h = 0; h < 4096; h = h + 1) { hashhead[h] = 0 - 1; }
+        var i = 0;
+        while (i < n - 2) {
+            var h = hash3(input[i], input[i + 1], input[i + 2]);
+            var best = 0;
+            var cand = hashhead[h];
+            var depth = 0;
+            while ((cand >= 0) && (depth < 8)) {
+                var len = 0;
+                while ((len < 16) && (input[cand + len] == input[i + len])) {
+                    len = len + 1;
+                }
+                if (len > best) { best = len; }
+                cand = hashnext[cand];
+                depth = depth + 1;
+            }
+            hashnext[i] = hashhead[h];
+            hashhead[h] = i;
+            if (best >= 3) {
+                checksum = checksum + best * 2 + 256;
+                i = i + best;
+            } else {
+                checksum = checksum + input[i];
+                i = i + 1;
+            }
+        }
+        checksum = checksum % 1000000007;
+    }
+    return checksum;
+}
+"#;
+
+/// 175.vpr-route — simulated-annealing-style swap evaluation over a
+/// placement grid: bounding-box cost of nets, pseudo-random move proposals,
+/// helper calls that inlining can flatten.
+pub const VPR: &str = r#"
+global params[4];
+global cellx[4096];
+global celly[4096];
+global neta[8192];
+global netb[8192];
+
+fn absdiff(a, b) {
+    if (a > b) { return a - b; }
+    return b - a;
+}
+
+fn netcost(k) {
+    var a = neta[k];
+    var b = netb[k];
+    return absdiff(cellx[a], cellx[b]) + absdiff(celly[a], celly[b]);
+}
+
+fn main() {
+    var ncells = params[0];
+    var nnets = params[1];
+    var moves = params[2];
+    var seed = 12345;
+    var total = 0;
+    for (k = 0; k < nnets; k = k + 1) { total = total + netcost(k); }
+    var accepted = 0;
+    for (m = 0; m < moves; m = m + 1) {
+        seed = (seed * 1103515245 + 12345) & 1048575;
+        var c1 = seed % ncells;
+        seed = (seed * 1103515245 + 12345) & 1048575;
+        var c2 = seed % ncells;
+        // Evaluate a handful of nets around the two cells before and after
+        // swapping their positions.
+        var probe = (m * 5) % nnets;
+        var before = netcost(probe) + netcost((probe + 1) % nnets)
+            + netcost((probe + 2) % nnets) + netcost((probe + 3) % nnets);
+        var tx = cellx[c1]; var ty = celly[c1];
+        cellx[c1] = cellx[c2]; celly[c1] = celly[c2];
+        cellx[c2] = tx; celly[c2] = ty;
+        var after = netcost(probe) + netcost((probe + 1) % nnets)
+            + netcost((probe + 2) % nnets) + netcost((probe + 3) % nnets);
+        var threshold = 4 - (m * 8) / (moves + 1);
+        if (after > before + threshold) {
+            // Reject: swap back.
+            tx = cellx[c1]; ty = celly[c1];
+            cellx[c1] = cellx[c2]; celly[c1] = celly[c2];
+            cellx[c2] = tx; celly[c2] = ty;
+        } else {
+            accepted = accepted + 1;
+            total = total + after - before;
+        }
+    }
+    return (total * 131 + accepted) % 1000000007;
+}
+"#;
+
+/// 177.mesa — software rasterization of triangles into a z-buffered
+/// framebuffer: edge functions and per-pixel FP interpolation, like mesa's
+/// span renderers.
+pub const MESA: &str = r#"
+global params[4];
+globalf tri[2048];
+globalf zbuf[16384];
+global fb[16384];
+
+fn main() {
+    var ntris = params[0];
+    var size = params[1];
+    var reps = params[2];
+    var painted = 0;
+    for (r = 0; r < reps; r = r + 1) {
+        for (p = 0; p < size * size; p = p + 1) { zbuf[p] = 1000000.0; }
+        for (t = 0; t < ntris; t = t + 1) {
+            var x0 = tri[t * 8 + 0]; var y0 = tri[t * 8 + 1];
+            var x1 = tri[t * 8 + 2]; var y1 = tri[t * 8 + 3];
+            var x2 = tri[t * 8 + 4]; var y2 = tri[t * 8 + 5];
+            var z0 = tri[t * 8 + 6]; var shade = tri[t * 8 + 7];
+            // Bounding box, clamped to the framebuffer.
+            var minx = int(x0); var maxx = int(x0);
+            if (int(x1) < minx) { minx = int(x1); }
+            if (int(x2) < minx) { minx = int(x2); }
+            if (int(x1) > maxx) { maxx = int(x1); }
+            if (int(x2) > maxx) { maxx = int(x2); }
+            var miny = int(y0); var maxy = int(y0);
+            if (int(y1) < miny) { miny = int(y1); }
+            if (int(y2) < miny) { miny = int(y2); }
+            if (int(y1) > maxy) { maxy = int(y1); }
+            if (int(y2) > maxy) { maxy = int(y2); }
+            if (minx < 0) { minx = 0; }
+            if (miny < 0) { miny = 0; }
+            if (maxx >= size) { maxx = size - 1; }
+            if (maxy >= size) { maxy = size - 1; }
+            for (y = miny; y <= maxy; y = y + 1) {
+                var fy = float(y);
+                for (x = minx; x <= maxx; x = x + 1) {
+                    var fx = float(x);
+                    // Edge functions.
+                    var e0 = (x1 - x0) * (fy - y0) - (y1 - y0) * (fx - x0);
+                    var e1 = (x2 - x1) * (fy - y1) - (y2 - y1) * (fx - x1);
+                    var e2 = (x0 - x2) * (fy - y2) - (y0 - y2) * (fx - x2);
+                    var inside = 0;
+                    if ((e0 >= 0.0) && ((e1 >= 0.0) && (e2 >= 0.0))) { inside = 1; }
+                    if ((e0 <= 0.0) && ((e1 <= 0.0) && (e2 <= 0.0))) { inside = 1; }
+                    if (inside) {
+                        var z = z0 + e0 * 0.001 + e1 * 0.002;
+                        var idx = y * size + x;
+                        if (z < zbuf[idx]) {
+                            zbuf[idx] = z;
+                            fb[idx] = int(shade * 255.0) & 255;
+                            painted = painted + 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    var check = painted;
+    for (p = 0; p < size * size; p = p + 1) { check = (check * 3 + fb[p]) % 1000000007; }
+    return check;
+}
+"#;
+
+/// 179.art — adaptive-resonance-flavored neural network: streaming FP dot
+/// products over an L2-sized weight matrix, winner-take-all search, weight
+/// adaptation. FP and L2-bandwidth bound like art's F2 layer.
+pub const ART: &str = r#"
+global params[4];
+globalf f1[64];
+globalf weights[65536];
+globalf f2[1024];
+
+fn main() {
+    var n1 = params[0];
+    var n2 = params[1];
+    var reps = params[2];
+    var check = 0.0;
+    var lastwin = 0;
+    for (r = 0; r < reps; r = r + 1) {
+        for (j = 0; j < n2; j = j + 1) {
+            var sum = 0.0;
+            var base = j * 64;
+            for (i = 0; i < n1; i = i + 1) {
+                sum = sum + weights[base + i] * f1[i];
+            }
+            f2[j] = sum * 0.9 + f2[j] * 0.1;
+        }
+        var bestj = 0;
+        var bestv = f2[0];
+        for (j = 1; j < n2; j = j + 1) {
+            if (f2[j] > bestv) { bestv = f2[j]; bestj = j; }
+        }
+        // Adapt the winner's weights toward the input.
+        var wbase = bestj * 64;
+        for (i = 0; i < n1; i = i + 1) {
+            weights[wbase + i] = weights[wbase + i] * 0.995 + f1[i] * 0.005;
+        }
+        // Perturb the input so successive presentations differ.
+        f1[r % 64] = f1[r % 64] + 0.015625;
+        check = check + bestv;
+        lastwin = bestj;
+    }
+    return (int(check * 64.0) + lastwin * 7) % 1000000007;
+}
+"#;
+
+/// 181.mcf — network-flow relaxation sweep: pointer chasing through a
+/// random successor permutation with cost updates; dominated by
+/// memory latency and L2 behaviour like mcf's node/arc walks.
+pub const MCF: &str = r#"
+global params[4];
+global nxt[32768];
+global cost[32768];
+global flow[4096];
+
+fn main() {
+    var n = params[0];
+    var steps = params[2];
+    var cur = 0;
+    var acc = 1;
+    for (s = 0; s < steps; s = s + 1) {
+        cur = nxt[cur];
+        var slot = cur & 4095;
+        var c = cost[cur] + flow[slot];
+        if (c > 0) {
+            flow[slot] = flow[slot] + 1;
+            acc = acc + c;
+        } else {
+            flow[slot] = flow[slot] - 1;
+            acc = acc - c;
+        }
+        // Occasional relaxation of an arc cost keeps values bounded.
+        if ((s & 255) == 0) {
+            cost[cur] = cost[cur] - flow[slot];
+            acc = acc % 1000000007;
+        }
+    }
+    return (acc + cur) % 1000000007;
+}
+"#;
+
+/// 255.vortex-lendian1 — object-database lookups: hash-chained key lookup,
+/// object field dispatch through small accessor functions, inserts and
+/// updates. Call- and icache-intensive like vortex.
+pub const VORTEX: &str = r#"
+global params[4];
+global queries[16384];
+global htab[4096];
+global hnext[8192];
+global keys[8192];
+global typ[8192];
+global fld0[8192];
+global fld1[8192];
+global fld2[8192];
+
+fn hashk(k) {
+    return ((k * 2654435761) >> 8) & 4095;
+}
+
+fn lookup(k) {
+    var idx = htab[hashk(k)];
+    var depth = 0;
+    while ((idx >= 0) && (depth < 32)) {
+        if (keys[idx] == k) { return idx; }
+        idx = hnext[idx];
+        depth = depth + 1;
+    }
+    return 0 - 1;
+}
+
+fn field0(idx) { return fld0[idx]; }
+fn field1(idx) { return fld1[idx]; }
+fn field2(idx) { return fld2[idx]; }
+
+fn getfield(idx, t) {
+    if (t == 0) { return field0(idx); }
+    if (t == 1) { return field1(idx) + field0(idx); }
+    return field2(idx) - field1(idx);
+}
+
+fn insert(i, k) {
+    var h = hashk(k);
+    keys[i] = k;
+    typ[i] = k % 3;
+    fld0[i] = k * 3;
+    fld1[i] = k >> 2;
+    fld2[i] = k ^ 12345;
+    hnext[i] = htab[h];
+    htab[h] = i;
+    return h;
+}
+
+fn main() {
+    var nobjs = params[0];
+    var nqueries = params[1];
+    var reps = params[2];
+    var check = 1;
+    for (h = 0; h < 4096; h = h + 1) { htab[h] = 0 - 1; }
+    for (i = 0; i < nobjs; i = i + 1) {
+        var unused = insert(i, (i * 7919 + 13) % 65536);
+    }
+    for (r = 0; r < reps; r = r + 1) {
+        for (q = 0; q < nqueries; q = q + 1) {
+            var k = queries[q];
+            var idx = lookup(k);
+            if (idx >= 0) {
+                check = check + getfield(idx, typ[idx]);
+                fld1[idx] = fld1[idx] + 1;
+            } else {
+                check = check + 1;
+            }
+        }
+        check = check % 1000000007;
+    }
+    return check;
+}
+"#;
+
+/// 256.bzip2-graphic — block-sorting compression front end: byte-frequency
+/// counting sort, permutation build, move-to-front encoding with a
+/// positional search, run-length checksum. Integer and branch heavy.
+pub const BZIP2: &str = r#"
+global params[4];
+global buf[32768];
+global cnt[256];
+global start[256];
+global order[32768];
+global mtf[256];
+
+fn main() {
+    var n = params[0];
+    var reps = params[2];
+    var check = 1;
+    for (r = 0; r < reps; r = r + 1) {
+        // Counting sort of buffer positions by byte value.
+        for (b = 0; b < 256; b = b + 1) { cnt[b] = 0; }
+        for (i = 0; i < n; i = i + 1) { cnt[buf[i]] = cnt[buf[i]] + 1; }
+        var run = 0;
+        for (b = 0; b < 256; b = b + 1) { start[b] = run; run = run + cnt[b]; }
+        for (i = 0; i < n; i = i + 1) {
+            var v = buf[i];
+            order[start[v]] = i;
+            start[v] = start[v] + 1;
+        }
+        // Move-to-front over the sorted-by-context sequence.
+        for (b = 0; b < 256; b = b + 1) { mtf[b] = b; }
+        for (i = 0; i < n; i = i + 1) {
+            var sym = buf[order[i] & (n - 1)];
+            // Find the symbol's position in the MTF table.
+            var pos = 0;
+            while (mtf[pos] != sym) { pos = pos + 1; }
+            // Shift the prefix down and move the symbol to the front.
+            for (k = pos; k > 0; k = k - 1) { mtf[k] = mtf[k - 1]; }
+            mtf[0] = sym;
+            check = check + pos;
+            if (pos == 0) { check = check + 1; }
+        }
+        check = check % 1000000007;
+        // Mutate the buffer slightly between repetitions.
+        buf[r % n] = (buf[r % n] + 1) & 255;
+    }
+    return check;
+}
+"#;

@@ -1,0 +1,40 @@
+//! Pinned reference checksums: any semantic drift in the compiler, ISA,
+//! input generators or workload sources shows up here immediately.
+//!
+//! If a change is *intentional* (e.g. retuned workload parameters), update
+//! the constants from the test's failure output.
+
+use emod_workloads::{InputSet, Workload};
+
+/// (name, train checksum, ref checksum) — computed at -O0 and stable across
+/// every optimization configuration by the equivalence tests.
+const EXPECTED: &[(&str, i64, i64)] = &[
+    ("164.gzip-graphic", 766583, 4199218),
+    ("175.vpr-route", 89848272, 181154509),
+    ("177.mesa", 131158109, 82151389),
+    ("179.art", 31019, 29683),
+    ("181.mcf", 8195044, 23433362),
+    ("255.vortex-lendian1", 966169824, 934316315),
+    ("256.bzip2-graphic", 145396, 189121),
+];
+
+#[test]
+fn reference_checksums_are_pinned() {
+    let mut failures = Vec::new();
+    for (name, train, reff) in EXPECTED {
+        let w = Workload::by_name(name).unwrap();
+        let got_train = w.reference_checksum(InputSet::Train);
+        let got_ref = w.reference_checksum(InputSet::Ref);
+        if got_train != *train || got_ref != *reff {
+            failures.push(format!(
+                "(\"{}\", {}, {}),",
+                name, got_train, got_ref
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "checksums drifted; if intentional, update EXPECTED to:\n{}",
+        failures.join("\n")
+    );
+}

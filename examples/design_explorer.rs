@@ -1,0 +1,68 @@
+//! Why designed experiments? D-optimal vs random vs Latin hypercube.
+//!
+//! The paper selects measurement points with D-optimal designs (§3) because
+//! the determinant of the information matrix controls model confidence.
+//! This example quantifies that on the real 25-parameter space: it compares
+//! `log det(X'X)` and the test error of models trained on equal-size
+//! designs of each kind.
+//!
+//! ```text
+//! cargo run --release --example design_explorer
+//! ```
+
+use emod::core::vars::design_space;
+use emod::doe::{lhs, DOptimal, ModelSpec};
+use emod::models::{metrics, Dataset, LinearModel, LinearTerms, Regressor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A synthetic-but-structured response standing in for the simulator, so
+/// the comparison runs instantly: a noisy linear+interaction surface.
+fn response(coded: &[f64]) -> f64 {
+    let mut y = 100.0;
+    for (i, &v) in coded.iter().enumerate() {
+        y += (i as f64 % 7.0 - 3.0) * v;
+    }
+    y += 4.0 * coded[1] * coded[16] - 3.0 * coded[0] * coded[14];
+    // Deterministic pseudo-noise.
+    let h: f64 = coded.iter().enumerate().map(|(i, v)| v * (i as f64 + 0.7)).sum();
+    y + (h * 13.37).sin() * 0.5
+}
+
+fn main() {
+    let space = design_space();
+    let mut rng = StdRng::seed_from_u64(2026);
+    let n = 60;
+    let candidates = lhs(&space, 1200, &mut rng);
+    let dopt = DOptimal::new(&space, ModelSpec::main_effects());
+
+    let designs: Vec<(&str, Vec<Vec<f64>>)> = vec![
+        ("random", (0..n).map(|_| space.random_point(&mut rng)).collect()),
+        ("lhs", lhs(&space, n, &mut rng)),
+        ("d-optimal", dopt.select(&candidates, n, &mut rng)),
+    ];
+
+    // Fixed evaluation sample.
+    let eval: Vec<Vec<f64>> = (0..300).map(|_| space.random_point(&mut rng)).collect();
+    let eval_coded: Vec<Vec<f64>> = eval.iter().map(|p| space.encode(p)).collect();
+    let eval_y: Vec<f64> = eval_coded.iter().map(|c| response(c)).collect();
+
+    println!("{:<12} {:>14} {:>12}", "design", "log det(X'X)", "test MAPE %");
+    for (name, points) in designs {
+        let ld = dopt.log_det(&points);
+        let xs: Vec<Vec<f64>> = points.iter().map(|p| space.encode(p)).collect();
+        let ys: Vec<f64> = xs.iter().map(|c| response(c)).collect();
+        let model =
+            LinearModel::fit(&Dataset::new(xs, ys).unwrap(), LinearTerms::MainEffects).unwrap();
+        let preds = model.predict_batch(&eval_coded);
+        println!(
+            "{:<12} {:>14.2} {:>12.3}",
+            name,
+            ld,
+            metrics::mape(&preds, &eval_y)
+        );
+    }
+    println!("\nHigher log-determinant designs give better-conditioned fits —");
+    println!("the reason the paper selects points D-optimally before paying");
+    println!("for expensive cycle-accurate simulations.");
+}

@@ -1,0 +1,54 @@
+//! Platform-specific flag tuning — the paper's §6.3 deployment scenario.
+//!
+//! "It is conceivable that an empirical model (developed offline for all
+//! platforms) can be packaged with a program's compilation system. When the
+//! program is installed on a specific platform, the empirical model could be
+//! parametrized with the platform's configuration and used to search for the
+//! optimal optimization flags and heuristic settings."
+//!
+//! This example plays that story end to end for two programs on the three
+//! reference machines of Table 5.
+//!
+//! ```text
+//! cargo run --release --example flag_tuning
+//! ```
+
+use emod::compiler::OptConfig;
+use emod::core::builder::{BuildConfig, ModelBuilder};
+use emod::core::model::ModelFamily;
+use emod::core::tune;
+use emod::workloads::{InputSet, Workload};
+
+fn main() {
+    for name in ["256.bzip2-graphic", "179.art"] {
+        let workload = Workload::by_name(name).unwrap();
+        println!("=== {} ===", workload.name());
+        // Offline: build the application's model once.
+        let mut builder =
+            ModelBuilder::new(workload, InputSet::Train, BuildConfig::quick(7));
+        let built = builder.build(ModelFamily::Rbf).expect("model fits");
+        println!("model ready (test error {:.1}%)", built.test_mape);
+
+        // At install time: parametrize with the platform, search, compile.
+        for (platform_name, platform) in tune::reference_configs() {
+            let tuned = tune::search_flags(&built, &platform, 11);
+            let report = tune::evaluate_speedup(
+                builder.measurer_mut(),
+                &tuned,
+                &OptConfig::o2(),
+                &platform,
+            );
+            let flags: Vec<String> = tuned.config.to_design_values()[..9]
+                .iter()
+                .map(|v| format!("{}", *v as i64))
+                .collect();
+            println!(
+                "  {:12} flags={} unroll×{} → {:+.1}% over -O2",
+                platform_name,
+                flags.join(""),
+                tuned.config.max_unroll_times,
+                report.actual_speedup_pct
+            );
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: build an empirical model for one program, predict
+//! performance at arbitrary configurations, and search for good flags.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use emod::core::builder::{BuildConfig, ModelBuilder};
+use emod::core::model::ModelFamily;
+use emod::core::{tune, vars};
+use emod::models::Regressor;
+use emod::uarch::UarchConfig;
+use emod::workloads::{InputSet, Workload};
+
+fn main() {
+    // 1. Pick a program/input pair (the models are application-specific).
+    let workload = Workload::by_name("181.mcf").expect("bundled workload");
+    println!("modeling {} on its train input…", workload.name());
+
+    // 2. Run the paper's Figure 1 loop at smoke-test scale: D-optimal
+    //    design over the 25 predictors, SMARTS-sampled measurements, RBF fit.
+    let mut builder = ModelBuilder::new(workload, InputSet::Train, BuildConfig::quick(42));
+    let built = builder.build(ModelFamily::Rbf).expect("model fits");
+    println!(
+        "built an RBF model from {} measurements; test error = {:.1}%",
+        built.train.len(),
+        built.test_mape
+    );
+
+    // 3. Predict performance at an arbitrary configuration — no simulation.
+    let point = vars::encode_point(&emod::compiler::OptConfig::o3(), &UarchConfig::typical());
+    println!(
+        "predicted cycles at -O3 on the typical machine: {:.2}M",
+        built.model.predict(&built.space.encode(&point)) / 1e6
+    );
+
+    // 4. Model-based search: freeze the machine, let a GA pick the flags.
+    let tuned = tune::search_flags(&built, &UarchConfig::typical(), 42);
+    println!(
+        "GA-prescribed settings (after {} model evaluations): {:?}",
+        tuned.evaluations, tuned.config
+    );
+
+    // 5. Check the prescription against the simulator.
+    let report = tune::evaluate_speedup(
+        builder.measurer_mut(),
+        &tuned,
+        &emod::compiler::OptConfig::o2(),
+        &UarchConfig::typical(),
+    );
+    println!(
+        "measured: {} cycles at -O2, {} cycles tuned → {:+.1}% speedup (model predicted {:+.1}%)",
+        report.baseline_cycles,
+        report.tuned_cycles,
+        report.actual_speedup_pct,
+        report.predicted_speedup_pct
+    );
+}

@@ -1,0 +1,33 @@
+//! # emod — microarchitecture-sensitive empirical models for compiler optimizations
+//!
+//! Facade crate re-exporting the whole reproduction stack of
+//! *Vaswani et al., "Microarchitecture Sensitive Empirical Models for
+//! Compiler Optimizations", CGO 2007*.
+//!
+//! The individual subsystems are available as submodules:
+//!
+//! * [`linalg`] — dense matrices, Cholesky/QR, least squares
+//! * [`doe`] — parameter spaces, Latin hypercube sampling, D-optimal designs
+//! * [`models`] — linear regression, MARS, RBF networks, regression trees
+//! * [`search`] — genetic-algorithm flag search
+//! * [`isa`] — the target RISC ISA and functional emulator
+//! * [`compiler`] — the Tinylang optimizing compiler (Table 1 flags/heuristics)
+//! * [`uarch`] — the cycle-accurate out-of-order simulator (Table 2 parameters)
+//! * [`workloads`] — the seven SPEC CPU2000-like synthetic programs
+//! * [`core`] — the empirical model-building pipeline tying it all together
+//!
+//! # Examples
+//!
+//! See `examples/quickstart.rs` for an end-to-end walkthrough: build a
+//! D-optimal design, measure responses on the simulator, fit an RBF model and
+//! search for the best compiler flags for a frozen microarchitecture.
+
+pub use emod_compiler as compiler;
+pub use emod_core as core;
+pub use emod_doe as doe;
+pub use emod_isa as isa;
+pub use emod_linalg as linalg;
+pub use emod_models as models;
+pub use emod_search as search;
+pub use emod_uarch as uarch;
+pub use emod_workloads as workloads;

@@ -1,0 +1,31 @@
+//! Binary-encoding integration: every compiled workload round-trips through
+//! the 16-byte instruction encoding, and the decoded program runs
+//! identically.
+
+use emod::compiler::OptConfig;
+use emod::isa::{encode, Emulator, Program};
+use emod::workloads::{InputSet, Workload};
+
+#[test]
+fn compiled_workloads_roundtrip_through_bytes() {
+    for w in Workload::all().iter().take(3) {
+        let prog = w.program(&OptConfig::o3(), InputSet::Train).unwrap();
+        let bytes = encode::encode_all(prog.insts());
+        assert_eq!(
+            bytes.len() as u64,
+            prog.len() as u64 * emod::isa::INST_BYTES
+        );
+        let decoded = encode::decode(&bytes).unwrap();
+        assert_eq!(decoded.len(), prog.len());
+
+        // Rebuild a program from the decoded stream and run it.
+        let mut rebuilt = Program::from_insts(decoded);
+        rebuilt.set_entry(prog.entry());
+        for (base, data) in prog.data_segments() {
+            rebuilt.add_data(*base, data.clone());
+        }
+        let original = Emulator::new(&prog).run(2_000_000_000).unwrap();
+        let replayed = Emulator::new(&rebuilt).run(2_000_000_000).unwrap();
+        assert_eq!(original, replayed, "{} diverged after encode/decode", w.name());
+    }
+}

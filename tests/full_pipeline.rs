@@ -1,0 +1,89 @@
+//! Cross-crate integration tests: compiler → ISA → simulator → models.
+
+use emod::compiler::OptConfig;
+use emod::core::vars::{decode_point, design_space, encode_point};
+use emod::isa::Emulator;
+use emod::uarch::{simulate_sampled, SampleConfig, UarchConfig};
+use emod::workloads::{InputSet, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fast_sample() -> SampleConfig {
+    SampleConfig {
+        window: 1000,
+        interval: 25,
+        warmup: 1500,
+        fuel: u64::MAX,
+    }
+}
+
+#[test]
+fn random_design_points_run_every_workload_correctly() {
+    // The pipeline invariant underneath the whole paper: any design point
+    // yields a binary with unchanged semantics and a measurable cycle count.
+    let space = design_space();
+    let mut rng = StdRng::seed_from_u64(99);
+    for w in Workload::all() {
+        let expected = w.reference_checksum(InputSet::Train);
+        let point = space.random_point(&mut rng);
+        let (opt, uarch) = decode_point(&point);
+        let prog = w.program(&opt, InputSet::Train).unwrap();
+        let res = simulate_sampled(&prog, &uarch, &fast_sample()).unwrap();
+        assert_eq!(res.exit_value, expected, "{} at {:?}", w.name(), opt);
+        assert!(res.cycles > 100_000, "{}: {} cycles", w.name(), res.cycles);
+    }
+}
+
+#[test]
+fn flags_change_binaries_and_cycles() {
+    // Optimization must actually matter: -O2 is never worse than -O0 (up to
+    // sampling noise) and clearly faster on average across the suite.
+    let ua = UarchConfig::typical();
+    let mut ratios = Vec::new();
+    for w in Workload::all() {
+        let p0 = w.program(&OptConfig::o0(), InputSet::Train).unwrap();
+        let p2 = w.program(&OptConfig::o2(), InputSet::Train).unwrap();
+        let c0 = simulate_sampled(&p0, &ua, &fast_sample()).unwrap().cycles;
+        let c2 = simulate_sampled(&p2, &ua, &fast_sample()).unwrap().cycles;
+        assert!(
+            (c2 as f64) < c0 as f64 * 1.01,
+            "{}: -O2 ({}) worse than -O0 ({})",
+            w.name(),
+            c2,
+            c0
+        );
+        ratios.push(c2 as f64 / c0 as f64);
+    }
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!(avg < 0.95, "-O2 should help ≥5% on average, got ratio {:.3}", avg);
+}
+
+#[test]
+fn microarchitecture_changes_cycles_but_not_results() {
+    let w = Workload::by_name("mcf").unwrap();
+    let prog = w.program(&OptConfig::o2(), InputSet::Train).unwrap();
+    let slow = simulate_sampled(&prog, &UarchConfig::constrained(), &fast_sample()).unwrap();
+    let fast = simulate_sampled(&prog, &UarchConfig::aggressive(), &fast_sample()).unwrap();
+    assert_eq!(slow.exit_value, fast.exit_value);
+    assert!(slow.cycles > fast.cycles);
+}
+
+#[test]
+fn emulator_and_simulator_agree_on_results() {
+    let w = Workload::by_name("vpr").unwrap();
+    let prog = w.program(&OptConfig::o3(), InputSet::Train).unwrap();
+    let functional = Emulator::new(&prog).run(2_000_000_000).unwrap();
+    let timed = simulate_sampled(&prog, &UarchConfig::typical(), &fast_sample()).unwrap();
+    assert_eq!(functional, timed.exit_value);
+}
+
+#[test]
+fn design_point_encoding_is_stable_across_crates() {
+    let opt = OptConfig::o3();
+    let ua = UarchConfig::constrained();
+    let p = encode_point(&opt, &ua);
+    let space = design_space();
+    assert!(space.is_valid(&p), "preset configs must be design points");
+    let coded = space.encode(&p);
+    assert_eq!(space.decode(&coded), p);
+}
