@@ -97,5 +97,11 @@ fn bench_simulator(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_doe, bench_models, bench_compiler, bench_simulator);
+criterion_group!(
+    benches,
+    bench_doe,
+    bench_models,
+    bench_compiler,
+    bench_simulator
+);
 criterion_main!(benches);

@@ -1,27 +1,45 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro table1 | table2 | table3 | table4 | table5 | table6 | table7
-//!       fig3 | fig5 | fig6 | fig7 | all
+//! repro [--stats] table1 | table2 | table3 | table4 | table5 | table6 | table7
+//!       fig3 | fig5 | fig6 | fig7
+//!       metrics | ablation-design | ablation-search | all
 //! ```
 //!
 //! Scale is selected with `EMOD_SCALE` = `quick` | `reduced` (default) |
 //! `paper`.
+//!
+//! Telemetry: set `EMOD_TELEMETRY=<path>` (or `-`/`stderr`) to stream
+//! structured JSONL events from every pipeline layer, and/or pass `--stats`
+//! to print a human-readable statistics appendix (cache hit rates, branch
+//! mispredict rates, per-round model MAPE trajectory, span timings) after
+//! the experiments finish.
 
 use emod_bench::{experiments, Scale, Session};
+use emod_telemetry as telemetry;
 use std::time::Instant;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let stats = args.iter().any(|a| a == "--stats");
+    args.retain(|a| a != "--stats");
     if args.is_empty() {
-        eprintln!("usage: repro <table1..table7|fig3|fig5|fig6|fig7|metrics|ablation-design|ablation-search|all> …");
+        eprintln!(
+            "usage: repro [--stats] \
+             <table1..table7|fig3|fig5|fig6|fig7|metrics|ablation-design|ablation-search|all> …"
+        );
         std::process::exit(2);
+    }
+    telemetry::init_from_env();
+    if stats {
+        telemetry::enable();
     }
     let scale = Scale::from_env();
     println!("# scale: {:?} (set EMOD_SCALE=quick|reduced|paper)", scale);
     let mut session = Session::new(scale);
     for arg in &args {
         let t0 = Instant::now();
+        let span = telemetry::span(&format!("bench.{}", arg));
         match arg.as_str() {
             "table1" => experiments::table1(),
             "table2" => experiments::table2(),
@@ -74,6 +92,21 @@ fn main() {
                 std::process::exit(2);
             }
         }
-        println!("# {} done in {:?}\n", arg, t0.elapsed());
+        drop(span);
+        let wall = t0.elapsed();
+        telemetry::counter_add("bench.experiments", 1);
+        telemetry::event(
+            "bench",
+            "experiment",
+            &[
+                ("experiment", telemetry::Value::from(arg.as_str())),
+                ("wall_s", telemetry::Value::from(wall.as_secs_f64())),
+            ],
+        );
+        println!("# {} done in {:?}\n", arg, wall);
     }
+    if stats {
+        println!("{}", telemetry::summary());
+    }
+    telemetry::flush();
 }

@@ -14,7 +14,10 @@ use emod_workloads::{InputSet, Workload};
 /// Table 1: the compiler flags and heuristics considered for modeling.
 pub fn table1() {
     println!("Table 1: compiler flags and heuristics");
-    println!("{:<4} {:<24} {:>8} {:>8} {:>8}", "#", "parameter", "low", "high", "levels");
+    println!(
+        "{:<4} {:<24} {:>8} {:>8} {:>8}",
+        "#", "parameter", "low", "high", "levels"
+    );
     for (i, p) in vars::compiler_parameters().iter().enumerate() {
         let levels = p.levels();
         println!(
@@ -31,7 +34,10 @@ pub fn table1() {
 /// Table 2: the microarchitectural parameters considered for modeling.
 pub fn table2() {
     println!("Table 2: microarchitectural parameters");
-    println!("{:<4} {:<18} {:>10} {:>10} {:>8}", "#", "parameter", "low", "high", "levels");
+    println!(
+        "{:<4} {:<18} {:>10} {:>10} {:>8}",
+        "#", "parameter", "low", "high", "levels"
+    );
     for (i, p) in vars::uarch_parameters().iter().enumerate() {
         let levels = p.levels();
         println!(
@@ -50,7 +56,10 @@ pub fn table2() {
 /// inadequacy of global linear fits.
 pub fn fig3() -> Vec<(u32, Vec<u64>)> {
     let w = Workload::by_name("179.art").unwrap();
-    let icaches: Vec<u64> = vec![8, 16, 32, 64, 128].into_iter().map(|k| k * 1024).collect();
+    let icaches: Vec<u64> = vec![8, 16, 32, 64, 128]
+        .into_iter()
+        .map(|k| k * 1024)
+        .collect();
     let unrolls: Vec<u32> = vec![4, 6, 8, 10, 12];
     let sample = SampleConfig {
         window: 500,
@@ -89,12 +98,22 @@ pub fn fig3() -> Vec<(u32, Vec<u64>)> {
         .map(|&u| vec![(u as f64 - 8.0) / 4.0])
         .collect();
     let ys: Vec<f64> = rows.iter().map(|(_, r)| r[0] as f64).collect();
-    let lin = LinearModel::fit(&Dataset::new(xs.clone(), ys.clone()).unwrap(), LinearTerms::MainEffects)
-        .unwrap();
-    println!("linear model, il1=8K: predicted = {:.0} + {:.0} * coded(unroll)", lin.intercept(), lin.main_effect(0));
+    let lin = LinearModel::fit(
+        &Dataset::new(xs.clone(), ys.clone()).unwrap(),
+        LinearTerms::MainEffects,
+    )
+    .unwrap();
+    println!(
+        "linear model, il1=8K: predicted = {:.0} + {:.0} * coded(unroll)",
+        lin.intercept(),
+        lin.main_effect(0)
+    );
     let preds = lin.predict_batch(&xs);
     let mape = emod_models::metrics::mape(&preds, &ys);
-    println!("linear fit error over the sweep: {:.1}% (the nonlinearity a global line cannot capture)", mape);
+    println!(
+        "linear fit error over the sweep: {:.1}% (the nonlinearity a global line cannot capture)",
+        mape
+    );
     rows
 }
 
@@ -136,13 +155,19 @@ pub fn table3(session: &mut Session) -> Vec<(String, [f64; 3])> {
     rows
 }
 
+/// One workload's learning curve: `(train size, mean error %, σ)` triples.
+pub type LearningCurve = Vec<(usize, f64, f64)>;
+
 /// Figure 5: effect of training-set size on RBF model accuracy (mean ± σ
 /// over replicate designs).
-pub fn fig5(session: &mut Session) -> Vec<(String, Vec<(usize, f64, f64)>)> {
+pub fn fig5(session: &mut Session) -> Vec<(String, LearningCurve)> {
     let scale = session.scale();
     let sizes = scale.learning_curve_sizes();
     let seeds = scale.replicate_seeds();
-    println!("Figure 5: RBF test error (%) vs training-set size  [mean ± sigma over {} designs]", seeds.len());
+    println!(
+        "Figure 5: RBF test error (%) vs training-set size  [mean ± sigma over {} designs]",
+        seeds.len()
+    );
     let mut out = Vec::new();
     for w in Workload::all() {
         let mut series = Vec::new();
@@ -153,14 +178,11 @@ pub fn fig5(session: &mut Session) -> Vec<(String, Vec<(usize, f64, f64)>)> {
                 let mut cfg = scale.build_config(seed);
                 cfg.train_size = *sizes.last().unwrap();
                 let mut b = ModelBuilder::new(w, InputSet::Train, cfg);
-                let (_, mape) = b
-                    .build_with_train_subset(ModelFamily::Rbf, n)
-                    .expect("fit");
+                let (_, mape) = b.build_with_train_subset(ModelFamily::Rbf, n).expect("fit");
                 errs.push(mape);
             }
             let mean = errs.iter().sum::<f64>() / errs.len() as f64;
-            let var = errs.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>()
-                / errs.len() as f64;
+            let var = errs.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / errs.len() as f64;
             print!("  n={:<4} {:>6.2}±{:<5.2}", n, mean, var.sqrt());
             series.push((n, mean, var.sqrt()));
         }
@@ -235,7 +257,8 @@ pub fn table5() {
         "parameter", "constrained", "typical", "aggressive"
     );
     let configs = reference_configs();
-    let rows: [(&str, fn(&UarchConfig) -> u64); 11] = [
+    type Field = fn(&UarchConfig) -> u64;
+    let rows: [(&str, Field); 11] = [
         ("issue-width", |c| c.issue_width as u64),
         ("bpred-size", |c| c.bpred_size as u64),
         ("ruu-size", |c| c.ruu_size as u64),
@@ -283,15 +306,27 @@ pub fn table6(session: &mut Session) -> Vec<(String, [OptConfig; 3])> {
         let a = fmt_flags(&tuned[0]);
         let b = fmt_flags(&tuned[1]);
         let c = fmt_flags(&tuned[2]);
-        let flag_str: Vec<String> = (0..9).map(|i| format!("{}/{}/{}", a[i], b[i], c[i])).collect();
+        let flag_str: Vec<String> = (0..9)
+            .map(|i| format!("{}/{}/{}", a[i], b[i], c[i]))
+            .collect();
         println!("{:<24} {}", w.name(), flag_str.join(" "));
         println!(
             "    heuristics: {}/{}/{} {}/{}/{} {}/{}/{} {}/{}/{} {}/{}/{}",
-            tuned[0].max_inline_insns_auto, tuned[1].max_inline_insns_auto, tuned[2].max_inline_insns_auto,
-            tuned[0].inline_unit_growth, tuned[1].inline_unit_growth, tuned[2].inline_unit_growth,
-            tuned[0].inline_call_cost, tuned[1].inline_call_cost, tuned[2].inline_call_cost,
-            tuned[0].max_unroll_times, tuned[1].max_unroll_times, tuned[2].max_unroll_times,
-            tuned[0].max_unrolled_insns, tuned[1].max_unrolled_insns, tuned[2].max_unrolled_insns,
+            tuned[0].max_inline_insns_auto,
+            tuned[1].max_inline_insns_auto,
+            tuned[2].max_inline_insns_auto,
+            tuned[0].inline_unit_growth,
+            tuned[1].inline_unit_growth,
+            tuned[2].inline_unit_growth,
+            tuned[0].inline_call_cost,
+            tuned[1].inline_call_cost,
+            tuned[2].inline_call_cost,
+            tuned[0].max_unroll_times,
+            tuned[1].max_unroll_times,
+            tuned[2].max_unroll_times,
+            tuned[0].max_unrolled_insns,
+            tuned[1].max_unrolled_insns,
+            tuned[2].max_unrolled_insns,
         );
         out.push((
             w.name().to_string(),
@@ -332,10 +367,7 @@ pub fn fig7(session: &mut Session) -> Vec<SpeedupRow> {
 /// profile-guided scenario).
 pub fn table7(session: &mut Session) -> Vec<SpeedupRow> {
     println!("Table 7: profile-guided scenario — tuned on train, run on ref");
-    println!(
-        "{:<24} {:<12} {:>10}",
-        "Benchmark", "platform", "actual %"
-    );
+    println!("{:<24} {:<12} {:>10}", "Benchmark", "platform", "actual %");
     speedup_rows(session, InputSet::Ref, false)
 }
 
@@ -455,7 +487,10 @@ pub fn ablation_design(session: &mut Session) {
         .iter()
         .map(|p| measurer.measure(p) as f64)
         .collect();
-    println!("{:<12} {:>14} {:>12}", "design", "log det(X'X)", "RBF err %");
+    println!(
+        "{:<12} {:>14} {:>12}",
+        "design", "log det(X'X)", "RBF err %"
+    );
     for (name, points) in designs {
         let ld = dopt.log_det(&points);
         let measurer = session.builder(w, InputSet::Train).measurer_mut();

@@ -138,6 +138,11 @@ fn lower_function(
     }
     let layout = block_layout(f, config.reorder_blocks);
     let alloc = regalloc::allocate(f, &layout, config.omit_frame_pointer);
+    if emod_telemetry::enabled() {
+        emod_telemetry::counter_add("compiler.regalloc.functions", 1);
+        emod_telemetry::counter_add("compiler.regalloc.spill_slots", alloc.slots as u64);
+        emod_telemetry::observe("compiler.spills_per_function", alloc.slots as f64);
+    }
 
     // Frame layout (from SP after adjustment, going up):
     //   [ spill slots ][ saved fp callee ][ saved int callee ][ fp? ][ ra? ]
@@ -688,9 +693,7 @@ impl FnCtx<'_> {
                         Operand::ConstI(v) => self.body.push(Inst::LoadImm { rd, imm: *v }),
                         _ => {
                             let rs = self.read_int(*src, 1)?;
-                            if rs != rd {
-                                self.body.push(mov_int(rd, rs));
-                            } else if post.is_some() {
+                            if rs != rd || post.is_some() {
                                 self.body.push(mov_int(rd, rs));
                             }
                         }
@@ -869,7 +872,14 @@ mod tests {
             cfg.omit_frame_pointer = omit;
             cfg.reorder_blocks = reorder;
             cfg.schedule_insns2 = sched;
-            assert_eq!(run_src(src, &cfg), base, "omit={} reorder={} sched={}", omit, reorder, sched);
+            assert_eq!(
+                run_src(src, &cfg),
+                base,
+                "omit={} reorder={} sched={}",
+                omit,
+                reorder,
+                sched
+            );
         }
     }
 
@@ -913,10 +923,7 @@ mod tests {
         let pj = count_jumps(&crate::compile(src, &plain).unwrap());
         let rj = count_jumps(&crate::compile(src, &reordered).unwrap());
         assert!(rj <= pj, "reorder increased jumps: {} -> {}", pj, rj);
-        assert_eq!(
-            run_src(src, &plain),
-            run_src(src, &reordered),
-        );
+        assert_eq!(run_src(src, &plain), run_src(src, &reordered),);
     }
 
     #[test]

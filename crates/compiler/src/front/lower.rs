@@ -176,10 +176,7 @@ impl LowerCtx<'_> {
                 match self.vars.get(name) {
                     Some(&r) => {
                         if self.func.ty(r) != ty {
-                            return self.semantic(format!(
-                                "type mismatch assigning to `{}`",
-                                name
-                            ));
+                            return self.semantic(format!("type mismatch assigning to `{}`", name));
                         }
                         self.assign_to(r, val);
                     }
@@ -249,10 +246,7 @@ impl LowerCtx<'_> {
             Stmt::Return(e) => {
                 let (v, ty) = self.expr(e)?;
                 if ty != self.ret_ty {
-                    return self.semantic(format!(
-                        "return type mismatch in `{}`",
-                        self.func.name
-                    ));
+                    return self.semantic(format!("return type mismatch in `{}`", self.func.name));
                 }
                 self.set_term(Terminator::Return(v));
                 self.terminated = true;
@@ -588,7 +582,9 @@ mod tests {
 
     #[test]
     fn for_loop_has_step_in_latch_block() {
-        let m = lower_src("fn main() { var s = 0; for (i = 0; i < 4; i = i + 1) { s = s + i; } return s; }");
+        let m = lower_src(
+            "fn main() { var s = 0; for (i = 0; i < 4; i = i + 1) { s = s + i; } return s; }",
+        );
         let f = &m.funcs[0];
         let loops = crate::ir::analysis::natural_loops(f);
         assert_eq!(loops.len(), 1);
@@ -601,11 +597,11 @@ mod tests {
     #[test]
     fn type_errors_are_reported() {
         for src in [
-            "fn main() { return 1.5; }",                     // float from int fn
-            "fn main() { var x = 1; x = 2.0; return x; }",   // mixed assign
-            "fn main() { return 1 + 2.0; }",                 // mixed operands
-            "fn main() { return unknown; }",                 // unknown var
-            "fn main() { return f(1); }",                    // unknown fn
+            "fn main() { return 1.5; }",                        // float from int fn
+            "fn main() { var x = 1; x = 2.0; return x; }",      // mixed assign
+            "fn main() { return 1 + 2.0; }",                    // mixed operands
+            "fn main() { return unknown; }",                    // unknown var
+            "fn main() { return f(1); }",                       // unknown fn
             "global g[2]; fn main() { g[0] = 1.0; return 0; }", // wrong store ty
         ] {
             let err = lower(&parse(src).unwrap()).unwrap_err();
@@ -615,8 +611,8 @@ mod tests {
 
     #[test]
     fn call_lowering_checks_arity() {
-        let err = lower(&parse("fn f(a) { return a; } fn main() { return f(); }").unwrap())
-            .unwrap_err();
+        let err =
+            lower(&parse("fn f(a) { return a; } fn main() { return f(); }").unwrap()).unwrap_err();
         assert!(err.to_string().contains("expects 1"));
     }
 
@@ -633,7 +629,9 @@ mod tests {
 
     #[test]
     fn implicit_declaration_in_for_init() {
-        let m = lower_src("fn main() { var s = 0; for (i = 0; i < 3; i = i + 1) { s = s + 1; } return s; }");
+        let m = lower_src(
+            "fn main() { var s = 0; for (i = 0; i < 3; i = i + 1) { s = s + 1; } return s; }",
+        );
         m.funcs[0].assert_valid();
     }
 

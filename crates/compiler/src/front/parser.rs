@@ -407,14 +407,18 @@ mod tests {
     #[test]
     fn precedence_mul_over_add() {
         let p = parse("fn main() { return 1 + 2 * 3; }").unwrap();
-        let Item::Func(f) = &p.items[0] else {
-            panic!()
-        };
+        let Item::Func(f) = &p.items[0] else { panic!() };
         let Stmt::Return(Expr::Bin { op, rhs, .. }) = &f.body[0] else {
             panic!()
         };
         assert_eq!(*op, BinExprOp::Add);
-        assert!(matches!(**rhs, Expr::Bin { op: BinExprOp::Mul, .. }));
+        assert!(matches!(
+            **rhs,
+            Expr::Bin {
+                op: BinExprOp::Mul,
+                ..
+            }
+        ));
     }
 
     #[test]

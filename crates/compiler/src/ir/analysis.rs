@@ -123,10 +123,7 @@ impl Loop {
 
     /// Total instruction count of the loop body.
     pub fn size(&self, f: &Function) -> usize {
-        self.body
-            .iter()
-            .map(|b| f.block(*b).instrs.len() + 1)
-            .sum()
+        self.body.iter().map(|b| f.block(*b).instrs.len() + 1).sum()
     }
 }
 
@@ -242,7 +239,7 @@ pub fn liveness(f: &Function) -> Liveness {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ir::{BinOp, Block, Instr, Operand, Terminator, Ty};
+    use crate::ir::{BinOp, Instr, Operand, Terminator, Ty};
 
     /// Builds the classic diamond-with-loop CFG:
     /// bb0 -> bb1 (header) ; bb1 -> bb2 (body) | bb3 (exit) ; bb2 -> bb1.

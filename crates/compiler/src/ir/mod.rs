@@ -96,7 +96,10 @@ pub enum BinOp {
 impl BinOp {
     /// Whether `a op b == b op a`.
     pub fn commutative(&self) -> bool {
-        matches!(self, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor)
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+        )
     }
 
     /// Whether the operator can fault (divide by zero) and therefore must

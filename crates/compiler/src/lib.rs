@@ -101,6 +101,8 @@ pub fn compile(source: &str, config: &OptConfig) -> Result<Program> {
 ///
 /// Returns a [`CompileError`] for codegen limits.
 pub fn compile_module(mut module: ir::Module, config: &OptConfig) -> Result<Program> {
+    let _span = emod_telemetry::span("compiler.compile");
+    emod_telemetry::counter_add("compiler.compilations", 1);
     passes::run_pipeline(&mut module, config);
     codegen::generate(&module, config)
 }

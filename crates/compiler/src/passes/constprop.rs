@@ -71,9 +71,8 @@ pub fn propagate_constants(f: &mut Function) {
     }
 
     // Rewrite with the computed facts.
-    for b in 0..n {
-        let mut env = ins[b].clone();
-        let block = &mut f.blocks[b];
+    for (block, block_in) in f.blocks.iter_mut().zip(&ins) {
+        let mut env = block_in.clone();
         for i in &mut block.instrs {
             // Substitute known-constant operands.
             for u in i.uses() {
@@ -113,7 +112,9 @@ pub fn propagate_constants(f: &mut Function) {
         if let Terminator::Return(v) = block.term.clone() {
             if let Some(r) = v.as_reg() {
                 match env.get(&r) {
-                    Some(Lattice::ConstI(c)) => block.term = Terminator::Return(Operand::ConstI(*c)),
+                    Some(Lattice::ConstI(c)) => {
+                        block.term = Terminator::Return(Operand::ConstI(*c))
+                    }
                     Some(Lattice::ConstF(c)) => {
                         block.term = Terminator::Return(Operand::ConstF(f64::from_bits(*c)))
                     }
@@ -284,9 +285,8 @@ pub fn eliminate_dead_code(f: &mut Function) {
         let mut removed = false;
         for b in &mut f.blocks {
             let before = b.instrs.len();
-            b.instrs.retain(|i| {
-                i.def().map_or(true, |d| used.contains(&d)) || !i.is_pure()
-            });
+            b.instrs
+                .retain(|i| i.def().is_none_or(|d| used.contains(&d)) || !i.is_pure());
             removed |= b.instrs.len() != before;
         }
         if !removed {
@@ -323,7 +323,8 @@ mod tests {
 
     #[test]
     fn constants_survive_joins_when_equal() {
-        let src = "fn main(p) { var a = 7; if (p) { var x = 1; } else { var y = 2; } return a + 1; }";
+        let src =
+            "fn main(p) { var a = 7; if (p) { var x = 1; } else { var y = 2; } return a + 1; }";
         let mut m = module(src);
         propagate_constants(&mut m.funcs[0]);
         let f = &m.funcs[0];

@@ -54,13 +54,9 @@ fn expr_key(i: &Instr) -> Option<(ExprKey, VReg)> {
             }
             (ExprKey::Bin(*op, a, b), *dst)
         }
-        Instr::FBin { op, dst, lhs, rhs } => {
-            (ExprKey::FBin(*op, op_key(*lhs), op_key(*rhs)), *dst)
-        }
+        Instr::FBin { op, dst, lhs, rhs } => (ExprKey::FBin(*op, op_key(*lhs), op_key(*rhs)), *dst),
         Instr::Cmp { op, dst, lhs, rhs } => (ExprKey::Cmp(*op, op_key(*lhs), op_key(*rhs)), *dst),
-        Instr::FCmp { op, dst, lhs, rhs } => {
-            (ExprKey::FCmp(*op, op_key(*lhs), op_key(*rhs)), *dst)
-        }
+        Instr::FCmp { op, dst, lhs, rhs } => (ExprKey::FCmp(*op, op_key(*lhs), op_key(*rhs)), *dst),
         Instr::IntToFloat { dst, src } => (ExprKey::I2F(op_key(*src)), *dst),
         Instr::FloatToInt { dst, src } => (ExprKey::F2I(op_key(*src)), *dst),
         _ => return None,
@@ -182,7 +178,14 @@ fn dominator_cse(f: &mut Function, def_counts: &[u32]) {
     let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
     let mut undo: Vec<Undo> = vec![Undo::default()];
     // Process entry block on push.
-    process_block(f, BlockId(0), &mut table, &mut aliases, &mut undo[0], single_def);
+    process_block(
+        f,
+        BlockId(0),
+        &mut table,
+        &mut aliases,
+        &mut undo[0],
+        single_def,
+    );
     while let Some(frame) = stack.last_mut() {
         let bb = frame.0;
         if frame.1 < children[bb.0 as usize].len() {

@@ -289,7 +289,6 @@ mod tests {
         let main = m.func_index("main").unwrap();
         assert_eq!(call_count(&m, main), 1, "big callee must not inline");
         // Raising the threshold far enough inlines it.
-        let mut m2 = module(&src);
         let mut cfg2 = inline_cfg();
         cfg2.max_inline_insns_auto = 150;
         cfg2.inline_call_cost = 20;
@@ -304,7 +303,7 @@ mod tests {
             "fn big(x) {{ {} return x; }} fn main() {{ return big(1); }}",
             body2
         );
-        m2 = module(&src2);
+        let mut m2 = module(&src2);
         run(&mut m2, &cfg2);
         let main2 = m2.func_index("main").unwrap();
         assert_eq!(call_count(&m2, main2), 0, "callee within threshold inlines");

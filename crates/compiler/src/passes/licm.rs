@@ -93,7 +93,10 @@ fn hoist(f: &mut Function, l: &Loop, preheader: BlockId) {
                     continue;
                 }
                 // … and must not be observed after a zero-trip exit.
-                if exits.iter().any(|e| live.live_in[e.0 as usize].contains(&d)) {
+                if exits
+                    .iter()
+                    .any(|e| live.live_in[e.0 as usize].contains(&d))
+                {
                     continue;
                 }
                 moved = Some((b, idx));

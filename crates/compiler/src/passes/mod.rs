@@ -17,50 +17,92 @@ pub mod unroll;
 
 use crate::ir::Module;
 use crate::OptConfig;
+use emod_telemetry as telemetry;
+
+/// Runs one named pass with telemetry: a `compiler.pass.<name>` timing span
+/// plus a `compiler`/`pass` event carrying wall time and the IR
+/// instruction-count delta. With telemetry disabled this is exactly one
+/// relaxed atomic load around the pass body.
+fn run_pass(module: &mut Module, name: &str, pass: impl FnOnce(&mut Module)) {
+    if !telemetry::enabled() {
+        pass(module);
+        return;
+    }
+    let size_before = module.size();
+    let start = std::time::Instant::now();
+    {
+        let _span = telemetry::span(&format!("compiler.pass.{}", name));
+        pass(module);
+    }
+    let wall_us = start.elapsed().as_nanos() as f64 / 1000.0;
+    let size_after = module.size();
+    telemetry::event(
+        "compiler",
+        "pass",
+        &[
+            ("pass", name.into()),
+            ("wall_us", wall_us.into()),
+            ("ir_size_before", size_before.into()),
+            ("ir_size_after", size_after.into()),
+            (
+                "ir_size_delta",
+                (size_after as i64 - size_before as i64).into(),
+            ),
+        ],
+    );
+}
+
+/// One scalar-cleanup round: constprop, copy-prop, GCSE, DCE per function.
+fn gcse_round(module: &mut Module) {
+    for f in &mut module.funcs {
+        constprop::propagate_constants(f);
+        constprop::local_copy_propagation(f);
+        gcse::run(f);
+        constprop::eliminate_dead_code(f);
+    }
+}
 
 /// Runs every enabled midend pass over the module, in pipeline order.
 pub fn run_pipeline(module: &mut Module, config: &OptConfig) {
     if config.inline_functions {
-        inline::run(module, config);
+        run_pass(module, "inline", |m| inline::run(m, config));
     }
     if config.gcse {
-        for f in &mut module.funcs {
-            constprop::propagate_constants(f);
-            constprop::local_copy_propagation(f);
-            gcse::run(f);
-            constprop::eliminate_dead_code(f);
-        }
+        run_pass(module, "gcse", gcse_round);
     }
     if config.loop_optimize {
-        for f in &mut module.funcs {
-            licm::run(f);
-        }
+        run_pass(module, "licm", |m| {
+            for f in &mut m.funcs {
+                licm::run(f);
+            }
+        });
     }
     if config.strength_reduce {
-        for f in &mut module.funcs {
-            strength::run(f);
-        }
+        run_pass(module, "strength_reduce", |m| {
+            for f in &mut m.funcs {
+                strength::run(f);
+            }
+        });
     }
     if config.unroll_loops {
-        for f in &mut module.funcs {
-            unroll::run(f, config);
-        }
+        run_pass(module, "unroll", |m| {
+            for f in &mut m.funcs {
+                unroll::run(f, config);
+            }
+        });
     }
     // Second scalar-cleanup round, as in gcc's post-loop GCSE: strength
     // reduction leaves copies and unrolling duplicates address math; when
     // -fgcse is off those leftovers stay — a real flag interaction.
     if config.gcse && (config.strength_reduce || config.unroll_loops || config.loop_optimize) {
-        for f in &mut module.funcs {
-            constprop::propagate_constants(f);
-            constprop::local_copy_propagation(f);
-            gcse::run(f);
-            constprop::eliminate_dead_code(f);
-        }
+        run_pass(module, "gcse2", gcse_round);
     }
     if config.prefetch_loop_arrays {
-        for f in &mut module.funcs {
-            prefetch::run(f);
-        }
+        run_pass(module, "prefetch", |m| {
+            for f in &mut m.funcs {
+                prefetch::run(f);
+            }
+        });
     }
     for f in &module.funcs {
         f.assert_valid();

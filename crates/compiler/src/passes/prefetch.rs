@@ -42,9 +42,7 @@ pub fn run(f: &mut Function) {
                 }
             }
         }
-        let is_iv = |r: VReg| {
-            def_counts.get(&r) == Some(&1) && add_const_defs.contains_key(&r)
-        };
+        let is_iv = |r: VReg| def_counts.get(&r) == Some(&1) && add_const_defs.contains_key(&r);
         // Walk a short single-def chain from `r` down to an IV.
         let strides = |r: VReg| -> bool {
             let mut cur = r;

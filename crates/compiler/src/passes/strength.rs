@@ -225,7 +225,7 @@ fn reduce_once(f: &mut Function, l: &Loop) -> bool {
         ));
     }
     // Insert updates after the increments, highest index first per block.
-    post_increment_inserts.sort_by(|a, b| (b.0 .0, b.1).cmp(&(a.0 .0, a.1)));
+    post_increment_inserts.sort_by_key(|&(b, idx, _)| std::cmp::Reverse((b.0, idx)));
     for (b, idx, instr) in post_increment_inserts {
         f.block_mut(b).instrs.insert(idx + 1, instr);
     }

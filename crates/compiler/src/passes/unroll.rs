@@ -96,10 +96,7 @@ fn try_unroll(f: &mut Function, l: &crate::ir::analysis::Loop, config: &OptConfi
     }
     let bound_invariant = match rhs {
         Operand::ConstI(_) => true,
-        Operand::Reg(b) => {
-            b != iv
-                && !f.block(body).instrs.iter().any(|i| i.def() == Some(b))
-        }
+        Operand::Reg(b) => b != iv && !f.block(body).instrs.iter().any(|i| i.def() == Some(b)),
         Operand::ConstF(_) => false,
     };
     if !bound_invariant {
@@ -290,7 +287,11 @@ mod tests {
         let mut m = module(src);
         let before = m.funcs[0].blocks.len();
         run(&mut m.funcs[0], &cfg(8, 300));
-        assert_eq!(m.funcs[0].blocks.len(), before, "must skip multi-block body");
+        assert_eq!(
+            m.funcs[0].blocks.len(),
+            before,
+            "must skip multi-block body"
+        );
         assert_equivalent(src, &cfg(8, 300));
     }
 

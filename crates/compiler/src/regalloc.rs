@@ -136,7 +136,9 @@ pub fn allocate(f: &Function, layout: &[BlockId], omit_frame_pointer: bool) -> A
         }
         // Live-through extension (does not count as a touch).
         for &r in &live.live_in[b.0 as usize] {
-            let e = ranges.entry(r).or_insert((block_start[&b], block_start[&b] + 1, 0));
+            let e = ranges
+                .entry(r)
+                .or_insert((block_start[&b], block_start[&b] + 1, 0));
             e.0 = e.0.min(block_start[&b]);
             e.1 = e.1.max(block_start[&b] + 1);
         }
@@ -155,9 +157,7 @@ pub fn allocate(f: &Function, layout: &[BlockId], omit_frame_pointer: bool) -> A
             ty: f.ty(reg),
             start,
             end,
-            crosses_call: call_positions
-                .iter()
-                .any(|&c| c >= start && c < end),
+            crosses_call: call_positions.iter().any(|&c| c >= start && c < end),
             uses,
         })
         .collect();
@@ -236,22 +236,20 @@ impl Scan {
     fn take(&mut self, class: usize, crosses_call: bool) -> Option<u8> {
         if crosses_call {
             // Must survive calls: callee-saved only.
-            self.free_callee[class].pop().map(|r| {
+            self.free_callee[class].pop().inspect(|&r| {
                 if !self.used_callee[class].contains(&r) {
                     self.used_callee[class].push(r);
                 }
-                r
             })
         } else {
             // Prefer caller-saved; fall back to callee-saved.
             if let Some(r) = self.free_caller[class].pop() {
                 return Some(r);
             }
-            self.free_callee[class].pop().map(|r| {
+            self.free_callee[class].pop().inspect(|&r| {
                 if !self.used_callee[class].contains(&r) {
                     self.used_callee[class].push(r);
                 }
-                r
             })
         }
     }
@@ -281,18 +279,13 @@ impl Scan {
                 class_of(a.ty) == class
                     && a.end > iv.end
                     && match loc {
-                        Loc::IntReg(r) => {
-                            !iv.crosses_call
-                                || !INT_CALLER.contains(r)
-                        }
+                        Loc::IntReg(r) => !iv.crosses_call || !INT_CALLER.contains(r),
                         Loc::FpReg(r) => !iv.crosses_call || !FP_CALLER.contains(r),
                         Loc::Slot(_) => false,
                     }
             })
             .min_by(|(_, (a, _)), (_, (b, _))| {
-                a.density()
-                    .total_cmp(&b.density())
-                    .then(b.end.cmp(&a.end))
+                a.density().total_cmp(&b.density()).then(b.end.cmp(&a.end))
             });
         match candidate {
             Some((idx, (a, _))) if a.density() <= iv.density() => {
@@ -327,7 +320,7 @@ mod tests {
     fn small_function_gets_registers_only() {
         let (f, a) = alloc_for("fn main(x, y) { return x * 2 + y; }", true);
         assert_eq!(a.slots, 0);
-        for (_, loc) in &a.locs {
+        for loc in a.locs.values() {
             assert!(matches!(loc, Loc::IntReg(_)));
         }
         // Every vreg that appears has a location.
@@ -413,7 +406,10 @@ mod tests {
 
     #[test]
     fn distinct_registers_for_overlapping_intervals() {
-        let (f, a) = alloc_for("fn main(p) { var a = p + 1; var b = p + 2; var c = a * b; return c + a + b; }", true);
+        let (f, a) = alloc_for(
+            "fn main(p) { var a = p + 1; var b = p + 2; var c = a * b; return c + a + b; }",
+            true,
+        );
         // a and b overlap: must differ.
         let mut seen = Vec::new();
         for b in &f.blocks {

@@ -48,10 +48,10 @@ pub fn schedule_region(insts: &[Inst]) -> Vec<Inst> {
     let mut succs: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
     let mut preds_count = vec![0usize; n];
     let add_edge = |succs: &mut Vec<Vec<(usize, u32)>>,
-                        preds_count: &mut Vec<usize>,
-                        a: usize,
-                        b: usize,
-                        lat: u32| {
+                    preds_count: &mut Vec<usize>,
+                    a: usize,
+                    b: usize,
+                    lat: u32| {
         if a != b && !succs[a].iter().any(|&(t, _)| t == b) {
             succs[a].push((b, lat));
             preds_count[b] += 1;

@@ -73,11 +73,7 @@ impl Gen {
                 self.expr(depth - 1),
                 self.rng.gen_range(1..9) // nonzero constant divisor
             ),
-            4 => format!(
-                "({} % {})",
-                self.expr(depth - 1),
-                self.rng.gen_range(1..9)
-            ),
+            4 => format!("({} % {})", self.expr(depth - 1), self.rng.gen_range(1..9)),
             5 => format!("({} & {})", self.expr(depth - 1), self.expr(depth - 1)),
             6 => format!("({} ^ {})", self.expr(depth - 1), self.expr(depth - 1)),
             7 => format!("({} < {})", self.expr(depth - 1), self.expr(depth - 1)),
@@ -98,13 +94,13 @@ impl Gen {
             0..=2 if indent == 1 => {
                 let name = self.fresh("v");
                 let e = self.expr(2);
-                self.src.push_str(&format!("{}var {} = {};\n", pad, name, e));
+                self.src
+                    .push_str(&format!("{}var {} = {};\n", pad, name, e));
                 self.vars.push(name.clone());
                 self.mutable_vars.push(name);
             }
             3..=4 if !self.mutable_vars.is_empty() => {
-                let v =
-                    self.mutable_vars[self.rng.gen_range(0..self.mutable_vars.len())].clone();
+                let v = self.mutable_vars[self.rng.gen_range(0..self.mutable_vars.len())].clone();
                 let e = self.expr(2);
                 self.src.push_str(&format!("{}{} = {};\n", pad, v, e));
             }
@@ -143,8 +139,7 @@ impl Gen {
                     self.stmt(indent + 1);
                 }
                 if !self.globals.is_empty() && self.rng.gen_bool(0.7) {
-                    let (g, len) =
-                        self.globals[self.rng.gen_range(0..self.globals.len())].clone();
+                    let (g, len) = self.globals[self.rng.gen_range(0..self.globals.len())].clone();
                     self.src.push_str(&format!(
                         "{}    {}[{} % {}] = {}[{} % {}] + {};\n",
                         pad, g, iv, len, g, iv, len, iv
@@ -156,8 +151,7 @@ impl Gen {
                 }
             }
             _ if !self.mutable_vars.is_empty() => {
-                let v =
-                    self.mutable_vars[self.rng.gen_range(0..self.mutable_vars.len())].clone();
+                let v = self.mutable_vars[self.rng.gen_range(0..self.mutable_vars.len())].clone();
                 let e = self.expr(1);
                 self.src
                     .push_str(&format!("{}{} = {} + {};\n", pad, v, v, e));
@@ -266,7 +260,12 @@ fn random_programs_agree_across_flag_settings() {
         }
         // The named presets must agree as well.
         for cfg in [OptConfig::o2(), OptConfig::o3()] {
-            assert_eq!(run_with(&src, &cfg), baseline, "preset diverged seed {}", seed);
+            assert_eq!(
+                run_with(&src, &cfg),
+                baseline,
+                "preset diverged seed {}",
+                seed
+            );
         }
     }
 }

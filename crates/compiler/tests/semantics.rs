@@ -208,7 +208,7 @@ fn unary_operators() {
             return b * 100 + c * 10 + d + int(e * 2.0);
         }
     "#;
-    assert_eq!(run_all_presets(src), -500 + 0 + 1 - 5);
+    assert_eq!(run_all_presets(src), -500 + 1 - 5);
 }
 
 #[test]

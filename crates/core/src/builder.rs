@@ -5,6 +5,7 @@ use crate::model::{ModelFamily, SurrogateModel};
 use crate::vars::design_space;
 use emod_doe::{lhs, DOptimal, DesignPoint, ModelSpec, ParameterSpace};
 use emod_models::{metrics, Dataset, ModelError, Regressor};
+use emod_telemetry as telemetry;
 use emod_uarch::SampleConfig;
 use emod_workloads::{InputSet, Workload};
 use rand::rngs::StdRng;
@@ -206,6 +207,7 @@ impl ModelBuilder {
     ///
     /// Propagates model-fitting failures.
     pub fn build(&mut self, family: ModelFamily) -> Result<BuiltModel, ModelError> {
+        let _span = telemetry::span("builder.build");
         self.ensure_designs();
         let test_points = self.test_points.clone();
         let test = self.measured_dataset(&test_points);
@@ -214,14 +216,17 @@ impl ModelBuilder {
         loop {
             let train_points = self.train_points.clone();
             let train = self.measured_dataset(&train_points);
-            let model = SurrogateModel::fit(&train, family)?;
+            let fit_start = std::time::Instant::now();
+            let model = {
+                let _fit_span = telemetry::span("builder.fit");
+                SurrogateModel::fit(&train, family)?
+            };
+            let fit_s = fit_start.elapsed().as_secs_f64();
             let preds = model.predict_batch(test.points());
             let mape = metrics::mape(&preds, test.responses());
             history.push((train.len(), mape));
-            let accurate = self
-                .config
-                .target_mape
-                .map_or(true, |target| mape <= target);
+            self.record_round(family, round, &train, &test, mape, fit_s, &model);
+            let accurate = self.config.target_mape.is_none_or(|target| mape <= target);
             if accurate || round >= self.config.max_rounds {
                 return Ok(BuiltModel {
                     model,
@@ -243,6 +248,57 @@ impl ModelBuilder {
         }
     }
 
+    /// Records one model-building round: the Figure 1 trajectory row
+    /// (design size → train/test MAPE → fit time) plus a `core`/`builder_round`
+    /// event.
+    #[allow(clippy::too_many_arguments)]
+    fn record_round(
+        &self,
+        family: ModelFamily,
+        round: usize,
+        train: &Dataset,
+        test: &Dataset,
+        test_mape: f64,
+        fit_s: f64,
+        model: &SurrogateModel,
+    ) {
+        if !telemetry::enabled() {
+            return;
+        }
+        let train_preds = model.predict_batch(train.points());
+        let train_mape = metrics::mape(&train_preds, train.responses());
+        let workload = self.measurer.workload().name();
+        telemetry::counter_add("core.builder.rounds", 1);
+        telemetry::table_push(
+            "builder.rounds",
+            format!(
+                "{:<22} {:<8} round {}  train n={:<4} train MAPE {:>6.2}%  test n={:<4} test MAPE {:>6.2}%  fit {:.3}s",
+                workload,
+                family.name(),
+                round,
+                train.len(),
+                train_mape,
+                test.len(),
+                test_mape,
+                fit_s
+            ),
+        );
+        telemetry::event(
+            "core",
+            "builder_round",
+            &[
+                ("workload", workload.into()),
+                ("family", family.name().into()),
+                ("round", round.into()),
+                ("train_size", train.len().into()),
+                ("train_mape", train_mape.into()),
+                ("test_size", test.len().into()),
+                ("test_mape", test_mape.into()),
+                ("fit_s", fit_s.into()),
+            ],
+        );
+    }
+
     /// Builds a model on exactly the first `n` training points (after
     /// measuring the full design once) — the Figure 5 learning-curve
     /// experiment.
@@ -258,8 +314,7 @@ impl ModelBuilder {
         self.ensure_designs();
         let test_points = self.test_points.clone();
         let test = self.measured_dataset(&test_points);
-        let train_points: Vec<DesignPoint> =
-            self.train_points.iter().take(n).cloned().collect();
+        let train_points: Vec<DesignPoint> = self.train_points.iter().take(n).cloned().collect();
         let train = self.measured_dataset(&train_points);
         let model = SurrogateModel::fit(&train, family)?;
         let preds = model.predict_batch(test.points());
@@ -275,7 +330,7 @@ mod tests {
     #[test]
     fn build_quick_rbf_model_for_one_workload() {
         let w = Workload::by_name("bzip2").unwrap();
-        let mut b = ModelBuilder::new(w, InputSet::Train, BuildConfig::quick(3));
+        let mut b = ModelBuilder::new(w, InputSet::Train, BuildConfig::quick(17));
         let built = b.build(ModelFamily::Rbf).unwrap();
         assert_eq!(built.train.len(), 30);
         assert_eq!(built.test.len(), 12);

@@ -54,12 +54,7 @@ impl EffectReport {
 /// is how the paper reads its Table 4.
 pub fn effect_report(built: &BuiltModel) -> EffectReport {
     let k = built.space.len();
-    let names: Vec<&str> = built
-        .space
-        .parameters()
-        .iter()
-        .map(|p| p.name())
-        .collect();
+    let names: Vec<&str> = built.space.parameters().iter().map(|p| p.name()).collect();
     let center = vec![0.0; k];
     let constant = built.model.predict(&center);
     let mut effects = Vec::new();
@@ -72,10 +67,10 @@ pub fn effect_report(built: &BuiltModel) -> EffectReport {
         built.model.predict(&x)
     };
 
-    for i in 0..k {
+    for (i, name) in names.iter().enumerate() {
         let coefficient = (eval(&[(i, 1.0)]) - eval(&[(i, -1.0)])) / 2.0;
         effects.push(Effect {
-            term: names[i].to_string(),
+            term: name.to_string(),
             vars: vec![i],
             coefficient,
         });
@@ -146,17 +141,9 @@ mod tests {
         assert!((report.main_effect("a").unwrap() - 10.0).abs() < 1e-9);
         assert!((report.main_effect("b").unwrap() + 4.0).abs() < 1e-9);
         assert!(report.main_effect("c").unwrap().abs() < 1e-9);
-        let ac = report
-            .effects
-            .iter()
-            .find(|e| e.term == "a * c")
-            .unwrap();
+        let ac = report.effects.iter().find(|e| e.term == "a * c").unwrap();
         assert!((ac.coefficient - 6.0).abs() < 1e-9);
-        let ab = report
-            .effects
-            .iter()
-            .find(|e| e.term == "a * b")
-            .unwrap();
+        let ab = report.effects.iter().find(|e| e.term == "a * b").unwrap();
         assert!(ab.coefficient.abs() < 1e-9);
     }
 

@@ -1,12 +1,17 @@
 //! Response measurement: compile at a design point's flags, simulate at its
 //! microarchitecture, return cycles.
 
-use crate::vars::decode_point;
+use crate::vars::{decode_point, encode_point};
 use emod_compiler::OptConfig;
 use emod_isa::Program;
+use emod_telemetry as telemetry;
 use emod_uarch::{simulate_sampled, SampleConfig, UarchConfig};
 use emod_workloads::{InputSet, Workload};
 use std::collections::HashMap;
+
+/// Sampling error above this (the paper's "< 1% error" target, §5) raises a
+/// telemetry warning event and increments the warning counter.
+pub const REL_ERROR_WARN_THRESHOLD: f64 = 0.01;
 
 /// The response variable being modeled. The paper models execution time but
 /// notes (§2.2) that "models can also be built for other metrics such as
@@ -47,6 +52,8 @@ pub struct Measurer {
     binaries: HashMap<Vec<u64>, Program>,
     responses: HashMap<Vec<u64>, u64>, // f64 value bits, keyed by point+metric
     measurements: u64,
+    last_rel_error: Option<f64>,
+    rel_error_warnings: u64,
 }
 
 impl std::fmt::Debug for Measurer {
@@ -73,6 +80,8 @@ impl Measurer {
             binaries: HashMap::new(),
             responses: HashMap::new(),
             measurements: 0,
+            last_rel_error: None,
+            rel_error_warnings: 0,
         }
     }
 
@@ -91,14 +100,32 @@ impl Measurer {
         self.measurements
     }
 
+    /// SMARTS `rel_error` of the most recent *actual* simulation (`None`
+    /// before the first one; unchanged by cache hits and code-size reads).
+    pub fn last_rel_error(&self) -> Option<f64> {
+        self.last_rel_error
+    }
+
+    /// How many simulations exceeded [`REL_ERROR_WARN_THRESHOLD`].
+    pub fn rel_error_warning_count(&self) -> u64 {
+        self.rel_error_warnings
+    }
+
     /// Compiles (or fetches) the binary for a compiler configuration.
     fn binary(&mut self, opt: &OptConfig) -> &Program {
         let key = quantize(&opt.to_design_values());
-        self.binaries.entry(key).or_insert_with(|| {
-            self.workload
+        if self.binaries.contains_key(&key) {
+            telemetry::counter_add("core.measure.binary_cache.hits", 1);
+        } else {
+            telemetry::counter_add("core.measure.binary_cache.misses", 1);
+            let _span = telemetry::span("core.compile_binary");
+            let program = self
+                .workload
                 .program(opt, self.set)
-                .expect("bundled workloads compile at any valid setting")
-        })
+                .expect("bundled workloads compile at any valid setting");
+            self.binaries.insert(key.clone(), program);
+        }
+        &self.binaries[&key]
     }
 
     /// Measures cycles at a raw 25-dimensional design point.
@@ -112,32 +139,45 @@ impl Measurer {
     }
 
     /// Measures an arbitrary response metric at a design point (cached per
-    /// point × metric).
+    /// configuration × metric).
     pub fn measure_metric(&mut self, point: &[f64], metric: Metric) -> f64 {
-        let mut key = quantize(point);
-        key.push(metric as u64);
-        if let Some(&c) = self.responses.get(&key) {
-            return f64::from_bits(c);
-        }
         let (opt, uarch) = decode_point(point);
-        let value = self.measure_configs_metric(&opt, &uarch, metric);
-        self.responses.insert(key, value.to_bits());
-        value
+        self.measure_configs_metric(&opt, &uarch, metric)
     }
 
     /// Measures cycles for explicit configurations (used for speedup
     /// evaluations at settings outside the design).
     pub fn measure_configs(&mut self, opt: &OptConfig, uarch: &UarchConfig) -> u64 {
-        self.measure_configs_metric(opt, uarch, Metric::Cycles).round() as u64
+        self.measure_configs_metric(opt, uarch, Metric::Cycles)
+            .round() as u64
     }
 
-    /// Measures an arbitrary metric for explicit configurations.
+    /// Measures an arbitrary metric for explicit configurations, through the
+    /// response cache: explicit-configuration measurements (the repro
+    /// binary's -O2/-O3 baselines) and design-point measurements share one
+    /// cache keyed by the canonical design values plus the metric, so the
+    /// same configuration is never simulated twice.
     pub fn measure_configs_metric(
         &mut self,
         opt: &OptConfig,
         uarch: &UarchConfig,
         metric: Metric,
     ) -> f64 {
+        let mut key = quantize(&encode_point(opt, uarch));
+        key.push(metric as u64);
+        if let Some(&bits) = self.responses.get(&key) {
+            telemetry::counter_add("core.measure.response_cache.hits", 1);
+            return f64::from_bits(bits);
+        }
+        telemetry::counter_add("core.measure.response_cache.misses", 1);
+        let value = self.measure_uncached(opt, uarch, metric);
+        self.responses.insert(key, value.to_bits());
+        value
+    }
+
+    /// Compiles and simulates, with no caching. Code size is read off the
+    /// binary without simulation (and without counting as a measurement).
+    fn measure_uncached(&mut self, opt: &OptConfig, uarch: &UarchConfig, metric: Metric) -> f64 {
         let sample = self.sample;
         let expected = self.workload.reference_checksum(self.set);
         let program = self.binary(opt).clone();
@@ -145,6 +185,8 @@ impl Measurer {
             return (program.len() as u64 * emod_isa::INST_BYTES) as f64;
         }
         self.measurements += 1;
+        let recording = telemetry::enabled();
+        let start = recording.then(std::time::Instant::now);
         let res = simulate_sampled(&program, uarch, &sample)
             .unwrap_or_else(|e| panic!("{} simulation faulted: {}", self.workload.name(), e));
         assert_eq!(
@@ -154,6 +196,40 @@ impl Measurer {
             self.workload.name(),
             opt
         );
+        self.last_rel_error = Some(res.rel_error);
+        if res.rel_error > REL_ERROR_WARN_THRESHOLD {
+            self.rel_error_warnings += 1;
+            telemetry::counter_add("core.measure.rel_error_warnings", 1);
+            telemetry::event(
+                "core",
+                "rel_error_warning",
+                &[
+                    ("workload", self.workload.name().into()),
+                    ("rel_error", res.rel_error.into()),
+                    ("threshold", REL_ERROR_WARN_THRESHOLD.into()),
+                    ("windows", res.windows.into()),
+                ],
+            );
+        }
+        if let Some(start) = start {
+            let secs = start.elapsed().as_secs_f64();
+            let minst_per_sec = res.instructions as f64 / 1e6 / secs.max(1e-9);
+            telemetry::counter_add("core.measure.simulations", 1);
+            telemetry::observe("core.measure.minst_per_sec", minst_per_sec);
+            telemetry::gauge_set("core.measure.last_minst_per_sec", minst_per_sec);
+            telemetry::event(
+                "core",
+                "measurement",
+                &[
+                    ("workload", self.workload.name().into()),
+                    ("metric", metric.name().into()),
+                    ("instructions", res.instructions.into()),
+                    ("rel_error", res.rel_error.into()),
+                    ("wall_s", secs.into()),
+                    ("minst_per_sec", minst_per_sec.into()),
+                ],
+            );
+        }
         match metric {
             Metric::Cycles => res.cycles as f64,
             Metric::Energy => res.energy,
@@ -203,6 +279,78 @@ mod tests {
             let _ = m.measure(&p);
         }
         assert_eq!(m.measurement_count(), 3);
+    }
+
+    #[test]
+    fn explicit_config_measurements_hit_the_response_cache() {
+        // measure_configs_metric used to bypass the response cache entirely,
+        // so every -O2/-O3 baseline in the repro experiments re-simulated.
+        let w = Workload::by_name("bzip2").unwrap();
+        let mut m = Measurer::new(w, InputSet::Train, fast_sample());
+        let opt = OptConfig::o2();
+        let uarch = UarchConfig::typical();
+        let c1 = m.measure_configs(&opt, &uarch);
+        let c2 = m.measure_configs(&opt, &uarch);
+        assert_eq!(c1, c2);
+        assert_eq!(
+            m.measurement_count(),
+            1,
+            "repeated explicit-config measurement must hit the cache"
+        );
+        // The raw-point path resolves to the same canonical key: still no
+        // second simulation.
+        let _ = m.measure(&encode_point(&opt, &uarch));
+        assert_eq!(m.measurement_count(), 1);
+    }
+
+    #[test]
+    fn metrics_do_not_collide_in_the_response_cache() {
+        let w = Workload::by_name("bzip2").unwrap();
+        let mut m = Measurer::new(w, InputSet::Train, fast_sample());
+        let p = encode_point(&OptConfig::o2(), &UarchConfig::typical());
+        let cycles = m.measure_metric(&p, Metric::Cycles);
+        let energy = m.measure_metric(&p, Metric::Energy);
+        assert_ne!(
+            cycles, energy,
+            "energy must not read the cycles cache entry"
+        );
+        // Each metric re-reads its own entry.
+        assert_eq!(m.measure_metric(&p, Metric::Cycles), cycles);
+        assert_eq!(m.measure_metric(&p, Metric::Energy), energy);
+        assert_eq!(m.measurement_count(), 2, "one simulation per metric");
+    }
+
+    #[test]
+    fn code_size_is_not_a_simulation() {
+        let w = Workload::by_name("bzip2").unwrap();
+        let mut m = Measurer::new(w, InputSet::Train, fast_sample());
+        let p = encode_point(&OptConfig::o2(), &UarchConfig::typical());
+        let size = m.measure_metric(&p, Metric::CodeSize);
+        assert!(size > 0.0);
+        assert_eq!(
+            m.measurement_count(),
+            0,
+            "code size reads the binary, not the simulator"
+        );
+        assert_eq!(m.last_rel_error(), None);
+        assert_eq!(m.measure_metric(&p, Metric::CodeSize), size);
+    }
+
+    #[test]
+    fn rel_error_is_surfaced_after_simulation() {
+        let w = Workload::by_name("bzip2").unwrap();
+        let mut m = Measurer::new(w, InputSet::Train, fast_sample());
+        assert_eq!(m.last_rel_error(), None);
+        let p = encode_point(&OptConfig::o2(), &UarchConfig::typical());
+        let _ = m.measure(&p);
+        let err = m.last_rel_error().expect("simulation ran");
+        assert!((0.0..1.0).contains(&err), "rel_error {}", err);
+        // Warning count is consistent with the observed error.
+        if err > REL_ERROR_WARN_THRESHOLD {
+            assert_eq!(m.rel_error_warning_count(), 1);
+        } else {
+            assert_eq!(m.rel_error_warning_count(), 0);
+        }
     }
 
     #[test]

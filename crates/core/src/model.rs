@@ -135,10 +135,8 @@ fn fit_rbf(data: &Dataset) -> Result<SurrogateModel, ModelError> {
         let mut total_err = 0.0;
         let mut ok = true;
         for fold in 0..folds {
-            let train_idx: Vec<usize> =
-                (0..data.len()).filter(|i| i % folds != fold).collect();
-            let val_idx: Vec<usize> =
-                (0..data.len()).filter(|i| i % folds == fold).collect();
+            let train_idx: Vec<usize> = (0..data.len()).filter(|i| i % folds != fold).collect();
+            let val_idx: Vec<usize> = (0..data.len()).filter(|i| i % folds == fold).collect();
             if train_idx.len() < 4 || val_idx.is_empty() {
                 ok = false;
                 break;
@@ -156,7 +154,7 @@ fn fit_rbf(data: &Dataset) -> Result<SurrogateModel, ModelError> {
                 }
             }
         }
-        if ok && best.as_ref().map_or(true, |(_, b)| total_err < *b) {
+        if ok && best.as_ref().is_none_or(|(_, b)| total_err < *b) {
             best = Some(((kernel, radius_scale, linear_tail), total_err));
         }
     }
@@ -226,7 +224,11 @@ mod tests {
     fn linear_falls_back_to_main_effects_when_small() {
         // 25-dim data with fewer samples than interaction terms.
         let xs: Vec<Vec<f64>> = (0..30)
-            .map(|i| (0..25).map(|j| ((i * 7 + j * 3) % 5) as f64 / 2.0 - 1.0).collect())
+            .map(|i| {
+                (0..25)
+                    .map(|j| ((i * 7 + j * 3) % 5) as f64 / 2.0 - 1.0)
+                    .collect()
+            })
             .collect();
         let ys: Vec<f64> = xs.iter().map(|x| x.iter().sum()).collect();
         let data = Dataset::new(xs, ys).unwrap();

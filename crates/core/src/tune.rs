@@ -158,15 +158,9 @@ mod tests {
         let built = b.build(ModelFamily::Rbf).unwrap();
         let platform = UarchConfig::typical();
         let tuned = search_flags(&built, &platform, 55);
-        let report = evaluate_speedup(
-            b.measurer_mut(),
-            &tuned,
-            &OptConfig::o2(),
-            &platform,
-        );
+        let report = evaluate_speedup(b.measurer_mut(), &tuned, &OptConfig::o2(), &platform);
         assert!(report.baseline_cycles > 0 && report.tuned_cycles > 0);
-        let recomputed =
-            100.0 * (report.baseline_cycles as f64 / report.tuned_cycles as f64 - 1.0);
+        let recomputed = 100.0 * (report.baseline_cycles as f64 / report.tuned_cycles as f64 - 1.0);
         assert!((recomputed - report.actual_speedup_pct).abs() < 1e-9);
     }
 

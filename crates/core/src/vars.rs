@@ -137,7 +137,9 @@ mod tests {
             ("memory-latency", 21),
         ];
         for (name, levels) in expect {
-            let idx = s.index_of(name).unwrap_or_else(|| panic!("{} missing", name));
+            let idx = s
+                .index_of(name)
+                .unwrap_or_else(|| panic!("{} missing", name));
             assert_eq!(
                 s.parameters()[idx].level_count(),
                 levels,
@@ -167,8 +169,10 @@ mod tests {
         for _ in 0..200 {
             let p = s.random_point(&mut rng);
             let (opt, ua) = decode_point(&p);
-            opt.validate().unwrap_or_else(|e| panic!("{} from {:?}", e, p));
-            ua.validate().unwrap_or_else(|e| panic!("{} from {:?}", e, p));
+            opt.validate()
+                .unwrap_or_else(|e| panic!("{} from {:?}", e, p));
+            ua.validate()
+                .unwrap_or_else(|e| panic!("{} from {:?}", e, p));
         }
     }
 

@@ -1,0 +1,206 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! patches `criterion` to this crate (see the root `Cargo.toml`
+//! `[patch.crates-io]` section). Benchmarks compile and run unchanged: each
+//! `bench_function` warms up once, then reports the minimum wall time over a
+//! small fixed number of iterations. There is no statistical analysis,
+//! plotting, or baseline storage — this exists so `cargo bench` keeps
+//! exercising the hot paths and printing comparable wall times offline.
+
+use std::time::{Duration, Instant};
+
+/// How measurement iterations batch their setup (accepted, ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Opaque black-box: prevents the optimizer from deleting a benchmark body.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Parses command-line arguments (accepted for CLI compatibility with
+    /// `cargo bench -- <filter>`; filtering is not implemented).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Benchmarks `f`, printing its name and best observed time.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            prefix: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group (prefixes benchmark names; `sample_size` trims iterations).
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement iterations for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` under `group/name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.prefix, name), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    // One warm-up invocation, then `samples` timed invocations; report the
+    // minimum (least-noise) per-iteration time, like criterion's lower bound.
+    let samples = sample_size.clamp(2, 10);
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher); // warm-up
+    let mut best = Duration::MAX;
+    for _ in 0..samples {
+        bencher.elapsed = Duration::ZERO;
+        bencher.iters = 0;
+        f(&mut bencher);
+        if bencher.iters > 0 {
+            let per_iter = bencher.elapsed / bencher.iters;
+            best = best.min(per_iter);
+        }
+    }
+    println!("{:<40} time: {:>12.3?} (min of {})", name, best, samples);
+}
+
+/// Times closures for one benchmark invocation.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `routine` (criterion runs many iterations; this stand-in runs
+    /// one per sample — the driver takes the minimum across samples).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let t0 = Instant::now();
+        black_box(routine());
+        self.elapsed += t0.elapsed();
+        self.iters += 1;
+    }
+
+    /// Times `routine` over inputs produced by `setup` (setup excluded).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        self.elapsed += t0.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        // 1 warm-up + up-to-10 samples, one iteration each.
+        assert!(calls >= 3, "bench body ran {} times", calls);
+    }
+
+    #[test]
+    fn groups_prefix_and_batch() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut setups = 0u32;
+        group.bench_function("b", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                },
+                |_| (),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert!(setups >= 3);
+    }
+}

@@ -238,7 +238,11 @@ mod tests {
                 worse += 1;
             }
         }
-        assert!(worse >= 18, "optimized design beaten by {} random sets", 20 - worse);
+        assert!(
+            worse >= 18,
+            "optimized design beaten by {} random sets",
+            20 - worse
+        );
     }
 
     #[test]

@@ -73,10 +73,7 @@ impl ParameterSpace {
     /// The paper notes this is exponential in the number of parameters, which
     /// is why designed experiments are needed at all.
     pub fn cardinality(&self) -> f64 {
-        self.params
-            .iter()
-            .map(|p| p.level_count() as f64)
-            .product()
+        self.params.iter().map(|p| p.level_count() as f64).product()
     }
 
     /// Draws a uniformly random design point (each parameter picks an
@@ -121,12 +118,7 @@ impl ParameterSpace {
 
     /// Whether every coordinate of `point` is a valid level of its parameter.
     pub fn is_valid(&self, point: &[f64]) -> bool {
-        point.len() == self.len()
-            && self
-                .params
-                .iter()
-                .zip(point)
-                .all(|(p, &v)| p.is_valid(v))
+        point.len() == self.len() && self.params.iter().zip(point).all(|(p, &v)| p.is_valid(v))
     }
 }
 

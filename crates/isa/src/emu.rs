@@ -162,10 +162,7 @@ impl Emulator {
             return Ok(None);
         }
         let pc = self.pc;
-        let inst = self
-            .program
-            .fetch(pc)
-            .ok_or(EmuError::PcOutOfRange(pc))?;
+        let inst = self.program.fetch(pc).ok_or(EmuError::PcOutOfRange(pc))?;
         let mut mem_addr = None;
         let mut next_pc = pc + 1;
         let mut taken = false;
@@ -386,7 +383,10 @@ mod tests {
     #[test]
     fn arithmetic_and_halt() {
         let v = run_insts(vec![
-            Inst::LoadImm { rd: Reg(1), imm: 10 },
+            Inst::LoadImm {
+                rd: Reg(1),
+                imm: 10,
+            },
             Inst::AluImm {
                 op: AluOp::Sub,
                 rd: Reg(1),
@@ -431,7 +431,10 @@ mod tests {
     #[test]
     fn negative_shr_is_arithmetic() {
         let v = run_insts(vec![
-            Inst::LoadImm { rd: Reg(2), imm: -8 },
+            Inst::LoadImm {
+                rd: Reg(2),
+                imm: -8,
+            },
             Inst::AluImm {
                 op: AluOp::Shr,
                 rd: Reg(1),
@@ -446,7 +449,10 @@ mod tests {
     #[test]
     fn mul_div_rem() {
         let v = run_insts(vec![
-            Inst::LoadImm { rd: Reg(2), imm: 17 },
+            Inst::LoadImm {
+                rd: Reg(2),
+                imm: 17,
+            },
             Inst::LoadImm { rd: Reg(3), imm: 5 },
             Inst::Div {
                 rd: Reg(4),
@@ -487,7 +493,10 @@ mod tests {
     #[test]
     fn zero_register_is_immutable() {
         let v = run_insts(vec![
-            Inst::LoadImm { rd: Reg(0), imm: 99 },
+            Inst::LoadImm {
+                rd: Reg(0),
+                imm: 99,
+            },
             Inst::Alu {
                 op: AluOp::Add,
                 rd: Reg(1),
@@ -564,7 +573,10 @@ mod tests {
                 rd: Reg(2),
                 imm: 0x1000_0000,
             },
-            Inst::LoadImm { rd: Reg(3), imm: 77 },
+            Inst::LoadImm {
+                rd: Reg(3),
+                imm: 77,
+            },
             Inst::Store {
                 rt: Reg(3),
                 rs: Reg(2),
@@ -595,7 +607,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.push(Inst::LoadImm { rd: Reg(1), imm: 0 });
         b.push(Inst::LoadImm { rd: Reg(2), imm: 0 });
-        b.push(Inst::LoadImm { rd: Reg(3), imm: 10 });
+        b.push(Inst::LoadImm {
+            rd: Reg(3),
+            imm: 10,
+        });
         b.label("loop");
         b.push(Inst::AluImm {
             op: AluOp::Add,

@@ -202,7 +202,7 @@ pub fn encode_all(insts: &[Inst]) -> Vec<u8> {
 ///
 /// Returns a [`DecodeError`] on truncated buffers or unknown encodings.
 pub fn decode(bytes: &[u8]) -> Result<Vec<Inst>, DecodeError> {
-    if bytes.len() % INST_BYTES as usize != 0 {
+    if !bytes.len().is_multiple_of(INST_BYTES as usize) {
         return Err(DecodeError::BadLength(bytes.len()));
     }
     let mut out = Vec::with_capacity(bytes.len() / INST_BYTES as usize);

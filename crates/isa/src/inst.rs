@@ -119,9 +119,19 @@ pub enum BranchCond {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Inst {
     /// `rd = rs <op> rt`
-    Alu { op: AluOp, rd: Reg, rs: Reg, rt: Reg },
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
     /// `rd = rs <op> imm`
-    AluImm { op: AluOp, rd: Reg, rs: Reg, imm: i64 },
+    AluImm {
+        op: AluOp,
+        rd: Reg,
+        rs: Reg,
+        imm: i64,
+    },
     /// `rd = imm` (64-bit immediate load)
     LoadImm { rd: Reg, imm: i64 },
     /// `rd = rs * rt`
@@ -139,7 +149,12 @@ pub enum Inst {
     /// `fd = fs / ft`
     FDiv { fd: FReg, fs: FReg, ft: FReg },
     /// `rd = (fs <op> ft) as i64`
-    FCmp { op: FCmpOp, rd: Reg, fs: FReg, ft: FReg },
+    FCmp {
+        op: FCmpOp,
+        rd: Reg,
+        fs: FReg,
+        ft: FReg,
+    },
     /// `fd = rs as f64` (int to float convert)
     CvtIf { fd: FReg, rs: Reg },
     /// `rd = fs as i64` (float to int convert, truncating)
@@ -219,12 +234,11 @@ impl Inst {
             | Inst::FCmp { rd, .. }
             | Inst::CvtFi { rd, .. }
             | Inst::Load { rd, .. }
-            | Inst::LoadByte { rd, .. } => {
+            | Inst::LoadByte { rd, .. }
                 // Writes to the hardwired zero register are discarded.
-                if rd != crate::abi::ZERO {
+                if rd != crate::abi::ZERO => {
                     f(Int(rd));
                 }
-            }
             Inst::FAdd { fd, .. }
             | Inst::FSub { fd, .. }
             | Inst::FMul { fd, .. }
@@ -331,9 +345,7 @@ impl Inst {
     /// Panics if the instruction has no static target.
     pub fn with_target(self, new_target: u32) -> Inst {
         match self {
-            Inst::Branch {
-                cond, rs, rt, ..
-            } => Inst::Branch {
+            Inst::Branch { cond, rs, rt, .. } => Inst::Branch {
                 cond,
                 rs,
                 rt,

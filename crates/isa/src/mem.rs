@@ -60,9 +60,7 @@ impl Memory {
         if off <= PAGE_SIZE - 8 {
             // Fast path: the value lives in one page.
             match self.pages.get(&(addr >> PAGE_SHIFT)) {
-                Some(page) => {
-                    u64::from_le_bytes(page[off..off + 8].try_into().expect("8 bytes"))
-                }
+                Some(page) => u64::from_le_bytes(page[off..off + 8].try_into().expect("8 bytes")),
                 None => 0,
             }
         } else {

@@ -333,10 +333,7 @@ mod tests {
     #[test]
     fn display_lists_instructions() {
         let p = Program::from_insts(vec![
-            Inst::LoadImm {
-                rd: Reg(1),
-                imm: 7,
-            },
+            Inst::LoadImm { rd: Reg(1), imm: 7 },
             Inst::Alu {
                 op: AluOp::Add,
                 rd: Reg(1),

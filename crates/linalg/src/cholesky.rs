@@ -70,6 +70,7 @@ impl Cholesky {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `b.len()` differs from the
     /// matrix dimension.
+    #[allow(clippy::needless_range_loop)] // textbook triangular-solve indexing
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.l.rows();
         if b.len() != n {
@@ -101,10 +102,7 @@ impl Cholesky {
 
     /// Natural log of `det(A)`; numerically stable for large matrices.
     pub fn logdet(&self) -> f64 {
-        (0..self.l.rows())
-            .map(|i| self.l[(i, i)].ln())
-            .sum::<f64>()
-            * 2.0
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
     }
 
     /// `det(A)`, computed as `exp(logdet)`.

@@ -186,13 +186,7 @@ impl Matrix {
             });
         }
         Ok((0..self.rows)
-            .map(|r| {
-                self.row(r)
-                    .iter()
-                    .zip(v)
-                    .map(|(a, b)| a * b)
-                    .sum::<f64>()
-            })
+            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum::<f64>())
             .collect())
     }
 
@@ -296,8 +290,7 @@ impl Matrix {
                     .max(1.0);
                 gram.add_diagonal(1e-8 * scale);
                 let xty = self.transpose().matvec(y)?;
-                let chol =
-                    crate::Cholesky::new(&gram).map_err(|_| LinalgError::Singular)?;
+                let chol = crate::Cholesky::new(&gram).map_err(|_| LinalgError::Singular)?;
                 chol.solve(&xty)
             }
         }

@@ -115,6 +115,7 @@ impl Qr {
     }
 
     /// The explicit (thin) orthogonal factor `Q` (`m x n`).
+    #[allow(clippy::needless_range_loop)] // Householder reflector indexing
     pub fn q(&self) -> Matrix {
         let (m, n) = self.packed.shape();
         let mut q = Matrix::zeros(m, n);
@@ -150,6 +151,7 @@ impl Qr {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] on a length mismatch and
     /// [`LinalgError::Singular`] when `A` was rank deficient.
+    #[allow(clippy::needless_range_loop)] // Householder reflector indexing
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let (m, n) = self.packed.shape();
         if b.len() != m {
@@ -240,13 +242,19 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
         let qr = Qr::new(&a).unwrap();
         assert!(!qr.is_full_rank());
-        assert_eq!(qr.solve(&[1.0, 2.0, 3.0]).unwrap_err(), LinalgError::Singular);
+        assert_eq!(
+            qr.solve(&[1.0, 2.0, 3.0]).unwrap_err(),
+            LinalgError::Singular
+        );
     }
 
     #[test]
     fn rejects_underdetermined() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(Qr::new(&a), Err(LinalgError::ShapeMismatch { .. })));
+        assert!(matches!(
+            Qr::new(&a),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -166,11 +166,7 @@ mod tests {
 
     #[test]
     fn subset_and_take() {
-        let d = Dataset::new(
-            vec![vec![0.0], vec![1.0], vec![2.0]],
-            vec![0.0, 1.0, 2.0],
-        )
-        .unwrap();
+        let d = Dataset::new(vec![vec![0.0], vec![1.0], vec![2.0]], vec![0.0, 1.0, 2.0]).unwrap();
         let s = d.subset(&[2, 0]);
         assert_eq!(s.points(), &[vec![2.0], vec![0.0]]);
         assert_eq!(s.responses(), &[2.0, 0.0]);

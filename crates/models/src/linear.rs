@@ -190,8 +190,7 @@ mod tests {
     fn recovers_exact_linear_function() {
         let xs = grid2();
         let ys: Vec<f64> = xs.iter().map(|x| 5.0 - 3.0 * x[0] + 0.5 * x[1]).collect();
-        let m = LinearModel::fit(&Dataset::new(xs, ys).unwrap(), LinearTerms::MainEffects)
-            .unwrap();
+        let m = LinearModel::fit(&Dataset::new(xs, ys).unwrap(), LinearTerms::MainEffects).unwrap();
         assert!((m.intercept() - 5.0).abs() < 1e-10);
         assert!((m.main_effect(0) + 3.0).abs() < 1e-10);
         assert!((m.main_effect(1) - 0.5).abs() < 1e-10);
@@ -201,8 +200,7 @@ mod tests {
     fn recovers_interaction_coefficient() {
         let xs = grid2();
         let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 2.0 * x[0] * x[1]).collect();
-        let m =
-            LinearModel::fit(&Dataset::new(xs, ys).unwrap(), LinearTerms::TwoFactor).unwrap();
+        let m = LinearModel::fit(&Dataset::new(xs, ys).unwrap(), LinearTerms::TwoFactor).unwrap();
         assert!((m.interaction(0, 1).unwrap() - 2.0).abs() < 1e-10);
         assert!((m.interaction(1, 0).unwrap() - 2.0).abs() < 1e-10);
         assert!(m.main_effect(0).abs() < 1e-10);
@@ -220,8 +218,7 @@ mod tests {
             }
         }
         let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[2]).collect();
-        let m =
-            LinearModel::fit(&Dataset::new(xs, ys).unwrap(), LinearTerms::TwoFactor).unwrap();
+        let m = LinearModel::fit(&Dataset::new(xs, ys).unwrap(), LinearTerms::TwoFactor).unwrap();
         assert!((m.interaction(0, 2).unwrap() - 1.0).abs() < 1e-10);
         assert!(m.interaction(0, 1).unwrap().abs() < 1e-10);
         assert!(m.interaction(1, 2).unwrap().abs() < 1e-10);
@@ -231,8 +228,7 @@ mod tests {
     fn main_effects_model_has_no_interactions() {
         let xs = grid2();
         let ys = vec![1.0; xs.len()];
-        let m = LinearModel::fit(&Dataset::new(xs, ys).unwrap(), LinearTerms::MainEffects)
-            .unwrap();
+        let m = LinearModel::fit(&Dataset::new(xs, ys).unwrap(), LinearTerms::MainEffects).unwrap();
         assert_eq!(m.interaction(0, 1), None);
         assert_eq!(m.parameter_count(), 3);
     }
@@ -257,8 +253,7 @@ mod tests {
     fn bic_finite_for_reasonable_fit() {
         let xs = grid2();
         let ys: Vec<f64> = xs.iter().map(|x| x[0]).collect();
-        let m = LinearModel::fit(&Dataset::new(xs, ys).unwrap(), LinearTerms::MainEffects)
-            .unwrap();
+        let m = LinearModel::fit(&Dataset::new(xs, ys).unwrap(), LinearTerms::MainEffects).unwrap();
         assert!(m.bic().is_finite());
     }
 }

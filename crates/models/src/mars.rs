@@ -183,7 +183,7 @@ impl Mars {
                         trial.push(plus);
                         trial.push(minus);
                         if let Ok((_, sse)) = solve_weights(&trial, data) {
-                            if best_addition.as_ref().map_or(true, |b| sse < b.2) {
+                            if best_addition.as_ref().is_none_or(|b| sse < b.2) {
                                 best_addition = Some((
                                     parent_idx,
                                     Hinge {
@@ -228,7 +228,7 @@ impl Mars {
                     // the smaller model instead of chasing rounding noise.
                     let s = if s < 1e-10 * sst { 0.0 } else { s };
                     let g = metrics::gcv(s, n, trial.len(), config.gcv_penalty);
-                    if round_best.as_ref().map_or(true, |b| g < b.1) {
+                    if round_best.as_ref().is_none_or(|b| g < b.1) {
                         round_best = Some((remove, g, w, s));
                     }
                 }
@@ -376,10 +376,7 @@ mod tests {
         };
         assert_eq!(h.eval(&[0.0]), 0.0);
         assert_eq!(h.eval(&[1.0]), 0.5);
-        let m = Hinge {
-            direction: -1,
-            ..h
-        };
+        let m = Hinge { direction: -1, ..h };
         assert_eq!(m.eval(&[0.0]), 0.5);
         assert_eq!(m.eval(&[1.0]), 0.0);
     }
@@ -406,9 +403,15 @@ mod tests {
     #[test]
     fn fits_single_hinge_closely() {
         let xs = grid1(60);
-        let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 2.0 * (0.3 - x[0]).max(0.0)).collect();
-        let m = Mars::fit(&Dataset::new(xs.clone(), ys.clone()).unwrap(), MarsConfig::default())
-            .unwrap();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 1.0 + 2.0 * (0.3 - x[0]).max(0.0))
+            .collect();
+        let m = Mars::fit(
+            &Dataset::new(xs.clone(), ys.clone()).unwrap(),
+            MarsConfig::default(),
+        )
+        .unwrap();
         let preds = m.predict_batch(&xs);
         assert!(
             metrics::r_squared(&preds, &ys) > 0.99,
@@ -425,8 +428,11 @@ mod tests {
             .iter()
             .map(|x| 5.0 - 2.0 * (x[0] + 1.0).min(1.2) + 3.0 * (x[0] - 0.5f64).max(0.0))
             .collect();
-        let m = Mars::fit(&Dataset::new(xs.clone(), ys.clone()).unwrap(), MarsConfig::default())
-            .unwrap();
+        let m = Mars::fit(
+            &Dataset::new(xs.clone(), ys.clone()).unwrap(),
+            MarsConfig::default(),
+        )
+        .unwrap();
         let preds = m.predict_batch(&xs);
         assert!(metrics::r_squared(&preds, &ys) > 0.97);
         // A pure linear fit is strictly worse.
@@ -448,8 +454,11 @@ mod tests {
             }
         }
         let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[1]).collect();
-        let m = Mars::fit(&Dataset::new(xs.clone(), ys.clone()).unwrap(), MarsConfig::default())
-            .unwrap();
+        let m = Mars::fit(
+            &Dataset::new(xs.clone(), ys.clone()).unwrap(),
+            MarsConfig::default(),
+        )
+        .unwrap();
         let preds = m.predict_batch(&xs);
         assert!(metrics::r_squared(&preds, &ys) > 0.9);
         let groups = m.effect_groups();

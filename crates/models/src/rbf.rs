@@ -268,12 +268,7 @@ impl Regressor for RbfNetwork {
     fn predict(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.dim, "point dimension mismatch");
         self.bias
-            + self
-                .linear
-                .iter()
-                .zip(x)
-                .map(|(a, v)| a * v)
-                .sum::<f64>()
+            + self.linear.iter().zip(x).map(|(a, v)| a * v).sum::<f64>()
             + self
                 .units
                 .iter()

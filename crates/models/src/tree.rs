@@ -111,8 +111,7 @@ impl<'a> Grower<'a> {
             // Sort sample indices by this coordinate.
             let mut order: Vec<usize> = (0..n).collect();
             order.sort_by(|&a, &b| {
-                self.data.points()[samples[a]][var]
-                    .total_cmp(&self.data.points()[samples[b]][var])
+                self.data.points()[samples[a]][var].total_cmp(&self.data.points()[samples[b]][var])
             });
             let mut left_sum = 0.0;
             let mut left_sq = 0.0;
@@ -318,7 +317,15 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![-1.0 + i as f64 / 20.0]).collect();
         let ys: Vec<f64> = xs
             .iter()
-            .map(|x| if x[0] < -0.25 { 1.0 } else if x[0] < 0.5 { 5.0 } else { 2.0 })
+            .map(|x| {
+                if x[0] < -0.25 {
+                    1.0
+                } else if x[0] < 0.5 {
+                    5.0
+                } else {
+                    2.0
+                }
+            })
             .collect();
         Dataset::new(xs, ys).unwrap()
     }
@@ -372,7 +379,10 @@ mod tests {
                 xs.push(vec![i as f64, j as f64]);
             }
         }
-        let ys: Vec<f64> = xs.iter().map(|x| if x[1] < 5.0 { 0.0 } else { 1.0 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| if x[1] < 5.0 { 0.0 } else { 1.0 })
+            .collect();
         let d = Dataset::new(xs, ys).unwrap();
         let tree = RegressionTree::fit(
             &d,

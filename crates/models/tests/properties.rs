@@ -22,8 +22,7 @@ fn dataset_strategy() -> impl Strategy<Value = Dataset> {
         let coefs: Vec<f64> = (0..d).map(|_| next() * 3.0).collect();
         for _ in 0..n {
             let x: Vec<f64> = (0..d).map(|_| next()).collect();
-            let y: f64 =
-                5.0 + x.iter().zip(&coefs).map(|(a, b)| a * b).sum::<f64>() + next() * 0.1;
+            let y: f64 = 5.0 + x.iter().zip(&coefs).map(|(a, b)| a * b).sum::<f64>() + next() * 0.1;
             xs.push(x);
             ys.push(y);
         }

@@ -30,6 +30,7 @@
 //! ```
 
 use emod_doe::{DesignPoint, ParameterSpace};
+use emod_telemetry as telemetry;
 use rand::Rng;
 
 /// Result of a search: the best point found and its objective value.
@@ -140,6 +141,7 @@ impl GeneticSearch {
         R: Rng + ?Sized,
         F: FnMut(&[f64]) -> f64,
     {
+        let _span = telemetry::span("search.ga");
         let cfg = self.config;
         let mut evaluations = 0usize;
         let mut population: Vec<DesignPoint> = (0..cfg.population.max(2))
@@ -147,7 +149,7 @@ impl GeneticSearch {
             .collect();
         let mut best: Option<(DesignPoint, f64)> = None;
 
-        for _gen in 0..cfg.generations {
+        for gen in 0..cfg.generations {
             let fitness: Vec<f64> = population
                 .iter()
                 .map(|p| {
@@ -157,10 +159,11 @@ impl GeneticSearch {
                 .collect();
             // Track the global best.
             for (p, &f) in population.iter().zip(&fitness) {
-                if best.as_ref().map_or(true, |(_, bf)| f < *bf) {
+                if best.as_ref().is_none_or(|(_, bf)| f < *bf) {
                     best = Some((p.clone(), f));
                 }
             }
+            record_generation(gen, &fitness, best.as_ref().map(|(_, v)| *v));
             // Elitism: carry the best individuals over unchanged.
             let mut order: Vec<usize> = (0..population.len()).collect();
             order.sort_by(|&a, &b| fitness[a].total_cmp(&fitness[b]));
@@ -194,7 +197,7 @@ impl GeneticSearch {
         for p in &population {
             evaluations += 1;
             let f = objective(p);
-            if best.as_ref().map_or(true, |(_, bf)| f < *bf) {
+            if best.as_ref().is_none_or(|(_, bf)| f < *bf) {
                 best = Some((p.clone(), f));
             }
         }
@@ -223,6 +226,35 @@ impl GeneticSearch {
     }
 }
 
+/// Records per-generation GA fitness statistics to the telemetry sink
+/// (paper §6.3: the GA's convergence trajectory, i.e. how quickly the
+/// predicted-best design point improves as generations pass).
+fn record_generation(gen: usize, fitness: &[f64], global_best: Option<f64>) {
+    if !telemetry::enabled() || fitness.is_empty() {
+        return;
+    }
+    let gen_best = fitness.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = fitness.iter().sum::<f64>() / fitness.len() as f64;
+    telemetry::counter_add("search.ga.generations", 1);
+    telemetry::counter_add("search.ga.evaluations", fitness.len() as u64);
+    telemetry::observe("search.ga.gen_best_fitness", gen_best);
+    telemetry::observe("search.ga.gen_mean_fitness", mean);
+    telemetry::event(
+        "search",
+        "ga_generation",
+        &[
+            ("generation", telemetry::Value::from(gen as u64)),
+            ("population", telemetry::Value::from(fitness.len() as u64)),
+            ("best", telemetry::Value::from(gen_best)),
+            ("mean", telemetry::Value::from(mean)),
+            (
+                "global_best",
+                telemetry::Value::from(global_best.unwrap_or(gen_best)),
+            ),
+        ],
+    );
+}
+
 /// Pure random search baseline: evaluates `budget` random points.
 pub fn random_search<R, F>(
     space: &ParameterSpace,
@@ -239,7 +271,7 @@ where
     for _ in 0..budget {
         let p = space.random_point(rng);
         let f = objective(&p);
-        if best.as_ref().map_or(true, |(_, bf)| f < *bf) {
+        if best.as_ref().is_none_or(|(_, bf)| f < *bf) {
             best = Some((p, f));
         }
     }
@@ -297,7 +329,7 @@ where
                 break;
             }
         }
-        if best.as_ref().map_or(true, |(_, bf)| current_val < *bf) {
+        if best.as_ref().is_none_or(|(_, bf)| current_val < *bf) {
             best = Some((current, current_val));
         }
     }
@@ -374,9 +406,7 @@ mod tests {
     fn ga_beats_random_search_on_budget() {
         // With an equal evaluation budget the GA should usually win (or tie)
         // on a rugged objective.
-        let rugged = |p: &[f64]| {
-            objective(p) + if (p[2] as i64) % 2 == 0 { 0.7 } else { 0.0 }
-        };
+        let rugged = |p: &[f64]| objective(p) + if (p[2] as i64) % 2 == 0 { 0.7 } else { 0.0 };
         let mut ga_wins = 0;
         for seed in 0..10 {
             let mut rng = StdRng::seed_from_u64(seed);
@@ -387,7 +417,11 @@ mod tests {
                 ga_wins += 1;
             }
         }
-        assert!(ga_wins >= 8, "GA won only {}/10 budget-matched runs", ga_wins);
+        assert!(
+            ga_wins >= 8,
+            "GA won only {}/10 budget-matched runs",
+            ga_wins
+        );
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Minimal hand-rolled JSON writer: the event stream is flat
+//! (string/number/bool fields only), so a serializer dependency would be
+//! pure weight — and the build environment is offline anyway.
+
+/// A telemetry field value (the JSON scalar subset the event stream needs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point; non-finite values serialize as `null`.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String (escaped on write).
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// Appends `s` to `out` as a JSON string literal (quoted, escaped).
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) if x.is_finite() => out.push_str(&x.to_string()),
+        Value::F64(_) => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Str(s) => write_str(out, s),
+    }
+}
+
+/// Appends `fields` to `out` as a JSON object.
+pub fn write_fields(out: &mut String, fields: &[(&str, Value)]) {
+    out.push('{');
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_str(out, k);
+        out.push(':');
+        write_value(out, v);
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_and_serializes() {
+        let mut out = String::new();
+        write_fields(
+            &mut out,
+            &[
+                ("a", Value::U64(1)),
+                ("b", Value::F64(0.5)),
+                ("c", Value::Str("x\"\n\u{1}".to_string())),
+                ("d", Value::Bool(false)),
+                ("e", Value::F64(f64::NAN)),
+                ("f", Value::I64(-3)),
+            ],
+        );
+        assert_eq!(
+            out,
+            r#"{"a":1,"b":0.5,"c":"x\"\n\u0001","d":false,"e":null,"f":-3}"#
+        );
+    }
+}

@@ -1,0 +1,412 @@
+//! Structured stats, tracing spans and JSONL export for the
+//! simulate → compile → model-build pipeline.
+//!
+//! The paper's methodology is only interpretable when the counters
+//! *underneath* a cycle count are visible — SimpleScalar ships a full stats
+//! package for exactly this reason. This crate is the repository's
+//! equivalent: a process-wide registry of [counters](counter_add),
+//! [gauges](gauge_set), [histograms](observe) and hierarchical
+//! [span timers](span), plus a pluggable [`Sink`] that streams
+//! machine-readable JSONL events and a human-readable end-of-run
+//! [`summary`].
+//!
+//! Everything is **off by default** and gated behind a single relaxed
+//! atomic load ([`enabled`]), so instrumented hot paths (the cycle
+//! simulator retires tens of millions of instructions per measurement) pay
+//! one predictable branch when telemetry is disabled.
+//!
+//! Enabling:
+//!
+//! * `EMOD_TELEMETRY=stats.jsonl` (environment) — call [`init_from_env`]
+//!   once at startup, as the `repro` binary does: enables recording and
+//!   streams every event/span to the named JSONL file (`-` for stderr).
+//! * [`enable`] — recording only (counters, histograms, tables, summary),
+//!   no event stream. The `repro --stats` flag uses this.
+//!
+//! # Examples
+//!
+//! ```
+//! use emod_telemetry as telemetry;
+//!
+//! telemetry::enable();
+//! telemetry::counter_add("demo.cache.hits", 3);
+//! telemetry::counter_add("demo.cache.misses", 1);
+//! {
+//!     let _span = telemetry::span("demo/work");
+//!     telemetry::event("demo", "step", &[("n", 1u64.into())]);
+//! }
+//! let s = telemetry::summary();
+//! assert!(s.contains("demo.cache") && s.contains("miss rate"));
+//! ```
+
+mod json;
+mod registry;
+
+pub use json::Value;
+pub use registry::{HistogramSnapshot, Snapshot};
+
+use registry::Registry;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+fn sink() -> &'static Mutex<Option<Box<dyn Sink>>> {
+    static SINK: OnceLock<Mutex<Option<Box<dyn Sink>>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+thread_local! {
+    static SPAN_STACK: std::cell::RefCell<Vec<String>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Whether telemetry is recording. One relaxed atomic load — instrumented
+/// code checks this before doing any work, so the disabled path costs a
+/// predictable branch.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns recording on (counters, histograms, spans, tables, summary).
+pub fn enable() {
+    epoch();
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns recording off and clears all recorded state and the sink.
+/// Intended for tests; production code just lets the process exit.
+pub fn disable_and_reset() {
+    ENABLED.store(false, Ordering::Relaxed);
+    *registry().lock().unwrap() = Registry::default();
+    *sink().lock().unwrap() = None;
+}
+
+/// Reads `EMOD_TELEMETRY`; when set, enables recording and streams JSONL
+/// events to the named file (`-` or `stderr` selects standard error).
+/// Returns whether telemetry was enabled.
+pub fn init_from_env() -> bool {
+    let Ok(path) = std::env::var("EMOD_TELEMETRY") else {
+        return false;
+    };
+    if path.is_empty() {
+        return false;
+    }
+    enable();
+    if path == "-" || path == "stderr" {
+        set_sink(Box::new(StderrSink));
+        return true;
+    }
+    match std::fs::File::create(&path) {
+        Ok(f) => set_sink(Box::new(FileSink(std::io::BufWriter::new(f)))),
+        Err(e) => eprintln!(
+            "emod-telemetry: cannot open {}: {} (events dropped)",
+            path, e
+        ),
+    }
+    true
+}
+
+/// Destination for the machine-readable event stream (one JSON object per
+/// line). Implementations must tolerate being called from multiple threads
+/// (the global sink is mutex-guarded).
+pub trait Sink: Send {
+    /// Writes one complete JSONL line (no trailing newline in `line`).
+    fn write_line(&mut self, line: &str);
+    /// Flushes buffered lines.
+    fn flush(&mut self) {}
+}
+
+struct FileSink(std::io::BufWriter<std::fs::File>);
+
+impl Sink for FileSink {
+    fn write_line(&mut self, line: &str) {
+        let _ = writeln!(self.0, "{}", line);
+    }
+
+    fn flush(&mut self) {
+        let _ = self.0.flush();
+    }
+}
+
+struct StderrSink;
+
+impl Sink for StderrSink {
+    fn write_line(&mut self, line: &str) {
+        eprintln!("{}", line);
+    }
+}
+
+/// In-memory sink for tests: captured lines are shared through the handle.
+#[derive(Clone, Default)]
+pub struct MemorySink(std::sync::Arc<Mutex<Vec<String>>>);
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The lines captured so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.0.lock().unwrap().clone()
+    }
+}
+
+impl Sink for MemorySink {
+    fn write_line(&mut self, line: &str) {
+        self.0.lock().unwrap().push(line.to_string());
+    }
+}
+
+/// Installs the event-stream sink (replacing any previous one) and enables
+/// recording.
+pub fn set_sink(s: Box<dyn Sink>) {
+    enable();
+    *sink().lock().unwrap() = Some(s);
+}
+
+/// Flushes the event sink, if any.
+pub fn flush() {
+    if let Some(s) = sink().lock().unwrap().as_mut() {
+        s.flush();
+    }
+}
+
+fn emit_line(line: String) {
+    if let Some(s) = sink().lock().unwrap().as_mut() {
+        s.write_line(&line);
+    }
+}
+
+fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// Adds `delta` to the named monotonic counter. No-op while disabled.
+pub fn counter_add(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    registry().lock().unwrap().counter_add(name, delta);
+}
+
+/// Current value of a counter (0 if never touched).
+pub fn counter_value(name: &str) -> u64 {
+    registry().lock().unwrap().counter_value(name)
+}
+
+/// Sets the named gauge to `v` (last-write-wins). No-op while disabled.
+pub fn gauge_set(name: &str, v: f64) {
+    if !enabled() {
+        return;
+    }
+    registry().lock().unwrap().gauge_set(name, v);
+}
+
+/// Records `v` into the named histogram. No-op while disabled.
+pub fn observe(name: &str, v: f64) {
+    if !enabled() {
+        return;
+    }
+    registry().lock().unwrap().observe(name, v);
+}
+
+/// Emits a structured event: bumps `events.<subsystem>.<name>` and, when a
+/// sink is installed, streams one JSONL object
+/// `{"ts_us":…,"kind":"event","subsystem":…,"name":…,"fields":{…}}`.
+/// No-op while disabled.
+pub fn event(subsystem: &str, name: &str, fields: &[(&str, Value)]) {
+    if !enabled() {
+        return;
+    }
+    {
+        let mut reg = registry().lock().unwrap();
+        reg.counter_add(&format!("events.{}.{}", subsystem, name), 1);
+    }
+    if sink().lock().unwrap().is_some() {
+        let mut line = String::with_capacity(128);
+        line.push_str("{\"ts_us\":");
+        line.push_str(&now_us().to_string());
+        line.push_str(",\"kind\":\"event\",\"subsystem\":");
+        json::write_str(&mut line, subsystem);
+        line.push_str(",\"name\":");
+        json::write_str(&mut line, name);
+        line.push_str(",\"fields\":");
+        json::write_fields(&mut line, fields);
+        line.push('}');
+        emit_line(line);
+    }
+}
+
+/// Appends a preformatted row to a named summary table (e.g. the model
+/// builder's per-round trajectory). No-op while disabled.
+pub fn table_push(table: &str, row: String) {
+    if !enabled() {
+        return;
+    }
+    registry().lock().unwrap().table_push(table, row);
+}
+
+/// Opens a hierarchical timing span. The guard records wall time into the
+/// histogram `span.<path>` when dropped, where `<path>` is this span's name
+/// nested under any enclosing spans on the same thread
+/// (`builder.round/measure/…`). When a sink is installed, span close also
+/// streams a JSONL object. Returns an inert guard while disabled.
+pub fn span(name: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { live: None };
+    }
+    let path = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) => format!("{}/{}", parent, name),
+            None => name.to_string(),
+        };
+        stack.push(path.clone());
+        path
+    });
+    SpanGuard {
+        live: Some((path, Instant::now())),
+    }
+}
+
+/// Guard for an open [`span`]; records on drop.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records ~0"]
+pub struct SpanGuard {
+    live: Option<(String, Instant)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((path, start)) = self.live.take() else {
+            return;
+        };
+        let dur = start.elapsed();
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            debug_assert_eq!(
+                stack.last(),
+                Some(&path),
+                "span guards dropped out of order"
+            );
+            stack.pop();
+        });
+        if enabled() {
+            registry()
+                .lock()
+                .unwrap()
+                .observe(&format!("span.{}", path), dur.as_nanos() as f64);
+            if sink().lock().unwrap().is_some() {
+                let mut line = String::with_capacity(96);
+                line.push_str("{\"ts_us\":");
+                line.push_str(&now_us().to_string());
+                line.push_str(",\"kind\":\"span\",\"name\":");
+                json::write_str(&mut line, &path);
+                line.push_str(",\"dur_us\":");
+                line.push_str(&(dur.as_nanos() as f64 / 1000.0).to_string());
+                line.push('}');
+                emit_line(line);
+            }
+        }
+    }
+}
+
+/// A consistent copy of everything recorded so far (for tests and custom
+/// reporting).
+pub fn snapshot() -> Snapshot {
+    registry().lock().unwrap().snapshot()
+}
+
+/// Renders the human-readable end-of-run summary: counters, derived
+/// hit/miss rates for every `<name>.hits`/`<name>.misses` counter pair,
+/// gauges, histogram/span timings, and any recorded tables.
+pub fn summary() -> String {
+    flush();
+    registry().lock().unwrap().render_summary()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global, so exercise everything under one test
+    // lock-step to avoid cross-test interference.
+    #[test]
+    fn end_to_end_record_emit_summarize() {
+        disable_and_reset();
+
+        // Disabled: everything is a no-op.
+        counter_add("t.cache.hits", 5);
+        assert_eq!(counter_value("t.cache.hits"), 0);
+        {
+            let _s = span("t/ignored");
+        }
+        assert!(snapshot().histograms.is_empty());
+
+        let sink = MemorySink::new();
+        set_sink(Box::new(sink.clone()));
+        assert!(enabled());
+
+        counter_add("t.cache.hits", 3);
+        counter_add("t.cache.hits", 1);
+        counter_add("t.cache.misses", 1);
+        gauge_set("t.speed", 2.5);
+        observe("t.err", 0.25);
+        observe("t.err", 0.75);
+        table_push("t.rounds", "round=0 mape=12.5".to_string());
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+            event(
+                "tsub",
+                "probe",
+                &[
+                    ("n", 7u64.into()),
+                    ("x", 0.5f64.into()),
+                    ("ok", true.into()),
+                    ("who", "a\"b".into()),
+                ],
+            );
+        }
+
+        let snap = snapshot();
+        assert_eq!(snap.counters["t.cache.hits"], 4);
+        assert_eq!(snap.counters["events.tsub.probe"], 1);
+        let span_hist = &snap.histograms["span.outer/inner"];
+        assert_eq!(span_hist.count, 1);
+
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 3, "event + two span closes: {:?}", lines);
+        assert!(lines[0].contains("\"subsystem\":\"tsub\""));
+        assert!(lines[0].contains("\"who\":\"a\\\"b\""));
+        assert!(lines[1].contains("\"name\":\"outer/inner\""));
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+
+        let s = summary();
+        assert!(s.contains("t.cache.hits"), "{}", s);
+        assert!(s.contains("miss rate"), "{}", s);
+        assert!(s.contains("20.00%"), "1 miss / (4 hits + 1 miss): {}", s);
+        assert!(s.contains("t.speed"), "{}", s);
+        assert!(s.contains("span.outer/inner"), "{}", s);
+        assert!(s.contains("round=0 mape=12.5"), "{}", s);
+
+        disable_and_reset();
+        assert!(!enabled());
+        assert_eq!(counter_value("t.cache.hits"), 0);
+    }
+}

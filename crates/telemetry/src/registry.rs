@@ -1,0 +1,260 @@
+//! The process-wide stats registry: counters, gauges, histograms (which
+//! also back span timings) and preformatted tables, plus the end-of-run
+//! summary renderer.
+
+use std::collections::BTreeMap;
+
+/// Streaming histogram: count / sum / min / max. Enough to report mean and
+/// extremes for span durations and error distributions without storing
+/// samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    fn new() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Mean of observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A consistent copy of the registry contents.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms (including `span.*` timings, in nanoseconds) by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Preformatted table rows by table name.
+    pub tables: BTreeMap<String, Vec<String>>,
+}
+
+#[derive(Default)]
+pub(crate) struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, HistogramSnapshot>,
+    tables: BTreeMap<String, Vec<String>>,
+}
+
+impl Registry {
+    pub(crate) fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    pub(crate) fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn gauge_set(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    pub(crate) fn observe(&mut self, name: &str, v: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(HistogramSnapshot::new)
+            .observe(v);
+    }
+
+    pub(crate) fn table_push(&mut self, table: &str, row: String) {
+        self.tables.entry(table.to_string()).or_default().push(row);
+    }
+
+    pub(crate) fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+            tables: self.tables.clone(),
+        }
+    }
+
+    /// Renders the human-readable summary. Layout:
+    /// counters → derived rates → gauges → spans/histograms → tables.
+    pub(crate) fn render_summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== telemetry summary ==\n");
+
+        if !self.counters.is_empty() {
+            out.push_str("\ncounters:\n");
+            let width = self.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {:<width$}  {:>12}\n", name, v, width = width));
+            }
+        }
+
+        // Derived rates: every `<base>.hits` / `<base>.misses` counter pair
+        // yields a miss-rate line — the registry stays schema-free while the
+        // summary still reads like a cache report.
+        let mut rate_lines = Vec::new();
+        for (name, misses) in &self.counters {
+            let Some(base) = name.strip_suffix(".misses") else {
+                continue;
+            };
+            let hits = self.counter_value(&format!("{}.hits", base));
+            let total = hits + misses;
+            if total == 0 {
+                continue;
+            }
+            rate_lines.push((base.to_string(), hits, *misses, total));
+        }
+        // Also surface `<base>.hits` with no recorded misses as a 0% line.
+        for (name, hits) in &self.counters {
+            let Some(base) = name.strip_suffix(".hits") else {
+                continue;
+            };
+            if *hits > 0 && !self.counters.contains_key(&format!("{}.misses", base)) {
+                rate_lines.push((base.to_string(), *hits, 0, *hits));
+            }
+        }
+        rate_lines.sort();
+        if !rate_lines.is_empty() {
+            out.push_str("\nrates:\n");
+            let width = rate_lines.iter().map(|(b, ..)| b.len()).max().unwrap_or(0);
+            for (base, hits, misses, total) in rate_lines {
+                out.push_str(&format!(
+                    "  {:<width$}  miss rate {:>7.2}%  ({} hits / {} misses)\n",
+                    base,
+                    100.0 * misses as f64 / total as f64,
+                    hits,
+                    misses,
+                    width = width
+                ));
+            }
+        }
+
+        if !self.gauges.is_empty() {
+            out.push_str("\ngauges:\n");
+            let width = self.gauges.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("  {:<width$}  {:>14.6}\n", name, v, width = width));
+            }
+        }
+
+        let (spans, plain): (Vec<_>, Vec<_>) = self
+            .histograms
+            .iter()
+            .partition(|(name, _)| name.starts_with("span."));
+        if !spans.is_empty() {
+            out.push_str("\nspans (wall time):\n");
+            let width = spans.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+            for (name, h) in spans {
+                out.push_str(&format!(
+                    "  {:<width$}  count {:>6}  total {:>10}  mean {:>10}  max {:>10}\n",
+                    name,
+                    h.count,
+                    fmt_ns(h.sum),
+                    fmt_ns(h.mean()),
+                    fmt_ns(h.max),
+                    width = width
+                ));
+            }
+        }
+        if !plain.is_empty() {
+            out.push_str("\nhistograms:\n");
+            let width = plain.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+            for (name, h) in plain {
+                out.push_str(&format!(
+                    "  {:<width$}  count {:>6}  mean {:>12.6}  min {:>12.6}  max {:>12.6}\n",
+                    name,
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max,
+                    width = width
+                ));
+            }
+        }
+
+        for (table, rows) in &self.tables {
+            out.push_str(&format!("\ntable {}:\n", table));
+            for row in rows {
+                out.push_str(&format!("  {}\n", row));
+            }
+        }
+        out
+    }
+}
+
+/// Formats a nanosecond quantity at a human scale.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}us", ns / 1e3)
+    } else {
+        format!("{:.0}ns", ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_tracks_extremes_and_mean() {
+        let mut h = HistogramSnapshot::new();
+        h.observe(2.0);
+        h.observe(4.0);
+        h.observe(9.0);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 2.0);
+        assert_eq!(h.max, 9.0);
+        assert!((h.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_derives_rates_from_counter_pairs() {
+        let mut reg = Registry::default();
+        reg.counter_add("c.binary.hits", 9);
+        reg.counter_add("c.binary.misses", 1);
+        reg.counter_add("c.lone.hits", 4);
+        reg.counter_add("unrelated", 7);
+        let s = reg.render_summary();
+        assert!(s.contains("c.binary"), "{}", s);
+        assert!(s.contains("10.00%"), "{}", s);
+        assert!(s.contains("c.lone"), "{}", s);
+        assert!(s.contains("0.00%"), "{}", s);
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(12.0), "12ns");
+        assert_eq!(fmt_ns(1.2e4), "12.000us");
+        assert_eq!(fmt_ns(3.5e6), "3.500ms");
+        assert_eq!(fmt_ns(2.25e9), "2.250s");
+    }
+}

@@ -54,6 +54,19 @@ pub struct BpredStats {
     pub dir_misses: u64,
 }
 
+impl BpredStats {
+    /// Conditional-branch mispredict ratio in `[0, 1]`; zero when no
+    /// branches were predicted.
+    pub fn mispredict_rate(&self) -> f64 {
+        let total = self.dir_hits + self.dir_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.dir_misses as f64 / total as f64
+        }
+    }
+}
+
 const BTB_ENTRIES: usize = 512;
 const RAS_DEPTH: usize = 16;
 
@@ -65,7 +78,10 @@ impl BranchPredictor {
     ///
     /// Panics if `size` is not a power of two.
     pub fn new(size: u32) -> Self {
-        assert!(size.is_power_of_two(), "predictor size must be a power of two");
+        assert!(
+            size.is_power_of_two(),
+            "predictor size must be a power of two"
+        );
         let n = size as usize;
         BranchPredictor {
             bimodal: vec![Counter2(1); n],

@@ -250,7 +250,10 @@ mod tests {
     #[test]
     fn design_value_roundtrip() {
         let cfg = UarchConfig::aggressive();
-        assert_eq!(UarchConfig::from_design_values(&cfg.to_design_values()), cfg);
+        assert_eq!(
+            UarchConfig::from_design_values(&cfg.to_design_values()),
+            cfg
+        );
     }
 
     #[test]

@@ -35,11 +35,7 @@ fn exec_latency(kind: InstKind) -> u64 {
         InstKind::FpMul => 4,
         InstKind::FpDiv => 12,
         InstKind::Store | InstKind::Prefetch | InstKind::Load => 1,
-        InstKind::Branch
-        | InstKind::Jump
-        | InstKind::Call
-        | InstKind::Ret
-        | InstKind::Other => 1,
+        InstKind::Branch | InstKind::Jump | InstKind::Call | InstKind::Ret | InstKind::Other => 1,
     }
 }
 
@@ -127,6 +123,41 @@ pub mod energy_cost {
     pub const PER_CYCLE: f64 = 0.8;
 }
 
+/// Pipeline-behavior counters: where retired instructions spent their time
+/// waiting. Together with the cache/predictor stats these explain *why* a
+/// configuration got its cycle count — the breakdown the telemetry summary
+/// and JSONL stream report per simulation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipeStats {
+    /// Sum of RUU occupancy sampled at each dispatch (divide by
+    /// [`PipeStats::dispatches`] for the mean).
+    pub ruu_occ_sum: u64,
+    /// Dispatch events (= retired instructions reaching the window).
+    pub dispatches: u64,
+    /// Dispatches delayed because the RUU was full.
+    pub window_full_stalls: u64,
+    /// Fetch-stage stall cycles charged to instruction-cache misses.
+    pub fetch_stall_cycles: u64,
+    /// Cycles instructions spent ready but waiting for a functional unit.
+    pub issue_wait_cycles: u64,
+    /// Cycles lost at commit to bandwidth (beyond dataflow + in-order
+    /// constraints).
+    pub commit_wait_cycles: u64,
+    /// Front-end redirects from mispredicted control transfers.
+    pub redirects: u64,
+}
+
+impl PipeStats {
+    /// Mean RUU occupancy observed at dispatch.
+    pub fn mean_ruu_occupancy(&self) -> f64 {
+        if self.dispatches == 0 {
+            0.0
+        } else {
+            self.ruu_occ_sum as f64 / self.dispatches as f64
+        }
+    }
+}
+
 /// Final counters of a simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
@@ -148,6 +179,8 @@ pub struct SimResult {
     /// Estimated dynamic + static energy (arbitrary units; see
     /// [`op_energy`] / [`energy_cost`]).
     pub energy: f64,
+    /// Pipeline stall/occupancy breakdown.
+    pub pipe: PipeStats,
 }
 
 impl SimResult {
@@ -190,6 +223,7 @@ pub struct Core {
     redirect_pending: bool,
     retired: u64,
     op_energy_acc: f64,
+    pipe: PipeStats,
 }
 
 #[derive(Debug)]
@@ -273,6 +307,7 @@ impl Core {
             redirect_pending: true,
             retired: 0,
             op_energy_acc: 0.0,
+            pipe: PipeStats::default(),
             cfg: cfg.clone(),
         }
     }
@@ -314,6 +349,7 @@ impl Core {
         self.redirect_pending = true;
         self.retired = 0;
         self.op_energy_acc = 0.0;
+        self.pipe = PipeStats::default();
     }
 
     /// Advances the model by one retired instruction.
@@ -328,6 +364,7 @@ impl Core {
             if lat > 1 {
                 // A miss stalls the fetch stage for the extra cycles.
                 self.fetch_ready = self.fetch_slots.cycle.max(self.fetch_ready) + (lat - 1);
+                self.pipe.fetch_stall_cycles += lat - 1;
             }
             self.last_fetch_line = line;
             self.redirect_pending = false;
@@ -347,7 +384,10 @@ impl Core {
             // Window full: wait for the oldest instruction to commit.
             let oldest = self.ruu.pop_front().expect("non-empty when full");
             dispatch_earliest = dispatch_earliest.max(oldest);
+            self.pipe.window_full_stalls += 1;
         }
+        self.pipe.ruu_occ_sum += self.ruu.len() as u64;
+        self.pipe.dispatches += 1;
         let dispatch_time = self.dispatch_slots.alloc(dispatch_earliest, width);
 
         // --- Issue ---
@@ -357,6 +397,7 @@ impl Core {
         let latency = exec_latency(kind);
         let occupancy = if unpipelined(kind) { latency } else { 1 };
         let issue_time = self.fus.acquire(fu_class(kind), ready, occupancy);
+        self.pipe.issue_wait_cycles += issue_time - ready;
 
         // --- Execute / memory ---
         let complete = match kind {
@@ -431,11 +472,13 @@ impl Core {
         if mispredicted {
             self.fetch_ready = self.fetch_ready.max(complete + REDIRECT_PENALTY);
             self.redirect_pending = true;
+            self.pipe.redirects += 1;
         }
 
         // --- Commit (in order) ---
         let commit_earliest = (complete + 1).max(self.last_commit);
         let commit_time = self.commit_slots.alloc(commit_earliest, width);
+        self.pipe.commit_wait_cycles += commit_time - commit_earliest;
         self.last_commit = commit_time;
         self.ruu.push_back(commit_time);
         self.retired += 1;
@@ -470,6 +513,7 @@ impl Core {
             dl1: self.mem.dl1_stats(),
             ul2: self.mem.ul2_stats(),
             energy: self.energy(),
+            pipe: self.pipe.clone(),
         }
     }
 }
@@ -482,10 +526,7 @@ mod tests {
 
     fn counted_loop(n: i64, body_pad: usize) -> Program {
         let mut b = ProgramBuilder::new();
-        b.push(Inst::LoadImm {
-            rd: Reg(8),
-            imm: 0,
-        });
+        b.push(Inst::LoadImm { rd: Reg(8), imm: 0 });
         b.push(Inst::LoadImm { rd: Reg(9), imm: n });
         b.label("loop");
         for _ in 0..body_pad {
@@ -528,7 +569,10 @@ mod tests {
         // Independent ALU ops: width 4 must beat width 2.
         let mut b = ProgramBuilder::new();
         b.push(Inst::LoadImm { rd: Reg(8), imm: 0 });
-        b.push(Inst::LoadImm { rd: Reg(9), imm: 2000 });
+        b.push(Inst::LoadImm {
+            rd: Reg(9),
+            imm: 2000,
+        });
         b.label("loop");
         for k in 10..18 {
             b.push(Inst::AluImm {
@@ -722,6 +766,33 @@ mod tests {
             let res = simulate(&prog, &cfg).unwrap();
             assert_eq!(res.exit_value, functional);
         }
+    }
+
+    #[test]
+    fn pipe_stats_account_for_stalls() {
+        let prog = counted_loop(2000, 4);
+        let res = simulate(&prog, &UarchConfig::typical()).unwrap();
+        // Every retired instruction dispatches exactly once.
+        assert_eq!(res.pipe.dispatches, res.instructions);
+        let occ = res.pipe.mean_ruu_occupancy();
+        assert!(
+            occ > 0.0 && occ <= UarchConfig::typical().ruu_size as f64,
+            "mean RUU occupancy {} out of range",
+            occ
+        );
+        // The loop-closing branch is taken ~2000 times; at least the first
+        // encounter of each control transfer redirects the front end.
+        assert!(res.pipe.redirects > 0);
+        // A tiny window must stall dispatch more than a big one.
+        let mut small = UarchConfig::typical();
+        small.ruu_size = 8;
+        let s = simulate(&prog, &small).unwrap();
+        assert!(
+            s.pipe.window_full_stalls > res.pipe.window_full_stalls,
+            "8-entry RUU {} vs typical {}",
+            s.pipe.window_full_stalls,
+            res.pipe.window_full_stalls
+        );
     }
 
     #[test]

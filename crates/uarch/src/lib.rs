@@ -43,6 +43,6 @@ pub mod smarts;
 pub use bpred::BranchPredictor;
 pub use cache::{Cache, CacheStats};
 pub use config::{FuPoolConfig, UarchConfig};
-pub use core::{energy_cost, op_energy, Core, SimResult};
+pub use core::{energy_cost, op_energy, Core, PipeStats, SimResult};
 pub use memsys::{AccessKind, MemSys};
 pub use smarts::{simulate, simulate_sampled, SampleConfig, SampledResult};

@@ -117,10 +117,7 @@ mod tests {
         let c = cfg();
         let mut m = MemSys::new(&c);
         let cold = m.access(AccessKind::Read, 0x1000_0000);
-        assert_eq!(
-            cold,
-            (c.dl1_latency + c.ul2_latency + c.mem_latency) as u64
-        );
+        assert_eq!(cold, (c.dl1_latency + c.ul2_latency + c.mem_latency) as u64);
         let hot = m.access(AccessKind::Read, 0x1000_0000);
         assert_eq!(hot, c.dl1_latency as u64);
     }
@@ -164,8 +161,6 @@ mod tests {
         fast_cfg.mem_latency = 50;
         let mut slow = MemSys::new(&slow_cfg);
         let mut fast = MemSys::new(&fast_cfg);
-        assert!(
-            slow.access(AccessKind::Read, 0) > fast.access(AccessKind::Read, 0)
-        );
+        assert!(slow.access(AccessKind::Read, 0) > fast.access(AccessKind::Read, 0));
     }
 }

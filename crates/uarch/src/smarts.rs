@@ -15,6 +15,7 @@ use crate::core::{Core, SimResult};
 use crate::memsys::AccessKind;
 use crate::UarchConfig;
 use emod_isa::{EmuError, Emulator, InstKind, Program, Retired, INST_BYTES};
+use emod_telemetry as telemetry;
 
 /// Sampling parameters. The defaults mirror the paper: window 1000,
 /// sampling interval 1000 (1 in every 1000 windows measured).
@@ -67,10 +68,64 @@ pub struct SampledResult {
 ///
 /// Propagates architectural faults and fuel exhaustion from the emulator.
 pub fn simulate(program: &Program, cfg: &UarchConfig) -> Result<SimResult, EmuError> {
+    let _span = telemetry::span("uarch.simulate");
     let mut core = Core::new(cfg);
     let mut emu = Emulator::new(program);
     let exit = emu.run_with(u64::MAX, |r| core.step(r))?;
-    Ok(core.result(exit))
+    let result = core.result(exit);
+    record_sim_stats(&result);
+    Ok(result)
+}
+
+/// Records one detailed simulation's counters and streams a `uarch`/`sim`
+/// event. Cold path — called once per simulation, never per instruction.
+fn record_sim_stats(res: &SimResult) {
+    if !telemetry::enabled() {
+        return;
+    }
+    telemetry::counter_add("uarch.sims", 1);
+    record_core_counters(res);
+    telemetry::event(
+        "uarch",
+        "sim",
+        &[
+            ("cycles", res.cycles.into()),
+            ("instructions", res.instructions.into()),
+            ("ipc", res.ipc().into()),
+            ("il1_miss_rate", res.il1.miss_rate().into()),
+            ("dl1_miss_rate", res.dl1.miss_rate().into()),
+            ("ul2_miss_rate", res.ul2.miss_rate().into()),
+            ("bpred_mispredict_rate", res.bpred.mispredict_rate().into()),
+            ("ruu_occ_mean", res.pipe.mean_ruu_occupancy().into()),
+            ("window_full_stalls", res.pipe.window_full_stalls.into()),
+            ("fetch_stall_cycles", res.pipe.fetch_stall_cycles.into()),
+            ("issue_wait_cycles", res.pipe.issue_wait_cycles.into()),
+            ("commit_wait_cycles", res.pipe.commit_wait_cycles.into()),
+            ("redirects", res.pipe.redirects.into()),
+        ],
+    );
+}
+
+/// Folds a simulation's cache/predictor/pipeline counters into the registry
+/// (shared by detailed and sampled runs).
+fn record_core_counters(res: &SimResult) {
+    telemetry::counter_add("uarch.sim_instructions", res.instructions);
+    telemetry::counter_add("uarch.sim_cycles", res.cycles);
+    telemetry::counter_add("uarch.il1.hits", res.il1.hits);
+    telemetry::counter_add("uarch.il1.misses", res.il1.misses);
+    telemetry::counter_add("uarch.dl1.hits", res.dl1.hits);
+    telemetry::counter_add("uarch.dl1.misses", res.dl1.misses);
+    telemetry::counter_add("uarch.ul2.hits", res.ul2.hits);
+    telemetry::counter_add("uarch.ul2.misses", res.ul2.misses);
+    telemetry::counter_add("uarch.bpred_dir.hits", res.bpred.dir_hits);
+    telemetry::counter_add("uarch.bpred_dir.misses", res.bpred.dir_misses);
+    telemetry::counter_add("uarch.pipe.window_full_stalls", res.pipe.window_full_stalls);
+    telemetry::counter_add("uarch.pipe.fetch_stall_cycles", res.pipe.fetch_stall_cycles);
+    telemetry::counter_add("uarch.pipe.issue_wait_cycles", res.pipe.issue_wait_cycles);
+    telemetry::counter_add("uarch.pipe.commit_wait_cycles", res.pipe.commit_wait_cycles);
+    telemetry::counter_add("uarch.pipe.redirects", res.pipe.redirects);
+    telemetry::observe("uarch.ipc", res.ipc());
+    telemetry::observe("uarch.ruu_occupancy", res.pipe.mean_ruu_occupancy());
 }
 
 /// Runs a SMARTS-sampled simulation.
@@ -88,6 +143,7 @@ pub fn simulate_sampled(
     cfg: &UarchConfig,
     sample: &SampleConfig,
 ) -> Result<SampledResult, EmuError> {
+    let _span = telemetry::span("uarch.simulate_sampled");
     let unit = sample.window * sample.interval;
     // For tiny programs, measure everything.
     let mut core = Core::new(cfg);
@@ -96,6 +152,7 @@ pub fn simulate_sampled(
     let mut window_cpis: Vec<f64> = Vec::new();
     let mut window_epis: Vec<f64> = Vec::new(); // energy per instruction
     let mut executed: u64 = 0;
+    let mut detailed_insts: u64 = 0;
 
     // Phase machine: within each unit of `unit` instructions, the first
     // `warmup + window` run detailed, the rest functionally warm.
@@ -119,6 +176,7 @@ pub fn simulate_sampled(
         let Some(r) = emu.step()? else { break };
         if detailed {
             core.step(&r);
+            detailed_insts += 1;
             if pos_in_unit == sample.warmup + sample.window - 1 {
                 let dcycles = core.cycles() - phase_start_cycles;
                 let dinsts = core.retired() - phase_start_insts;
@@ -143,7 +201,7 @@ pub fn simulate_sampled(
     if window_cpis.is_empty() {
         // Too short to complete even one window: everything ran detailed
         // inside the first unit, so the core clock is the exact answer.
-        return Ok(SampledResult {
+        let res = SampledResult {
             cycles: core.cycles(),
             instructions: executed,
             cpi: if executed > 0 {
@@ -155,7 +213,9 @@ pub fn simulate_sampled(
             windows: 0,
             exit_value,
             energy: core.energy(),
-        });
+        };
+        record_sampled_stats(&res, &core, exit_value, detailed_insts, 0.0);
+        return Ok(res);
     }
 
     let n = window_cpis.len() as f64;
@@ -171,7 +231,7 @@ pub fn simulate_sampled(
         1.0
     };
     let mean_epi = window_epis.iter().sum::<f64>() / window_epis.len() as f64;
-    Ok(SampledResult {
+    let res = SampledResult {
         cycles: (mean * executed as f64).round() as u64,
         instructions: executed,
         cpi: mean,
@@ -179,7 +239,51 @@ pub fn simulate_sampled(
         windows: window_cpis.len() as u64,
         exit_value,
         energy: mean_epi * executed as f64,
-    })
+    };
+    record_sampled_stats(&res, &core, exit_value, detailed_insts, var);
+    Ok(res)
+}
+
+/// Records a sampled simulation: SMARTS-level stats (windows, CPI spread,
+/// detailed-vs-functional split) plus the cache/predictor counters the core
+/// kept warm across the whole run. Cold path — once per simulation.
+fn record_sampled_stats(
+    res: &SampledResult,
+    core: &Core,
+    exit_value: i64,
+    detailed_insts: u64,
+    cpi_var: f64,
+) {
+    if !telemetry::enabled() {
+        return;
+    }
+    // Whole-run cache/predictor stats live in the core (functional warming
+    // keeps them current even outside measured windows).
+    let full = core.result(exit_value);
+    record_core_counters(&full);
+    let functional_insts = res.instructions - detailed_insts;
+    telemetry::counter_add("uarch.smarts.sims", 1);
+    telemetry::counter_add("uarch.smarts.windows", res.windows);
+    telemetry::counter_add("uarch.smarts.detailed_insts", detailed_insts);
+    telemetry::counter_add("uarch.smarts.functional_insts", functional_insts);
+    telemetry::observe("uarch.smarts.rel_error", res.rel_error);
+    telemetry::event(
+        "smarts",
+        "sampled_sim",
+        &[
+            ("windows", res.windows.into()),
+            ("cpi_mean", res.cpi.into()),
+            ("cpi_var", cpi_var.into()),
+            ("rel_error", res.rel_error.into()),
+            ("detailed_insts", detailed_insts.into()),
+            ("functional_insts", functional_insts.into()),
+            (
+                "detailed_fraction",
+                (detailed_insts as f64 / res.instructions.max(1) as f64).into(),
+            ),
+            ("est_cycles", res.cycles.into()),
+        ],
+    );
 }
 
 /// Functional warming: keep caches and predictor state current without
@@ -214,10 +318,12 @@ fn warm(core: &mut Core, r: &Retired, last_line: &mut u64) {
             }
         }
         InstKind::Jump => {
-            core.bpred_mut().update_target(r.pc as u64 * INST_BYTES, r.next_pc);
+            core.bpred_mut()
+                .update_target(r.pc as u64 * INST_BYTES, r.next_pc);
         }
         InstKind::Call => {
-            core.bpred_mut().update_target(r.pc as u64 * INST_BYTES, r.next_pc);
+            core.bpred_mut()
+                .update_target(r.pc as u64 * INST_BYTES, r.next_pc);
             core.bpred_mut().push_return(r.pc + 1);
         }
         InstKind::Ret => {
@@ -299,8 +405,7 @@ mod tests {
         let sampled = simulate_sampled(&prog, &cfg, &sample).unwrap();
         assert_eq!(sampled.exit_value, detailed.exit_value);
         assert_eq!(sampled.instructions, detailed.instructions);
-        let rel = (sampled.cycles as f64 - detailed.cycles as f64).abs()
-            / detailed.cycles as f64;
+        let rel = (sampled.cycles as f64 - detailed.cycles as f64).abs() / detailed.cycles as f64;
         assert!(
             rel < 0.05,
             "sampling error {:.3} (sampled {} detailed {})",
@@ -322,7 +427,11 @@ mod tests {
             fuel: u64::MAX,
         };
         let res = simulate_sampled(&prog, &cfg, &sample).unwrap();
-        assert!(res.rel_error >= 0.0 && res.rel_error < 0.2, "{}", res.rel_error);
+        assert!(
+            res.rel_error >= 0.0 && res.rel_error < 0.2,
+            "{}",
+            res.rel_error
+        );
     }
 
     #[test]

@@ -51,12 +51,7 @@ fn random_program(seed: u64) -> Program {
             4 => {
                 // Conditional forward skip.
                 let lbl = format!("skip{}_{}", seed, k);
-                b.branch_to(
-                    BranchCond::Lt,
-                    Reg(11 + (k % 8) as u8),
-                    Reg(9),
-                    &lbl,
-                );
+                b.branch_to(BranchCond::Lt, Reg(11 + (k % 8) as u8), Reg(9), &lbl);
                 b.push(Inst::AluImm {
                     op: AluOp::Xor,
                     rd: Reg(12),

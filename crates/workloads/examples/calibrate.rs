@@ -9,12 +9,26 @@ fn main() {
         for set in [InputSet::Train, InputSet::Ref] {
             let prog = w.program(&OptConfig::o2(), set).unwrap();
             let t0 = Instant::now();
-            let res = simulate_sampled(&prog, &UarchConfig::typical(), &SampleConfig {
-                window: 1000, interval: 20, warmup: 2000, fuel: u64::MAX,
-            }).unwrap();
+            let res = simulate_sampled(
+                &prog,
+                &UarchConfig::typical(),
+                &SampleConfig {
+                    window: 1000,
+                    interval: 20,
+                    warmup: 2000,
+                    fuel: u64::MAX,
+                },
+            )
+            .unwrap();
             println!(
                 "{:22} {:5} insts={:>9} cpi={:.3} cycles={:>10} err={:.4} wall={:?}",
-                w.name(), set.name(), res.instructions, res.cpi, res.cycles, res.rel_error, t0.elapsed()
+                w.name(),
+                set.name(),
+                res.instructions,
+                res.cpi,
+                res.cycles,
+                res.rel_error,
+                t0.elapsed()
             );
         }
     }

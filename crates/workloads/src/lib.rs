@@ -59,18 +59,23 @@ impl InputSet {
     }
 }
 
+/// Generates the `(argument, data memory)` runs for one input set.
+type InputGenFn = fn(&Module, InputSet) -> Vec<(u64, Vec<u8>)>;
+
 /// A benchmark program: source, input generators, reference checksums.
 pub struct Workload {
     name: &'static str,
     source: &'static str,
-    gen: fn(&Module, InputSet) -> Vec<(u64, Vec<u8>)>,
+    gen: InputGenFn,
     module: OnceLock<Module>,
     checksums: OnceLock<[i64; 2]>,
 }
 
 impl std::fmt::Debug for Workload {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Workload").field("name", &self.name).finish()
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .finish()
     }
 }
 

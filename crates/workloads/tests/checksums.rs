@@ -8,14 +8,17 @@ use emod_workloads::{InputSet, Workload};
 
 /// (name, train checksum, ref checksum) — computed at -O0 and stable across
 /// every optimization configuration by the equivalence tests.
+// Values pinned under the offline rand stand-in (crates/rand): workload
+// input generators draw from its xoshiro256++ stream, so the constants
+// changed (intentionally) when the workspace switched off upstream StdRng.
 const EXPECTED: &[(&str, i64, i64)] = &[
-    ("164.gzip-graphic", 766583, 4199218),
-    ("175.vpr-route", 89848272, 181154509),
-    ("177.mesa", 131158109, 82151389),
-    ("179.art", 31019, 29683),
-    ("181.mcf", 8195044, 23433362),
-    ("255.vortex-lendian1", 966169824, 934316315),
-    ("256.bzip2-graphic", 145396, 189121),
+    ("164.gzip-graphic", 756469, 4256302),
+    ("175.vpr-route", 89874354, 181816850),
+    ("177.mesa", 675760280, 427197464),
+    ("179.art", 35817, 33788),
+    ("181.mcf", 8249668, 23364483),
+    ("255.vortex-lendian1", 967981564, 832072760),
+    ("256.bzip2-graphic", 128543, 192533),
 ];
 
 #[test]
@@ -26,10 +29,7 @@ fn reference_checksums_are_pinned() {
         let got_train = w.reference_checksum(InputSet::Train);
         let got_ref = w.reference_checksum(InputSet::Ref);
         if got_train != *train || got_ref != *reff {
-            failures.push(format!(
-                "(\"{}\", {}, {}),",
-                name, got_train, got_ref
-            ));
+            failures.push(format!("(\"{}\", {}, {}),", name, got_train, got_ref));
         }
     }
     assert!(

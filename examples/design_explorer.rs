@@ -25,7 +25,11 @@ fn response(coded: &[f64]) -> f64 {
     }
     y += 4.0 * coded[1] * coded[16] - 3.0 * coded[0] * coded[14];
     // Deterministic pseudo-noise.
-    let h: f64 = coded.iter().enumerate().map(|(i, v)| v * (i as f64 + 0.7)).sum();
+    let h: f64 = coded
+        .iter()
+        .enumerate()
+        .map(|(i, v)| v * (i as f64 + 0.7))
+        .sum();
     y + (h * 13.37).sin() * 0.5
 }
 
@@ -37,7 +41,10 @@ fn main() {
     let dopt = DOptimal::new(&space, ModelSpec::main_effects());
 
     let designs: Vec<(&str, Vec<Vec<f64>>)> = vec![
-        ("random", (0..n).map(|_| space.random_point(&mut rng)).collect()),
+        (
+            "random",
+            (0..n).map(|_| space.random_point(&mut rng)).collect(),
+        ),
         ("lhs", lhs(&space, n, &mut rng)),
         ("d-optimal", dopt.select(&candidates, n, &mut rng)),
     ];
@@ -47,7 +54,10 @@ fn main() {
     let eval_coded: Vec<Vec<f64>> = eval.iter().map(|p| space.encode(p)).collect();
     let eval_y: Vec<f64> = eval_coded.iter().map(|c| response(c)).collect();
 
-    println!("{:<12} {:>14} {:>12}", "design", "log det(X'X)", "test MAPE %");
+    println!(
+        "{:<12} {:>14} {:>12}",
+        "design", "log det(X'X)", "test MAPE %"
+    );
     for (name, points) in designs {
         let ld = dopt.log_det(&points);
         let xs: Vec<Vec<f64>> = points.iter().map(|p| space.encode(p)).collect();

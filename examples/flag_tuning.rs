@@ -24,20 +24,15 @@ fn main() {
         let workload = Workload::by_name(name).unwrap();
         println!("=== {} ===", workload.name());
         // Offline: build the application's model once.
-        let mut builder =
-            ModelBuilder::new(workload, InputSet::Train, BuildConfig::quick(7));
+        let mut builder = ModelBuilder::new(workload, InputSet::Train, BuildConfig::quick(7));
         let built = builder.build(ModelFamily::Rbf).expect("model fits");
         println!("model ready (test error {:.1}%)", built.test_mape);
 
         // At install time: parametrize with the platform, search, compile.
         for (platform_name, platform) in tune::reference_configs() {
             let tuned = tune::search_flags(&built, &platform, 11);
-            let report = tune::evaluate_speedup(
-                builder.measurer_mut(),
-                &tuned,
-                &OptConfig::o2(),
-                &platform,
-            );
+            let report =
+                tune::evaluate_speedup(builder.measurer_mut(), &tuned, &OptConfig::o2(), &platform);
             let flags: Vec<String> = tuned.config.to_design_values()[..9]
                 .iter()
                 .map(|v| format!("{}", *v as i64))

@@ -41,7 +41,12 @@ fn main() {
             [a, b] if *a >= COMPILER_PARAMS && *b < COMPILER_PARAMS => "INTERACTION   ",
             _ => "uarch x uarch ",
         };
-        println!("  [{}] {:<48} {:>9.3} Mcycles", class, e.term, e.coefficient / 1e6);
+        println!(
+            "  [{}] {:<48} {:>9.3} Mcycles",
+            class,
+            e.term,
+            e.coefficient / 1e6
+        );
     }
     println!(
         "\nNegative compiler coefficients mean the optimization helps this\n\

@@ -26,6 +26,11 @@ fn compiled_workloads_roundtrip_through_bytes() {
         }
         let original = Emulator::new(&prog).run(2_000_000_000).unwrap();
         let replayed = Emulator::new(&rebuilt).run(2_000_000_000).unwrap();
-        assert_eq!(original, replayed, "{} diverged after encode/decode", w.name());
+        assert_eq!(
+            original,
+            replayed,
+            "{} diverged after encode/decode",
+            w.name()
+        );
     }
 }

@@ -55,7 +55,11 @@ fn flags_change_binaries_and_cycles() {
         ratios.push(c2 as f64 / c0 as f64);
     }
     let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
-    assert!(avg < 0.95, "-O2 should help ≥5% on average, got ratio {:.3}", avg);
+    assert!(
+        avg < 0.95,
+        "-O2 should help ≥5% on average, got ratio {:.3}",
+        avg
+    );
 }
 
 #[test]

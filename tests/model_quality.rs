@@ -71,7 +71,10 @@ fn rbf_beats_linear_on_average_reduced_scale() {
 
 #[test]
 fn predictions_at_test_points_correlate_with_truth() {
-    let w = Workload::by_name("181.mcf").unwrap();
+    // bzip2's cycle response varies strongly across the space, so a sane
+    // quick-scale model must show clear correlation; mcf is memory-bound
+    // with a flat response, making R² at 12 test points a coin flip.
+    let w = Workload::by_name("256.bzip2-graphic").unwrap();
     let mut b = ModelBuilder::new(w, InputSet::Train, BuildConfig::quick(29));
     let built = b.build(ModelFamily::Rbf).unwrap();
     let preds = built.model.predict_batch(built.test.points());
