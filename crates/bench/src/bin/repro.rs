@@ -3,11 +3,14 @@
 //! ```text
 //! repro [--stats] table1 | table2 | table3 | table4 | table5 | table6 | table7
 //!       fig3 | fig5 | fig6 | fig7
-//!       metrics | ablation-design | ablation-search | all
+//!       metrics | ablation-design | ablation-search | publish | all
 //! ```
 //!
 //! Scale is selected with `EMOD_SCALE` = `quick` | `reduced` (default) |
-//! `paper`.
+//! `paper`. When `EMOD_REGISTRY` is set, trained models are persisted there
+//! and reused by later runs; `repro publish` trains and persists every
+//! workload × family explicitly (default registry `./registry`) so
+//! `emod-serve` can answer predictions without retraining.
 //!
 //! Telemetry: set `EMOD_TELEMETRY=<path>` (or `-`/`stderr`) to stream
 //! structured JSONL events from every pipeline layer, and/or pass `--stats`
@@ -15,95 +18,114 @@
 //! mispredict rates, per-round model MAPE trajectory, span timings) after
 //! the experiments finish.
 
-use emod_bench::{experiments, Scale, Session};
+use emod_bench::{experiments, Session};
 use emod_telemetry as telemetry;
 use std::time::Instant;
+
+/// An experiment runner from [`EXPERIMENTS`].
+type Runner = fn(&mut Session);
+
+/// One experiment: its CLI name and its runner. The single table drives the
+/// per-name dispatch, the `all` arm (which runs entries in this order) and
+/// the usage string.
+const EXPERIMENTS: &[(&str, Runner)] = &[
+    ("table1", |_| experiments::table1()),
+    ("table2", |_| experiments::table2()),
+    ("fig3", |_| {
+        experiments::fig3();
+    }),
+    ("table3", |s| {
+        experiments::table3(s);
+    }),
+    ("fig5", |s| {
+        experiments::fig5(s);
+    }),
+    ("fig6", |s| {
+        experiments::fig6(s);
+    }),
+    ("table4", |s| {
+        experiments::table4(s);
+    }),
+    ("table5", |_| experiments::table5()),
+    ("table6", |s| {
+        experiments::table6(s);
+    }),
+    ("fig7", |s| {
+        experiments::fig7(s);
+    }),
+    ("table7", |s| {
+        experiments::table7(s);
+    }),
+    ("metrics", experiments::ext_metrics),
+    ("ablation-design", experiments::ablation_design),
+    ("ablation-search", experiments::ablation_search),
+];
+
+fn runner_for(name: &str) -> Option<Runner> {
+    if name == "publish" {
+        return Some(experiments::publish);
+    }
+    EXPERIMENTS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, run)| run)
+}
+
+fn usage() -> String {
+    let names: Vec<&str> = EXPERIMENTS.iter().map(|&(n, _)| n).collect();
+    format!("usage: repro [--stats] <{}|publish|all> …", names.join("|"))
+}
+
+fn run_one(name: &str, run: fn(&mut Session), session: &mut Session) {
+    let t0 = Instant::now();
+    let span = telemetry::span(&format!("bench.{}", name));
+    run(session);
+    drop(span);
+    let wall = t0.elapsed();
+    telemetry::counter_add("bench.experiments", 1);
+    telemetry::event(
+        "bench",
+        "experiment",
+        &[
+            ("experiment", telemetry::Value::from(name)),
+            ("wall_s", telemetry::Value::from(wall.as_secs_f64())),
+        ],
+    );
+    println!("# {} done in {:?}\n", name, wall);
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let stats = args.iter().any(|a| a == "--stats");
     args.retain(|a| a != "--stats");
     if args.is_empty() {
-        eprintln!(
-            "usage: repro [--stats] \
-             <table1..table7|fig3|fig5|fig6|fig7|metrics|ablation-design|ablation-search|all> …"
-        );
+        eprintln!("{}", usage());
         std::process::exit(2);
     }
     telemetry::init_from_env();
     if stats {
         telemetry::enable();
     }
-    let scale = Scale::from_env();
-    println!("# scale: {:?} (set EMOD_SCALE=quick|reduced|paper)", scale);
-    let mut session = Session::new(scale);
+    let mut session = Session::from_env();
+    println!(
+        "# scale: {} (set EMOD_SCALE=quick|reduced|paper)",
+        session.scale().name()
+    );
     for arg in &args {
-        let t0 = Instant::now();
-        let span = telemetry::span(&format!("bench.{}", arg));
         match arg.as_str() {
-            "table1" => experiments::table1(),
-            "table2" => experiments::table2(),
-            "table3" => {
-                experiments::table3(&mut session);
-            }
-            "table4" => {
-                experiments::table4(&mut session);
-            }
-            "table5" => experiments::table5(),
-            "table6" => {
-                experiments::table6(&mut session);
-            }
-            "table7" => {
-                experiments::table7(&mut session);
-            }
-            "fig3" => {
-                experiments::fig3();
-            }
-            "fig5" => {
-                experiments::fig5(&mut session);
-            }
-            "fig6" => {
-                experiments::fig6(&mut session);
-            }
-            "fig7" => {
-                experiments::fig7(&mut session);
-            }
-            "metrics" => experiments::ext_metrics(&mut session),
-            "ablation-design" => experiments::ablation_design(&mut session),
-            "ablation-search" => experiments::ablation_search(&mut session),
             "all" => {
-                experiments::table1();
-                experiments::table2();
-                experiments::fig3();
-                experiments::table3(&mut session);
-                experiments::fig5(&mut session);
-                experiments::fig6(&mut session);
-                experiments::table4(&mut session);
-                experiments::table5();
-                experiments::table6(&mut session);
-                experiments::fig7(&mut session);
-                experiments::table7(&mut session);
-                experiments::ext_metrics(&mut session);
-                experiments::ablation_design(&mut session);
-                experiments::ablation_search(&mut session);
+                for &(name, run) in EXPERIMENTS {
+                    run_one(name, run, &mut session);
+                }
             }
-            other => {
-                eprintln!("unknown experiment `{}`", other);
-                std::process::exit(2);
-            }
+            name => match runner_for(name) {
+                Some(run) => run_one(name, run, &mut session),
+                None => {
+                    eprintln!("unknown experiment `{}`\n{}", name, usage());
+                    std::process::exit(2);
+                }
+            },
         }
-        drop(span);
-        let wall = t0.elapsed();
-        telemetry::counter_add("bench.experiments", 1);
-        telemetry::event(
-            "bench",
-            "experiment",
-            &[
-                ("experiment", telemetry::Value::from(arg.as_str())),
-                ("wall_s", telemetry::Value::from(wall.as_secs_f64())),
-            ],
-        );
-        println!("# {} done in {:?}\n", arg, wall);
     }
     if stats {
         println!("{}", telemetry::summary());

@@ -127,10 +127,16 @@ pub fn table3(session: &mut Session) -> Vec<(String, [f64; 3])> {
     );
     let mut rows = Vec::new();
     let mut sums = [0.0f64; 3];
-    for w in Workload::all() {
+    'workloads: for w in Workload::all() {
         let mut row = [0.0f64; 3];
         for (k, family) in ModelFamily::all().into_iter().enumerate() {
-            row[k] = session.model(w, InputSet::Train, family).test_mape;
+            match session.model(w, InputSet::Train, family) {
+                Ok(built) => row[k] = built.test_mape,
+                Err(e) => {
+                    println!("{:<24} skipped ({:?} fit failed: {})", w.name(), family, e);
+                    continue 'workloads;
+                }
+            }
         }
         println!(
             "{:<24} {:>14.2} {:>10.2} {:>10.2}",
@@ -144,14 +150,16 @@ pub fn table3(session: &mut Session) -> Vec<(String, [f64; 3])> {
         }
         rows.push((w.name().to_string(), row));
     }
-    let n = rows.len() as f64;
-    println!(
-        "{:<24} {:>14.2} {:>10.2} {:>10.2}",
-        "Average",
-        sums[0] / n,
-        sums[1] / n,
-        sums[2] / n
-    );
+    if !rows.is_empty() {
+        let n = rows.len() as f64;
+        println!(
+            "{:<24} {:>14.2} {:>10.2} {:>10.2}",
+            "Average",
+            sums[0] / n,
+            sums[1] / n,
+            sums[2] / n
+        );
+    }
     rows
 }
 
@@ -199,7 +207,13 @@ pub fn fig6(session: &mut Session) -> Vec<(String, Vec<(f64, f64)>)> {
     let mut out = Vec::new();
     for name in ["179.art", "255.vortex-lendian1", "181.mcf"] {
         let w = Workload::by_name(name).unwrap();
-        let built = session.model(w, InputSet::Train, ModelFamily::Rbf);
+        let built = match session.model(w, InputSet::Train, ModelFamily::Rbf) {
+            Ok(b) => b,
+            Err(e) => {
+                println!("{:<24} skipped (fit failed: {})", name, e);
+                continue;
+            }
+        };
         let preds = built.model.predict_batch(built.test.points());
         let pairs: Vec<(f64, f64)> = built
             .test
@@ -229,7 +243,13 @@ pub fn table4(session: &mut Session) -> Vec<(String, EffectReport)> {
     println!("(coefficient = half the response change low→high, in Mcycles)");
     let mut out = Vec::new();
     for w in Workload::all() {
-        let built = session.model(w, InputSet::Train, ModelFamily::Mars);
+        let built = match session.model(w, InputSet::Train, ModelFamily::Mars) {
+            Ok(b) => b,
+            Err(e) => {
+                println!("{:<24} skipped (fit failed: {})", w.name(), e);
+                continue;
+            }
+        };
         let report = effect_report(built);
         println!(
             "{:<24} constant = {:>10.2} Mcycles",
@@ -291,7 +311,13 @@ pub fn table6(session: &mut Session) -> Vec<(String, [OptConfig; 3])> {
     for w in Workload::all() {
         let mut tuned = Vec::new();
         {
-            let built = session.model(w, InputSet::Train, ModelFamily::Rbf);
+            let built = match session.model(w, InputSet::Train, ModelFamily::Rbf) {
+                Ok(b) => b,
+                Err(e) => {
+                    println!("{:<24} skipped (fit failed: {})", w.name(), e);
+                    continue;
+                }
+            };
             for (k, (_, platform)) in reference_configs().iter().enumerate() {
                 tuned.push(tune::search_flags(built, platform, 400 + k as u64).config);
             }
@@ -376,7 +402,13 @@ fn speedup_rows(session: &mut Session, eval_set: InputSet, verbose: bool) -> Vec
     for w in Workload::all() {
         for (pk, (pname, platform)) in reference_configs().iter().enumerate() {
             let (tuned, predicted_cycles) = {
-                let built = session.model(w, InputSet::Train, ModelFamily::Rbf);
+                let built = match session.model(w, InputSet::Train, ModelFamily::Rbf) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        println!("{:<24} {:<12} skipped (fit failed: {})", w.name(), pname, e);
+                        continue;
+                    }
+                };
                 let t = tune::search_flags(built, platform, 700 + pk as u64);
                 let p = t.predicted_cycles;
                 (t, p)
@@ -525,7 +557,13 @@ pub fn ablation_search(session: &mut Session) {
     let machine_vals = platform.to_design_values();
     for name in ["181.mcf", "256.bzip2-graphic"] {
         let w = Workload::by_name(name).unwrap();
-        let built = session.model(w, InputSet::Train, ModelFamily::Rbf);
+        let built = match session.model(w, InputSet::Train, ModelFamily::Rbf) {
+            Ok(b) => b,
+            Err(e) => {
+                println!("{:<24} skipped (fit failed: {})", name, e);
+                continue;
+            }
+        };
         let space = built.space.clone();
         let tuned = tune::search_flags(built, &platform, 8);
         let budget = tuned.evaluations;
@@ -549,6 +587,42 @@ pub fn ablation_search(session: &mut Session) {
     println!("(lower predicted cycles is better; equal evaluation budgets)");
 }
 
+/// `repro publish`: train every workload × family at the session's scale
+/// and persist each as a registry artifact for `emod-serve`.
+pub fn publish(session: &mut Session) {
+    let root = match session.ensure_registry() {
+        Ok(reg) => reg.root().display().to_string(),
+        Err(e) => {
+            eprintln!("error: cannot open registry: {}", e);
+            return;
+        }
+    };
+    println!(
+        "publishing artifacts to {} (scale {}, seed {})",
+        root,
+        session.scale().name(),
+        crate::session::SESSION_SEED
+    );
+    let mut stored = 0usize;
+    for w in Workload::all() {
+        for family in ModelFamily::all() {
+            match session.publish_model(w, InputSet::Train, family) {
+                Ok((id, mape)) => {
+                    println!("  {:<64} test MAPE {:>6.2}%", id, mape);
+                    stored += 1;
+                }
+                Err(e) => println!(
+                    "  {:<24} {:?} skipped (fit failed: {})",
+                    w.name(),
+                    family,
+                    e
+                ),
+            }
+        }
+    }
+    println!("published {} artifacts", stored);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -566,8 +640,14 @@ mod tests {
         let mut s = Session::new(Scale::Quick);
         // One workload at quick scale to keep test time sane.
         let w = Workload::by_name("bzip2").unwrap();
-        let rbf = s.model(w, InputSet::Train, ModelFamily::Rbf).test_mape;
-        let lin = s.model(w, InputSet::Train, ModelFamily::Linear).test_mape;
+        let rbf = s
+            .model(w, InputSet::Train, ModelFamily::Rbf)
+            .unwrap()
+            .test_mape;
+        let lin = s
+            .model(w, InputSet::Train, ModelFamily::Linear)
+            .unwrap()
+            .test_mape;
         assert!(rbf.is_finite() && lin.is_finite());
     }
 }

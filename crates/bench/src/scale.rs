@@ -24,6 +24,15 @@ impl Scale {
         }
     }
 
+    /// The scale's lowercase name, as used in artifact ids and `EMOD_SCALE`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Reduced => "reduced",
+            Scale::Paper => "paper",
+        }
+    }
+
     /// The model-building configuration for this scale.
     pub fn build_config(&self, seed: u64) -> BuildConfig {
         match self {

@@ -98,6 +98,45 @@ impl SurrogateModel {
             _ => None,
         }
     }
+
+    /// Serializes the model (family tag + family payload) into `w`.
+    ///
+    /// The encoding is bit-exact: a decoded model predicts identically to
+    /// the original (see `emod_models::codec`).
+    pub fn encode(&self, w: &mut emod_models::Writer) {
+        match self {
+            SurrogateModel::Linear(m) => {
+                w.put_u8(0);
+                m.encode(w);
+            }
+            SurrogateModel::Mars(m) => {
+                w.put_u8(1);
+                m.encode(w);
+            }
+            SurrogateModel::Rbf(m) => {
+                w.put_u8(2);
+                m.encode(w);
+            }
+        }
+    }
+
+    /// Deserializes a model written by [`SurrogateModel::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`emod_models::CodecError`] on an unknown family tag or a
+    /// malformed family payload.
+    pub fn decode(r: &mut emod_models::Reader<'_>) -> Result<Self, emod_models::CodecError> {
+        match r.get_u8()? {
+            0 => Ok(SurrogateModel::Linear(LinearModel::decode(r)?)),
+            1 => Ok(SurrogateModel::Mars(Mars::decode(r)?)),
+            2 => Ok(SurrogateModel::Rbf(RbfNetwork::decode(r)?)),
+            t => Err(emod_models::CodecError::BadValue(format!(
+                "surrogate family tag {}",
+                t
+            ))),
+        }
+    }
 }
 
 /// Fits an RBF network, selecting kernel, radius scale and polynomial tail
@@ -240,5 +279,29 @@ mod tests {
     fn family_names_match_paper() {
         assert_eq!(ModelFamily::Rbf.name(), "RBF-RT");
         assert_eq!(ModelFamily::Mars.name(), "MARS");
+    }
+
+    #[test]
+    fn surrogate_round_trips_all_families() {
+        let data = toy_data(40);
+        for family in ModelFamily::all() {
+            let m = SurrogateModel::fit(&data, family).unwrap();
+            let mut w = emod_models::Writer::new();
+            m.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = emod_models::Reader::new(&bytes);
+            let back = SurrogateModel::decode(&mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(back.family(), family);
+            for p in data.points() {
+                assert_eq!(m.predict(p).to_bits(), back.predict(p).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn surrogate_bad_family_tag_rejected() {
+        let mut r = emod_models::Reader::new(&[42]);
+        assert!(SurrogateModel::decode(&mut r).is_err());
     }
 }

@@ -7,8 +7,9 @@ use crate::builder::BuiltModel;
 use crate::measure::Measurer;
 use crate::vars::{COMPILER_PARAMS, UARCH_PARAMS};
 use emod_compiler::OptConfig;
+use emod_doe::ParameterSpace;
 use emod_models::Regressor;
-use emod_search::{GaConfig, GeneticSearch};
+use emod_search::GaConfig;
 use emod_uarch::UarchConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,10 +40,30 @@ pub struct TunedSettings {
 /// model as the objective (the paper's GA: random initial population,
 /// fitness = predicted performance, crossover + mutation, elitism).
 pub fn search_flags(built: &BuiltModel, platform: &UarchConfig, seed: u64) -> TunedSettings {
-    let space = built.space.clone();
+    search_flags_surrogate(&built.space, &built.model, platform, seed)
+}
+
+/// [`search_flags`] for a standalone surrogate (e.g. a model loaded back
+/// from a persisted artifact, where no [`BuiltModel`] exists): freezes the
+/// machine half of `space` at `platform` and GA-searches the compiler half
+/// against `model`'s predictions.
+pub fn search_flags_surrogate(
+    space: &ParameterSpace,
+    model: &dyn Regressor,
+    platform: &UarchConfig,
+    seed: u64,
+) -> TunedSettings {
     let machine_values = platform.to_design_values();
-    let mut search = GeneticSearch::new(
-        &space,
+    let frozen: Vec<(&str, f64)> = space.parameters()[COMPILER_PARAMS..]
+        .iter()
+        .zip(machine_values.iter())
+        .map(|(p, &v)| (p.name(), v))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let result = emod_search::tune_surrogate(
+        space,
+        model,
+        &frozen,
         GaConfig {
             population: 60,
             generations: 40,
@@ -50,15 +71,6 @@ pub fn search_flags(built: &BuiltModel, platform: &UarchConfig, seed: u64) -> Tu
             mutation_rate: 0.08,
             elitism: 2,
         },
-    );
-    for (k, p) in space.parameters()[COMPILER_PARAMS..].iter().enumerate() {
-        search = search.freeze(p.name(), machine_values[k]);
-    }
-    let mut rng = StdRng::seed_from_u64(seed);
-    // Small models can extrapolate below zero in far corners; clamping to
-    // one cycle keeps the GA from chasing such artifacts.
-    let result = search.run(
-        |raw| built.model.predict(&space.encode(raw)).max(1.0),
         &mut rng,
     );
     debug_assert_eq!(result.point.len(), COMPILER_PARAMS + UARCH_PARAMS);

@@ -1,0 +1,386 @@
+//! Zero-dependency binary codec for persisting fitted models.
+//!
+//! Every serialized quantity is little-endian; `f64` values round-trip
+//! through [`f64::to_bits`]/[`f64::from_bits`] so loaded models predict
+//! **bit-identically** to the in-memory originals. Variable-length fields
+//! carry a `u32` length prefix that is sanity-checked against the remaining
+//! input, so corrupted or truncated byte streams are rejected with a
+//! [`CodecError`] instead of panicking or over-allocating.
+//!
+//! # Examples
+//!
+//! ```
+//! use emod_models::codec::{Reader, Writer};
+//!
+//! let mut w = Writer::new();
+//! w.put_f64(1.5);
+//! w.put_str("hello");
+//! let bytes = w.into_bytes();
+//!
+//! let mut r = Reader::new(&bytes);
+//! assert_eq!(r.get_f64()?, 1.5);
+//! assert_eq!(r.get_str()?, "hello");
+//! r.finish()?;
+//! # Ok::<(), emod_models::codec::CodecError>(())
+//! ```
+
+use crate::Dataset;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while decoding a serialized model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the expected field.
+    UnexpectedEof {
+        /// What the decoder was trying to read.
+        expected: &'static str,
+        /// Bytes needed to read it.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A decoded value is structurally invalid (bad tag, inconsistent
+    /// lengths, implausible length prefix, …).
+    BadValue(String),
+    /// Bytes left over after the final field — a framing error.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof {
+                expected,
+                needed,
+                remaining,
+            } => write!(
+                f,
+                "unexpected end of input reading {} (need {} bytes, have {})",
+                expected, needed, remaining
+            ),
+            CodecError::BadValue(msg) => write!(f, "bad value: {}", msg),
+            CodecError::TrailingBytes(n) => write!(f, "{} trailing bytes after final field", n),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// Result alias for decoding.
+pub type CodecResult<T> = std::result::Result<T, CodecError>;
+
+/// Append-only little-endian byte writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern, little-endian.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Appends a bool as one byte (0/1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Appends a UTF-8 string with a `u32` length prefix.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends an `f64` slice with a `u32` length prefix.
+    pub fn put_f64s(&mut self, vs: &[f64]) {
+        self.put_u32(vs.len() as u32);
+        for &v in vs {
+            self.put_f64(v);
+        }
+    }
+}
+
+/// Checked little-endian byte reader over a borrowed slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Errors unless every byte was consumed.
+    pub fn finish(&self) -> CodecResult<()> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(CodecError::TrailingBytes(n)),
+        }
+    }
+
+    fn take(&mut self, n: usize, expected: &'static str) -> CodecResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof {
+                expected,
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> CodecResult<u8> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> CodecResult<u32> {
+        let b = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> CodecResult<u64> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn get_f64(&mut self) -> CodecResult<f64> {
+        let b = self.take(8, "f64")?;
+        Ok(f64::from_bits(u64::from_le_bytes(b.try_into().unwrap())))
+    }
+
+    /// Reads a bool encoded as 0/1.
+    pub fn get_bool(&mut self) -> CodecResult<bool> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(CodecError::BadValue(format!("bool byte {}", b))),
+        }
+    }
+
+    /// Reads a length-prefixed count, checking the prefix is plausible for
+    /// elements of `elem_size` bytes given the remaining input.
+    pub fn get_len(&mut self, elem_size: usize, what: &'static str) -> CodecResult<usize> {
+        let n = self.get_u32()? as usize;
+        if n.saturating_mul(elem_size.max(1)) > self.remaining() {
+            return Err(CodecError::BadValue(format!(
+                "{} length {} exceeds remaining {} bytes",
+                what,
+                n,
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> CodecResult<String> {
+        let n = self.get_len(1, "string")?;
+        let b = self.take(n, "string bytes")?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| CodecError::BadValue("string is not UTF-8".into()))
+    }
+
+    /// Reads a length-prefixed `f64` vector.
+    pub fn get_f64s(&mut self) -> CodecResult<Vec<f64>> {
+        let n = self.get_len(8, "f64 vector")?;
+        (0..n).map(|_| self.get_f64()).collect()
+    }
+}
+
+/// Serializes a dataset (points + responses) for artifact provenance.
+pub fn encode_dataset(w: &mut Writer, data: &Dataset) {
+    w.put_u32(data.len() as u32);
+    w.put_u32(data.dim() as u32);
+    for pt in data.points() {
+        for &v in pt {
+            w.put_f64(v);
+        }
+    }
+    for &y in data.responses() {
+        w.put_f64(y);
+    }
+}
+
+/// Deserializes a dataset written by [`encode_dataset`].
+pub fn decode_dataset(r: &mut Reader<'_>) -> CodecResult<Dataset> {
+    let n = r.get_u32()? as usize;
+    let dim = r.get_u32()? as usize;
+    let total = n
+        .checked_mul(dim)
+        .and_then(|p| p.checked_add(n))
+        .and_then(|t| t.checked_mul(8))
+        .ok_or_else(|| CodecError::BadValue("dataset size overflows".into()))?;
+    if total > r.remaining() {
+        return Err(CodecError::BadValue(format!(
+            "dataset of {} x {} points exceeds remaining {} bytes",
+            n,
+            dim,
+            r.remaining()
+        )));
+    }
+    let mut xs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut row = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            row.push(r.get_f64()?);
+        }
+        xs.push(row);
+    }
+    let mut ys = Vec::with_capacity(n);
+    for _ in 0..n {
+        ys.push(r.get_f64()?);
+    }
+    Dataset::new(xs, ys).map_err(|e| CodecError::BadValue(format!("decoded dataset: {}", e)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_bool(true);
+        w.put_str("emod");
+        w.put_f64s(&[1.0, 2.5, -3.25]);
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.get_f64().unwrap().is_nan());
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_str().unwrap(), "emod");
+        assert_eq!(r.get_f64s().unwrap(), vec![1.0, 2.5, -3.25]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn eof_reports_what_was_expected() {
+        let mut r = Reader::new(&[1, 2]);
+        let err = r.get_u32().unwrap_err();
+        match err {
+            CodecError::UnexpectedEof {
+                expected,
+                needed,
+                remaining,
+            } => {
+                assert_eq!(expected, "u32");
+                assert_eq!(needed, 4);
+                assert_eq!(remaining, 2);
+            }
+            other => panic!("unexpected error {:?}", other),
+        }
+    }
+
+    #[test]
+    fn implausible_length_prefix_rejected() {
+        // Claims 1 billion f64s with 4 bytes of payload.
+        let mut w = Writer::new();
+        w.put_u32(1_000_000_000);
+        w.put_u32(0);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.get_f64s(), Err(CodecError::BadValue(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = Writer::new();
+        w.put_u8(1);
+        w.put_u8(2);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        r.get_u8().unwrap();
+        assert_eq!(r.finish(), Err(CodecError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn bad_bool_rejected() {
+        let mut r = Reader::new(&[9]);
+        assert!(matches!(r.get_bool(), Err(CodecError::BadValue(_))));
+    }
+
+    #[test]
+    fn non_utf8_string_rejected() {
+        let mut w = Writer::new();
+        w.put_u32(2);
+        let mut bytes = w.into_bytes();
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.get_str(), Err(CodecError::BadValue(_))));
+    }
+
+    #[test]
+    fn dataset_round_trips_bit_identically() {
+        let xs = vec![vec![0.25, -1.0], vec![1.0, 0.5], vec![-0.125, 0.0]];
+        let ys = vec![10.0, 2.5, -7.0];
+        let data = Dataset::new(xs, ys).unwrap();
+        let mut w = Writer::new();
+        encode_dataset(&mut w, &data);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = decode_dataset(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.points(), data.points());
+        assert_eq!(back.responses(), data.responses());
+    }
+
+    #[test]
+    fn truncated_dataset_rejected() {
+        let data = Dataset::new(vec![vec![1.0], vec![2.0]], vec![3.0, 4.0]).unwrap();
+        let mut w = Writer::new();
+        encode_dataset(&mut w, &data);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..bytes.len() - 5]);
+        assert!(decode_dataset(&mut r).is_err());
+    }
+}

@@ -29,6 +29,7 @@
 //! # Ok::<(), emod_models::ModelError>(())
 //! ```
 
+pub mod codec;
 mod dataset;
 mod linear;
 mod mars;
@@ -36,6 +37,7 @@ pub mod metrics;
 mod rbf;
 mod tree;
 
+pub use codec::{CodecError, CodecResult, Reader, Writer};
 pub use dataset::Dataset;
 pub use linear::{LinearModel, LinearTerms};
 pub use mars::{BasisFunction, Hinge, Mars, MarsConfig};

@@ -155,6 +155,56 @@ impl LinearModel {
     pub fn terms(&self) -> LinearTerms {
         self.terms
     }
+
+    /// Serializes the fitted model into `w` (see [`crate::codec`]).
+    pub fn encode(&self, w: &mut crate::codec::Writer) {
+        w.put_u8(match self.terms {
+            LinearTerms::MainEffects => 0,
+            LinearTerms::TwoFactor => 1,
+        });
+        w.put_u32(self.dim as u32);
+        w.put_f64s(&self.coefficients);
+        w.put_f64(self.training_sse);
+        w.put_u64(self.training_samples as u64);
+    }
+
+    /// Deserializes a model written by [`LinearModel::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::codec::CodecError`] on truncated input, an unknown
+    /// term tag, or a coefficient count inconsistent with the dimension.
+    pub fn decode(r: &mut crate::codec::Reader<'_>) -> crate::codec::CodecResult<Self> {
+        use crate::codec::CodecError;
+        let terms = match r.get_u8()? {
+            0 => LinearTerms::MainEffects,
+            1 => LinearTerms::TwoFactor,
+            t => return Err(CodecError::BadValue(format!("linear terms tag {}", t))),
+        };
+        let dim = r.get_u32()? as usize;
+        if dim == 0 {
+            return Err(CodecError::BadValue("linear model dim 0".into()));
+        }
+        let coefficients = r.get_f64s()?;
+        if coefficients.len() != Self::term_count_for(dim, terms) {
+            return Err(CodecError::BadValue(format!(
+                "linear model dim {} with {:?} needs {} coefficients, got {}",
+                dim,
+                terms,
+                Self::term_count_for(dim, terms),
+                coefficients.len()
+            )));
+        }
+        let training_sse = r.get_f64()?;
+        let training_samples = r.get_u64()? as usize;
+        Ok(LinearModel {
+            terms,
+            dim,
+            coefficients,
+            training_sse,
+            training_samples,
+        })
+    }
 }
 
 impl Regressor for LinearModel {

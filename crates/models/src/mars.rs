@@ -298,6 +298,84 @@ impl Mars {
         groups.sort_by(|a, b| b.1.total_cmp(&a.1));
         groups
     }
+
+    /// Serializes the fitted model into `w` (see [`crate::codec`]).
+    pub fn encode(&self, w: &mut crate::codec::Writer) {
+        w.put_u32(self.dim as u32);
+        w.put_u32(self.basis.len() as u32);
+        for b in &self.basis {
+            w.put_u32(b.hinges.len() as u32);
+            for h in &b.hinges {
+                w.put_u32(h.var as u32);
+                w.put_f64(h.knot);
+                w.put_u8(h.direction as u8);
+            }
+        }
+        w.put_f64s(&self.weights);
+        w.put_f64(self.training_gcv);
+        w.put_f64(self.training_sse);
+    }
+
+    /// Deserializes a model written by [`Mars::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::codec::CodecError`] on truncated input, hinge
+    /// variables outside the model dimension, or a weight count that does not
+    /// match the basis.
+    pub fn decode(r: &mut crate::codec::Reader<'_>) -> crate::codec::CodecResult<Self> {
+        use crate::codec::CodecError;
+        let dim = r.get_u32()? as usize;
+        if dim == 0 {
+            return Err(CodecError::BadValue("mars model dim 0".into()));
+        }
+        let n_basis = r.get_len(4, "mars basis")?;
+        let mut basis = Vec::with_capacity(n_basis);
+        for _ in 0..n_basis {
+            let n_hinges = r.get_len(13, "mars hinges")?;
+            let mut hinges = Vec::with_capacity(n_hinges);
+            for _ in 0..n_hinges {
+                let var = r.get_u32()? as usize;
+                if var >= dim {
+                    return Err(CodecError::BadValue(format!(
+                        "hinge variable {} out of range for dim {}",
+                        var, dim
+                    )));
+                }
+                let knot = r.get_f64()?;
+                let direction = r.get_u8()? as i8;
+                if direction != 1 && direction != -1 {
+                    return Err(CodecError::BadValue(format!(
+                        "hinge direction {} (want ±1)",
+                        direction
+                    )));
+                }
+                hinges.push(Hinge {
+                    var,
+                    knot,
+                    direction,
+                });
+            }
+            basis.push(BasisFunction { hinges });
+        }
+        let weights = r.get_f64s()?;
+        if weights.len() != basis.len() {
+            return Err(CodecError::BadValue(format!(
+                "mars model has {} basis functions but {} weights",
+                basis.len(),
+                weights.len()
+            )));
+        }
+        let training_gcv = r.get_f64()?;
+        let training_sse = r.get_f64()?;
+        Ok(Mars {
+            basis,
+            weights,
+            dim,
+            training_gcv,
+            training_sse,
+        })
+    }
 }
 
 impl Regressor for Mars {

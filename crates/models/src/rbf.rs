@@ -262,6 +262,86 @@ impl RbfNetwork {
     pub fn training_bic(&self) -> f64 {
         self.training_bic
     }
+
+    /// Serializes the fitted network into `w` (see [`crate::codec`]).
+    pub fn encode(&self, w: &mut crate::codec::Writer) {
+        w.put_u8(match self.kernel {
+            Kernel::Gaussian => 0,
+            Kernel::Multiquadric => 1,
+            Kernel::InverseMultiquadric => 2,
+        });
+        w.put_u32(self.dim as u32);
+        w.put_f64(self.bias);
+        w.put_f64s(&self.linear);
+        w.put_u32(self.units.len() as u32);
+        for u in &self.units {
+            w.put_f64s(&u.center);
+            w.put_f64s(&u.inv_radii);
+            w.put_f64(u.weight);
+        }
+        w.put_f64(self.training_sse);
+        w.put_f64(self.training_bic);
+    }
+
+    /// Deserializes a network written by [`RbfNetwork::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::codec::CodecError`] on truncated input, an unknown
+    /// kernel tag, or unit vectors inconsistent with the dimension.
+    pub fn decode(r: &mut crate::codec::Reader<'_>) -> crate::codec::CodecResult<Self> {
+        use crate::codec::CodecError;
+        let kernel = match r.get_u8()? {
+            0 => Kernel::Gaussian,
+            1 => Kernel::Multiquadric,
+            2 => Kernel::InverseMultiquadric,
+            t => return Err(CodecError::BadValue(format!("rbf kernel tag {}", t))),
+        };
+        let dim = r.get_u32()? as usize;
+        if dim == 0 {
+            return Err(CodecError::BadValue("rbf network dim 0".into()));
+        }
+        let bias = r.get_f64()?;
+        let linear = r.get_f64s()?;
+        if !linear.is_empty() && linear.len() != dim {
+            return Err(CodecError::BadValue(format!(
+                "rbf linear tail has {} coefficients for dim {}",
+                linear.len(),
+                dim
+            )));
+        }
+        let n_units = r.get_len(8, "rbf units")?;
+        let mut units = Vec::with_capacity(n_units);
+        for _ in 0..n_units {
+            let center = r.get_f64s()?;
+            let inv_radii = r.get_f64s()?;
+            let weight = r.get_f64()?;
+            if center.len() != dim || inv_radii.len() != dim {
+                return Err(CodecError::BadValue(format!(
+                    "rbf unit vectors ({}, {}) do not match dim {}",
+                    center.len(),
+                    inv_radii.len(),
+                    dim
+                )));
+            }
+            units.push(RbfUnit {
+                center,
+                inv_radii,
+                weight,
+            });
+        }
+        let training_sse = r.get_f64()?;
+        let training_bic = r.get_f64()?;
+        Ok(RbfNetwork {
+            kernel,
+            bias,
+            linear,
+            units,
+            dim,
+            training_sse,
+            training_bic,
+        })
+    }
 }
 
 impl Regressor for RbfNetwork {

@@ -1,0 +1,151 @@
+//! Property tests: serialized models predict bit-identically after reload.
+//!
+//! Each property fits a model on a randomly generated dataset, encodes it
+//! with the zero-dependency codec, decodes the bytes, and asserts the decoded
+//! model's predictions match the original's **to the bit** on fresh random
+//! query points. Mutated byte streams must be rejected with a `CodecError`,
+//! never a panic.
+
+use emod_models::codec::{Reader, Writer};
+use emod_models::{
+    Dataset, LinearModel, LinearTerms, Mars, MarsConfig, RbfConfig, RbfNetwork, Regressor,
+};
+use proptest::prelude::*;
+
+/// Builds a smooth but nonlinear response over `dim` coded variables.
+fn make_dataset(dim: usize, n: usize, raw: &[f64]) -> Dataset {
+    let xs: Vec<Vec<f64>> = raw.chunks_exact(dim).take(n).map(|c| c.to_vec()).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| {
+            let mut y = 5.0;
+            for (i, v) in x.iter().enumerate() {
+                y += (i as f64 + 1.0) * v + 0.5 * v * v;
+            }
+            y + x[0] * x[dim - 1]
+        })
+        .collect();
+    Dataset::new(xs, ys).unwrap()
+}
+
+fn query_points(dim: usize, raw: &[f64]) -> Vec<Vec<f64>> {
+    raw.chunks_exact(dim).map(|c| c.to_vec()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn linear_round_trip_bit_identical(
+        dim in 2usize..5,
+        train in proptest::collection::vec(-1.0f64..1.0, 4 * 30),
+        query in proptest::collection::vec(-1.0f64..1.0, 4 * 10),
+    ) {
+        let data = make_dataset(dim, 30, &train);
+        for terms in [LinearTerms::MainEffects, LinearTerms::TwoFactor] {
+            let model = LinearModel::fit(&data, terms).unwrap();
+            let mut w = Writer::new();
+            model.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            let back = LinearModel::decode(&mut r).unwrap();
+            r.finish().unwrap();
+            for q in query_points(dim, &query) {
+                prop_assert_eq!(model.predict(&q).to_bits(), back.predict(&q).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn mars_round_trip_bit_identical(
+        dim in 2usize..5,
+        train in proptest::collection::vec(-1.0f64..1.0, 4 * 40),
+        query in proptest::collection::vec(-1.0f64..1.0, 4 * 10),
+    ) {
+        let data = make_dataset(dim, 40, &train);
+        let cfg = MarsConfig { max_terms: 11, max_degree: 2, max_knots: 5, gcv_penalty: 3.0 };
+        let model = Mars::fit(&data, cfg).unwrap();
+        let mut w = Writer::new();
+        model.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = Mars::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        for q in query_points(dim, &query) {
+            prop_assert_eq!(model.predict(&q).to_bits(), back.predict(&q).to_bits());
+        }
+    }
+
+    #[test]
+    fn rbf_round_trip_bit_identical(
+        dim in 2usize..5,
+        train in proptest::collection::vec(-1.0f64..1.0, 4 * 40),
+        query in proptest::collection::vec(-1.0f64..1.0, 4 * 10),
+    ) {
+        let data = make_dataset(dim, 40, &train);
+        let cfg = RbfConfig { center_candidates: vec![4, 8], ..RbfConfig::default() };
+        let model = RbfNetwork::fit(&data, cfg).unwrap();
+        let mut w = Writer::new();
+        model.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = RbfNetwork::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        for q in query_points(dim, &query) {
+            prop_assert_eq!(model.predict(&q).to_bits(), back.predict(&q).to_bits());
+        }
+    }
+
+    #[test]
+    fn truncated_model_bytes_rejected_not_panicking(
+        train in proptest::collection::vec(-1.0f64..1.0, 3 * 30),
+        cut in 1usize..24,
+    ) {
+        let data = make_dataset(3, 30, &train);
+        let model = LinearModel::fit(&data, LinearTerms::TwoFactor).unwrap();
+        let mut w = Writer::new();
+        model.encode(&mut w);
+        let bytes = w.into_bytes();
+        let keep = bytes.len().saturating_sub(cut);
+        let mut r = Reader::new(&bytes[..keep]);
+        // Either the decode fails outright or the frame check catches the
+        // missing tail; it must never succeed on a shortened stream.
+        if LinearModel::decode(&mut r).is_ok() {
+            prop_assert!(r.finish().is_err());
+        }
+    }
+}
+
+#[test]
+fn bad_tags_rejected() {
+    let mut w = Writer::new();
+    w.put_u8(9); // no such LinearTerms tag
+    w.put_u32(3);
+    w.put_f64s(&[0.0; 4]);
+    w.put_f64(0.0);
+    w.put_u64(10);
+    let bytes = w.into_bytes();
+    assert!(LinearModel::decode(&mut Reader::new(&bytes)).is_err());
+
+    let mut w = Writer::new();
+    w.put_u8(7); // no such Kernel tag
+    let bytes = w.into_bytes();
+    assert!(RbfNetwork::decode(&mut Reader::new(&bytes)).is_err());
+}
+
+#[test]
+fn inconsistent_structure_rejected() {
+    // A MARS stream whose hinge variable exceeds the declared dimension.
+    let mut w = Writer::new();
+    w.put_u32(2); // dim
+    w.put_u32(1); // one basis function
+    w.put_u32(1); // one hinge
+    w.put_u32(5); // var 5 out of range for dim 2
+    w.put_f64(0.0);
+    w.put_u8(1);
+    w.put_f64s(&[1.0]);
+    w.put_f64(0.0);
+    w.put_f64(0.0);
+    let bytes = w.into_bytes();
+    assert!(Mars::decode(&mut Reader::new(&bytes)).is_err());
+}

@@ -255,6 +255,34 @@ fn record_generation(gen: usize, fitness: &[f64], global_best: Option<f64>) {
     );
 }
 
+/// Runs the GA against a fitted surrogate model as the objective: the
+/// model predicts the response at each *coded* candidate point and the GA
+/// minimizes the prediction. Parameters named in `frozen` are pinned at the
+/// given raw values (the paper freezes the microarchitecture and searches
+/// the compiler half).
+///
+/// Predictions are clamped to at least one cycle — small models can
+/// extrapolate below zero in far corners of the space, and the clamp keeps
+/// the GA from chasing such artifacts.
+///
+/// # Panics
+///
+/// Panics if a frozen name is not in the space or its value is not one of
+/// the parameter's levels (see [`GeneticSearch::freeze`]).
+pub fn tune_surrogate<R: Rng + ?Sized>(
+    space: &ParameterSpace,
+    model: &dyn emod_models::Regressor,
+    frozen: &[(&str, f64)],
+    config: GaConfig,
+    rng: &mut R,
+) -> SearchResult {
+    let mut search = GeneticSearch::new(space, config);
+    for &(name, value) in frozen {
+        search = search.freeze(name, value);
+    }
+    search.run(|raw| model.predict(&space.encode(raw)).max(1.0), rng)
+}
+
 /// Pure random search baseline: evaluates `budget` random points.
 pub fn random_search<R, F>(
     space: &ParameterSpace,
@@ -448,6 +476,33 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let res = hill_climb(&space(), 500, objective, &mut rng);
         assert_eq!(res.value, 0.0);
+    }
+
+    #[test]
+    fn tune_surrogate_minimizes_model_and_respects_freeze() {
+        // A hand-built "model" over coded points with a unique optimum at
+        // raw (1, 0, 0, 8): coded (1, -1, -1, -1).
+        struct Bowl;
+        impl emod_models::Regressor for Bowl {
+            fn predict(&self, x: &[f64]) -> f64 {
+                100.0
+                    + (x[0] - 1.0).powi(2)
+                    + (x[1] + 1.0).powi(2)
+                    + (x[2] + 1.0).powi(2)
+                    + (x[3] + 1.0).powi(2)
+            }
+            fn parameter_count(&self) -> usize {
+                4
+            }
+        }
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(17);
+        let res = tune_surrogate(&s, &Bowl, &[("c", 5.0)], GaConfig::default(), &mut rng);
+        assert_eq!(res.point[0], 1.0);
+        assert_eq!(res.point[1], 0.0);
+        assert_eq!(res.point[2], 5.0, "frozen parameter must stay pinned");
+        assert_eq!(res.point[3], 8.0);
+        assert!(res.value >= 100.0);
     }
 
     #[test]

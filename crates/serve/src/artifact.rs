@@ -1,0 +1,523 @@
+//! Versioned, checksummed on-disk serialization for trained surrogates.
+//!
+//! A model artifact captures everything needed to answer predictions and
+//! tuning queries long after the training run exited: the fitted
+//! [`SurrogateModel`], the [`ParameterSpace`] (coded ↔ raw mapping, i.e. the
+//! normalization constants), the measured train/test designs, the learning
+//! history, and provenance (workload, input set, metric, family, scale,
+//! seed, train/test MAPE).
+//!
+//! # File format (version 1)
+//!
+//! ```text
+//! [ magic "EMODMDL\0" : 8 bytes ]
+//! [ format version    : u32 LE  ]
+//! [ payload length    : u64 LE  ]
+//! [ FNV-1a-64(payload): u64 LE  ]
+//! [ payload           : length bytes ]
+//! ```
+//!
+//! The payload is the `emod_models::codec` encoding of the metadata, space,
+//! model, datasets and history. All floating-point state round-trips through
+//! bit patterns, so a loaded artifact predicts **bit-identically** to the
+//! in-memory model it was saved from.
+
+use crate::codecs;
+use emod_core::builder::BuiltModel;
+use emod_core::measure::Metric;
+use emod_core::model::{ModelFamily, SurrogateModel};
+use emod_doe::ParameterSpace;
+use emod_models::codec::{CodecError, Reader, Writer};
+use emod_models::{metrics, Dataset, Regressor};
+use emod_workloads::{InputSet, Workload};
+use std::error::Error;
+use std::fmt;
+
+/// Leading bytes of every artifact file.
+pub const MAGIC: [u8; 8] = *b"EMODMDL\0";
+
+/// Current artifact format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Error loading or validating a model artifact.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Filesystem failure (path included in the message).
+    Io(String),
+    /// The file does not start with the artifact magic.
+    BadMagic,
+    /// The file's format version is not supported by this build.
+    UnsupportedVersion(u32),
+    /// The file is shorter than its header claims.
+    Truncated {
+        /// Payload bytes the header promised.
+        expected: usize,
+        /// Payload bytes actually present.
+        actual: usize,
+    },
+    /// The payload checksum does not match — the file is corrupt.
+    ChecksumMismatch,
+    /// The payload bytes do not decode to a valid artifact.
+    Codec(CodecError),
+    /// The artifact references a workload this build does not know.
+    UnknownWorkload(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(msg) => write!(f, "artifact I/O error: {}", msg),
+            ArtifactError::BadMagic => write!(f, "not a model artifact (bad magic)"),
+            ArtifactError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported artifact format version {} (this build reads {})",
+                    v, FORMAT_VERSION
+                )
+            }
+            ArtifactError::Truncated { expected, actual } => write!(
+                f,
+                "artifact truncated: header promises {} payload bytes, file has {}",
+                expected, actual
+            ),
+            ArtifactError::ChecksumMismatch => {
+                write!(f, "artifact payload checksum mismatch (corrupt file)")
+            }
+            ArtifactError::Codec(e) => write!(f, "artifact payload malformed: {}", e),
+            ArtifactError::UnknownWorkload(w) => {
+                write!(f, "artifact references unknown workload {:?}", w)
+            }
+        }
+    }
+}
+
+impl Error for ArtifactError {}
+
+impl From<CodecError> for ArtifactError {
+    fn from(e: CodecError) -> Self {
+        ArtifactError::Codec(e)
+    }
+}
+
+/// 64-bit FNV-1a over `bytes` — the zero-dependency integrity checksum.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Provenance for a persisted model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArtifactMeta {
+    /// Workload name, e.g. `"256.bzip2-graphic"`.
+    pub workload: String,
+    /// Input set name (`"train"` / `"ref"`).
+    pub input_set: String,
+    /// Response metric name (`"cycles"`, `"energy"`, `"code-size"`).
+    pub metric: String,
+    /// Model family.
+    pub family: ModelFamily,
+    /// Build scale name (`"quick"` / `"reduced"` / `"paper"`).
+    pub scale: String,
+    /// RNG seed the designs and fits were derived from.
+    pub seed: u64,
+    /// MAPE of the model on its own training design, in percent.
+    pub train_mape: f64,
+    /// MAPE on the held-out test design, in percent (the paper's Table 3
+    /// metric).
+    pub test_mape: f64,
+    /// Training design size.
+    pub train_size: usize,
+    /// Test design size.
+    pub test_size: usize,
+}
+
+impl ArtifactMeta {
+    /// The registry id this metadata maps to:
+    /// `{workload}__{set}__{metric}__{family}__{scale}__s{seed}`.
+    pub fn id(&self) -> String {
+        format!(
+            "{}__{}__{}__{}__{}__s{}",
+            self.workload,
+            self.input_set,
+            self.metric,
+            family_slug(self.family),
+            self.scale,
+            self.seed
+        )
+    }
+}
+
+/// Short lowercase identifier for a family, used in artifact ids.
+pub fn family_slug(family: ModelFamily) -> &'static str {
+    match family {
+        ModelFamily::Linear => "linear",
+        ModelFamily::Mars => "mars",
+        ModelFamily::Rbf => "rbf",
+    }
+}
+
+/// Parses a family from its slug or paper display name.
+pub fn family_from_name(name: &str) -> Option<ModelFamily> {
+    match name.to_ascii_lowercase().as_str() {
+        "linear" | "linear model" => Some(ModelFamily::Linear),
+        "mars" => Some(ModelFamily::Mars),
+        "rbf" | "rbf-rt" => Some(ModelFamily::Rbf),
+        _ => None,
+    }
+}
+
+/// A persisted trained model: provenance + everything needed to rebuild a
+/// [`BuiltModel`] and serve predictions.
+#[derive(Debug, Clone)]
+pub struct ModelArtifact {
+    /// Provenance.
+    pub meta: ArtifactMeta,
+    /// The design space (coded ↔ raw mapping).
+    pub space: ParameterSpace,
+    /// The fitted model.
+    pub model: SurrogateModel,
+    /// The measured training design.
+    pub train: Dataset,
+    /// The measured held-out test design.
+    pub test: Dataset,
+    /// `(training size, test MAPE)` per build round.
+    pub history: Vec<(usize, f64)>,
+}
+
+impl ModelArtifact {
+    /// Captures a [`BuiltModel`] (plus its build provenance) as an artifact.
+    pub fn from_built(
+        built: &BuiltModel,
+        set: InputSet,
+        metric: Metric,
+        scale: &str,
+        seed: u64,
+    ) -> Self {
+        let train_preds = built.model.predict_batch(built.train.points());
+        let train_mape = metrics::mape(&train_preds, built.train.responses());
+        ModelArtifact {
+            meta: ArtifactMeta {
+                workload: built.workload.to_string(),
+                input_set: set.name().to_string(),
+                metric: metric.name().to_string(),
+                family: built.model.family(),
+                scale: scale.to_string(),
+                seed,
+                train_mape,
+                test_mape: built.test_mape,
+                train_size: built.train.len(),
+                test_size: built.test.len(),
+            },
+            space: built.space.clone(),
+            model: built.model.clone(),
+            train: built.train.clone(),
+            test: built.test.clone(),
+            history: built.history.clone(),
+        }
+    }
+
+    /// Rehydrates the artifact into a [`BuiltModel`], resolving the workload
+    /// name against this build's workload table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::UnknownWorkload`] if the stored workload
+    /// name is not an exact name of a bundled workload.
+    pub fn to_built(&self) -> Result<BuiltModel, ArtifactError> {
+        let workload = Workload::all()
+            .iter()
+            .find(|w| w.name() == self.meta.workload)
+            .ok_or_else(|| ArtifactError::UnknownWorkload(self.meta.workload.clone()))?;
+        Ok(BuiltModel {
+            model: self.model.clone(),
+            space: self.space.clone(),
+            train: self.train.clone(),
+            test: self.test.clone(),
+            test_mape: self.meta.test_mape,
+            history: self.history.clone(),
+            workload: workload.name(),
+        })
+    }
+
+    /// The registry id (see [`ArtifactMeta::id`]).
+    pub fn id(&self) -> String {
+        self.meta.id()
+    }
+
+    /// Serializes the artifact to the framed, checksummed file format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_str(&self.meta.workload);
+        w.put_str(&self.meta.input_set);
+        w.put_str(&self.meta.metric);
+        w.put_u8(match self.meta.family {
+            ModelFamily::Linear => 0,
+            ModelFamily::Mars => 1,
+            ModelFamily::Rbf => 2,
+        });
+        w.put_str(&self.meta.scale);
+        w.put_u64(self.meta.seed);
+        w.put_f64(self.meta.train_mape);
+        w.put_f64(self.meta.test_mape);
+        w.put_u64(self.meta.train_size as u64);
+        w.put_u64(self.meta.test_size as u64);
+        codecs::encode_space(&mut w, &self.space);
+        self.model.encode(&mut w);
+        emod_models::codec::encode_dataset(&mut w, &self.train);
+        emod_models::codec::encode_dataset(&mut w, &self.test);
+        w.put_u32(self.history.len() as u32);
+        for &(n, mape) in &self.history {
+            w.put_u64(n as u64);
+            w.put_f64(mape);
+        }
+        let payload = w.into_bytes();
+
+        let mut out = Vec::with_capacity(28 + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Deserializes an artifact, verifying magic, version, length and
+    /// checksum before decoding the payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`ArtifactError`] for each failure mode; never
+    /// panics on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ArtifactError> {
+        if bytes.len() < 28 {
+            return Err(ArtifactError::Truncated {
+                expected: 28,
+                actual: bytes.len(),
+            });
+        }
+        if bytes[..8] != MAGIC {
+            return Err(ArtifactError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(ArtifactError::UnsupportedVersion(version));
+        }
+        let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+        let checksum = u64::from_le_bytes(bytes[20..28].try_into().unwrap());
+        let payload = &bytes[28..];
+        if payload.len() != payload_len {
+            return Err(ArtifactError::Truncated {
+                expected: payload_len,
+                actual: payload.len(),
+            });
+        }
+        if fnv1a64(payload) != checksum {
+            return Err(ArtifactError::ChecksumMismatch);
+        }
+
+        let mut r = Reader::new(payload);
+        let workload = r.get_str()?;
+        let input_set = r.get_str()?;
+        let metric = r.get_str()?;
+        let family = match r.get_u8()? {
+            0 => ModelFamily::Linear,
+            1 => ModelFamily::Mars,
+            2 => ModelFamily::Rbf,
+            t => {
+                return Err(ArtifactError::Codec(CodecError::BadValue(format!(
+                    "family tag {}",
+                    t
+                ))))
+            }
+        };
+        let scale = r.get_str()?;
+        let seed = r.get_u64()?;
+        let train_mape = r.get_f64()?;
+        let test_mape = r.get_f64()?;
+        let train_size = r.get_u64()? as usize;
+        let test_size = r.get_u64()? as usize;
+        let space = codecs::decode_space(&mut r)?;
+        let model = SurrogateModel::decode(&mut r)?;
+        if model.family() != family {
+            return Err(ArtifactError::Codec(CodecError::BadValue(format!(
+                "metadata family {:?} does not match encoded model {:?}",
+                family,
+                model.family()
+            ))));
+        }
+        let train = emod_models::codec::decode_dataset(&mut r)?;
+        let test = emod_models::codec::decode_dataset(&mut r)?;
+        let n_history = r.get_len(16, "history")?;
+        let mut history = Vec::with_capacity(n_history);
+        for _ in 0..n_history {
+            let n = r.get_u64()? as usize;
+            let mape = r.get_f64()?;
+            history.push((n, mape));
+        }
+        r.finish().map_err(ArtifactError::Codec)?;
+        Ok(ModelArtifact {
+            meta: ArtifactMeta {
+                workload,
+                input_set,
+                metric,
+                family,
+                scale,
+                seed,
+                train_mape,
+                test_mape,
+                train_size,
+                test_size,
+            },
+            space,
+            model,
+            train,
+            test,
+            history,
+        })
+    }
+
+    /// The metadata as a JSON object for `list_models` responses.
+    pub fn meta_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj(vec![
+            ("id", self.id().into()),
+            ("workload", self.meta.workload.clone().into()),
+            ("input_set", self.meta.input_set.clone().into()),
+            ("metric", self.meta.metric.clone().into()),
+            ("family", family_slug(self.meta.family).into()),
+            ("scale", self.meta.scale.clone().into()),
+            ("seed", self.meta.seed.into()),
+            ("train_mape", self.meta.train_mape.into()),
+            ("test_mape", self.meta.test_mape.into()),
+            ("train_size", self.meta.train_size.into()),
+            ("test_size", self.meta.test_size.into()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emod_doe::Parameter;
+
+    fn tiny_artifact() -> ModelArtifact {
+        let xs: Vec<Vec<f64>> = (0..25)
+            .map(|i| vec![-1.0 + (i % 5) as f64 / 2.0, -1.0 + (i / 5) as f64 / 2.0])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 50.0 + 3.0 * x[0] - x[1]).collect();
+        let train = Dataset::new(xs.clone(), ys.clone()).unwrap();
+        let test = Dataset::new(xs[..5].to_vec(), ys[..5].to_vec()).unwrap();
+        let model = SurrogateModel::fit(&train, ModelFamily::Linear).unwrap();
+        let space = ParameterSpace::new(vec![
+            Parameter::flag("a"),
+            Parameter::discrete("b", 0.0, 10.0, 11),
+        ]);
+        ModelArtifact {
+            meta: ArtifactMeta {
+                workload: "256.bzip2-graphic".into(),
+                input_set: "train".into(),
+                metric: "cycles".into(),
+                family: ModelFamily::Linear,
+                scale: "quick".into(),
+                seed: 9001,
+                train_mape: 1.5,
+                test_mape: 2.5,
+                train_size: 25,
+                test_size: 5,
+            },
+            space,
+            model,
+            train,
+            test,
+            history: vec![(25, 2.5)],
+        }
+    }
+
+    #[test]
+    fn artifact_round_trips() {
+        let art = tiny_artifact();
+        let bytes = art.to_bytes();
+        let back = ModelArtifact::from_bytes(&bytes).unwrap();
+        assert_eq!(back.meta, art.meta);
+        assert_eq!(back.history, art.history);
+        for p in art.test.points() {
+            assert_eq!(
+                art.model.predict(p).to_bits(),
+                back.model.predict(p).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn id_layout_is_stable() {
+        assert_eq!(
+            tiny_artifact().id(),
+            "256.bzip2-graphic__train__cycles__linear__quick__s9001"
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = tiny_artifact().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            ModelArtifact::from_bytes(&bytes),
+            Err(ArtifactError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut bytes = tiny_artifact().to_bytes();
+        bytes[8] = 99;
+        assert!(matches!(
+            ModelArtifact::from_bytes(&bytes),
+            Err(ArtifactError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = tiny_artifact().to_bytes();
+        assert!(matches!(
+            ModelArtifact::from_bytes(&bytes[..bytes.len() - 9]),
+            Err(ArtifactError::Truncated { .. })
+        ));
+        assert!(matches!(
+            ModelArtifact::from_bytes(&bytes[..10]),
+            Err(ArtifactError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn corruption_rejected_by_checksum() {
+        let mut bytes = tiny_artifact().to_bytes();
+        let mid = 28 + (bytes.len() - 28) / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            ModelArtifact::from_bytes(&bytes),
+            Err(ArtifactError::ChecksumMismatch)
+        ));
+    }
+
+    #[test]
+    fn to_built_resolves_workload() {
+        let built = tiny_artifact().to_built().unwrap();
+        assert_eq!(built.workload, "256.bzip2-graphic");
+        assert_eq!(built.test_mape, 2.5);
+    }
+
+    #[test]
+    fn to_built_rejects_unknown_workload() {
+        let mut art = tiny_artifact();
+        art.meta.workload = "999.mystery".into();
+        assert!(matches!(
+            art.to_built(),
+            Err(ArtifactError::UnknownWorkload(_))
+        ));
+    }
+}

@@ -1,0 +1,120 @@
+//! Codec for `emod_doe` types, built on the public `Parameter` API.
+
+use emod_doe::{Parameter, ParameterKind, ParameterSpace};
+use emod_models::codec::{CodecError, CodecResult, Reader, Writer};
+
+/// Serializes a parameter space: count, then per parameter its name, kind
+/// tag and (for non-flags) range and level count.
+pub fn encode_space(w: &mut Writer, space: &ParameterSpace) {
+    w.put_u32(space.len() as u32);
+    for p in space.parameters() {
+        w.put_str(p.name());
+        match p.kind() {
+            ParameterKind::Flag => w.put_u8(0),
+            ParameterKind::Discrete { low, high, levels } => {
+                w.put_u8(1);
+                w.put_f64(low);
+                w.put_f64(high);
+                w.put_u32(levels as u32);
+            }
+            ParameterKind::LogDiscrete { low, high, levels } => {
+                w.put_u8(2);
+                w.put_f64(low);
+                w.put_f64(high);
+                w.put_u32(levels as u32);
+            }
+        }
+    }
+}
+
+/// Deserializes a space written by [`encode_space`].
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on truncated input, an unknown kind tag, or a
+/// range/level combination the `Parameter` constructors reject.
+pub fn decode_space(r: &mut Reader<'_>) -> CodecResult<ParameterSpace> {
+    let n = r.get_len(6, "parameter space")?;
+    let mut params = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.get_str()?;
+        let param = match r.get_u8()? {
+            0 => Parameter::flag(name),
+            tag @ (1 | 2) => {
+                let low = r.get_f64()?;
+                let high = r.get_f64()?;
+                let levels = r.get_u32()? as usize;
+                // The constructors assert on invalid ranges; validate here
+                // so corrupt files error instead of panicking.
+                if !low.is_finite()
+                    || !high.is_finite()
+                    || low >= high
+                    || levels < 2
+                    || (tag == 2 && low <= 0.0)
+                {
+                    return Err(CodecError::BadValue(format!(
+                        "parameter {:?}: range [{}, {}] with {} levels is invalid",
+                        name, low, high, levels
+                    )));
+                }
+                if tag == 1 {
+                    Parameter::discrete(name, low, high, levels)
+                } else {
+                    Parameter::log_discrete(name, low, high, levels)
+                }
+            }
+            t => return Err(CodecError::BadValue(format!("parameter kind tag {}", t))),
+        };
+        params.push(param);
+    }
+    if params.is_empty() {
+        return Err(CodecError::BadValue("empty parameter space".into()));
+    }
+    Ok(ParameterSpace::new(params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_round_trips() {
+        let space = emod_core::vars::design_space();
+        let mut w = Writer::new();
+        encode_space(&mut w, &space);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = decode_space(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.len(), space.len());
+        for (a, b) in space.parameters().iter().zip(back.parameters()) {
+            assert_eq!(a, b);
+        }
+        // Coding transforms are identical.
+        let raw: Vec<f64> = space.parameters().iter().map(|p| p.levels()[0]).collect();
+        assert_eq!(space.encode(&raw), back.encode(&raw));
+    }
+
+    #[test]
+    fn invalid_kind_tag_rejected() {
+        let mut w = Writer::new();
+        w.put_u32(1);
+        w.put_str("x");
+        w.put_u8(7);
+        let bytes = w.into_bytes();
+        assert!(decode_space(&mut Reader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn inverted_range_rejected_without_panic() {
+        let mut w = Writer::new();
+        w.put_u32(1);
+        w.put_str("bad");
+        w.put_u8(1);
+        w.put_f64(10.0);
+        w.put_f64(1.0);
+        w.put_u32(5);
+        let bytes = w.into_bytes();
+        assert!(decode_space(&mut Reader::new(&bytes)).is_err());
+    }
+}

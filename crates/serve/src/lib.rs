@@ -1,0 +1,25 @@
+//! `emod-serve`: persistent model artifacts and a concurrent
+//! prediction/tuning server.
+//!
+//! Two layers, both zero-dependency (std only):
+//!
+//! * **Artifacts** — [`artifact::ModelArtifact`] is a versioned, checksummed
+//!   on-disk serialization of a trained surrogate (model + parameter space +
+//!   measured designs + provenance) that predicts bit-identically after a
+//!   round trip. [`registry::ModelRegistry`] is a directory of artifacts
+//!   keyed by id, rooted at `EMOD_REGISTRY` (default `./registry`).
+//! * **Serving** — [`server::Server`] is a `std::net`/`std::thread` TCP
+//!   server speaking newline-delimited JSON ([`json::Json`]) with commands
+//!   `list_models`, `predict`, `predict_batch`, `tune`, `stats` and
+//!   `shutdown`.
+
+pub mod artifact;
+pub mod codecs;
+pub mod json;
+pub mod registry;
+pub mod server;
+
+pub use artifact::{ArtifactError, ArtifactMeta, ModelArtifact, FORMAT_VERSION};
+pub use json::Json;
+pub use registry::{ModelRegistry, REGISTRY_ENV};
+pub use server::Server;

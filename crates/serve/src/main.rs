@@ -1,0 +1,176 @@
+//! The `emod-serve` binary: model server, or one-shot client with
+//! `--client`.
+//!
+//! ```text
+//! emod-serve [--addr HOST:PORT] [--registry DIR] [--workers N]
+//! emod-serve --client [--addr HOST:PORT] '<json request>' [...]
+//! ```
+//!
+//! In client mode each argument is sent as one request line and the response
+//! line is printed to stdout; the exit code is nonzero if any response does
+//! not carry `"ok": true`.
+
+use emod_serve::json::Json;
+use emod_serve::registry::ModelRegistry;
+use emod_serve::server::{self, Server, DEFAULT_ADDR};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut registry_root: Option<String> = None;
+    let mut workers = 4usize;
+    let mut client = false;
+    let mut requests: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--client" => client = true,
+            "--addr" => match args.get(i + 1) {
+                Some(a) => {
+                    addr = a.clone();
+                    i += 1;
+                }
+                None => return usage("--addr needs a HOST:PORT value"),
+            },
+            "--registry" => match args.get(i + 1) {
+                Some(r) => {
+                    registry_root = Some(r.clone());
+                    i += 1;
+                }
+                None => return usage("--registry needs a directory"),
+            },
+            "--workers" => match args.get(i + 1).and_then(|w| w.parse().ok()) {
+                Some(w) => {
+                    workers = w;
+                    i += 1;
+                }
+                None => return usage("--workers needs a positive integer"),
+            },
+            "--help" | "-h" => return usage(""),
+            other if other.starts_with("--") => return usage(&format!("unknown option {}", other)),
+            request => requests.push(request.to_string()),
+        }
+        i += 1;
+    }
+
+    if client {
+        run_client(&addr, &requests)
+    } else if requests.is_empty() {
+        run_server(&addr, registry_root.as_deref(), workers)
+    } else {
+        usage("positional arguments are only valid with --client")
+    }
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("error: {}", error);
+    }
+    eprintln!("usage: emod-serve [--addr HOST:PORT] [--registry DIR] [--workers N]");
+    eprintln!("       emod-serve --client [--addr HOST:PORT] '<json request>' [...]");
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}
+
+fn run_server(addr: &str, registry_root: Option<&str>, workers: usize) -> ExitCode {
+    emod_telemetry::init_from_env();
+    let registry = match registry_root {
+        Some(root) => ModelRegistry::open(root),
+        None => ModelRegistry::open_env(),
+    };
+    let registry = match registry {
+        Ok(r) => Arc::new(r),
+        Err(e) => {
+            eprintln!("error: {}", e);
+            return ExitCode::FAILURE;
+        }
+    };
+    server::install_signal_handlers();
+    let srv = match Server::bind(registry.clone(), addr, workers) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: bind {}: {}", addr, e);
+            return ExitCode::FAILURE;
+        }
+    };
+    match srv.local_addr() {
+        Ok(local) => eprintln!(
+            "emod-serve listening on {} (registry {}, {} workers)",
+            local,
+            registry.root().display(),
+            workers
+        ),
+        Err(e) => eprintln!("emod-serve listening (addr unknown: {})", e),
+    }
+    match srv.run() {
+        Ok(()) => {
+            eprintln!("emod-serve: shut down cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: serve: {}", e);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_client(addr: &str, requests: &[String]) -> ExitCode {
+    if requests.is_empty() {
+        return usage("--client needs at least one JSON request argument");
+    }
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: connect {}: {}", addr, e);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {}", e);
+            return ExitCode::FAILURE;
+        }
+    });
+    let mut writer = stream;
+    let mut all_ok = true;
+    for request in requests {
+        if writeln!(writer, "{}", request.trim()).is_err() {
+            eprintln!("error: connection closed while sending");
+            return ExitCode::FAILURE;
+        }
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                eprintln!("error: connection closed before a response");
+                return ExitCode::FAILURE;
+            }
+            Ok(_) => {
+                let line = line.trim_end();
+                println!("{}", line);
+                let ok = Json::parse(line)
+                    .ok()
+                    .and_then(|v| v.get("ok").and_then(Json::as_bool))
+                    .unwrap_or(false);
+                all_ok &= ok;
+            }
+            Err(e) => {
+                eprintln!("error: read response: {}", e);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,569 @@
+//! Concurrent newline-delimited-JSON prediction/tuning server.
+//!
+//! `std::net` + `std::thread` only: an accept loop dispatches connections
+//! over an mpsc channel to a fixed worker pool. Each request is one JSON
+//! object on one line; each response is one JSON object on one line with an
+//! `"ok"` field. Graceful shutdown on SIGTERM/SIGINT or the `shutdown`
+//! command: the accept loop stops, workers finish their current connection
+//! and exit.
+//!
+//! Commands: `list_models`, `predict`, `predict_batch`, `tune`, `stats`,
+//! `shutdown` — see the README "Serving" section for the wire format.
+
+use crate::artifact::{family_from_name, family_slug, ModelArtifact};
+use crate::json::Json;
+use crate::registry::ModelRegistry;
+use emod_compiler::OptConfig;
+use emod_core::tune::{reference_configs, search_flags_surrogate};
+use emod_core::vars::{encode_point, COMPILER_PARAMS};
+use emod_models::Regressor;
+use emod_telemetry as telemetry;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Default port the server binds when none is given.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7733";
+
+/// Process-wide flag set by SIGTERM/SIGINT.
+static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    // Only async-signal-safe work here: a relaxed atomic store.
+    SIGNAL_SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGTERM/SIGINT handlers that request a graceful shutdown. Safe
+/// to call more than once.
+#[cfg(unix)]
+pub fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal as *const () as usize);
+        signal(SIGINT, on_signal as *const () as usize);
+    }
+}
+
+/// No-op on non-Unix targets.
+#[cfg(not(unix))]
+pub fn install_signal_handlers() {}
+
+/// The prediction/tuning server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    registry: Arc<ModelRegistry>,
+    shutdown: Arc<AtomicBool>,
+    workers: usize,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port in tests) serving
+    /// models from `registry` with `workers` handler threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(registry: Arc<ModelRegistry>, addr: &str, workers: usize) -> io::Result<Server> {
+        // The stats command reads the in-process telemetry registry, so
+        // collection is always on inside the server.
+        telemetry::enable();
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            registry,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            workers: workers.max(1),
+        })
+    }
+
+    /// The bound socket address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS query failure.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that makes [`Server::run`] return when set to `true`.
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Serves until shutdown is requested (`shutdown` command, the
+    /// [`Server::shutdown_handle`], or SIGTERM/SIGINT), then drains workers
+    /// and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O failures other than `WouldBlock`.
+    pub fn run(self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut handles = Vec::with_capacity(self.workers);
+        for i in 0..self.workers {
+            let rx = Arc::clone(&rx);
+            let registry = Arc::clone(&self.registry);
+            let shutdown = Arc::clone(&self.shutdown);
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("emod-serve-worker-{}", i))
+                    .spawn(move || worker_loop(&rx, &registry, &shutdown))?,
+            );
+        }
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) || SIGNAL_SHUTDOWN.load(Ordering::SeqCst) {
+                self.shutdown.store(true, Ordering::SeqCst);
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    telemetry::counter_add("serve.connections", 1);
+                    // The only send failure is every worker having exited,
+                    // which implies shutdown.
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        drop(tx);
+        for h in handles {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+fn worker_loop(
+    rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>,
+    registry: &ModelRegistry,
+    shutdown: &AtomicBool,
+) {
+    loop {
+        let next = {
+            let guard = rx.lock().expect("worker receiver lock");
+            guard.recv_timeout(Duration::from_millis(100))
+        };
+        match next {
+            Ok(stream) => handle_connection(stream, registry, shutdown),
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::SeqCst) || SIGNAL_SHUTDOWN.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, registry: &ModelRegistry, shutdown: &AtomicBool) {
+    // A finite read timeout lets the worker notice shutdown while a client
+    // keeps the connection open without sending.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) || SIGNAL_SHUTDOWN.load(Ordering::SeqCst) {
+            return;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {
+                let request = line.trim().to_string();
+                line.clear();
+                if request.is_empty() {
+                    continue;
+                }
+                let (response, close) = handle_request(registry, shutdown, &request);
+                if writeln!(writer, "{}", response).is_err() || writer.flush().is_err() {
+                    return;
+                }
+                if close {
+                    return;
+                }
+            }
+            // Timeout with a partial line buffered: keep accumulating.
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn err_response(msg: impl Into<String>) -> Json {
+    telemetry::counter_add("serve.requests.errors", 1);
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", msg.into().into()),
+    ])
+}
+
+/// Handles one request line, returning the response and whether the
+/// connection should close afterwards.
+pub fn handle_request(
+    registry: &ModelRegistry,
+    shutdown: &AtomicBool,
+    request: &str,
+) -> (Json, bool) {
+    let parsed = match Json::parse(request) {
+        Ok(v) => v,
+        Err(e) => return (err_response(format!("bad request: {}", e)), false),
+    };
+    let cmd = match parsed.get("cmd").and_then(Json::as_str) {
+        Some(c) => c.to_string(),
+        None => return (err_response("missing \"cmd\""), false),
+    };
+    let start = Instant::now();
+    telemetry::counter_add("serve.requests.total", 1);
+    telemetry::counter_add(&format!("serve.requests.{}", cmd), 1);
+    let result = match cmd.as_str() {
+        "list_models" => (cmd_list_models(registry), false),
+        "predict" => (cmd_predict(registry, &parsed, false), false),
+        "predict_batch" => (cmd_predict(registry, &parsed, true), false),
+        "tune" => (cmd_tune(registry, &parsed), false),
+        "stats" => (cmd_stats(), false),
+        "shutdown" => {
+            shutdown.store(true, Ordering::SeqCst);
+            (
+                Json::obj(vec![("ok", Json::Bool(true)), ("bye", Json::Bool(true))]),
+                true,
+            )
+        }
+        other => (err_response(format!("unknown command {:?}", other)), false),
+    };
+    telemetry::observe(
+        &format!("serve.latency_us.{}", cmd),
+        start.elapsed().as_secs_f64() * 1e6,
+    );
+    result
+}
+
+fn cmd_list_models(registry: &ModelRegistry) -> Json {
+    let ids = match registry.list() {
+        Ok(ids) => ids,
+        Err(e) => return err_response(e.to_string()),
+    };
+    let mut models = Vec::new();
+    for id in ids {
+        match registry.load(&id) {
+            Ok(art) => models.push(art.meta_json()),
+            Err(e) => models.push(Json::obj(vec![
+                ("id", id.into()),
+                ("error", e.to_string().into()),
+            ])),
+        }
+    }
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("count", models.len().into()),
+        ("models", Json::Arr(models)),
+    ])
+}
+
+/// Resolves the model a request addresses: either an explicit `"model"` id,
+/// or selector fields (`workload` substring + optional `family`,
+/// `input_set`, `metric`, `scale`, `seed`) matched against registry
+/// metadata in sorted-id order.
+fn resolve_model(registry: &ModelRegistry, req: &Json) -> Result<Arc<ModelArtifact>, String> {
+    if let Some(id) = req.get("model").and_then(Json::as_str) {
+        return registry.load(id).map_err(|e| e.to_string());
+    }
+    let workload = req
+        .get("workload")
+        .and_then(Json::as_str)
+        .ok_or("request needs \"model\" (id) or \"workload\" (selector)")?;
+    let family = match req.get("family").and_then(Json::as_str) {
+        Some(name) => {
+            Some(family_from_name(name).ok_or_else(|| format!("unknown family {:?}", name))?)
+        }
+        None => None,
+    };
+    let want_str = |key: &str| req.get(key).and_then(Json::as_str).map(str::to_string);
+    let input_set = want_str("input_set");
+    let metric = want_str("metric");
+    let scale = want_str("scale");
+    let seed = req.get("seed").and_then(Json::as_u64);
+    for id in registry.list().map_err(|e| e.to_string())? {
+        let art = match registry.load(&id) {
+            Ok(a) => a,
+            Err(_) => continue,
+        };
+        let m = &art.meta;
+        let matches = m.workload.contains(workload)
+            && family.is_none_or(|f| f == m.family)
+            && input_set.as_deref().is_none_or(|s| s == m.input_set)
+            && metric.as_deref().is_none_or(|s| s == m.metric)
+            && scale.as_deref().is_none_or(|s| s == m.scale)
+            && seed.is_none_or(|s| s == m.seed);
+        if matches {
+            return Ok(art);
+        }
+    }
+    Err(format!(
+        "no artifact matches workload {:?} (and the other selector fields)",
+        workload
+    ))
+}
+
+/// Parses one query point: either a raw 25-value array or a shorthand
+/// string `"<opt>@<platform>"` with opt in `o0|o2|o3` and platform in
+/// `constrained|typical|aggressive` (e.g. `"o2@typical"`).
+fn parse_point(v: &Json, dim: usize) -> Result<Vec<f64>, String> {
+    match v {
+        Json::Arr(items) => {
+            let mut point = Vec::with_capacity(items.len());
+            for item in items {
+                point.push(
+                    item.as_f64()
+                        .ok_or("point arrays must contain only numbers")?,
+                );
+            }
+            if point.len() != dim {
+                return Err(format!(
+                    "point has {} values, the model's space has {}",
+                    point.len(),
+                    dim
+                ));
+            }
+            Ok(point)
+        }
+        Json::Str(s) => {
+            let (opt_name, platform_name) = s
+                .split_once('@')
+                .ok_or_else(|| format!("shorthand point {:?} is not \"<opt>@<platform>\"", s))?;
+            let opt = match opt_name {
+                "o0" => OptConfig::o0(),
+                "o2" => OptConfig::o2(),
+                "o3" => OptConfig::o3(),
+                other => return Err(format!("unknown opt preset {:?} (o0|o2|o3)", other)),
+            };
+            let platform = lookup_platform(platform_name)?;
+            Ok(encode_point(&opt, &platform))
+        }
+        _ => Err("each point must be an array of raw values or \"<opt>@<platform>\"".into()),
+    }
+}
+
+fn lookup_platform(name: &str) -> Result<emod_uarch::UarchConfig, String> {
+    reference_configs()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, c)| c)
+        .ok_or_else(|| {
+            format!(
+                "unknown platform {:?} (constrained|typical|aggressive)",
+                name
+            )
+        })
+}
+
+fn cmd_predict(registry: &ModelRegistry, req: &Json, batch: bool) -> Json {
+    let art = match resolve_model(registry, req) {
+        Ok(a) => a,
+        Err(e) => return err_response(e),
+    };
+    let dim = art.space.len();
+    let points: Vec<&Json> = if batch {
+        match req.get("points").and_then(Json::as_array) {
+            Some(items) => items.iter().collect(),
+            None => return err_response("predict_batch needs a \"points\" array"),
+        }
+    } else {
+        match req.get("point") {
+            Some(p) => vec![p],
+            None => return err_response("predict needs a \"point\""),
+        }
+    };
+    let mut predictions = Vec::with_capacity(points.len());
+    for (i, p) in points.iter().enumerate() {
+        let raw = match parse_point(p, dim) {
+            Ok(r) => r,
+            Err(e) => return err_response(format!("point {}: {}", i, e)),
+        };
+        predictions.push(Json::Num(art.model.predict(&art.space.encode(&raw))));
+    }
+    telemetry::counter_add("serve.predictions", predictions.len() as u64);
+    let mut fields = vec![
+        ("ok", Json::Bool(true)),
+        ("model", art.id().into()),
+        ("family", family_slug(art.meta.family).into()),
+    ];
+    if batch {
+        fields.push(("predictions", Json::Arr(predictions)));
+    } else {
+        fields.push((
+            "prediction",
+            predictions.into_iter().next().expect("one point"),
+        ));
+    }
+    Json::obj(fields)
+}
+
+fn cmd_tune(registry: &ModelRegistry, req: &Json) -> Json {
+    // In a tune request "seed" seeds the GA; strip it before model
+    // resolution so it is not mistaken for the artifact-selector seed.
+    let selector = match req {
+        Json::Obj(pairs) => Json::Obj(pairs.iter().filter(|(k, _)| k != "seed").cloned().collect()),
+        other => other.clone(),
+    };
+    let art = match resolve_model(registry, &selector) {
+        Ok(a) => a,
+        Err(e) => return err_response(e),
+    };
+    let platform_name = req
+        .get("platform")
+        .and_then(Json::as_str)
+        .unwrap_or("typical");
+    let platform = match lookup_platform(platform_name) {
+        Ok(p) => p,
+        Err(e) => return err_response(e),
+    };
+    let seed = req.get("seed").and_then(Json::as_u64).unwrap_or(1);
+    let tuned = search_flags_surrogate(&art.space, &art.model, &platform, seed);
+    // The baseline the paper tunes against: the model's own prediction at
+    // -O2 on the same platform (clamped like the GA objective).
+    let o2_point = encode_point(&OptConfig::o2(), &platform);
+    let o2_pred = art.model.predict(&art.space.encode(&o2_point)).max(1.0);
+    let flags: Vec<(String, Json)> = art.space.parameters()[..COMPILER_PARAMS]
+        .iter()
+        .zip(&tuned.point)
+        .map(|(p, &v)| (p.name().to_string(), Json::Num(v)))
+        .collect();
+    telemetry::counter_add("serve.tunes", 1);
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("model", art.id().into()),
+        ("platform", platform_name.into()),
+        ("seed", seed.into()),
+        ("flags", Json::Obj(flags)),
+        (
+            "point",
+            Json::Arr(tuned.point.iter().map(|&v| Json::Num(v)).collect()),
+        ),
+        ("predicted_cycles", tuned.predicted_cycles.into()),
+        ("o2_predicted_cycles", o2_pred.into()),
+        (
+            "improves_over_o2",
+            Json::Bool(tuned.predicted_cycles < o2_pred),
+        ),
+        ("evaluations", tuned.evaluations.into()),
+    ])
+}
+
+fn cmd_stats() -> Json {
+    let snap = telemetry::snapshot();
+    let counters: Vec<(String, Json)> = snap
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("serve."))
+        .map(|(name, &v)| (name.clone(), v.into()))
+        .collect();
+    let histograms: Vec<(String, Json)> = snap
+        .histograms
+        .iter()
+        .filter(|(name, _)| name.starts_with("serve."))
+        .map(|(name, h)| {
+            let mean = if h.count > 0 {
+                h.sum / h.count as f64
+            } else {
+                0.0
+            };
+            (
+                name.clone(),
+                Json::obj(vec![
+                    ("count", h.count.into()),
+                    ("sum", h.sum.into()),
+                    ("min", h.min.into()),
+                    ("max", h.max.into()),
+                    ("mean", mean.into()),
+                ]),
+            )
+        })
+        .collect();
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("counters", Json::Obj(counters)),
+        ("histograms", Json::Obj(histograms)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_registry() -> ModelRegistry {
+        let dir = std::env::temp_dir().join(format!("emod-serve-ut-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ModelRegistry::open(dir).unwrap()
+    }
+
+    #[test]
+    fn malformed_request_gets_error_not_panic() {
+        let reg = empty_registry();
+        let shutdown = AtomicBool::new(false);
+        for bad in ["not json", "{}", "{\"cmd\":7}", "{\"cmd\":\"nope\"}"] {
+            let (resp, close) = handle_request(&reg, &shutdown, bad);
+            assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{}", bad);
+            assert!(!close);
+        }
+    }
+
+    #[test]
+    fn shutdown_command_sets_flag_and_closes() {
+        let reg = empty_registry();
+        let shutdown = AtomicBool::new(false);
+        let (resp, close) = handle_request(&reg, &shutdown, "{\"cmd\":\"shutdown\"}");
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        assert!(close);
+        assert!(shutdown.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn list_models_on_empty_registry() {
+        let reg = empty_registry();
+        let shutdown = AtomicBool::new(false);
+        let (resp, _) = handle_request(&reg, &shutdown, "{\"cmd\":\"list_models\"}");
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(resp.get("count").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn predict_without_model_reports_selector_help() {
+        let reg = empty_registry();
+        let shutdown = AtomicBool::new(false);
+        let (resp, _) = handle_request(&reg, &shutdown, "{\"cmd\":\"predict\",\"point\":[1]}");
+        let msg = resp.get("error").and_then(Json::as_str).unwrap();
+        assert!(msg.contains("workload"), "{}", msg);
+    }
+
+    #[test]
+    fn parse_point_shorthand_and_errors() {
+        let p = parse_point(&Json::Str("o2@typical".into()), 25).unwrap();
+        assert_eq!(p.len(), 25);
+        assert!(parse_point(&Json::Str("o1@typical".into()), 25).is_err());
+        assert!(parse_point(&Json::Str("o2@mars".into()), 25).is_err());
+        assert!(parse_point(&Json::Str("o2typical".into()), 25).is_err());
+        assert!(parse_point(&Json::Arr(vec![Json::Num(1.0)]), 25).is_err());
+        assert!(parse_point(&Json::Null, 25).is_err());
+    }
+}
