@@ -78,7 +78,10 @@ fn usage() -> String {
 
 fn run_one(name: &str, run: fn(&mut Session), session: &mut Session) {
     let t0 = Instant::now();
-    let span = telemetry::span(&format!("bench.{}", name));
+    // Each experiment is one trace: spans opened inside (model training,
+    // GA generations) link back to it, so `emod-trace tree` shows one tree
+    // per experiment.
+    let span = telemetry::trace_root(&format!("bench.{}", name));
     run(session);
     drop(span);
     let wall = t0.elapsed();

@@ -11,6 +11,7 @@
 pub mod experiments;
 pub mod scale;
 pub mod session;
+pub mod trace;
 
 pub use scale::Scale;
 pub use session::Session;

@@ -129,6 +129,7 @@ impl Session {
     ) -> Result<&BuiltModel, ModelError> {
         let key = (w.name(), set, family);
         if !self.built.contains_key(&key) {
+            let _span = telemetry::span("session.model");
             let built = match self.load_from_registry(w, set, family) {
                 Some(b) => b,
                 None => self.train_and_store(w, set, family)?,

@@ -150,6 +150,7 @@ impl GeneticSearch {
         let mut best: Option<(DesignPoint, f64)> = None;
 
         for gen in 0..cfg.generations {
+            let _gen_span = telemetry::span("generation");
             let fitness: Vec<f64> = population
                 .iter()
                 .map(|p| {

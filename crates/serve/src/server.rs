@@ -4,11 +4,22 @@
 //! over an mpsc channel to a fixed worker pool. Each request is one JSON
 //! object on one line; each response is one JSON object on one line with an
 //! `"ok"` field. Graceful shutdown on SIGTERM/SIGINT or the `shutdown`
-//! command: the accept loop stops, workers finish their current connection
-//! and exit.
+//! command: the accept loop stops, workers answer any request already on
+//! the wire with a refusal and exit.
 //!
 //! Commands: `list_models`, `predict`, `predict_batch`, `tune`, `stats`,
-//! `shutdown` — see the README "Serving" section for the wire format.
+//! `health`, `metrics`, `shutdown` — see the README "Serving" section for
+//! the wire format.
+//!
+//! Observability: every request runs inside its own telemetry trace
+//! ([`emod_telemetry::trace_root`]), so spans opened by the handler (the
+//! GA during `tune`, model loads, …) stitch into one per-request trace in
+//! the JSONL stream, and each request emits a structured `serve.access`
+//! event (connection id, command, resolved model, status, latency, bytes).
+//! `stats` reports per-command latency percentiles; `metrics` renders a
+//! flat text exposition an operator can scrape; requests slower than
+//! `EMOD_SLOW_MS` milliseconds are flagged with a `serve.slow_request`
+//! event and a log line.
 
 use crate::artifact::{family_from_name, family_slug, ModelArtifact};
 use crate::json::Json;
@@ -20,14 +31,85 @@ use emod_models::Regressor;
 use emod_telemetry as telemetry;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
 /// Default port the server binds when none is given.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:7733";
+
+/// The commands the server understands. Per-command counters and latency
+/// histograms are only created for these names, so a garbage `cmd` cannot
+/// grow the telemetry registry without bound.
+const COMMANDS: &[&str] = &[
+    "list_models",
+    "predict",
+    "predict_batch",
+    "tune",
+    "stats",
+    "health",
+    "metrics",
+    "shutdown",
+];
+
+/// Slow-request threshold from `EMOD_SLOW_MS` (milliseconds), read once.
+fn slow_threshold_ms() -> Option<f64> {
+    static THRESHOLD: OnceLock<Option<f64>> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        std::env::var("EMOD_SLOW_MS")
+            .ok()
+            .and_then(|s| s.trim().parse::<f64>().ok())
+            .filter(|t| *t >= 0.0)
+    })
+}
+
+/// Shared request-handling state: the model registry, the shutdown flag,
+/// and the operational gauges (`uptime`, in-flight requests) that `stats`,
+/// `health` and `metrics` report.
+#[derive(Debug)]
+pub struct ServerState {
+    registry: Arc<ModelRegistry>,
+    shutdown: Arc<AtomicBool>,
+    start: Instant,
+    in_flight: AtomicU64,
+}
+
+impl ServerState {
+    /// Creates request-handling state over `registry`, observing (and
+    /// setting, for the `shutdown` command) the given shutdown flag.
+    pub fn new(registry: Arc<ModelRegistry>, shutdown: Arc<AtomicBool>) -> ServerState {
+        ServerState {
+            registry,
+            shutdown,
+            start: Instant::now(),
+            in_flight: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether a graceful shutdown has been requested (command, handle, or
+    /// signal).
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || SIGNAL_SHUTDOWN.load(Ordering::SeqCst)
+    }
+
+    /// Seconds since the state (i.e. the server) was created.
+    pub fn uptime_s(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    fn enter_request(&self) -> u64 {
+        let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        telemetry::gauge_set("serve.in_flight", now as f64);
+        now
+    }
+
+    fn leave_request(&self) {
+        let now = self.in_flight.fetch_sub(1, Ordering::SeqCst) - 1;
+        telemetry::gauge_set("serve.in_flight", now as f64);
+    }
+}
 
 /// Process-wide flag set by SIGTERM/SIGINT.
 static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
@@ -107,17 +189,20 @@ impl Server {
     /// Propagates accept-loop I/O failures other than `WouldBlock`.
     pub fn run(self) -> io::Result<()> {
         self.listener.set_nonblocking(true)?;
+        let state = Arc::new(ServerState::new(
+            Arc::clone(&self.registry),
+            Arc::clone(&self.shutdown),
+        ));
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
         let mut handles = Vec::with_capacity(self.workers);
         for i in 0..self.workers {
             let rx = Arc::clone(&rx);
-            let registry = Arc::clone(&self.registry);
-            let shutdown = Arc::clone(&self.shutdown);
+            let state = Arc::clone(&state);
             handles.push(
                 thread::Builder::new()
                     .name(format!("emod-serve-worker-{}", i))
-                    .spawn(move || worker_loop(&rx, &registry, &shutdown))?,
+                    .spawn(move || worker_loop(&rx, &state))?,
             );
         }
         loop {
@@ -149,20 +234,16 @@ impl Server {
     }
 }
 
-fn worker_loop(
-    rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>,
-    registry: &ModelRegistry,
-    shutdown: &AtomicBool,
-) {
+fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, state: &ServerState) {
     loop {
         let next = {
             let guard = rx.lock().expect("worker receiver lock");
             guard.recv_timeout(Duration::from_millis(100))
         };
         match next {
-            Ok(stream) => handle_connection(stream, registry, shutdown),
+            Ok(stream) => handle_connection(stream, state),
             Err(RecvTimeoutError::Timeout) => {
-                if shutdown.load(Ordering::SeqCst) || SIGNAL_SHUTDOWN.load(Ordering::SeqCst) {
+                if state.shutting_down() {
                     return;
                 }
             }
@@ -171,43 +252,70 @@ fn worker_loop(
     }
 }
 
-fn handle_connection(stream: TcpStream, registry: &ModelRegistry, shutdown: &AtomicBool) {
+fn handle_connection(stream: TcpStream, state: &ServerState) {
     // A finite read timeout lets the worker notice shutdown while a client
     // keeps the connection open without sending.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".to_string());
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
+    // Every connection gets its own id; the per-request access-log events
+    // carry it so an operator can group a session's requests.
+    let conn_id = telemetry::TraceContext::fresh().trace_hex();
+    telemetry::event(
+        "serve",
+        "conn_open",
+        &[
+            ("conn", conn_id.as_str().into()),
+            ("peer", peer.as_str().into()),
+        ],
+    );
+    let mut requests = 0u64;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
-        if shutdown.load(Ordering::SeqCst) || SIGNAL_SHUTDOWN.load(Ordering::SeqCst) {
-            return;
-        }
         match reader.read_line(&mut line) {
-            Ok(0) => return,
+            Ok(0) => break,
             Ok(_) => {
                 let request = line.trim().to_string();
                 line.clear();
                 if request.is_empty() {
                     continue;
                 }
-                let (response, close) = handle_request(registry, shutdown, &request);
+                requests += 1;
+                let (response, close) = handle_request_on(state, &conn_id, &request);
                 if writeln!(writer, "{}", response).is_err() || writer.flush().is_err() {
-                    return;
+                    break;
                 }
                 if close {
-                    return;
+                    break;
                 }
             }
-            // Timeout with a partial line buffered: keep accumulating.
+            // Timeout with a partial line buffered: keep accumulating —
+            // but during a drain, stop waiting for more input.
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if state.shutting_down() {
+                    break;
+                }
             }
-            Err(_) => return,
+            Err(_) => break,
         }
     }
+    telemetry::event(
+        "serve",
+        "conn_close",
+        &[
+            ("conn", conn_id.as_str().into()),
+            ("requests", requests.into()),
+        ],
+    );
 }
 
 fn err_response(msg: impl Into<String>) -> Json {
@@ -218,44 +326,137 @@ fn err_response(msg: impl Into<String>) -> Json {
     ])
 }
 
+/// An error response that also counts as a *bad* request (malformed JSON,
+/// missing or unknown command) under `serve.requests.bad`.
+fn bad_response(msg: impl Into<String>) -> Json {
+    telemetry::counter_add("serve.requests.bad", 1);
+    err_response(msg)
+}
+
 /// Handles one request line, returning the response and whether the
 /// connection should close afterwards.
-pub fn handle_request(
-    registry: &ModelRegistry,
-    shutdown: &AtomicBool,
-    request: &str,
-) -> (Json, bool) {
-    let parsed = match Json::parse(request) {
-        Ok(v) => v,
-        Err(e) => return (err_response(format!("bad request: {}", e)), false),
-    };
-    let cmd = match parsed.get("cmd").and_then(Json::as_str) {
-        Some(c) => c.to_string(),
-        None => return (err_response("missing \"cmd\""), false),
-    };
+pub fn handle_request(state: &ServerState, request: &str) -> (Json, bool) {
+    handle_request_on(state, "", request)
+}
+
+/// [`handle_request`] with the owning connection's id for the access log.
+fn handle_request_on(state: &ServerState, conn_id: &str, request: &str) -> (Json, bool) {
+    // The whole request is one trace: spans opened by the handler on this
+    // thread (GA generations during tune, artifact loads, …) nest under it.
+    let root = telemetry::trace_root("serve.request");
     let start = Instant::now();
+    state.enter_request();
     telemetry::counter_add("serve.requests.total", 1);
-    telemetry::counter_add(&format!("serve.requests.{}", cmd), 1);
-    let result = match cmd.as_str() {
-        "list_models" => (cmd_list_models(registry), false),
-        "predict" => (cmd_predict(registry, &parsed, false), false),
-        "predict_batch" => (cmd_predict(registry, &parsed, true), false),
-        "tune" => (cmd_tune(registry, &parsed), false),
-        "stats" => (cmd_stats(), false),
+
+    let parsed = Json::parse(request);
+    let cmd = parsed
+        .as_ref()
+        .ok()
+        .and_then(|v| v.get("cmd").and_then(Json::as_str))
+        .unwrap_or("")
+        .to_string();
+    let known = COMMANDS.contains(&cmd.as_str());
+    if known {
+        telemetry::counter_add(&format!("serve.requests.{}", cmd), 1);
+    }
+
+    let (response, close) = match parsed {
+        Err(e) => (bad_response(format!("bad request: {}", e)), false),
+        Ok(_) if cmd.is_empty() => (bad_response("missing \"cmd\""), false),
+        Ok(_) if !known => (bad_response(format!("unknown command {:?}", cmd)), false),
+        Ok(parsed) => dispatch(state, &cmd, &parsed),
+    };
+
+    let latency_us = start.elapsed().as_secs_f64() * 1e6;
+    if known {
+        telemetry::observe(&format!("serve.latency_us.{}", cmd), latency_us);
+    }
+    let status_ok = response.get("ok") == Some(&Json::Bool(true));
+    if telemetry::enabled() {
+        let trace_id = root.context().map(|c| c.trace_hex()).unwrap_or_default();
+        let model = response
+            .get("model")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        telemetry::event(
+            "serve",
+            "access",
+            &[
+                ("conn", conn_id.into()),
+                ("trace", trace_id.into()),
+                ("cmd", cmd.as_str().into()),
+                ("model", model.into()),
+                (
+                    "status",
+                    if status_ok {
+                        "ok".into()
+                    } else {
+                        "error".into()
+                    },
+                ),
+                ("latency_us", latency_us.into()),
+                ("bytes_in", request.len().into()),
+                ("bytes_out", response.to_string().len().into()),
+            ],
+        );
+    }
+    if let Some(threshold_ms) = slow_threshold_ms() {
+        if latency_us / 1000.0 > threshold_ms {
+            telemetry::counter_add("serve.requests.slow", 1);
+            telemetry::event(
+                "serve",
+                "slow_request",
+                &[
+                    ("cmd", cmd.as_str().into()),
+                    ("latency_us", latency_us.into()),
+                    ("threshold_ms", threshold_ms.into()),
+                ],
+            );
+            eprintln!(
+                "emod-serve: slow request cmd={} took {:.1}ms (EMOD_SLOW_MS={})",
+                cmd,
+                latency_us / 1000.0,
+                threshold_ms
+            );
+        }
+    }
+    state.leave_request();
+    (response, close)
+}
+
+/// Routes a parsed request with a known command. During a graceful drain
+/// every command but `shutdown` is refused and the connection closes.
+fn dispatch(state: &ServerState, cmd: &str, parsed: &Json) -> (Json, bool) {
+    if state.shutting_down() && cmd != "shutdown" {
+        let refusal = if cmd == "health" {
+            Json::obj(vec![
+                ("ok", Json::Bool(false)),
+                ("status", "shutting_down".into()),
+                ("uptime_s", state.uptime_s().into()),
+            ])
+        } else {
+            err_response("shutting down")
+        };
+        return (refusal, true);
+    }
+    match cmd {
+        "list_models" => (cmd_list_models(&state.registry), false),
+        "predict" => (cmd_predict(&state.registry, parsed, false), false),
+        "predict_batch" => (cmd_predict(&state.registry, parsed, true), false),
+        "tune" => (cmd_tune(&state.registry, parsed), false),
+        "stats" => (cmd_stats(state), false),
+        "health" => (cmd_health(state), false),
+        "metrics" => (cmd_metrics(state), false),
         "shutdown" => {
-            shutdown.store(true, Ordering::SeqCst);
+            state.shutdown.store(true, Ordering::SeqCst);
             (
                 Json::obj(vec![("ok", Json::Bool(true)), ("bye", Json::Bool(true))]),
                 true,
             )
         }
-        other => (err_response(format!("unknown command {:?}", other)), false),
-    };
-    telemetry::observe(
-        &format!("serve.latency_us.{}", cmd),
-        start.elapsed().as_secs_f64() * 1e6,
-    );
-    result
+        _ => unreachable!("dispatch() is only called for known commands"),
+    }
 }
 
 fn cmd_list_models(registry: &ModelRegistry) -> Json {
@@ -470,7 +671,12 @@ fn cmd_tune(registry: &ModelRegistry, req: &Json) -> Json {
     ])
 }
 
-fn cmd_stats() -> Json {
+/// A quantile as JSON: `null` for an empty histogram.
+fn quantile_json(h: &telemetry::HistogramSnapshot, q: f64) -> Json {
+    h.quantile(q).map_or(Json::Null, Json::Num)
+}
+
+fn cmd_stats(state: &ServerState) -> Json {
     let snap = telemetry::snapshot();
     let counters: Vec<(String, Json)> = snap
         .counters
@@ -496,14 +702,130 @@ fn cmd_stats() -> Json {
                     ("min", h.min.into()),
                     ("max", h.max.into()),
                     ("mean", mean.into()),
+                    ("p50", quantile_json(h, 0.50)),
+                    ("p95", quantile_json(h, 0.95)),
+                    ("p99", quantile_json(h, 0.99)),
                 ]),
             )
         })
         .collect();
     Json::obj(vec![
         ("ok", Json::Bool(true)),
+        ("uptime_s", state.uptime_s().into()),
+        ("in_flight", state.in_flight.load(Ordering::SeqCst).into()),
         ("counters", Json::Obj(counters)),
         ("histograms", Json::Obj(histograms)),
+    ])
+}
+
+fn cmd_health(state: &ServerState) -> Json {
+    let models = state.registry.list().map(|ids| ids.len()).unwrap_or(0);
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("status", "ok".into()),
+        ("uptime_s", state.uptime_s().into()),
+        ("models", models.into()),
+        ("in_flight", state.in_flight.load(Ordering::SeqCst).into()),
+    ])
+}
+
+/// Appends one exposition line: `name{labels} value`.
+fn push_metric(out: &mut String, name: &str, labels: &[(&str, &str)], value: f64) {
+    out.push_str(name);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}=\"{}\"", k, v.replace('"', "'")));
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    if value.fract() == 0.0 && value.abs() < 1e15 {
+        out.push_str(&format!("{}\n", value as i64));
+    } else {
+        out.push_str(&format!("{}\n", value));
+    }
+}
+
+/// Renders the flat text metrics exposition (one `name{labels} value` per
+/// line, Prometheus-style) from the `serve.*` slice of the telemetry
+/// registry plus the uptime/in-flight gauges.
+pub fn render_metrics(state: &ServerState) -> String {
+    let snap = telemetry::snapshot();
+    let mut out = String::with_capacity(1024);
+    push_metric(&mut out, "emod_serve_up", &[], 1.0);
+    push_metric(&mut out, "emod_serve_uptime_seconds", &[], state.uptime_s());
+    push_metric(
+        &mut out,
+        "emod_serve_in_flight",
+        &[],
+        state.in_flight.load(Ordering::SeqCst) as f64,
+    );
+    for (name, &v) in &snap.counters {
+        let Some(rest) = name.strip_prefix("serve.") else {
+            continue;
+        };
+        match rest.strip_prefix("requests.") {
+            Some("total") => push_metric(&mut out, "emod_serve_requests_total", &[], v as f64),
+            Some(kind @ ("errors" | "bad" | "slow")) => push_metric(
+                &mut out,
+                &format!("emod_serve_requests_{}_total", kind),
+                &[],
+                v as f64,
+            ),
+            Some(cmd) => push_metric(
+                &mut out,
+                "emod_serve_command_requests_total",
+                &[("cmd", cmd)],
+                v as f64,
+            ),
+            None => push_metric(
+                &mut out,
+                &format!("emod_serve_{}_total", rest.replace('.', "_")),
+                &[],
+                v as f64,
+            ),
+        }
+    }
+    for (name, h) in &snap.histograms {
+        let Some(cmd) = name.strip_prefix("serve.latency_us.") else {
+            continue;
+        };
+        let labels = [("cmd", cmd)];
+        push_metric(
+            &mut out,
+            "emod_serve_command_latency_us_count",
+            &labels,
+            h.count as f64,
+        );
+        push_metric(
+            &mut out,
+            "emod_serve_command_latency_us_sum",
+            &labels,
+            h.sum,
+        );
+        for (q, tag) in [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+            if let Some(value) = h.quantile(q) {
+                push_metric(
+                    &mut out,
+                    "emod_serve_command_latency_us",
+                    &[("cmd", cmd), ("quantile", tag)],
+                    value,
+                );
+            }
+        }
+    }
+    out
+}
+
+fn cmd_metrics(state: &ServerState) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("format", "prometheus-text".into()),
+        ("metrics", render_metrics(state).into()),
     ])
 }
 
@@ -511,18 +833,21 @@ fn cmd_stats() -> Json {
 mod tests {
     use super::*;
 
-    fn empty_registry() -> ModelRegistry {
-        let dir = std::env::temp_dir().join(format!("emod-serve-ut-{}", std::process::id()));
+    fn test_state(tag: &str) -> ServerState {
+        let dir =
+            std::env::temp_dir().join(format!("emod-serve-ut-{}-{}", tag, std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        ModelRegistry::open(dir).unwrap()
+        ServerState::new(
+            Arc::new(ModelRegistry::open(dir).unwrap()),
+            Arc::new(AtomicBool::new(false)),
+        )
     }
 
     #[test]
     fn malformed_request_gets_error_not_panic() {
-        let reg = empty_registry();
-        let shutdown = AtomicBool::new(false);
+        let state = test_state("malformed");
         for bad in ["not json", "{}", "{\"cmd\":7}", "{\"cmd\":\"nope\"}"] {
-            let (resp, close) = handle_request(&reg, &shutdown, bad);
+            let (resp, close) = handle_request(&state, bad);
             assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{}", bad);
             assert!(!close);
         }
@@ -530,28 +855,63 @@ mod tests {
 
     #[test]
     fn shutdown_command_sets_flag_and_closes() {
-        let reg = empty_registry();
-        let shutdown = AtomicBool::new(false);
-        let (resp, close) = handle_request(&reg, &shutdown, "{\"cmd\":\"shutdown\"}");
+        let state = test_state("shutdown");
+        let (resp, close) = handle_request(&state, "{\"cmd\":\"shutdown\"}");
         assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
         assert!(close);
-        assert!(shutdown.load(Ordering::SeqCst));
+        assert!(state.shutting_down());
+    }
+
+    #[test]
+    fn health_reports_ok_then_refuses_during_drain() {
+        let state = test_state("health");
+        let (resp, close) = handle_request(&state, "{\"cmd\":\"health\"}");
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{}", resp);
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+        assert!(resp.get("uptime_s").and_then(Json::as_f64).is_some());
+        assert!(!close);
+
+        state.shutdown.store(true, Ordering::SeqCst);
+        let (resp, close) = handle_request(&state, "{\"cmd\":\"health\"}");
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{}", resp);
+        assert_eq!(
+            resp.get("status").and_then(Json::as_str),
+            Some("shutting_down")
+        );
+        assert!(close);
+        // Non-health commands are refused too while draining.
+        let (resp, close) = handle_request(&state, "{\"cmd\":\"list_models\"}");
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        assert!(close);
+    }
+
+    #[test]
+    fn metrics_exposition_is_flat_text() {
+        let state = test_state("metrics");
+        let (resp, _) = handle_request(&state, "{\"cmd\":\"metrics\"}");
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{}", resp);
+        let text = resp.get("metrics").and_then(Json::as_str).unwrap();
+        assert!(text.contains("emod_serve_up 1"), "{}", text);
+        assert!(text.contains("emod_serve_uptime_seconds "), "{}", text);
+        for line in text.lines() {
+            let (name, value) = line.rsplit_once(' ').expect(line);
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "{}", line);
+        }
     }
 
     #[test]
     fn list_models_on_empty_registry() {
-        let reg = empty_registry();
-        let shutdown = AtomicBool::new(false);
-        let (resp, _) = handle_request(&reg, &shutdown, "{\"cmd\":\"list_models\"}");
+        let state = test_state("list");
+        let (resp, _) = handle_request(&state, "{\"cmd\":\"list_models\"}");
         assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
         assert_eq!(resp.get("count").and_then(Json::as_u64), Some(0));
     }
 
     #[test]
     fn predict_without_model_reports_selector_help() {
-        let reg = empty_registry();
-        let shutdown = AtomicBool::new(false);
-        let (resp, _) = handle_request(&reg, &shutdown, "{\"cmd\":\"predict\",\"point\":[1]}");
+        let state = test_state("predict");
+        let (resp, _) = handle_request(&state, "{\"cmd\":\"predict\",\"point\":[1]}");
         let msg = resp.get("error").and_then(Json::as_str).unwrap();
         assert!(msg.contains("workload"), "{}", msg);
     }

@@ -1,0 +1,230 @@
+//! Observability integration test: a real TCP server under concurrent
+//! clients, asserting on the access-log JSONL stream (unique per-request
+//! trace ids), the `stats` latency percentiles, `health` before and after
+//! shutdown begins, `metrics` exposition, and the bad-request counter.
+//!
+//! This lives in its own test binary (own process) because it installs a
+//! process-global telemetry sink.
+
+use emod_serve::json::Json;
+use emod_serve::registry::ModelRegistry;
+use emod_serve::server::Server;
+use emod_telemetry as telemetry;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn request(&mut self, body: &str) -> Json {
+        self.try_request(body).expect("response line")
+    }
+
+    /// Sends one request; `None` when the server closed the connection
+    /// instead of responding (possible mid-drain).
+    fn try_request(&mut self, body: &str) -> Option<Json> {
+        writeln!(self.writer, "{}", body).ok()?;
+        self.writer.flush().ok()?;
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) | Err(_) => None,
+            Ok(_) => Some(Json::parse(line.trim()).unwrap()),
+        }
+    }
+}
+
+#[test]
+fn concurrent_clients_traced_stats_health_metrics() {
+    let dir = std::env::temp_dir().join(format!("emod-serve-obs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = Arc::new(ModelRegistry::open(&dir).unwrap());
+
+    // Capture the JSONL stream in memory: every request must show up as a
+    // `serve.access` event with its own trace id.
+    let sink = telemetry::MemorySink::new();
+    telemetry::set_sink(Box::new(sink.clone()));
+
+    let server = Server::bind(Arc::clone(&registry), "127.0.0.1:0", 3).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+
+    // Three clients in flight at once, synchronized so their requests
+    // overlap; each sends a mix of good and garbage lines.
+    const CLIENTS: usize = 3;
+    const ROUNDS: usize = 4;
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let mut joins = Vec::new();
+    for c in 0..CLIENTS {
+        let barrier = Arc::clone(&barrier);
+        joins.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr);
+            barrier.wait();
+            for _ in 0..ROUNDS {
+                let listed = client.request("{\"cmd\":\"list_models\"}");
+                assert_eq!(listed.get("ok"), Some(&Json::Bool(true)), "{}", listed);
+                let health = client.request("{\"cmd\":\"health\"}");
+                assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+            }
+            if c == 0 {
+                // Garbage: not JSON at all, and an unknown command. Both
+                // must produce error responses, not dropped connections.
+                let bad = client.request("this is not json {{{");
+                assert_eq!(bad.get("ok"), Some(&Json::Bool(false)));
+                let unknown = client.request("{\"cmd\":\"frobnicate\"}");
+                assert_eq!(unknown.get("ok"), Some(&Json::Bool(false)));
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+
+    let mut client = Client::connect(addr);
+
+    // stats: per-command latency percentiles, uptime, and the bad-request
+    // counter covering the two garbage lines above.
+    let stats = client.request("{\"cmd\":\"stats\"}");
+    assert_eq!(stats.get("ok"), Some(&Json::Bool(true)), "{}", stats);
+    assert!(stats.get("uptime_s").and_then(Json::as_f64).unwrap() >= 0.0);
+    assert!(stats.get("in_flight").and_then(Json::as_u64).unwrap() >= 1);
+    let counters = stats.get("counters").unwrap();
+    let bad = counters
+        .get("serve.requests.bad")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert!(bad >= 2, "bad-request counter saw {}", bad);
+    let total = counters
+        .get("serve.requests.total")
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(total >= (CLIENTS * ROUNDS * 2) as u64, "total {}", total);
+    for cmd in ["list_models", "health"] {
+        let hist = stats
+            .get("histograms")
+            .and_then(|h| h.get(&format!("serve.latency_us.{}", cmd)))
+            .unwrap_or_else(|| panic!("no latency histogram for {}: {}", cmd, stats));
+        for p in ["p50", "p95", "p99"] {
+            let v = hist.get(p).and_then(Json::as_f64);
+            assert!(v.is_some_and(|v| v > 0.0), "{} {} = {:?}", cmd, p, v);
+        }
+        let (p50, p99) = (
+            hist.get("p50").and_then(Json::as_f64).unwrap(),
+            hist.get("p99").and_then(Json::as_f64).unwrap(),
+        );
+        assert!(p50 <= p99, "{}: p50 {} > p99 {}", cmd, p50, p99);
+    }
+
+    // metrics: flat text exposition with per-command series.
+    let metrics = client.request("{\"cmd\":\"metrics\"}");
+    assert_eq!(metrics.get("ok"), Some(&Json::Bool(true)));
+    let text = metrics
+        .get("metrics")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    assert!(text.contains("emod_serve_requests_total "), "{}", text);
+    assert!(
+        text.contains("emod_serve_command_requests_total{cmd=\"list_models\"}"),
+        "{}",
+        text
+    );
+    assert!(
+        text.contains("emod_serve_command_latency_us{cmd=\"health\",quantile=\"0.5\"}"),
+        "{}",
+        text
+    );
+    assert!(text.contains("emod_serve_requests_bad_total "), "{}", text);
+
+    // health is ok before shutdown begins…
+    let health = client.request("{\"cmd\":\"health\"}");
+    assert_eq!(health.get("ok"), Some(&Json::Bool(true)));
+
+    // …then a second client starts the drain, and the still-open first
+    // connection is refused: either an explicit shutting_down response or
+    // an immediate close, never a normal "ok" answer.
+    let mut stopper = Client::connect(addr);
+    let bye = stopper.request("{\"cmd\":\"shutdown\"}");
+    assert_eq!(bye.get("ok"), Some(&Json::Bool(true)));
+    // `None` means the connection was already torn down by the drain,
+    // which counts as a refusal too.
+    if let Some(resp) = client.try_request("{\"cmd\":\"health\"}") {
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{}", resp);
+        assert_eq!(
+            resp.get("status").and_then(Json::as_str),
+            Some("shutting_down")
+        );
+    }
+    handle.join().unwrap();
+
+    // Access log: one event per request, each with a unique trace id and
+    // the owning connection's id.
+    let access: Vec<Json> = sink
+        .lines()
+        .iter()
+        .filter_map(|l| Json::parse(l).ok())
+        .filter(|v| {
+            v.get("kind").and_then(Json::as_str) == Some("event")
+                && v.get("name").and_then(Json::as_str) == Some("access")
+        })
+        .collect();
+    assert!(
+        access.len() >= CLIENTS * ROUNDS * 2 + 2,
+        "only {} access events",
+        access.len()
+    );
+    let mut traces = std::collections::HashSet::new();
+    let mut conns = std::collections::HashSet::new();
+    for ev in &access {
+        let fields = ev.get("fields").unwrap();
+        let trace = fields.get("trace").and_then(Json::as_str).unwrap();
+        assert_eq!(trace.len(), 16, "trace id {:?}", trace);
+        assert!(
+            traces.insert(trace.to_string()),
+            "duplicate trace {}",
+            trace
+        );
+        // The event's own trace_id tag matches the access field.
+        assert_eq!(ev.get("trace_id").and_then(Json::as_str), Some(trace));
+        conns.insert(
+            fields
+                .get("conn")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string(),
+        );
+        assert!(fields.get("latency_us").and_then(Json::as_f64).unwrap() >= 0.0);
+        assert!(fields.get("bytes_out").and_then(Json::as_u64).unwrap() > 0);
+    }
+    assert!(conns.len() >= CLIENTS, "conn ids {:?}", conns);
+
+    // And every request span carries the same trace ids the access log
+    // announced.
+    let span_traces: std::collections::HashSet<String> = sink
+        .lines()
+        .iter()
+        .filter_map(|l| Json::parse(l).ok())
+        .filter(|v| {
+            v.get("kind").and_then(Json::as_str) == Some("span")
+                && v.get("name").and_then(Json::as_str) == Some("serve.request")
+        })
+        .filter_map(|v| v.get("trace_id").and_then(Json::as_str).map(String::from))
+        .collect();
+    for t in &traces {
+        assert!(span_traces.contains(t), "no serve.request span for {}", t);
+    }
+
+    telemetry::disable_and_reset();
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -163,7 +163,12 @@ fn server_round_trip_over_loopback() {
     let tuned_sel = client.request(
         "{\"cmd\":\"tune\",\"workload\":\"mcf\",\"family\":\"linear\",\"platform\":\"typical\",\"seed\":7}",
     );
-    assert_eq!(tuned_sel.get("ok"), Some(&Json::Bool(true)), "{}", tuned_sel);
+    assert_eq!(
+        tuned_sel.get("ok"),
+        Some(&Json::Bool(true)),
+        "{}",
+        tuned_sel
+    );
     assert_eq!(
         tuned_sel.get("model").and_then(Json::as_str),
         Some(id.as_str())

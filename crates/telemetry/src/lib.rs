@@ -41,9 +41,11 @@
 
 mod json;
 mod registry;
+mod trace;
 
 pub use json::Value;
 pub use registry::{HistogramSnapshot, Snapshot};
+pub use trace::TraceContext;
 
 use registry::Registry;
 use std::io::Write;
@@ -68,8 +70,15 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
+/// One open span on this thread: its full path plus, when it belongs to a
+/// trace, the (trace id, span id) pair children inherit.
+struct Frame {
+    path: String,
+    trace: Option<(u64, u64)>,
+}
+
 thread_local! {
-    static SPAN_STACK: std::cell::RefCell<Vec<String>> = const { std::cell::RefCell::new(Vec::new()) };
+    static SPAN_STACK: std::cell::RefCell<Vec<Frame>> = const { std::cell::RefCell::new(Vec::new()) };
 }
 
 /// Whether telemetry is recording. One relaxed atomic load — instrumented
@@ -227,7 +236,9 @@ pub fn observe(name: &str, v: f64) {
 /// Emits a structured event: bumps `events.<subsystem>.<name>` and, when a
 /// sink is installed, streams one JSONL object
 /// `{"ts_us":…,"kind":"event","subsystem":…,"name":…,"fields":{…}}`.
-/// No-op while disabled.
+/// When the calling thread is inside a traced span, the object also
+/// carries that span's `"trace_id"`, so access logs and per-request events
+/// correlate with their trace. No-op while disabled.
 pub fn event(subsystem: &str, name: &str, fields: &[(&str, Value)]) {
     if !enabled() {
         return;
@@ -237,6 +248,7 @@ pub fn event(subsystem: &str, name: &str, fields: &[(&str, Value)]) {
         reg.counter_add(&format!("events.{}.{}", subsystem, name), 1);
     }
     if sink().lock().unwrap().is_some() {
+        let trace = SPAN_STACK.with(|stack| stack.borrow().last().and_then(|f| f.trace));
         let mut line = String::with_capacity(128);
         line.push_str("{\"ts_us\":");
         line.push_str(&now_us().to_string());
@@ -244,6 +256,10 @@ pub fn event(subsystem: &str, name: &str, fields: &[(&str, Value)]) {
         json::write_str(&mut line, subsystem);
         line.push_str(",\"name\":");
         json::write_str(&mut line, name);
+        if let Some((trace_id, _)) = trace {
+            line.push_str(",\"trace_id\":");
+            json::write_str(&mut line, &trace::hex(trace_id));
+        }
         line.push_str(",\"fields\":");
         json::write_fields(&mut line, fields);
         line.push('}');
@@ -263,43 +279,157 @@ pub fn table_push(table: &str, row: String) {
 /// Opens a hierarchical timing span. The guard records wall time into the
 /// histogram `span.<path>` when dropped, where `<path>` is this span's name
 /// nested under any enclosing spans on the same thread
-/// (`builder.round/measure/…`). When a sink is installed, span close also
-/// streams a JSONL object. Returns an inert guard while disabled.
+/// (`builder.round/measure/…`). When the enclosing span belongs to a trace
+/// (see [`trace_root`] / [`span_in`]) the new span joins it: same
+/// `trace_id`, fresh `span_id`, `parent_id` = the enclosing span. When a
+/// sink is installed, span close also streams a JSONL object. Returns an
+/// inert guard while disabled.
 pub fn span(name: &str) -> SpanGuard {
     if !enabled() {
         return SpanGuard { live: None };
     }
-    let path = SPAN_STACK.with(|stack| {
+    open_span(name, SpanParent::Inherit)
+}
+
+/// Opens a span that starts a **new trace**: a fresh `trace_id` that every
+/// nested [`span`] (and any span opened from a handed-off
+/// [`current_context`] via [`span_in`]) will share. Use one trace root per
+/// unit of work — a server request, a bench experiment, a model fit.
+pub fn trace_root(name: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { live: None };
+    }
+    open_span(name, SpanParent::NewTrace)
+}
+
+/// Opens a span under an **explicit** parent context, stitching work done
+/// on this thread into the parent's trace even though the parent span
+/// lives on another thread. The span's path nests under the context's
+/// path, so cross-thread spans aggregate consistently in the flame table.
+pub fn span_in(name: &str, parent: &TraceContext) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { live: None };
+    }
+    open_span(name, SpanParent::Explicit(parent.clone()))
+}
+
+/// A handle to the calling thread's innermost traced span, for handing to
+/// spawned threads (see [`span_in`]). `None` when the thread is not inside
+/// a traced span (no [`trace_root`] ancestor) or telemetry is disabled.
+pub fn current_context() -> Option<TraceContext> {
+    if !enabled() {
+        return None;
+    }
+    SPAN_STACK.with(|stack| {
+        let stack = stack.borrow();
+        let frame = stack.last()?;
+        let (trace_id, span_id) = frame.trace?;
+        Some(TraceContext {
+            trace_id,
+            span_id,
+            path: frame.path.clone(),
+        })
+    })
+}
+
+enum SpanParent {
+    /// Nest under the thread's innermost span (trace inherited if any).
+    Inherit,
+    /// Start a fresh trace regardless of the enclosing span.
+    NewTrace,
+    /// Nest under an explicit cross-thread context.
+    Explicit(TraceContext),
+}
+
+fn open_span(name: &str, parent: SpanParent) -> SpanGuard {
+    let (path, ids) = SPAN_STACK.with(|stack| {
         let mut stack = stack.borrow_mut();
-        let path = match stack.last() {
-            Some(parent) => format!("{}/{}", parent, name),
-            None => name.to_string(),
+        let (path, ids) = match &parent {
+            SpanParent::Inherit => {
+                let path = match stack.last() {
+                    Some(f) => format!("{}/{}", f.path, name),
+                    None => name.to_string(),
+                };
+                let ids = stack
+                    .last()
+                    .and_then(|f| f.trace)
+                    .map(|(trace_id, parent_span)| (trace_id, trace::gen_id(), Some(parent_span)));
+                (path, ids)
+            }
+            SpanParent::NewTrace => {
+                let path = match stack.last() {
+                    Some(f) => format!("{}/{}", f.path, name),
+                    None => name.to_string(),
+                };
+                (path, Some((trace::gen_id(), trace::gen_id(), None)))
+            }
+            SpanParent::Explicit(ctx) => {
+                let path = if ctx.path.is_empty() {
+                    name.to_string()
+                } else {
+                    format!("{}/{}", ctx.path, name)
+                };
+                (
+                    path,
+                    Some((ctx.trace_id, trace::gen_id(), Some(ctx.span_id))),
+                )
+            }
         };
-        stack.push(path.clone());
-        path
+        stack.push(Frame {
+            path: path.clone(),
+            trace: ids.map(|(t, s, _)| (t, s)),
+        });
+        (path, ids)
     });
     SpanGuard {
-        live: Some((path, Instant::now())),
+        live: Some(LiveSpan {
+            path,
+            ids,
+            start: Instant::now(),
+            start_us: now_us(),
+        }),
     }
+}
+
+struct LiveSpan {
+    path: String,
+    /// `(trace_id, span_id, parent_span_id)` when part of a trace.
+    ids: Option<(u64, u64, Option<u64>)>,
+    start: Instant,
+    start_us: u64,
 }
 
 /// Guard for an open [`span`]; records on drop.
 #[must_use = "a span measures the scope it is bound to; dropping it immediately records ~0"]
 pub struct SpanGuard {
-    live: Option<(String, Instant)>,
+    live: Option<LiveSpan>,
+}
+
+impl SpanGuard {
+    /// The context of this span (for parenting cross-thread work), or
+    /// `None` for an inert/untraced guard.
+    pub fn context(&self) -> Option<TraceContext> {
+        let live = self.live.as_ref()?;
+        let (trace_id, span_id, _) = live.ids?;
+        Some(TraceContext {
+            trace_id,
+            span_id,
+            path: live.path.clone(),
+        })
+    }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let Some((path, start)) = self.live.take() else {
+        let Some(live) = self.live.take() else {
             return;
         };
-        let dur = start.elapsed();
+        let dur = live.start.elapsed();
         SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             debug_assert_eq!(
-                stack.last(),
-                Some(&path),
+                stack.last().map(|f| f.path.as_str()),
+                Some(live.path.as_str()),
                 "span guards dropped out of order"
             );
             stack.pop();
@@ -308,15 +438,27 @@ impl Drop for SpanGuard {
             registry()
                 .lock()
                 .unwrap()
-                .observe(&format!("span.{}", path), dur.as_nanos() as f64);
+                .observe(&format!("span.{}", live.path), dur.as_nanos() as f64);
             if sink().lock().unwrap().is_some() {
-                let mut line = String::with_capacity(96);
+                let mut line = String::with_capacity(160);
                 line.push_str("{\"ts_us\":");
                 line.push_str(&now_us().to_string());
                 line.push_str(",\"kind\":\"span\",\"name\":");
-                json::write_str(&mut line, &path);
+                json::write_str(&mut line, &live.path);
+                line.push_str(",\"start_us\":");
+                line.push_str(&live.start_us.to_string());
                 line.push_str(",\"dur_us\":");
                 line.push_str(&(dur.as_nanos() as f64 / 1000.0).to_string());
+                if let Some((trace_id, span_id, parent)) = live.ids {
+                    line.push_str(",\"trace_id\":");
+                    json::write_str(&mut line, &trace::hex(trace_id));
+                    line.push_str(",\"span_id\":");
+                    json::write_str(&mut line, &trace::hex(span_id));
+                    if let Some(parent_id) = parent {
+                        line.push_str(",\"parent_id\":");
+                        json::write_str(&mut line, &trace::hex(parent_id));
+                    }
+                }
                 line.push('}');
                 emit_line(line);
             }
@@ -342,10 +484,16 @@ pub fn summary() -> String {
 mod tests {
     use super::*;
 
-    // The registry is process-global, so exercise everything under one test
-    // lock-step to avoid cross-test interference.
+    // The registry, sink and enabled flag are process-global; every test
+    // that touches them holds this lock so the suite can run threaded.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     fn end_to_end_record_emit_summarize() {
+        let _guard = test_lock();
         disable_and_reset();
 
         // Disabled: everything is a no-op.
@@ -408,5 +556,91 @@ mod tests {
         disable_and_reset();
         assert!(!enabled());
         assert_eq!(counter_value("t.cache.hits"), 0);
+    }
+
+    /// Pulls the value of a `"key":"value"` string field out of a JSONL
+    /// line (the telemetry writer never emits spaces around colons).
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let tag = format!("\"{}\":\"", key);
+        let start = line.find(&tag)? + tag.len();
+        let end = line[start..].find('"')? + start;
+        Some(&line[start..end])
+    }
+
+    #[test]
+    fn trace_root_links_nested_spans_and_events() {
+        let _guard = test_lock();
+        disable_and_reset();
+        let sink = MemorySink::new();
+        set_sink(Box::new(sink.clone()));
+
+        {
+            let root = trace_root("req");
+            let root_ctx = root.context().unwrap();
+            {
+                let _child = span("work");
+                event("t", "probe", &[("n", 1u64.into())]);
+            }
+            // The untraced-span path still works: a plain span on a thread
+            // with no trace root carries no ids.
+            assert_eq!(root_ctx.path(), "req");
+        }
+        {
+            let _plain = span("untraced");
+        }
+
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 4, "{:?}", lines);
+        let (event_line, child_line, root_line, plain_line) =
+            (&lines[0], &lines[1], &lines[2], &lines[3]);
+        let root_trace = field(root_line, "trace_id").unwrap();
+        let root_span = field(root_line, "span_id").unwrap();
+        assert!(field(root_line, "parent_id").is_none(), "{}", root_line);
+        // Child: same trace, parented on the root span, nested path.
+        assert_eq!(field(child_line, "trace_id"), Some(root_trace));
+        assert_eq!(field(child_line, "parent_id"), Some(root_span));
+        assert_eq!(field(child_line, "name"), Some("req/work"));
+        assert_ne!(field(child_line, "span_id"), Some(root_span));
+        // The event inside the traced span carries the trace id.
+        assert_eq!(field(event_line, "trace_id"), Some(root_trace));
+        // Untraced span: no ids at all.
+        assert!(field(plain_line, "trace_id").is_none(), "{}", plain_line);
+        assert!(root_line.contains("\"start_us\":"), "{}", root_line);
+
+        disable_and_reset();
+    }
+
+    #[test]
+    fn cross_thread_span_in_stitches_into_parent_trace() {
+        let _guard = test_lock();
+        disable_and_reset();
+        let sink = MemorySink::new();
+        set_sink(Box::new(sink.clone()));
+
+        let (root_trace, root_span) = {
+            let root = trace_root("fit");
+            let ctx = current_context().expect("inside a traced span");
+            let handle = std::thread::spawn(move || {
+                // The spawned thread has an empty span stack; the explicit
+                // context parents this span into the caller's trace.
+                let worker = span_in("worker", &ctx);
+                let nested_ctx = current_context().unwrap();
+                drop(worker);
+                nested_ctx
+            });
+            let worker_ctx = handle.join().unwrap();
+            let root_ctx = root.context().unwrap();
+            assert_eq!(worker_ctx.trace_hex(), root_ctx.trace_hex());
+            (root_ctx.trace_hex(), root_ctx.span_hex())
+        };
+
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 2, "{:?}", lines);
+        let worker_line = &lines[0];
+        assert_eq!(field(worker_line, "name"), Some("fit/worker"));
+        assert_eq!(field(worker_line, "trace_id"), Some(root_trace.as_str()));
+        assert_eq!(field(worker_line, "parent_id"), Some(root_span.as_str()));
+
+        disable_and_reset();
     }
 }

@@ -4,9 +4,35 @@
 
 use std::collections::BTreeMap;
 
-/// Streaming histogram: count / sum / min / max. Enough to report mean and
-/// extremes for span durations and error distributions without storing
-/// samples.
+/// Number of fixed log-scale buckets per histogram (see
+/// [`HistogramSnapshot::quantile`]).
+pub const HIST_BUCKETS: usize = 320;
+
+/// Buckets per power of two: bucket boundaries are quarter-octaves
+/// (`2^(1/4)` apart), giving ≤ ~9% relative quantile error.
+const BUCKETS_PER_OCTAVE: f64 = 4.0;
+
+/// Bucket 0's lower bound is `2^-32` (≪ any duration or rate we record);
+/// bucket `HIST_BUCKETS-1` absorbs everything from `2^~48` up.
+const BUCKET_OFFSET: i64 = 128;
+
+fn bucket_index(v: f64) -> usize {
+    if v <= 0.0 || !v.is_finite() {
+        return 0;
+    }
+    let idx = (v.log2() * BUCKETS_PER_OCTAVE).floor() as i64 + BUCKET_OFFSET;
+    idx.clamp(0, HIST_BUCKETS as i64 - 1) as usize
+}
+
+/// Geometric midpoint of bucket `i` — the representative value a quantile
+/// that lands in this bucket reports.
+fn bucket_mid(i: usize) -> f64 {
+    2f64.powf((i as f64 - BUCKET_OFFSET as f64 + 0.5) / BUCKETS_PER_OCTAVE)
+}
+
+/// Streaming histogram: exact count / sum / min / max plus fixed
+/// quarter-octave log-scale buckets, so p50/p95/p99 come out of a few
+/// kilobytes of state without storing samples.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSnapshot {
     /// Number of observations.
@@ -17,6 +43,9 @@ pub struct HistogramSnapshot {
     pub min: f64,
     /// Largest observation.
     pub max: f64,
+    /// Log-scale bucket counts ([`HIST_BUCKETS`] entries; non-positive
+    /// observations land in bucket 0).
+    buckets: Vec<u64>,
 }
 
 impl HistogramSnapshot {
@@ -26,6 +55,7 @@ impl HistogramSnapshot {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            buckets: vec![0; HIST_BUCKETS],
         }
     }
 
@@ -34,6 +64,7 @@ impl HistogramSnapshot {
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += 1;
     }
 
     /// Mean of observations (0 when empty).
@@ -43,6 +74,24 @@ impl HistogramSnapshot {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`, nearest-rank over the
+    /// log-scale buckets, clamped to the observed `[min, max]`). `None`
+    /// when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_mid(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
     }
 }
 
@@ -170,12 +219,26 @@ impl Registry {
             out.push_str("\nspans (wall time):\n");
             let width = spans.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
             for (name, h) in spans {
+                if h.count == 0 {
+                    // An empty histogram has min=+inf/max=-inf sentinels;
+                    // render a placeholder rather than "-inf".
+                    out.push_str(&format!(
+                        "  {:<width$}  count      0  -\n",
+                        name,
+                        width = width
+                    ));
+                    continue;
+                }
+                let q = |q: f64| fmt_ns(h.quantile(q).unwrap_or(0.0));
                 out.push_str(&format!(
-                    "  {:<width$}  count {:>6}  total {:>10}  mean {:>10}  max {:>10}\n",
+                    "  {:<width$}  count {:>6}  total {:>10}  mean {:>10}  p50 {:>10}  p95 {:>10}  p99 {:>10}  max {:>10}\n",
                     name,
                     h.count,
                     fmt_ns(h.sum),
                     fmt_ns(h.mean()),
+                    q(0.50),
+                    q(0.95),
+                    q(0.99),
                     fmt_ns(h.max),
                     width = width
                 ));
@@ -185,12 +248,22 @@ impl Registry {
             out.push_str("\nhistograms:\n");
             let width = plain.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
             for (name, h) in plain {
+                if h.count == 0 {
+                    out.push_str(&format!(
+                        "  {:<width$}  count      0  -\n",
+                        name,
+                        width = width
+                    ));
+                    continue;
+                }
                 out.push_str(&format!(
-                    "  {:<width$}  count {:>6}  mean {:>12.6}  min {:>12.6}  max {:>12.6}\n",
+                    "  {:<width$}  count {:>6}  mean {:>12.6}  min {:>12.6}  p50 {:>12.6}  p95 {:>12.6}  max {:>12.6}\n",
                     name,
                     h.count,
                     h.mean(),
                     h.min,
+                    h.quantile(0.50).unwrap_or(0.0),
+                    h.quantile(0.95).unwrap_or(0.0),
                     h.max,
                     width = width
                 ));
@@ -234,6 +307,44 @@ mod tests {
         assert_eq!(h.min, 2.0);
         assert_eq!(h.max, 9.0);
         assert!((h.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_from_log_buckets_are_close() {
+        let mut h = HistogramSnapshot::new();
+        for v in 1..=1000 {
+            h.observe(v as f64);
+        }
+        // Quarter-octave buckets bound the relative error by 2^(1/4)-1 ≈ 19%
+        // worst-case; check well within that.
+        for (q, expect) in [(0.5, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let got = h.quantile(q).unwrap();
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 0.2, "q{} = {} (expect ~{})", q, got, expect);
+        }
+        // Single observation: quantiles clamp to the exact value.
+        let mut one = HistogramSnapshot::new();
+        one.observe(42.0);
+        assert_eq!(one.quantile(0.5), Some(42.0));
+        assert_eq!(one.quantile(0.99), Some(42.0));
+        // Non-positive observations are representable (bucket 0).
+        let mut neg = HistogramSnapshot::new();
+        neg.observe(-3.0);
+        assert_eq!(neg.quantile(0.5), Some(-3.0));
+    }
+
+    #[test]
+    fn empty_histogram_renders_placeholder_not_inf() {
+        let mut reg = Registry::default();
+        reg.histograms
+            .insert("span.idle".to_string(), HistogramSnapshot::new());
+        reg.histograms
+            .insert("plain.idle".to_string(), HistogramSnapshot::new());
+        assert_eq!(reg.histograms["span.idle"].quantile(0.5), None);
+        let s = reg.render_summary();
+        assert!(s.contains("span.idle"), "{}", s);
+        assert!(s.contains("count      0  -"), "{}", s);
+        assert!(!s.contains("inf"), "no -inf/inf leakage: {}", s);
     }
 
     #[test]

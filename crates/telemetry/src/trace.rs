@@ -1,0 +1,118 @@
+//! Trace contexts: process-unique ids that stitch spans opened on
+//! different threads into one logical trace in the JSONL stream.
+//!
+//! A [`TraceContext`] is a small, cloneable handle naming a point in a
+//! trace: the trace id (shared by every span of one unit of work), the id
+//! of the span it was captured inside (the parent for anything opened
+//! under it), and that span's path prefix. Handing a context to a spawned
+//! thread and opening spans with [`crate::span_in`] makes the child spans
+//! serialize with the parent's `trace_id` and correct `parent_id`/path
+//! even though the thread-local span stack over there is empty.
+//!
+//! Ids are 64-bit, rendered as 16-digit lower-case hex. They mix a
+//! per-process seed (wall clock ⊕ pid) with a global counter through
+//! SplitMix64, so ids are unique within a process and collide across
+//! processes only with negligible probability — good enough to merge
+//! JSONL files from several runs into one analyzer invocation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// A point in a trace that spans can be parented under, typically captured
+/// with [`crate::current_context`] on one thread and moved into another.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceContext {
+    pub(crate) trace_id: u64,
+    pub(crate) span_id: u64,
+    pub(crate) path: String,
+}
+
+impl TraceContext {
+    /// A fresh root context: new trace id, no enclosing span path. Useful
+    /// for tagging a unit of work (e.g. a server connection) that is not
+    /// itself a span.
+    pub fn fresh() -> TraceContext {
+        TraceContext {
+            trace_id: gen_id(),
+            span_id: gen_id(),
+            path: String::new(),
+        }
+    }
+
+    /// The trace id as 16 hex digits.
+    pub fn trace_hex(&self) -> String {
+        hex(self.trace_id)
+    }
+
+    /// The id of the span this context was captured in, as 16 hex digits.
+    pub fn span_hex(&self) -> String {
+        hex(self.span_id)
+    }
+
+    /// The span path prefix children opened under this context nest below.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A new process-unique nonzero id.
+pub(crate) fn gen_id() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    static SEED: OnceLock<u64> = OnceLock::new();
+    let seed = *SEED.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5EED);
+        nanos ^ ((std::process::id() as u64) << 32)
+    });
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let id = splitmix64(seed ^ splitmix64(n));
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+/// Renders an id as 16 lower-case hex digits.
+pub(crate) fn hex(id: u64) -> String {
+    format!("{:016x}", id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = gen_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "duplicate id {:#x}", id);
+        }
+    }
+
+    #[test]
+    fn hex_is_16_digits() {
+        assert_eq!(hex(0xab), "00000000000000ab");
+        assert_eq!(hex(u64::MAX), "ffffffffffffffff");
+    }
+
+    #[test]
+    fn fresh_contexts_get_distinct_traces() {
+        let a = TraceContext::fresh();
+        let b = TraceContext::fresh();
+        assert_ne!(a.trace_id, b.trace_id);
+        assert_eq!(a.path(), "");
+        assert_eq!(a.trace_hex().len(), 16);
+    }
+}
