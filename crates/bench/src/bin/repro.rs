@@ -109,6 +109,14 @@ fn main() {
     if stats {
         telemetry::enable();
     }
+    match emod_faults::init_from_env() {
+        Ok(true) => eprintln!("# fault injection active ({} set)", emod_faults::FAULTS_ENV),
+        Ok(false) => {}
+        Err(e) => {
+            eprintln!("error: {}: {}", emod_faults::FAULTS_ENV, e);
+            std::process::exit(2);
+        }
+    }
     let mut session = Session::from_env();
     println!(
         "# scale: {} (set EMOD_SCALE=quick|reduced|paper)",

@@ -1,15 +1,27 @@
 //! The iterative model-building loop of the paper's Figure 1.
+//!
+//! Failure policy (DESIGN.md §10): each design-point measurement is retried
+//! with exponential backoff (`EMOD_MEASURE_RETRIES`, default 2 retries)
+//! and a point that keeps failing is **quarantined** — dropped from the
+//! design with a telemetry event — so one poison point cannot abort a
+//! campaign of hundreds.
 
 use crate::measure::{Measurer, Metric};
 use crate::model::{ModelFamily, SurrogateModel};
 use crate::vars::design_space;
 use emod_doe::{lhs, DOptimal, DesignPoint, ModelSpec, ParameterSpace};
+use emod_faults as faults;
 use emod_models::{metrics, Dataset, ModelError, Regressor};
 use emod_telemetry as telemetry;
 use emod_uarch::SampleConfig;
 use emod_workloads::{InputSet, Workload};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Duration;
+
+/// Environment variable: retries per failing design-point measurement
+/// before the point is quarantined (default 2).
+pub const MEASURE_RETRIES_ENV: &str = "EMOD_MEASURE_RETRIES";
 
 /// Model-building parameters: design sizes, iteration policy, sampling.
 #[derive(Debug, Clone)]
@@ -142,6 +154,10 @@ pub struct ModelBuilder {
     /// (exactly how the paper compares the three techniques).
     train_points: Vec<DesignPoint>,
     test_points: Vec<DesignPoint>,
+    /// Retries per failing measurement before quarantining the point.
+    measure_retries: u32,
+    /// Design points dropped after exhausting their retries.
+    quarantined_points: Vec<DesignPoint>,
 }
 
 impl std::fmt::Debug for ModelBuilder {
@@ -154,15 +170,35 @@ impl std::fmt::Debug for ModelBuilder {
 }
 
 impl ModelBuilder {
-    /// Creates a builder for `workload` on `set`.
+    /// Creates a builder for `workload` on `set`. The per-point retry
+    /// budget comes from `EMOD_MEASURE_RETRIES` (default 2).
     pub fn new(workload: &'static Workload, set: InputSet, config: BuildConfig) -> Self {
+        let measure_retries = std::env::var(MEASURE_RETRIES_ENV)
+            .ok()
+            .and_then(|s| s.trim().parse::<u32>().ok())
+            .unwrap_or(2);
         ModelBuilder {
             measurer: Measurer::new(workload, set, config.sample),
             space: design_space(),
             config,
             train_points: Vec::new(),
             test_points: Vec::new(),
+            measure_retries,
+            quarantined_points: Vec::new(),
         }
+    }
+
+    /// Overrides the per-point retry budget (tests; production uses
+    /// `EMOD_MEASURE_RETRIES`).
+    pub fn with_measure_retries(mut self, retries: u32) -> Self {
+        self.measure_retries = retries;
+        self
+    }
+
+    /// Design points quarantined so far (dropped after exhausting their
+    /// retries).
+    pub fn quarantined_points(&self) -> &[DesignPoint] {
+        &self.quarantined_points
     }
 
     /// The design space in use.
@@ -191,14 +227,76 @@ impl ModelBuilder {
         self.test_points = lhs(&self.space, self.config.test_size, &mut rng);
     }
 
-    fn measured_dataset(&mut self, points: &[DesignPoint]) -> Dataset {
+    /// Measures every point, retrying failures with backoff and
+    /// quarantining points that exhaust their retries. Returns the dataset
+    /// of surviving points plus the indices (into `points`) that were
+    /// dropped, so callers can prune their design.
+    fn measured_dataset(&mut self, points: &[DesignPoint]) -> (Dataset, Vec<usize>) {
         let metric = self.config.metric;
-        let xs: Vec<Vec<f64>> = points.iter().map(|p| self.space.encode(p)).collect();
-        let ys: Vec<f64> = points
-            .iter()
-            .map(|p| self.measurer.measure_metric(p, metric))
-            .collect();
-        Dataset::new(xs, ys).expect("design points are well-formed")
+        let attempts = 1 + self.measure_retries;
+        let mut xs = Vec::with_capacity(points.len());
+        let mut ys = Vec::with_capacity(points.len());
+        let mut dropped = Vec::new();
+        for (i, p) in points.iter().enumerate() {
+            let seed = self
+                .config
+                .seed
+                .wrapping_add((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let measurer = &mut self.measurer;
+            let outcome = faults::retry_with_backoff(
+                attempts,
+                Duration::from_millis(25),
+                Duration::from_millis(250),
+                seed,
+                |_attempt| measurer.try_measure_metric(p, metric),
+            );
+            match outcome {
+                Ok(y) => {
+                    xs.push(self.space.encode(p));
+                    ys.push(y);
+                }
+                Err(e) => {
+                    dropped.push(i);
+                    self.quarantined_points.push(p.clone());
+                    telemetry::counter_add("core.measure.points_quarantined", 1);
+                    telemetry::event(
+                        "core",
+                        "point_quarantined",
+                        &[
+                            ("workload", self.measurer.workload().name().into()),
+                            ("point_index", i.into()),
+                            ("attempts", attempts.into()),
+                            ("error", e.to_string().as_str().into()),
+                        ],
+                    );
+                    eprintln!(
+                        "emod-core: {}: design point {} quarantined after {} attempt(s): {}",
+                        self.measurer.workload().name(),
+                        i,
+                        attempts,
+                        e
+                    );
+                }
+            }
+        }
+        let data = Dataset::new(xs, ys)
+            .expect("surviving design points form a well-formed dataset (all quarantined?)");
+        (data, dropped)
+    }
+
+    /// Removes the points at `dropped` indices (indices into the design as
+    /// it was when measured) from a design.
+    fn prune(points: &mut Vec<DesignPoint>, dropped: &[usize]) {
+        if dropped.is_empty() {
+            return;
+        }
+        let dropped: std::collections::HashSet<usize> = dropped.iter().copied().collect();
+        let mut i = 0;
+        points.retain(|_| {
+            let keep = !dropped.contains(&i);
+            i += 1;
+            keep
+        });
     }
 
     /// Builds a model of `family`, running the Figure 1 loop.
@@ -210,12 +308,14 @@ impl ModelBuilder {
         let _span = telemetry::span("builder.build");
         self.ensure_designs();
         let test_points = self.test_points.clone();
-        let test = self.measured_dataset(&test_points);
+        let (test, dropped) = self.measured_dataset(&test_points);
+        Self::prune(&mut self.test_points, &dropped);
         let mut history = Vec::new();
         let mut round = 0;
         loop {
             let train_points = self.train_points.clone();
-            let train = self.measured_dataset(&train_points);
+            let (train, dropped) = self.measured_dataset(&train_points);
+            Self::prune(&mut self.train_points, &dropped);
             let fit_start = std::time::Instant::now();
             let model = {
                 let _fit_span = telemetry::span("builder.fit");
@@ -313,9 +413,11 @@ impl ModelBuilder {
     ) -> Result<(SurrogateModel, f64), ModelError> {
         self.ensure_designs();
         let test_points = self.test_points.clone();
-        let test = self.measured_dataset(&test_points);
+        let (test, dropped) = self.measured_dataset(&test_points);
+        Self::prune(&mut self.test_points, &dropped);
         let train_points: Vec<DesignPoint> = self.train_points.iter().take(n).cloned().collect();
-        let train = self.measured_dataset(&train_points);
+        let (train, dropped) = self.measured_dataset(&train_points);
+        Self::prune(&mut self.train_points, &dropped);
         let model = SurrogateModel::fit(&train, family)?;
         let preds = model.predict_batch(test.points());
         let mape = metrics::mape(&preds, test.responses());

@@ -38,6 +38,7 @@
 //! ```
 
 pub mod builder;
+pub mod checkpoint;
 pub mod interpret;
 pub mod measure;
 pub mod model;
@@ -45,6 +46,7 @@ pub mod tune;
 pub mod vars;
 
 pub use builder::{BuildConfig, BuiltModel, ModelBuilder};
-pub use measure::{Measurer, Metric};
+pub use checkpoint::{Checkpoint, CHECKPOINT_ENV};
+pub use measure::{MeasureError, Measurer, Metric};
 pub use model::{ModelFamily, SurrogateModel};
 pub use vars::{decode_point, design_space, DesignPointExt};

@@ -1,8 +1,18 @@
 //! Response measurement: compile at a design point's flags, simulate at its
 //! microarchitecture, return cycles.
+//!
+//! Failure handling (DESIGN.md §10): the `try_measure*` methods return a
+//! [`MeasureError`] instead of panicking — simulator faults, checksum
+//! mismatches, injected faults (probe `sim.run`) and panics inside the
+//! measurement stack are all captured. With `EMOD_CHECKPOINT` set, every
+//! fresh simulation is streamed to a JSONL checkpoint
+//! ([`crate::checkpoint::Checkpoint`]) so a killed campaign resumes
+//! bit-identically.
 
+use crate::checkpoint::{Checkpoint, CHECKPOINT_ENV};
 use crate::vars::{decode_point, encode_point};
 use emod_compiler::OptConfig;
+use emod_faults as faults;
 use emod_isa::Program;
 use emod_telemetry as telemetry;
 use emod_uarch::{simulate_sampled, SampleConfig, UarchConfig};
@@ -38,6 +48,50 @@ impl Metric {
     }
 }
 
+/// Why a measurement failed. The campaign layer retries these with backoff
+/// and quarantines design points that keep failing (see
+/// [`crate::builder::ModelBuilder`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeasureError {
+    /// An injected fault fired at the `sim.run` probe.
+    Injected(String),
+    /// The simulator itself faulted.
+    Sim(String),
+    /// The binary ran but produced the wrong checksum — a miscompile.
+    ChecksumMismatch {
+        /// Workload whose output diverged.
+        workload: String,
+        /// Reference checksum for the input set.
+        expected: i64,
+        /// Checksum the simulated binary produced.
+        actual: i64,
+    },
+    /// A panic inside the compile/simulate stack, caught at the
+    /// measurement boundary.
+    Panicked(String),
+}
+
+impl std::fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeasureError::Injected(msg) => write!(f, "injected fault: {}", msg),
+            MeasureError::Sim(msg) => write!(f, "simulation faulted: {}", msg),
+            MeasureError::ChecksumMismatch {
+                workload,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{}: checksum mismatch (expected {:#x}, got {:#x})",
+                workload, expected, actual
+            ),
+            MeasureError::Panicked(msg) => write!(f, "measurement panicked: {}", msg),
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
 /// Measures execution time (in cycles) at design points for one
 /// program/input pair, with caching.
 ///
@@ -51,6 +105,7 @@ pub struct Measurer {
     sample: SampleConfig,
     binaries: HashMap<Vec<u64>, Program>,
     responses: HashMap<Vec<u64>, u64>, // f64 value bits, keyed by point+metric
+    checkpoint: Option<Checkpoint>,
     measurements: u64,
     last_rel_error: Option<f64>,
     rel_error_warnings: u64,
@@ -71,18 +126,73 @@ fn quantize(values: &[f64]) -> Vec<u64> {
 }
 
 impl Measurer {
-    /// Creates a measurer for a workload/input pair.
+    /// Creates a measurer for a workload/input pair. When `EMOD_CHECKPOINT`
+    /// names a directory, a JSONL checkpoint is attached: previously
+    /// measured responses seed the cache and fresh ones stream to disk.
     pub fn new(workload: &'static Workload, set: InputSet, sample: SampleConfig) -> Self {
-        Measurer {
+        let mut m = Measurer {
             workload,
             set,
             sample,
             binaries: HashMap::new(),
             responses: HashMap::new(),
+            checkpoint: None,
             measurements: 0,
             last_rel_error: None,
             rel_error_warnings: 0,
+        };
+        if let Ok(dir) = std::env::var(CHECKPOINT_ENV) {
+            if !dir.is_empty() {
+                m.attach_checkpoint(std::path::Path::new(&dir));
+            }
         }
+        m
+    }
+
+    /// Attaches (or replaces) a measurement checkpoint rooted at `dir`,
+    /// seeding the response cache with any entries recovered from a
+    /// previous run. Open failures disable checkpointing with a warning —
+    /// durability loss must not abort a campaign.
+    pub fn attach_checkpoint(&mut self, dir: &std::path::Path) {
+        let set_name = format!("{:?}", self.set).to_lowercase();
+        match Checkpoint::open(dir, self.workload.name(), &set_name, &self.sample) {
+            Ok((ck, entries)) => {
+                let loaded = entries.len() as u64;
+                for (key, bits) in entries {
+                    self.responses.insert(key, bits);
+                }
+                if loaded > 0 {
+                    telemetry::counter_add("core.measure.checkpoint.loaded", loaded);
+                    telemetry::event(
+                        "core",
+                        "checkpoint_resumed",
+                        &[
+                            ("workload", self.workload.name().into()),
+                            ("entries", loaded.into()),
+                        ],
+                    );
+                    eprintln!(
+                        "emod-core: resumed {} measurement(s) from {}",
+                        loaded,
+                        ck.path().display()
+                    );
+                }
+                self.checkpoint = Some(ck);
+            }
+            Err(e) => {
+                telemetry::counter_add("core.measure.checkpoint.open_errors", 1);
+                eprintln!(
+                    "emod-core: cannot open checkpoint under {}: {} (continuing without)",
+                    dir.display(),
+                    e
+                );
+            }
+        }
+    }
+
+    /// Responses currently cached (including any loaded from a checkpoint).
+    pub fn cached_response_count(&self) -> usize {
+        self.responses.len()
     }
 
     /// The workload being measured.
@@ -133,20 +243,56 @@ impl Measurer {
     /// # Panics
     ///
     /// Panics if simulation faults — impossible for the bundled workloads
-    /// unless the compiler is broken, which tests catch far earlier.
+    /// unless the compiler is broken, which tests catch far earlier. Fault-
+    /// tolerant callers use [`Measurer::try_measure`].
     pub fn measure(&mut self, point: &[f64]) -> u64 {
-        self.measure_metric(point, Metric::Cycles).round() as u64
+        self.try_measure(point)
+            .unwrap_or_else(|e| panic!("{}: {}", self.workload.name(), e))
+    }
+
+    /// Fallible [`Measurer::measure`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MeasureError`] on simulator faults, miscompiles, caught
+    /// panics, or injected faults.
+    pub fn try_measure(&mut self, point: &[f64]) -> Result<u64, MeasureError> {
+        Ok(self.try_measure_metric(point, Metric::Cycles)?.round() as u64)
     }
 
     /// Measures an arbitrary response metric at a design point (cached per
     /// configuration × metric).
+    ///
+    /// # Panics
+    ///
+    /// Panics on measurement failure; see [`Measurer::try_measure_metric`].
     pub fn measure_metric(&mut self, point: &[f64], metric: Metric) -> f64 {
+        self.try_measure_metric(point, metric)
+            .unwrap_or_else(|e| panic!("{}: {}", self.workload.name(), e))
+    }
+
+    /// Fallible [`Measurer::measure_metric`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MeasureError`] on simulator faults, miscompiles, caught
+    /// panics, or injected faults.
+    pub fn try_measure_metric(
+        &mut self,
+        point: &[f64],
+        metric: Metric,
+    ) -> Result<f64, MeasureError> {
         let (opt, uarch) = decode_point(point);
-        self.measure_configs_metric(&opt, &uarch, metric)
+        self.try_measure_configs_metric(&opt, &uarch, metric)
     }
 
     /// Measures cycles for explicit configurations (used for speedup
     /// evaluations at settings outside the design).
+    ///
+    /// # Panics
+    ///
+    /// Panics on measurement failure; see
+    /// [`Measurer::try_measure_configs_metric`].
     pub fn measure_configs(&mut self, opt: &OptConfig, uarch: &UarchConfig) -> u64 {
         self.measure_configs_metric(opt, uarch, Metric::Cycles)
             .round() as u64
@@ -157,45 +303,95 @@ impl Measurer {
     /// binary's -O2/-O3 baselines) and design-point measurements share one
     /// cache keyed by the canonical design values plus the metric, so the
     /// same configuration is never simulated twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics on measurement failure; see
+    /// [`Measurer::try_measure_configs_metric`].
     pub fn measure_configs_metric(
         &mut self,
         opt: &OptConfig,
         uarch: &UarchConfig,
         metric: Metric,
     ) -> f64 {
+        self.try_measure_configs_metric(opt, uarch, metric)
+            .unwrap_or_else(|e| panic!("{}: {}", self.workload.name(), e))
+    }
+
+    /// Fallible [`Measurer::measure_configs_metric`]. A fresh (non-cached)
+    /// response is appended to the attached checkpoint before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MeasureError`] on simulator faults, miscompiles, caught
+    /// panics, or injected faults. Failed measurements are not cached, so a
+    /// retry re-runs the simulation.
+    pub fn try_measure_configs_metric(
+        &mut self,
+        opt: &OptConfig,
+        uarch: &UarchConfig,
+        metric: Metric,
+    ) -> Result<f64, MeasureError> {
         let mut key = quantize(&encode_point(opt, uarch));
         key.push(metric as u64);
         if let Some(&bits) = self.responses.get(&key) {
             telemetry::counter_add("core.measure.response_cache.hits", 1);
-            return f64::from_bits(bits);
+            return Ok(f64::from_bits(bits));
         }
         telemetry::counter_add("core.measure.response_cache.misses", 1);
-        let value = self.measure_uncached(opt, uarch, metric);
-        self.responses.insert(key, value.to_bits());
-        value
+        let value = self.try_measure_uncached(opt, uarch, metric)?;
+        self.responses.insert(key.clone(), value.to_bits());
+        if let Some(ck) = self.checkpoint.as_mut() {
+            ck.record(&key, value.to_bits());
+        }
+        Ok(value)
     }
 
-    /// Compiles and simulates, with no caching. Code size is read off the
-    /// binary without simulation (and without counting as a measurement).
-    fn measure_uncached(&mut self, opt: &OptConfig, uarch: &UarchConfig, metric: Metric) -> f64 {
+    /// Compiles and simulates behind the `sim.run` fault probe and a panic
+    /// guard, with no caching.
+    fn try_measure_uncached(
+        &mut self,
+        opt: &OptConfig,
+        uarch: &UarchConfig,
+        metric: Metric,
+    ) -> Result<f64, MeasureError> {
+        // The probe sits inside the guard so injected `panic` faults are
+        // caught exactly like organic ones.
+        match faults::catch_panic(|| {
+            faults::inject("sim.run").map_err(|e| MeasureError::Injected(e.to_string()))?;
+            self.measure_uncached_inner(opt, uarch, metric)
+        }) {
+            Ok(result) => result,
+            Err(panic_msg) => Err(MeasureError::Panicked(panic_msg)),
+        }
+    }
+
+    /// Compiles and simulates. Code size is read off the binary without
+    /// simulation (and without counting as a measurement).
+    fn measure_uncached_inner(
+        &mut self,
+        opt: &OptConfig,
+        uarch: &UarchConfig,
+        metric: Metric,
+    ) -> Result<f64, MeasureError> {
         let sample = self.sample;
         let expected = self.workload.reference_checksum(self.set);
         let program = self.binary(opt).clone();
         if metric == Metric::CodeSize {
-            return (program.len() as u64 * emod_isa::INST_BYTES) as f64;
+            return Ok((program.len() as u64 * emod_isa::INST_BYTES) as f64);
         }
-        self.measurements += 1;
         let recording = telemetry::enabled();
         let start = recording.then(std::time::Instant::now);
         let res = simulate_sampled(&program, uarch, &sample)
-            .unwrap_or_else(|e| panic!("{} simulation faulted: {}", self.workload.name(), e));
-        assert_eq!(
-            res.exit_value,
-            expected,
-            "{}: checksum mismatch at {:?}",
-            self.workload.name(),
-            opt
-        );
+            .map_err(|e| MeasureError::Sim(e.to_string()))?;
+        if res.exit_value != expected {
+            return Err(MeasureError::ChecksumMismatch {
+                workload: self.workload.name().to_string(),
+                expected,
+                actual: res.exit_value,
+            });
+        }
+        self.measurements += 1;
         self.last_rel_error = Some(res.rel_error);
         if res.rel_error > REL_ERROR_WARN_THRESHOLD {
             self.rel_error_warnings += 1;
@@ -230,11 +426,11 @@ impl Measurer {
                 ],
             );
         }
-        match metric {
+        Ok(match metric {
             Metric::Cycles => res.cycles as f64,
             Metric::Energy => res.energy,
             Metric::CodeSize => unreachable!("handled above"),
-        }
+        })
     }
 }
 
@@ -351,6 +547,41 @@ mod tests {
         } else {
             assert_eq!(m.rel_error_warning_count(), 0);
         }
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let dir = std::env::temp_dir().join(format!("emod-measure-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let w = Workload::by_name("bzip2").unwrap();
+        let points = [
+            encode_point(&OptConfig::o2(), &UarchConfig::typical()),
+            encode_point(&OptConfig::o3(), &UarchConfig::constrained()),
+            encode_point(&OptConfig::o0(), &UarchConfig::aggressive()),
+        ];
+        let mut first = Measurer::new(w, InputSet::Train, fast_sample());
+        first.attach_checkpoint(&dir);
+        let cold: Vec<f64> = points
+            .iter()
+            .map(|p| first.try_measure_metric(p, Metric::Cycles).unwrap())
+            .collect();
+        assert_eq!(first.measurement_count(), 3);
+        drop(first);
+        // A fresh measurer over the same checkpoint replays the responses
+        // without simulating, bit-for-bit.
+        let mut resumed = Measurer::new(w, InputSet::Train, fast_sample());
+        resumed.attach_checkpoint(&dir);
+        assert_eq!(resumed.cached_response_count(), 3);
+        for (p, want) in points.iter().zip(&cold) {
+            let got = resumed.try_measure_metric(p, Metric::Cycles).unwrap();
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "resume must be bit-identical"
+            );
+        }
+        assert_eq!(resumed.measurement_count(), 0, "no re-simulation on resume");
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -1,0 +1,48 @@
+//! Campaign fault tolerance, end to end: injected measurement faults are
+//! retried with backoff, and points that exhaust their retries are
+//! quarantined instead of aborting the build.
+//!
+//! The fault plan is process-global, so everything lives in one `#[test]`
+//! (this file is its own test binary — no other tests share the process).
+
+use emod_core::builder::{BuildConfig, ModelBuilder};
+use emod_core::model::ModelFamily;
+use emod_faults as faults;
+use emod_workloads::{InputSet, Workload};
+
+#[test]
+fn injected_faults_are_retried_then_quarantined() {
+    let w = Workload::by_name("bzip2").unwrap();
+
+    // Two transient faults: the first design point's retry budget (2
+    // retries = 3 attempts) absorbs both, so the campaign completes whole.
+    faults::install(faults::FaultPlan::parse("io_error:sim.run:2x", 1).unwrap());
+    let mut b =
+        ModelBuilder::new(w, InputSet::Train, BuildConfig::quick(3)).with_measure_retries(2);
+    let built = b.build(ModelFamily::Linear).unwrap();
+    faults::clear();
+    assert_eq!(
+        built.test.len(),
+        12,
+        "transient faults must not drop points"
+    );
+    assert_eq!(built.train.len(), 30);
+    assert!(b.quarantined_points().is_empty());
+
+    // Four faults with no retry budget: the first four measurements — test
+    // design points, measured first — fail for good and are quarantined;
+    // the campaign still completes on the surviving design.
+    faults::install(faults::FaultPlan::parse("panic:sim.run:4x", 1).unwrap());
+    let mut b =
+        ModelBuilder::new(w, InputSet::Train, BuildConfig::quick(5)).with_measure_retries(0);
+    let built = b.build(ModelFamily::Linear).unwrap();
+    faults::clear();
+    assert_eq!(
+        built.test.len(),
+        8,
+        "4 poisoned test points must be quarantined"
+    );
+    assert_eq!(built.train.len(), 30);
+    assert_eq!(b.quarantined_points().len(), 4);
+    assert!(built.test_mape.is_finite());
+}

@@ -101,6 +101,7 @@ impl Json {
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -208,9 +209,15 @@ fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
     write!(f, "\"")
 }
 
+/// Maximum container nesting. The parser recurses once per `[`/`{`, so
+/// unbounded input like `"[".repeat(1 << 20)` would otherwise overflow the
+/// thread stack; 128 is far beyond anything the wire protocol produces.
+const MAX_DEPTH: u32 = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: u32,
 }
 
 impl<'a> Parser<'a> {
@@ -363,12 +370,25 @@ impl<'a> Parser<'a> {
             .map_err(|_| format!("bad number '{}' at byte {}", text, start))
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {} levels at byte {}",
+                MAX_DEPTH, self.pos
+            ));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -379,6 +399,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
@@ -388,10 +409,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(pairs));
         }
         loop {
@@ -407,6 +430,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(pairs));
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
@@ -486,6 +510,21 @@ mod tests {
         let src = r#"{"z":1,"a":2,"m":[true,false]}"#;
         let v = Json::parse(src).unwrap();
         assert_eq!(v.to_string(), src);
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // Well past any sane thread stack if recursion were unbounded.
+        for open in ["[", "{\"k\":"] {
+            let s = open.repeat(10_000);
+            let err = Json::parse(&s).unwrap_err();
+            assert!(err.contains("nesting"), "got: {}", err);
+        }
+        // Exactly at the cap still parses.
+        let ok = format!("{}{}", "[".repeat(128), "]".repeat(128));
+        assert!(Json::parse(&ok).is_ok());
+        let over = format!("{}{}", "[".repeat(129), "]".repeat(129));
+        assert!(Json::parse(&over).is_err());
     }
 
     #[test]

@@ -14,12 +14,14 @@
 //!   `shutdown`.
 
 pub mod artifact;
+pub mod client;
 pub mod codecs;
 pub mod json;
 pub mod registry;
 pub mod server;
 
 pub use artifact::{ArtifactError, ArtifactMeta, ModelArtifact, FORMAT_VERSION};
+pub use client::{Client, RetryPolicy};
 pub use json::Json;
-pub use registry::{ModelRegistry, REGISTRY_ENV};
+pub use registry::{GcReport, ModelRegistry, REGISTRY_ENV};
 pub use server::Server;

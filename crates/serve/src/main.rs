@@ -3,18 +3,18 @@
 //!
 //! ```text
 //! emod-serve [--addr HOST:PORT] [--registry DIR] [--workers N]
-//! emod-serve --client [--addr HOST:PORT] '<json request>' [...]
+//! emod-serve --client [--addr HOST:PORT] [--retries N] '<json request>' [...]
 //! ```
 //!
 //! In client mode each argument is sent as one request line and the response
 //! line is printed to stdout; the exit code is nonzero if any response does
-//! not carry `"ok": true`.
+//! not carry `"ok": true`. Transport failures and `retryable` error replies
+//! are retried with exponential backoff (`--retries`, default 3 attempts).
 
+use emod_serve::client::Client;
 use emod_serve::json::Json;
 use emod_serve::registry::ModelRegistry;
 use emod_serve::server::{self, Server, DEFAULT_ADDR};
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -24,6 +24,7 @@ fn main() -> ExitCode {
     let mut registry_root: Option<String> = None;
     let mut workers = 4usize;
     let mut client = false;
+    let mut retries = 3u32;
     let mut requests: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -51,6 +52,13 @@ fn main() -> ExitCode {
                 }
                 None => return usage("--workers needs a positive integer"),
             },
+            "--retries" => match args.get(i + 1).and_then(|r| r.parse().ok()) {
+                Some(r) => {
+                    retries = r;
+                    i += 1;
+                }
+                None => return usage("--retries needs a non-negative integer"),
+            },
             "--help" | "-h" => return usage(""),
             other if other.starts_with("--") => return usage(&format!("unknown option {}", other)),
             request => requests.push(request.to_string()),
@@ -58,8 +66,12 @@ fn main() -> ExitCode {
         i += 1;
     }
 
+    if let Err(e) = emod_faults::init_from_env() {
+        eprintln!("error: {}: {}", emod_faults::FAULTS_ENV, e);
+        return ExitCode::from(2);
+    }
     if client {
-        run_client(&addr, &requests)
+        run_client(&addr, retries, &requests)
     } else if requests.is_empty() {
         run_server(&addr, registry_root.as_deref(), workers)
     } else {
@@ -72,7 +84,7 @@ fn usage(error: &str) -> ExitCode {
         eprintln!("error: {}", error);
     }
     eprintln!("usage: emod-serve [--addr HOST:PORT] [--registry DIR] [--workers N]");
-    eprintln!("       emod-serve --client [--addr HOST:PORT] '<json request>' [...]");
+    eprintln!("       emod-serve --client [--addr HOST:PORT] [--retries N] '<json request>' [...]");
     if error.is_empty() {
         ExitCode::SUCCESS
     } else {
@@ -122,48 +134,20 @@ fn run_server(addr: &str, registry_root: Option<&str>, workers: usize) -> ExitCo
     }
 }
 
-fn run_client(addr: &str, requests: &[String]) -> ExitCode {
+fn run_client(addr: &str, retries: u32, requests: &[String]) -> ExitCode {
     if requests.is_empty() {
         return usage("--client needs at least one JSON request argument");
     }
-    let stream = match TcpStream::connect(addr) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: connect {}: {}", addr, e);
-            return ExitCode::FAILURE;
-        }
-    };
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: {}", e);
-            return ExitCode::FAILURE;
-        }
-    });
-    let mut writer = stream;
+    let mut client = Client::new(addr).with_attempts(retries);
     let mut all_ok = true;
     for request in requests {
-        if writeln!(writer, "{}", request.trim()).is_err() {
-            eprintln!("error: connection closed while sending");
-            return ExitCode::FAILURE;
-        }
-        let mut line = String::new();
-        match reader.read_line(&mut line) {
-            Ok(0) => {
-                eprintln!("error: connection closed before a response");
-                return ExitCode::FAILURE;
-            }
-            Ok(_) => {
-                let line = line.trim_end();
-                println!("{}", line);
-                let ok = Json::parse(line)
-                    .ok()
-                    .and_then(|v| v.get("ok").and_then(Json::as_bool))
-                    .unwrap_or(false);
-                all_ok &= ok;
+        match client.request(request.trim()) {
+            Ok(resp) => {
+                println!("{}", resp);
+                all_ok &= resp.get("ok").and_then(Json::as_bool).unwrap_or(false);
             }
             Err(e) => {
-                eprintln!("error: read response: {}", e);
+                eprintln!("error: {}", e);
                 return ExitCode::FAILURE;
             }
         }

@@ -2,11 +2,19 @@
 //!
 //! The registry root comes from `EMOD_REGISTRY` (default `./registry`).
 //! Stores are atomic (temp file + rename), loads go through an in-process
-//! cache shared across server worker threads, and [`ModelRegistry::gc`]
-//! sweeps artifacts that no longer decode (corrupt, truncated or
-//! wrong-version files).
+//! cache shared across server worker threads.
+//!
+//! Corruption policy (DESIGN.md §10): an artifact that no longer decodes
+//! is **quarantined** — renamed to `<id>.emod.bad` so the evidence
+//! survives for post-mortem — never silently deleted. [`ModelRegistry::load`]
+//! quarantines on a failed decode, [`ModelRegistry::gc`] sweeps the whole
+//! directory and reports per-file failures in a [`GcReport`], quarantined
+//! ids stay listable via [`ModelRegistry::quarantine`], and re-publishing
+//! an id clears its `.bad` copy (recovery). Fault probes: `registry.store`,
+//! `registry.load`.
 
 use crate::artifact::{ArtifactError, ModelArtifact};
+use emod_faults as faults;
 use emod_telemetry as telemetry;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -20,6 +28,17 @@ pub const DEFAULT_ROOT: &str = "./registry";
 
 /// File extension of artifact files (without the dot).
 pub const EXTENSION: &str = "emod";
+
+/// What a [`ModelRegistry::gc`] sweep did: which corrupt artifacts were
+/// quarantined, and which could not be (with the OS error), so callers can
+/// surface rather than swallow filesystem trouble.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct GcReport {
+    /// Ids renamed to `<id>.emod.bad` this sweep.
+    pub quarantined: Vec<String>,
+    /// `(id, error)` pairs for corrupt artifacts the sweep failed to move.
+    pub failures: Vec<(String, String)>,
+}
 
 /// A directory of persisted model artifacts with an in-process load cache.
 #[derive(Debug)]
@@ -70,6 +89,30 @@ impl ModelRegistry {
         self.root.join(format!("{}.{}", id, EXTENSION))
     }
 
+    fn bad_path_of(&self, id: &str) -> PathBuf {
+        self.root.join(format!("{}.{}.bad", id, EXTENSION))
+    }
+
+    /// Moves a corrupt artifact aside to `<id>.emod.bad`, keeping the bytes
+    /// for post-mortem instead of deleting them.
+    fn quarantine_file(&self, id: &str, path: &Path, reason: &str) -> Result<(), String> {
+        let bad = self.bad_path_of(id);
+        std::fs::rename(path, &bad).map_err(|e| e.to_string())?;
+        telemetry::counter_add("serve.registry.quarantined", 1);
+        telemetry::event(
+            "serve",
+            "artifact_quarantined",
+            &[("id", id.into()), ("reason", reason.into())],
+        );
+        eprintln!(
+            "emod-serve: quarantined corrupt artifact {} -> {} ({})",
+            id,
+            bad.display(),
+            reason
+        );
+        Ok(())
+    }
+
     /// Whether an artifact with `id` exists on disk.
     pub fn contains(&self, id: &str) -> bool {
         self.path_of(id).is_file()
@@ -83,6 +126,8 @@ impl ModelRegistry {
     /// Returns an [`ArtifactError::Io`] on filesystem failure.
     pub fn store(&self, artifact: &ModelArtifact) -> Result<PathBuf, ArtifactError> {
         let id = artifact.id();
+        faults::inject("registry.store")
+            .map_err(|e| ArtifactError::Io(format!("store {}: {}", id, e)))?;
         let path = self.path_of(&id);
         let tmp = self
             .root
@@ -95,33 +140,58 @@ impl ModelRegistry {
             ArtifactError::Io(format!("rename to {}: {}", path.display(), e))
         })?;
         telemetry::counter_add("serve.registry.stores", 1);
-        self.cache
-            .write()
-            .expect("registry cache lock")
-            .insert(id, Arc::new(artifact.clone()));
+        // Recovery: a successful re-publish supersedes any quarantined copy
+        // of the same id.
+        let bad = self.bad_path_of(&id);
+        if bad.is_file() {
+            match std::fs::remove_file(&bad) {
+                Ok(()) => {
+                    telemetry::counter_add("serve.registry.recovered", 1);
+                    telemetry::event("serve", "artifact_recovered", &[("id", id.as_str().into())]);
+                }
+                Err(e) => eprintln!(
+                    "emod-serve: could not clear quarantined copy {}: {}",
+                    bad.display(),
+                    e
+                ),
+            }
+        }
+        telemetry::write_or_recover(&self.cache).insert(id, Arc::new(artifact.clone()));
         Ok(path)
     }
 
     /// Loads the artifact with `id`, consulting the in-process cache first.
+    /// A file that reads but fails to decode (corrupt, truncated, wrong
+    /// version) is quarantined to `<id>.emod.bad` before the error returns.
     ///
     /// # Errors
     ///
     /// Returns an [`ArtifactError`] if the file is missing, unreadable or
     /// does not validate.
     pub fn load(&self, id: &str) -> Result<Arc<ModelArtifact>, ArtifactError> {
-        if let Some(hit) = self.cache.read().expect("registry cache lock").get(id) {
+        if let Some(hit) = telemetry::read_or_recover(&self.cache).get(id) {
             telemetry::counter_add("serve.registry.cache.hits", 1);
             return Ok(Arc::clone(hit));
         }
         telemetry::counter_add("serve.registry.cache.misses", 1);
+        faults::inject("registry.load")
+            .map_err(|e| ArtifactError::Io(format!("load {}: {}", id, e)))?;
         let path = self.path_of(id);
         let bytes = std::fs::read(&path)
             .map_err(|e| ArtifactError::Io(format!("read {}: {}", path.display(), e)))?;
-        let artifact = Arc::new(ModelArtifact::from_bytes(&bytes)?);
-        self.cache
-            .write()
-            .expect("registry cache lock")
-            .insert(id.to_string(), Arc::clone(&artifact));
+        let artifact = match ModelArtifact::from_bytes(&bytes) {
+            Ok(a) => Arc::new(a),
+            Err(e) => {
+                // The bytes were readable but wrong: quarantine so the next
+                // publish of this id starts clean and the bad bytes survive
+                // for inspection.
+                if let Err(qe) = self.quarantine_file(id, &path, &e.to_string()) {
+                    eprintln!("emod-serve: could not quarantine {}: {}", id, qe);
+                }
+                return Err(e);
+            }
+        };
+        telemetry::write_or_recover(&self.cache).insert(id.to_string(), Arc::clone(&artifact));
         Ok(artifact)
     }
 
@@ -147,28 +217,59 @@ impl ModelRegistry {
         Ok(ids)
     }
 
-    /// Removes artifacts that no longer decode (corrupt, truncated,
-    /// unsupported version). Returns the removed ids.
+    /// Ids currently quarantined (`<id>.emod.bad` files), sorted.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ArtifactError::Io`] if the directory cannot be read.
+    pub fn quarantine(&self) -> Result<Vec<String>, ArtifactError> {
+        let suffix = format!(".{}.bad", EXTENSION);
+        let mut ids = Vec::new();
+        let entries = std::fs::read_dir(&self.root)
+            .map_err(|e| ArtifactError::Io(format!("read {}: {}", self.root.display(), e)))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| ArtifactError::Io(format!("read dir entry: {}", e)))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(id) = name.strip_suffix(&suffix) {
+                ids.push(id.to_string());
+            }
+        }
+        ids.sort();
+        Ok(ids)
+    }
+
+    /// Sweeps the registry, quarantining artifacts that no longer decode
+    /// (corrupt, truncated, unsupported version) to `<id>.emod.bad`.
+    /// Filesystem failures during the move are reported in the
+    /// [`GcReport`], not swallowed.
     ///
     /// # Errors
     ///
     /// Returns an [`ArtifactError::Io`] if the directory cannot be scanned.
-    pub fn gc(&self) -> Result<Vec<String>, ArtifactError> {
-        let mut removed = Vec::new();
+    pub fn gc(&self) -> Result<GcReport, ArtifactError> {
+        let mut report = GcReport::default();
         for id in self.list()? {
             let path = self.path_of(&id);
-            let ok = std::fs::read(&path)
-                .map_err(|e| ArtifactError::Io(e.to_string()))
-                .and_then(|bytes| ModelArtifact::from_bytes(&bytes).map(|_| ()))
-                .is_ok();
-            if !ok {
-                let _ = std::fs::remove_file(&path);
-                self.cache.write().expect("registry cache lock").remove(&id);
-                telemetry::counter_add("serve.registry.gc_removed", 1);
-                removed.push(id);
+            let decodes = std::fs::read(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|bytes| {
+                    ModelArtifact::from_bytes(&bytes)
+                        .map(|_| ())
+                        .map_err(|e| e.to_string())
+                });
+            if let Err(reason) = decodes {
+                telemetry::write_or_recover(&self.cache).remove(&id);
+                match self.quarantine_file(&id, &path, &reason) {
+                    Ok(()) => {
+                        telemetry::counter_add("serve.registry.gc_removed", 1);
+                        report.quarantined.push(id);
+                    }
+                    Err(e) => report.failures.push((id, e)),
+                }
             }
         }
-        Ok(removed)
+        Ok(report)
     }
 }
 
@@ -255,14 +356,37 @@ mod tests {
     }
 
     #[test]
-    fn gc_removes_corrupt_artifacts_only() {
+    fn gc_quarantines_corrupt_artifacts_only() {
         let (dir, reg) = temp_registry();
         let good = artifact(3);
         reg.store(&good).unwrap();
         std::fs::write(dir.join("broken.emod"), b"garbage").unwrap();
-        let removed = reg.gc().unwrap();
-        assert_eq!(removed, vec!["broken".to_string()]);
+        let report = reg.gc().unwrap();
+        assert_eq!(report.quarantined, vec!["broken".to_string()]);
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
         assert_eq!(reg.list().unwrap(), vec![good.id()]);
+        // The bytes survive under .bad and the id stays listable.
+        assert!(dir.join("broken.emod.bad").is_file());
+        assert_eq!(reg.quarantine().unwrap(), vec!["broken".to_string()]);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corrupt_load_quarantines_and_republish_recovers() {
+        let (dir, reg) = temp_registry();
+        let art = artifact(4);
+        reg.store(&art).unwrap();
+        let path = dir.join(format!("{}.emod", art.id()));
+        std::fs::write(&path, b"not an artifact").unwrap();
+        // A fresh registry (cold cache) must hit the corrupt bytes.
+        let reg2 = ModelRegistry::open(&dir).unwrap();
+        assert!(reg2.load(&art.id()).is_err());
+        assert!(!path.is_file(), "corrupt file moved aside");
+        assert_eq!(reg2.quarantine().unwrap(), vec![art.id()]);
+        // Re-publishing the id clears the quarantined copy.
+        reg2.store(&art).unwrap();
+        assert!(reg2.quarantine().unwrap().is_empty());
+        assert_eq!(reg2.load(&art.id()).unwrap().meta, art.meta);
         let _ = std::fs::remove_dir_all(dir);
     }
 

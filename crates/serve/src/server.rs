@@ -20,6 +20,15 @@
 //! flat text exposition an operator can scrape; requests slower than
 //! `EMOD_SLOW_MS` milliseconds are flagged with a `serve.slow_request`
 //! event and a log line.
+//!
+//! Resilience (see DESIGN.md §10): request lines are capped at
+//! [`MAX_LINE_BYTES`] (`request_too_large`, connection closes); handler
+//! panics are isolated per request with `catch_unwind` (`internal_error`,
+//! the worker survives); an admission gate sheds requests beyond
+//! `EMOD_MAX_INFLIGHT` with `overloaded`; requests running past
+//! `EMOD_DEADLINE_MS` answer `deadline_exceeded`. Error replies carry a
+//! machine-readable `"code"` and a `"retryable"` hint the client-side
+//! retry loop keys off. Fault probes: `serve.handle`.
 
 use crate::artifact::{family_from_name, family_slug, ModelArtifact};
 use crate::json::Json;
@@ -27,9 +36,10 @@ use crate::registry::ModelRegistry;
 use emod_compiler::OptConfig;
 use emod_core::tune::{reference_configs, search_flags_surrogate};
 use emod_core::vars::{encode_point, COMPILER_PARAMS};
+use emod_faults as faults;
 use emod_models::Regressor;
 use emod_telemetry as telemetry;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
@@ -39,6 +49,15 @@ use std::time::{Duration, Instant};
 
 /// Default port the server binds when none is given.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:7733";
+
+/// Longest accepted request line (1 MiB). Longer lines get a structured
+/// `request_too_large` reply and the connection closes, instead of the
+/// server buffering an attacker-controlled amount of memory.
+pub const MAX_LINE_BYTES: u64 = 1 << 20;
+
+/// Default cap on concurrently-executing requests when `EMOD_MAX_INFLIGHT`
+/// is unset.
+pub const DEFAULT_MAX_INFLIGHT: u64 = 256;
 
 /// The commands the server understands. Per-command counters and latency
 /// histograms are only created for these names, so a garbage `cmd` cannot
@@ -74,18 +93,47 @@ pub struct ServerState {
     shutdown: Arc<AtomicBool>,
     start: Instant,
     in_flight: AtomicU64,
+    max_inflight: u64,
+    deadline_ms: Option<u64>,
 }
 
 impl ServerState {
     /// Creates request-handling state over `registry`, observing (and
-    /// setting, for the `shutdown` command) the given shutdown flag.
+    /// setting, for the `shutdown` command) the given shutdown flag. The
+    /// admission cap and request deadline come from `EMOD_MAX_INFLIGHT`
+    /// and `EMOD_DEADLINE_MS` (read here, once per server).
     pub fn new(registry: Arc<ModelRegistry>, shutdown: Arc<AtomicBool>) -> ServerState {
+        let max_inflight = std::env::var("EMOD_MAX_INFLIGHT")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_MAX_INFLIGHT);
+        let deadline_ms = std::env::var("EMOD_DEADLINE_MS")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .filter(|&n| n > 0);
         ServerState {
             registry,
             shutdown,
             start: Instant::now(),
             in_flight: AtomicU64::new(0),
+            max_inflight,
+            deadline_ms,
         }
+    }
+
+    /// Overrides the admission-gate cap (tests; production uses
+    /// `EMOD_MAX_INFLIGHT`).
+    pub fn with_max_inflight(mut self, cap: u64) -> ServerState {
+        self.max_inflight = cap.max(1);
+        self
+    }
+
+    /// Overrides the per-request deadline (tests; production uses
+    /// `EMOD_DEADLINE_MS`).
+    pub fn with_deadline_ms(mut self, ms: Option<u64>) -> ServerState {
+        self.deadline_ms = ms;
+        self
     }
 
     /// Whether a graceful shutdown has been requested (command, handle, or
@@ -108,6 +156,13 @@ impl ServerState {
     fn leave_request(&self) {
         let now = self.in_flight.fetch_sub(1, Ordering::SeqCst) - 1;
         telemetry::gauge_set("serve.in_flight", now as f64);
+    }
+
+    /// Whether a request should be shed by the admission gate: more than
+    /// `max_inflight` requests executing, and the command is not one of the
+    /// always-admitted operational probes (`health`, `shutdown`).
+    fn should_shed(&self, cmd: &str, in_flight_now: u64) -> bool {
+        in_flight_now > self.max_inflight && !matches!(cmd, "health" | "shutdown")
     }
 }
 
@@ -237,7 +292,10 @@ impl Server {
 fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, state: &ServerState) {
     loop {
         let next = {
-            let guard = rx.lock().expect("worker receiver lock");
+            // Poison recovery: a panic while holding the receiver must not
+            // wedge every other worker (handler panics are caught per
+            // request, but belt and braces).
+            let guard = telemetry::lock_or_recover(rx);
             guard.recv_timeout(Duration::from_millis(100))
         };
         match next {
@@ -279,9 +337,31 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
-        match reader.read_line(&mut line) {
+        // Bound each read: the `take` cap limits bytes per call, and the
+        // total-length check below is the authoritative guard (a partial
+        // line kept across read timeouts accumulates in `line`).
+        match (&mut reader).take(MAX_LINE_BYTES + 1).read_line(&mut line) {
             Ok(0) => break,
             Ok(_) => {
+                if line.len() as u64 > MAX_LINE_BYTES {
+                    telemetry::counter_add("serve.requests.too_large", 1);
+                    telemetry::event(
+                        "serve",
+                        "request_too_large",
+                        &[
+                            ("conn", conn_id.as_str().into()),
+                            ("bytes", line.len().into()),
+                        ],
+                    );
+                    let resp = err_code_response(
+                        "request_too_large",
+                        format!("request line exceeds {} bytes", MAX_LINE_BYTES),
+                        false,
+                    );
+                    let _ = writeln!(writer, "{}", resp);
+                    let _ = writer.flush();
+                    break;
+                }
                 let request = line.trim().to_string();
                 line.clear();
                 if request.is_empty() {
@@ -318,19 +398,31 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
     );
 }
 
-fn err_response(msg: impl Into<String>) -> Json {
+/// An error reply with a machine-readable `code` and a `retryable` hint.
+/// Codes: `error` (request-level failure, not retryable), `bad_request`,
+/// `request_too_large`, `overloaded`, `deadline_exceeded`,
+/// `internal_error`. The client retry loop ([`crate::client`]) keys off
+/// `retryable`, so transient server-side failures (shed load, panics,
+/// deadlines) are marked and semantic errors are not.
+fn err_code_response(code: &str, msg: impl Into<String>, retryable: bool) -> Json {
     telemetry::counter_add("serve.requests.errors", 1);
     Json::obj(vec![
         ("ok", Json::Bool(false)),
+        ("code", code.into()),
+        ("retryable", Json::Bool(retryable)),
         ("error", msg.into().into()),
     ])
+}
+
+fn err_response(msg: impl Into<String>) -> Json {
+    err_code_response("error", msg, false)
 }
 
 /// An error response that also counts as a *bad* request (malformed JSON,
 /// missing or unknown command) under `serve.requests.bad`.
 fn bad_response(msg: impl Into<String>) -> Json {
     telemetry::counter_add("serve.requests.bad", 1);
-    err_response(msg)
+    err_code_response("bad_request", msg, false)
 }
 
 /// Handles one request line, returning the response and whether the
@@ -345,7 +437,7 @@ fn handle_request_on(state: &ServerState, conn_id: &str, request: &str) -> (Json
     // thread (GA generations during tune, artifact loads, …) nest under it.
     let root = telemetry::trace_root("serve.request");
     let start = Instant::now();
-    state.enter_request();
+    let in_flight_now = state.enter_request();
     telemetry::counter_add("serve.requests.total", 1);
 
     let parsed = Json::parse(request);
@@ -360,12 +452,59 @@ fn handle_request_on(state: &ServerState, conn_id: &str, request: &str) -> (Json
         telemetry::counter_add(&format!("serve.requests.{}", cmd), 1);
     }
 
-    let (response, close) = match parsed {
+    let (mut response, close) = match parsed {
         Err(e) => (bad_response(format!("bad request: {}", e)), false),
         Ok(_) if cmd.is_empty() => (bad_response("missing \"cmd\""), false),
         Ok(_) if !known => (bad_response(format!("unknown command {:?}", cmd)), false),
-        Ok(parsed) => dispatch(state, &cmd, &parsed),
+        Ok(_) if state.should_shed(&cmd, in_flight_now) => {
+            telemetry::counter_add("serve.requests.shed", 1);
+            telemetry::event(
+                "serve",
+                "shed",
+                &[
+                    ("cmd", cmd.as_str().into()),
+                    ("in_flight", in_flight_now.into()),
+                    ("max_inflight", state.max_inflight.into()),
+                ],
+            );
+            (
+                err_code_response(
+                    "overloaded",
+                    format!(
+                        "server overloaded ({} requests in flight, cap {})",
+                        in_flight_now, state.max_inflight
+                    ),
+                    true,
+                ),
+                false,
+            )
+        }
+        Ok(parsed) => guarded_dispatch(state, &cmd, &parsed),
     };
+
+    // Deadline check happens after the handler returns: the work is not
+    // cancelled mid-flight (handlers are synchronous), but a response that
+    // arrives past the deadline is replaced so the client never acts on a
+    // late success it already gave up on.
+    if let Some(deadline_ms) = state.deadline_ms {
+        if cmd != "shutdown" && start.elapsed().as_millis() as u64 > deadline_ms {
+            telemetry::counter_add("serve.requests.deadline_exceeded", 1);
+            telemetry::event(
+                "serve",
+                "deadline_exceeded",
+                &[
+                    ("cmd", cmd.as_str().into()),
+                    ("deadline_ms", deadline_ms.into()),
+                    ("elapsed_ms", (start.elapsed().as_millis() as u64).into()),
+                ],
+            );
+            response = err_code_response(
+                "deadline_exceeded",
+                format!("request exceeded the {}ms deadline", deadline_ms),
+                true,
+            );
+        }
+    }
 
     let latency_us = start.elapsed().as_secs_f64() * 1e6;
     if known {
@@ -423,6 +562,54 @@ fn handle_request_on(state: &ServerState, conn_id: &str, request: &str) -> (Json
     }
     state.leave_request();
     (response, close)
+}
+
+/// [`dispatch`] behind the fault probe and a per-request `catch_unwind`:
+/// a panicking handler (a model-family bug, an injected `panic` fault)
+/// answers `internal_error` and the worker thread survives to take the
+/// next request.
+fn guarded_dispatch(state: &ServerState, cmd: &str, parsed: &Json) -> (Json, bool) {
+    let attempt = faults::catch_panic(|| {
+        faults::inject("serve.handle").map(|()| dispatch(state, cmd, parsed))
+    });
+    match attempt {
+        Ok(Ok(result)) => result,
+        Ok(Err(e)) => {
+            telemetry::counter_add("serve.requests.failed", 1);
+            telemetry::event(
+                "serve",
+                "handler_error",
+                &[
+                    ("cmd", cmd.into()),
+                    ("error", e.to_string().as_str().into()),
+                ],
+            );
+            (
+                err_code_response("internal_error", format!("handler error: {}", e), true),
+                false,
+            )
+        }
+        Err(panic_msg) => {
+            telemetry::counter_add("serve.requests.panicked", 1);
+            telemetry::event(
+                "serve",
+                "handler_panic",
+                &[("cmd", cmd.into()), ("panic", panic_msg.as_str().into())],
+            );
+            eprintln!(
+                "emod-serve: request handler panicked (cmd={}): {}",
+                cmd, panic_msg
+            );
+            (
+                err_code_response(
+                    "internal_error",
+                    format!("handler panicked: {}", panic_msg),
+                    true,
+                ),
+                false,
+            )
+        }
+    }
 }
 
 /// Routes a parsed request with a known command. During a graceful drain
@@ -851,6 +1038,32 @@ mod tests {
             assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{}", bad);
             assert!(!close);
         }
+    }
+
+    #[test]
+    fn error_replies_carry_machine_readable_codes() {
+        let state = test_state("codes");
+        let (resp, _) = handle_request(&state, "not json");
+        assert_eq!(resp.get("code").and_then(Json::as_str), Some("bad_request"));
+        assert_eq!(resp.get("retryable"), Some(&Json::Bool(false)));
+        let (resp, _) = handle_request(&state, "{\"cmd\":\"predict\"}");
+        assert_eq!(resp.get("code").and_then(Json::as_str), Some("error"));
+    }
+
+    #[test]
+    fn admission_gate_sheds_above_cap_but_admits_health() {
+        let state = test_state("shed").with_max_inflight(1);
+        // Simulate a stuck concurrent request holding the only slot.
+        state.in_flight.fetch_add(1, Ordering::SeqCst);
+        let (resp, close) = handle_request(&state, "{\"cmd\":\"list_models\"}");
+        assert_eq!(resp.get("code").and_then(Json::as_str), Some("overloaded"));
+        assert_eq!(resp.get("retryable"), Some(&Json::Bool(true)));
+        assert!(!close, "shed replies keep the connection open");
+        let (resp, _) = handle_request(&state, "{\"cmd\":\"health\"}");
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{}", resp);
+        state.in_flight.fetch_sub(1, Ordering::SeqCst);
+        let (resp, _) = handle_request(&state, "{\"cmd\":\"list_models\"}");
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{}", resp);
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Property fuzz for the wire-protocol JSON codec.
+//!
+//! The server feeds every network line straight into `Json::parse`, so the
+//! parser must be total: arbitrary byte soup, truncated documents, and
+//! pathologically nested input all return `Err` (or a correct `Ok`) — never
+//! a panic, stack overflow, or hang. Panics would escape the property body
+//! and fail the test; depth is bounded so every case terminates quickly.
+
+use emod_serve::json::Json;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Builds an arbitrary `Json` value from a stream of seed words. Depth is
+/// bounded by construction so the generated docs stay inside the parser's
+/// nesting cap and serialization stays small.
+fn json_from_seeds(seeds: &mut &[u64], depth: u32) -> Json {
+    let Some((&word, rest)) = seeds.split_first() else {
+        return Json::Null;
+    };
+    *seeds = rest;
+    let choice = if depth >= 6 { word % 4 } else { word % 6 };
+    match choice {
+        0 => Json::Null,
+        1 => Json::Bool(word & 1 == 0),
+        2 => {
+            // Mix integral and fractional magnitudes, both signs.
+            let n = (word as i64 as f64) / [1.0, 3.0, 1e6][(word % 3) as usize];
+            Json::Num(if n.is_finite() { n } else { 0.0 })
+        }
+        3 => {
+            // Strings exercising escapes, control bytes, and non-ASCII.
+            let palette = ['a', '"', '\\', '\n', '\t', '\u{1}', 'é', '😀', '/'];
+            let s: String = (0..word % 12)
+                .map(|i| palette[((word >> (i % 16)) as usize + i as usize) % palette.len()])
+                .collect();
+            Json::Str(s)
+        }
+        4 => {
+            let n = word % 4;
+            Json::Arr((0..n).map(|_| json_from_seeds(seeds, depth + 1)).collect())
+        }
+        _ => {
+            let n = word % 3;
+            Json::Obj(
+                (0..n)
+                    .map(|i| {
+                        let key = format!("k{}_{}", i, word % 97);
+                        (key, json_from_seeds(seeds, depth + 1))
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Raw byte soup: parse must return, not panic, on any input at all.
+    #[test]
+    fn byte_soup_never_panics(len in 0usize..200, words in vec(0u64..u64::MAX, 25)) {
+        let bytes: Vec<u8> = (0..len)
+            .map(|i| (words[i % words.len()] >> ((i % 8) * 8)) as u8)
+            .collect();
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = Json::parse(&text);
+    }
+
+    // JSON-flavored soup: only structural bytes, so the parser's recursive
+    // paths are hit far more often than with uniform bytes.
+    #[test]
+    fn structural_soup_never_panics(len in 0usize..120, words in vec(0u64..u64::MAX, 25)) {
+        let palette = b"[]{},:\"\\ 019-.eEtrufalsn";
+        let text: String = (0..len)
+            .map(|i| {
+                let w = words[i % words.len()] >> ((i % 8) * 8);
+                palette[(w as usize) % palette.len()] as char
+            })
+            .collect();
+        let _ = Json::parse(&text);
+    }
+
+    // Well-formed documents survive a render→parse round trip unchanged.
+    #[test]
+    fn arbitrary_documents_round_trip(words in vec(0u64..u64::MAX, 40)) {
+        let mut seeds = words.as_slice();
+        let doc = json_from_seeds(&mut seeds, 0);
+        let rendered = doc.to_string();
+        let back = Json::parse(&rendered)
+            .unwrap_or_else(|e| panic!("rendered doc failed to parse: {} in {}", e, rendered));
+        prop_assert_eq!(back, doc);
+    }
+
+    // Truncating a valid document at any byte boundary must never panic,
+    // and if the prefix happens to still parse, it must round-trip.
+    #[test]
+    fn truncated_documents_never_panic(words in vec(0u64..u64::MAX, 40), cut in 0u64..u64::MAX) {
+        let mut seeds = words.as_slice();
+        let rendered = json_from_seeds(&mut seeds, 0).to_string();
+        let mut at = (cut as usize) % (rendered.len() + 1);
+        while !rendered.is_char_boundary(at) {
+            at -= 1;
+        }
+        let prefix = &rendered[..at];
+        if let Ok(v) = Json::parse(prefix) {
+            prop_assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+        }
+    }
+}
+
+/// The classic stack-overflow probe: ten thousand unclosed containers must
+/// be rejected by the nesting cap, not recursed into.
+#[test]
+fn deeply_nested_input_is_rejected() {
+    assert!(Json::parse(&"[".repeat(10_000)).is_err());
+    assert!(Json::parse(&"{\"k\":".repeat(10_000)).is_err());
+    let balanced = format!("{}1{}", "[".repeat(10_000), "]".repeat(10_000));
+    assert!(Json::parse(&balanced).is_err());
+}

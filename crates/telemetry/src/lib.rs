@@ -50,8 +50,29 @@ pub use trace::TraceContext;
 use registry::Registry;
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{
+    Mutex, MutexGuard, OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 use std::time::Instant;
+
+/// Locks `m`, recovering from poisoning: a panic on another thread (a
+/// panicking request handler, an injected fault) must not permanently wedge
+/// the metrics registry, the sink, or a shared cache. The protected state
+/// here is always left consistent by the writer (whole-value replacement or
+/// append), so the recovered guard is safe to use.
+pub fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`lock_or_recover`] for `RwLock` read guards.
+pub fn read_or_recover<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`lock_or_recover`] for `RwLock` write guards.
+pub fn write_or_recover<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
@@ -99,8 +120,8 @@ pub fn enable() {
 /// Intended for tests; production code just lets the process exit.
 pub fn disable_and_reset() {
     ENABLED.store(false, Ordering::Relaxed);
-    *registry().lock().unwrap() = Registry::default();
-    *sink().lock().unwrap() = None;
+    *lock_or_recover(registry()) = Registry::default();
+    *lock_or_recover(sink()) = None;
 }
 
 /// Reads `EMOD_TELEMETRY`; when set, enables recording and streams JSONL
@@ -170,13 +191,13 @@ impl MemorySink {
 
     /// The lines captured so far.
     pub fn lines(&self) -> Vec<String> {
-        self.0.lock().unwrap().clone()
+        lock_or_recover(&self.0).clone()
     }
 }
 
 impl Sink for MemorySink {
     fn write_line(&mut self, line: &str) {
-        self.0.lock().unwrap().push(line.to_string());
+        lock_or_recover(&self.0).push(line.to_string());
     }
 }
 
@@ -184,18 +205,18 @@ impl Sink for MemorySink {
 /// recording.
 pub fn set_sink(s: Box<dyn Sink>) {
     enable();
-    *sink().lock().unwrap() = Some(s);
+    *lock_or_recover(sink()) = Some(s);
 }
 
 /// Flushes the event sink, if any.
 pub fn flush() {
-    if let Some(s) = sink().lock().unwrap().as_mut() {
+    if let Some(s) = lock_or_recover(sink()).as_mut() {
         s.flush();
     }
 }
 
 fn emit_line(line: String) {
-    if let Some(s) = sink().lock().unwrap().as_mut() {
+    if let Some(s) = lock_or_recover(sink()).as_mut() {
         s.write_line(&line);
     }
 }
@@ -209,12 +230,12 @@ pub fn counter_add(name: &str, delta: u64) {
     if !enabled() {
         return;
     }
-    registry().lock().unwrap().counter_add(name, delta);
+    lock_or_recover(registry()).counter_add(name, delta);
 }
 
 /// Current value of a counter (0 if never touched).
 pub fn counter_value(name: &str) -> u64 {
-    registry().lock().unwrap().counter_value(name)
+    lock_or_recover(registry()).counter_value(name)
 }
 
 /// Sets the named gauge to `v` (last-write-wins). No-op while disabled.
@@ -222,7 +243,7 @@ pub fn gauge_set(name: &str, v: f64) {
     if !enabled() {
         return;
     }
-    registry().lock().unwrap().gauge_set(name, v);
+    lock_or_recover(registry()).gauge_set(name, v);
 }
 
 /// Records `v` into the named histogram. No-op while disabled.
@@ -230,7 +251,7 @@ pub fn observe(name: &str, v: f64) {
     if !enabled() {
         return;
     }
-    registry().lock().unwrap().observe(name, v);
+    lock_or_recover(registry()).observe(name, v);
 }
 
 /// Emits a structured event: bumps `events.<subsystem>.<name>` and, when a
@@ -244,10 +265,10 @@ pub fn event(subsystem: &str, name: &str, fields: &[(&str, Value)]) {
         return;
     }
     {
-        let mut reg = registry().lock().unwrap();
+        let mut reg = lock_or_recover(registry());
         reg.counter_add(&format!("events.{}.{}", subsystem, name), 1);
     }
-    if sink().lock().unwrap().is_some() {
+    if lock_or_recover(sink()).is_some() {
         let trace = SPAN_STACK.with(|stack| stack.borrow().last().and_then(|f| f.trace));
         let mut line = String::with_capacity(128);
         line.push_str("{\"ts_us\":");
@@ -273,7 +294,7 @@ pub fn table_push(table: &str, row: String) {
     if !enabled() {
         return;
     }
-    registry().lock().unwrap().table_push(table, row);
+    lock_or_recover(registry()).table_push(table, row);
 }
 
 /// Opens a hierarchical timing span. The guard records wall time into the
@@ -435,11 +456,9 @@ impl Drop for SpanGuard {
             stack.pop();
         });
         if enabled() {
-            registry()
-                .lock()
-                .unwrap()
+            lock_or_recover(registry())
                 .observe(&format!("span.{}", live.path), dur.as_nanos() as f64);
-            if sink().lock().unwrap().is_some() {
+            if lock_or_recover(sink()).is_some() {
                 let mut line = String::with_capacity(160);
                 line.push_str("{\"ts_us\":");
                 line.push_str(&now_us().to_string());
@@ -469,7 +488,7 @@ impl Drop for SpanGuard {
 /// A consistent copy of everything recorded so far (for tests and custom
 /// reporting).
 pub fn snapshot() -> Snapshot {
-    registry().lock().unwrap().snapshot()
+    lock_or_recover(registry()).snapshot()
 }
 
 /// Renders the human-readable end-of-run summary: counters, derived
@@ -477,7 +496,7 @@ pub fn snapshot() -> Snapshot {
 /// gauges, histogram/span timings, and any recorded tables.
 pub fn summary() -> String {
     flush();
-    registry().lock().unwrap().render_summary()
+    lock_or_recover(registry()).render_summary()
 }
 
 #[cfg(test)]
@@ -488,7 +507,7 @@ mod tests {
     // that touches them holds this lock so the suite can run threaded.
     fn test_lock() -> std::sync::MutexGuard<'static, ()> {
         static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+        lock_or_recover(&LOCK)
     }
 
     #[test]
