@@ -1,0 +1,57 @@
+//! Fault tolerance *under the work-stealing pool*: with four measurement
+//! workers, injected simulator faults are still retried with backoff, and
+//! points that exhaust their retries are quarantined — a worker panic never
+//! tears down the campaign.
+//!
+//! Which specific design point absorbs a trigger can differ from the
+//! sequential schedule (triggers fire by global call order across workers),
+//! but the contract — retry counts, quarantine totals, campaign survival —
+//! is schedule-independent, and that is what this test pins down.
+//!
+//! The fault plan is process-global, so everything lives in one `#[test]`
+//! (this file is its own test binary — no other tests share the process).
+
+use emod_core::builder::{BuildConfig, ModelBuilder};
+use emod_core::model::ModelFamily;
+use emod_faults as faults;
+use emod_workloads::{InputSet, Workload};
+
+#[test]
+fn pool_workers_retry_and_quarantine_injected_faults() {
+    let w = Workload::by_name("bzip2").unwrap();
+
+    // Three transient panics across four workers: every affected point has
+    // retry budget (2 retries = 3 attempts), so nothing is quarantined even
+    // though workers observed panics mid-flight.
+    faults::install(faults::FaultPlan::parse("panic:sim.run:3x", 1).unwrap());
+    let mut b = ModelBuilder::new(w, InputSet::Train, BuildConfig::quick(3))
+        .with_threads(4)
+        .with_measure_retries(2);
+    let built = b.build(ModelFamily::Linear).unwrap();
+    faults::clear();
+    assert_eq!(
+        built.test.len(),
+        12,
+        "transient worker panics must not drop points"
+    );
+    assert_eq!(built.train.len(), 30);
+    assert!(b.quarantined_points().is_empty());
+
+    // Two faults with no retry budget: both fire during the test-design
+    // batch (measured first) and permanently poison one point each; the
+    // campaign quarantines them and completes on the surviving design.
+    faults::install(faults::FaultPlan::parse("io_error:sim.run:2x", 1).unwrap());
+    let mut b = ModelBuilder::new(w, InputSet::Train, BuildConfig::quick(5))
+        .with_threads(4)
+        .with_measure_retries(0);
+    let built = b.build(ModelFamily::Linear).unwrap();
+    faults::clear();
+    assert_eq!(
+        built.test.len(),
+        10,
+        "2 poisoned test points must be quarantined"
+    );
+    assert_eq!(built.train.len(), 30);
+    assert_eq!(b.quarantined_points().len(), 2);
+    assert!(built.test_mape.is_finite());
+}

@@ -6,18 +6,16 @@
 //! design with a telemetry event — so one poison point cannot abort a
 //! campaign of hundreds.
 
-use crate::measure::{Measurer, Metric};
+use crate::measure::{BatchRetry, Measurer, Metric};
 use crate::model::{ModelFamily, SurrogateModel};
 use crate::vars::design_space;
 use emod_doe::{lhs, DOptimal, DesignPoint, ModelSpec, ParameterSpace};
-use emod_faults as faults;
 use emod_models::{metrics, Dataset, ModelError, Regressor};
 use emod_telemetry as telemetry;
 use emod_uarch::SampleConfig;
 use emod_workloads::{InputSet, Workload};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Duration;
 
 /// Environment variable: retries per failing design-point measurement
 /// before the point is quarantined (default 2).
@@ -195,6 +193,13 @@ impl ModelBuilder {
         self
     }
 
+    /// Overrides the measurement worker count (tests; production uses
+    /// `EMOD_THREADS`). `1` reproduces the sequential execution order.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.measurer.set_threads(threads);
+        self
+    }
+
     /// Design points quarantined so far (dropped after exhausting their
     /// retries).
     pub fn quarantined_points(&self) -> &[DesignPoint] {
@@ -227,29 +232,22 @@ impl ModelBuilder {
         self.test_points = lhs(&self.space, self.config.test_size, &mut rng);
     }
 
-    /// Measures every point, retrying failures with backoff and
-    /// quarantining points that exhaust their retries. Returns the dataset
-    /// of surviving points plus the indices (into `points`) that were
-    /// dropped, so callers can prune their design.
+    /// Measures every point — fanned across `EMOD_THREADS` workers via the
+    /// measurer's deterministic batch path — retrying failures with backoff
+    /// and quarantining points that exhaust their retries. Returns the
+    /// dataset of surviving points plus the indices (into `points`) that
+    /// were dropped, so callers can prune their design.
     fn measured_dataset(&mut self, points: &[DesignPoint]) -> (Dataset, Vec<usize>) {
         let metric = self.config.metric;
         let attempts = 1 + self.measure_retries;
+        let retry = BatchRetry::campaign(self.measure_retries, self.config.seed);
+        let outcomes = self
+            .measurer
+            .try_measure_metric_batch(points, metric, &retry);
         let mut xs = Vec::with_capacity(points.len());
         let mut ys = Vec::with_capacity(points.len());
         let mut dropped = Vec::new();
-        for (i, p) in points.iter().enumerate() {
-            let seed = self
-                .config
-                .seed
-                .wrapping_add((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-            let measurer = &mut self.measurer;
-            let outcome = faults::retry_with_backoff(
-                attempts,
-                Duration::from_millis(25),
-                Duration::from_millis(250),
-                seed,
-                |_attempt| measurer.try_measure_metric(p, metric),
-            );
+        for (i, (p, outcome)) in points.iter().zip(outcomes).enumerate() {
             match outcome {
                 Ok(y) => {
                     xs.push(self.space.encode(p));

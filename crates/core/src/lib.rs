@@ -37,6 +37,8 @@
 //! println!("suggested flags: {:?}", tuned.config);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod builder;
 pub mod checkpoint;
 pub mod interpret;

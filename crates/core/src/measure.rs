@@ -8,6 +8,14 @@
 //! fresh simulation is streamed to a JSONL checkpoint
 //! ([`crate::checkpoint::Checkpoint`]) so a killed campaign resumes
 //! bit-identically.
+//!
+//! Parallelism: the `*_batch` methods fan fresh simulations across an
+//! [`emod_par::Pool`] sized by `EMOD_THREADS` (see
+//! [`Measurer::set_threads`]). The parallel path preserves the sequential
+//! path's observable semantics — responses, cache contents, checkpoint
+//! bytes and measurer statistics are bit-identical at any worker count —
+//! by planning cache lookups and compilations sequentially, simulating the
+//! (pure) remainder on the pool, and merging results back in design order.
 
 use crate::checkpoint::{Checkpoint, CHECKPOINT_ENV};
 use crate::vars::{decode_point, encode_point};
@@ -18,6 +26,7 @@ use emod_telemetry as telemetry;
 use emod_uarch::{simulate_sampled, SampleConfig, UarchConfig};
 use emod_workloads::{InputSet, Workload};
 use std::collections::HashMap;
+use std::time::Duration;
 
 /// Sampling error above this (the paper's "< 1% error" target, §5) raises a
 /// telemetry warning event and increments the warning counter.
@@ -92,6 +101,109 @@ impl std::fmt::Display for MeasureError {
 
 impl std::error::Error for MeasureError {}
 
+/// Per-point retry policy for the batch measurement methods, mirroring the
+/// retry-then-quarantine loop of [`crate::builder::ModelBuilder`]: each
+/// failing point is retried with jittered exponential backoff, and the
+/// backoff jitter for point `i` is seeded from `seed` and `i` alone so
+/// retry behavior is independent of worker interleaving.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchRetry {
+    /// Total attempts per point (clamped to at least 1).
+    pub attempts: u32,
+    /// Base backoff delay before the second attempt.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub max: Duration,
+    /// Base seed for per-point backoff jitter.
+    pub seed: u64,
+}
+
+impl BatchRetry {
+    /// A single attempt per point: no retries, no backoff.
+    pub fn single() -> Self {
+        BatchRetry {
+            attempts: 1,
+            base: Duration::ZERO,
+            max: Duration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// The campaign default: `1 + retries` attempts with 25–250 ms backoff.
+    pub fn campaign(retries: u32, seed: u64) -> Self {
+        BatchRetry {
+            attempts: 1 + retries,
+            base: Duration::from_millis(25),
+            max: Duration::from_millis(250),
+            seed,
+        }
+    }
+
+    /// The backoff seed for the point at `index`, derived exactly as the
+    /// sequential campaign loop derives it.
+    fn point_seed(&self, index: usize) -> u64 {
+        self.seed
+            .wrapping_add((index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+}
+
+/// The raw outcome of one compile+simulate, before it touches `Measurer`
+/// state: produced on worker threads, absorbed on the caller thread in
+/// design order so statistics update deterministically.
+struct RawMeasurement {
+    value: f64,
+    /// `None` when nothing was simulated (code-size reads).
+    rel_error: Option<f64>,
+    instructions: u64,
+    windows: u64,
+    wall_s: f64,
+}
+
+/// Pure measurement kernel: simulates `program` on `uarch` and extracts
+/// `metric`. No `Measurer` state is read or written, so this is safe to
+/// run concurrently for distinct design points.
+fn simulate_one(
+    workload: &'static Workload,
+    set: InputSet,
+    program: &Program,
+    uarch: &UarchConfig,
+    sample: &SampleConfig,
+    metric: Metric,
+) -> Result<RawMeasurement, MeasureError> {
+    if metric == Metric::CodeSize {
+        return Ok(RawMeasurement {
+            value: (program.len() as u64 * emod_isa::INST_BYTES) as f64,
+            rel_error: None,
+            instructions: 0,
+            windows: 0,
+            wall_s: 0.0,
+        });
+    }
+    let expected = workload.reference_checksum(set);
+    let start = std::time::Instant::now();
+    let res =
+        simulate_sampled(program, uarch, sample).map_err(|e| MeasureError::Sim(e.to_string()))?;
+    let wall_s = start.elapsed().as_secs_f64();
+    if res.exit_value != expected {
+        return Err(MeasureError::ChecksumMismatch {
+            workload: workload.name().to_string(),
+            expected,
+            actual: res.exit_value,
+        });
+    }
+    Ok(RawMeasurement {
+        value: match metric {
+            Metric::Cycles => res.cycles as f64,
+            Metric::Energy => res.energy,
+            Metric::CodeSize => unreachable!("handled above"),
+        },
+        rel_error: Some(res.rel_error),
+        instructions: res.instructions,
+        windows: res.windows,
+        wall_s,
+    })
+}
+
 /// Measures execution time (in cycles) at design points for one
 /// program/input pair, with caching.
 ///
@@ -107,8 +219,10 @@ pub struct Measurer {
     responses: HashMap<Vec<u64>, u64>, // f64 value bits, keyed by point+metric
     checkpoint: Option<Checkpoint>,
     measurements: u64,
+    instructions_simulated: u64,
     last_rel_error: Option<f64>,
     rel_error_warnings: u64,
+    threads: usize,
 }
 
 impl std::fmt::Debug for Measurer {
@@ -138,8 +252,10 @@ impl Measurer {
             responses: HashMap::new(),
             checkpoint: None,
             measurements: 0,
+            instructions_simulated: 0,
             last_rel_error: None,
             rel_error_warnings: 0,
+            threads: emod_par::threads_from_env(),
         };
         if let Ok(dir) = std::env::var(CHECKPOINT_ENV) {
             if !dir.is_empty() {
@@ -190,6 +306,18 @@ impl Measurer {
         }
     }
 
+    /// Overrides the worker count used by the batch methods. The default
+    /// comes from `EMOD_THREADS` (falling back to available parallelism);
+    /// `1` reproduces the sequential execution order exactly.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The worker count the batch methods fan out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Responses currently cached (including any loaded from a checkpoint).
     pub fn cached_response_count(&self) -> usize {
         self.responses.len()
@@ -208,6 +336,12 @@ impl Measurer {
     /// Number of actual (non-cached) simulations performed.
     pub fn measurement_count(&self) -> u64 {
         self.measurements
+    }
+
+    /// Total instructions retired across all actual simulations — the
+    /// numerator of a campaign's aggregate Minst/s throughput.
+    pub fn instructions_simulated(&self) -> u64 {
+        self.instructions_simulated
     }
 
     /// SMARTS `rel_error` of the most recent *actual* simulation (`None`
@@ -375,25 +509,23 @@ impl Measurer {
         metric: Metric,
     ) -> Result<f64, MeasureError> {
         let sample = self.sample;
-        let expected = self.workload.reference_checksum(self.set);
         let program = self.binary(opt).clone();
-        if metric == Metric::CodeSize {
-            return Ok((program.len() as u64 * emod_isa::INST_BYTES) as f64);
-        }
-        let recording = telemetry::enabled();
-        let start = recording.then(std::time::Instant::now);
-        let res = simulate_sampled(&program, uarch, &sample)
-            .map_err(|e| MeasureError::Sim(e.to_string()))?;
-        if res.exit_value != expected {
-            return Err(MeasureError::ChecksumMismatch {
-                workload: self.workload.name().to_string(),
-                expected,
-                actual: res.exit_value,
-            });
-        }
+        let raw = simulate_one(self.workload, self.set, &program, uarch, &sample, metric)?;
+        Ok(self.absorb(raw, metric))
+    }
+
+    /// Folds one raw (freshly simulated) measurement into the measurer's
+    /// statistics and telemetry. Called in design order regardless of
+    /// worker count, so `measurement_count`, `last_rel_error` and the
+    /// warning counter evolve exactly as in the sequential path.
+    fn absorb(&mut self, raw: RawMeasurement, metric: Metric) -> f64 {
+        let Some(rel_error) = raw.rel_error else {
+            return raw.value; // code-size read: no simulation happened
+        };
         self.measurements += 1;
-        self.last_rel_error = Some(res.rel_error);
-        if res.rel_error > REL_ERROR_WARN_THRESHOLD {
+        self.instructions_simulated += raw.instructions;
+        self.last_rel_error = Some(rel_error);
+        if rel_error > REL_ERROR_WARN_THRESHOLD {
             self.rel_error_warnings += 1;
             telemetry::counter_add("core.measure.rel_error_warnings", 1);
             telemetry::event(
@@ -401,15 +533,14 @@ impl Measurer {
                 "rel_error_warning",
                 &[
                     ("workload", self.workload.name().into()),
-                    ("rel_error", res.rel_error.into()),
+                    ("rel_error", rel_error.into()),
                     ("threshold", REL_ERROR_WARN_THRESHOLD.into()),
-                    ("windows", res.windows.into()),
+                    ("windows", raw.windows.into()),
                 ],
             );
         }
-        if let Some(start) = start {
-            let secs = start.elapsed().as_secs_f64();
-            let minst_per_sec = res.instructions as f64 / 1e6 / secs.max(1e-9);
+        if telemetry::enabled() {
+            let minst_per_sec = raw.instructions as f64 / 1e6 / raw.wall_s.max(1e-9);
             telemetry::counter_add("core.measure.simulations", 1);
             telemetry::observe("core.measure.minst_per_sec", minst_per_sec);
             telemetry::gauge_set("core.measure.last_minst_per_sec", minst_per_sec);
@@ -419,18 +550,189 @@ impl Measurer {
                 &[
                     ("workload", self.workload.name().into()),
                     ("metric", metric.name().into()),
-                    ("instructions", res.instructions.into()),
-                    ("rel_error", res.rel_error.into()),
-                    ("wall_s", secs.into()),
+                    ("instructions", raw.instructions.into()),
+                    ("rel_error", rel_error.into()),
+                    ("wall_s", raw.wall_s.into()),
                     ("minst_per_sec", minst_per_sec.into()),
                 ],
             );
         }
-        Ok(match metric {
-            Metric::Cycles => res.cycles as f64,
-            Metric::Energy => res.energy,
-            Metric::CodeSize => unreachable!("handled above"),
-        })
+        raw.value
+    }
+
+    /// Measures a batch of raw design points, fanning fresh simulations
+    /// across `threads()` workers. Equivalent to calling
+    /// [`Measurer::try_measure_metric`] per point (with `retry` attempts
+    /// each) in order — responses, cache contents, checkpoint bytes and
+    /// measurer statistics are bit-identical at any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Each slot carries the [`MeasureError`] of its point's final attempt;
+    /// failed points are not cached.
+    pub fn try_measure_metric_batch(
+        &mut self,
+        points: &[Vec<f64>],
+        metric: Metric,
+        retry: &BatchRetry,
+    ) -> Vec<Result<f64, MeasureError>> {
+        let configs: Vec<(OptConfig, UarchConfig)> =
+            points.iter().map(|p| decode_point(p)).collect();
+        self.try_measure_configs_metric_batch(&configs, metric, retry)
+    }
+
+    /// Infallible [`Measurer::try_measure_metric_batch`] with a single
+    /// attempt per point.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first measurement failure (in design order).
+    pub fn measure_metric_batch(&mut self, points: &[Vec<f64>], metric: Metric) -> Vec<f64> {
+        self.try_measure_metric_batch(points, metric, &BatchRetry::single())
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| panic!("{}: {}", self.workload.name(), e)))
+            .collect()
+    }
+
+    /// Batch form of [`Measurer::try_measure_configs_metric`]: measures
+    /// every `(opt, uarch)` pair, in parallel, preserving the sequential
+    /// path's cache semantics and checkpoint ordering.
+    ///
+    /// The plan/simulate/merge structure keeps determinism at any worker
+    /// count: a sequential planning pass resolves cache hits, deduplicates
+    /// repeated configurations and compiles binaries (in first-occurrence
+    /// order, through the shared binary cache); the pool then runs only the
+    /// pure simulation kernel; finally results merge back on the caller
+    /// thread in first-occurrence order, updating statistics, the response
+    /// cache and the checkpoint exactly as the sequential loop would.
+    ///
+    /// # Errors
+    ///
+    /// Each slot carries the [`MeasureError`] of its pair's final attempt.
+    pub fn try_measure_configs_metric_batch(
+        &mut self,
+        configs: &[(OptConfig, UarchConfig)],
+        metric: Metric,
+        retry: &BatchRetry,
+    ) -> Vec<Result<f64, MeasureError>> {
+        let attempts = retry.attempts.max(1);
+        if self.threads <= 1 || configs.len() <= 1 {
+            // Sequential path: the exact legacy execution order (per-point
+            // retry wrapped around the cached single-point method).
+            return configs
+                .iter()
+                .enumerate()
+                .map(|(i, (opt, uarch))| {
+                    faults::retry_with_backoff(
+                        attempts,
+                        retry.base,
+                        retry.max,
+                        retry.point_seed(i),
+                        |_attempt| self.try_measure_configs_metric(opt, uarch, metric),
+                    )
+                })
+                .collect();
+        }
+
+        // Phase 1 — plan (sequential, caller thread). Resolve cache hits,
+        // deduplicate repeats within the batch, and compile each fresh
+        // configuration's binary through the shared binary cache.
+        enum Plan {
+            Ready(f64),
+            Job(usize),
+        }
+        struct Job {
+            orig_index: usize,
+            key: Vec<u64>,
+            program: Result<Program, MeasureError>,
+            uarch: UarchConfig,
+        }
+        let mut plans = Vec::with_capacity(configs.len());
+        let mut first_job: HashMap<Vec<u64>, usize> = HashMap::new();
+        let mut jobs: Vec<Job> = Vec::new();
+        for (i, (opt, uarch)) in configs.iter().enumerate() {
+            let mut key = quantize(&encode_point(opt, uarch));
+            key.push(metric as u64);
+            if let Some(&bits) = self.responses.get(&key) {
+                telemetry::counter_add("core.measure.response_cache.hits", 1);
+                plans.push(Plan::Ready(f64::from_bits(bits)));
+            } else if let Some(&j) = first_job.get(&key) {
+                telemetry::counter_add("core.measure.response_cache.hits", 1);
+                plans.push(Plan::Job(j));
+            } else {
+                telemetry::counter_add("core.measure.response_cache.misses", 1);
+                let program = faults::catch_panic(|| self.binary(opt).clone())
+                    .map_err(MeasureError::Panicked);
+                first_job.insert(key.clone(), jobs.len());
+                plans.push(Plan::Job(jobs.len()));
+                jobs.push(Job {
+                    orig_index: i,
+                    key,
+                    program,
+                    uarch: uarch.clone(),
+                });
+            }
+        }
+
+        // Phase 2 — simulate (parallel). Only the pure kernel runs on
+        // workers; the fault probe and panic guard sit inside each retry
+        // attempt exactly as in the sequential path. Worker spans stitch
+        // into the caller's trace via its captured context.
+        let workload = self.workload;
+        let set = self.set;
+        let sample = self.sample;
+        let parent = telemetry::current_context();
+        let pool = emod_par::Pool::new(self.threads);
+        let results: Vec<Result<RawMeasurement, MeasureError>> = pool.map_with(
+            &jobs,
+            |_worker| {
+                parent
+                    .as_ref()
+                    .map(|ctx| telemetry::span_in("core.measure.worker", ctx))
+            },
+            |_span, _j, job| {
+                let program = job.program.as_ref().map_err(Clone::clone)?;
+                faults::retry_with_backoff(
+                    attempts,
+                    retry.base,
+                    retry.max,
+                    retry.point_seed(job.orig_index),
+                    |_attempt| match faults::catch_panic(|| {
+                        faults::inject("sim.run")
+                            .map_err(|e| MeasureError::Injected(e.to_string()))?;
+                        simulate_one(workload, set, program, &job.uarch, &sample, metric)
+                    }) {
+                        Ok(result) => result,
+                        Err(panic_msg) => Err(MeasureError::Panicked(panic_msg)),
+                    },
+                )
+            },
+        );
+
+        // Phase 3 — merge (sequential, caller thread, first-occurrence
+        // order): statistics, response cache and checkpoint update exactly
+        // as the sequential loop would have updated them.
+        let mut job_values: Vec<Result<f64, MeasureError>> = Vec::with_capacity(jobs.len());
+        for (job, result) in jobs.iter().zip(results) {
+            match result {
+                Ok(raw) => {
+                    let value = self.absorb(raw, metric);
+                    self.responses.insert(job.key.clone(), value.to_bits());
+                    if let Some(ck) = self.checkpoint.as_mut() {
+                        ck.record(&job.key, value.to_bits());
+                    }
+                    job_values.push(Ok(value));
+                }
+                Err(e) => job_values.push(Err(e)),
+            }
+        }
+        plans
+            .into_iter()
+            .map(|plan| match plan {
+                Plan::Ready(v) => Ok(v),
+                Plan::Job(j) => job_values[j].clone(),
+            })
+            .collect()
     }
 }
 

@@ -29,6 +29,8 @@
 //! # Ok::<(), emod_models::ModelError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod codec;
 mod dataset;
 mod linear;

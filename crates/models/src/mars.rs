@@ -154,12 +154,17 @@ impl Mars {
 
         // Forward pass: always add the SSE-best reflected hinge pair, like
         // Friedman's algorithm — the backward pass is responsible for
-        // removing unhelpful terms.
+        // removing unhelpful terms. Candidate pairs are scored in parallel
+        // (each score is a pure least-squares solve), then the winner is
+        // chosen by a sequential scan in enumeration order — the same
+        // first-wins tie-breaking as the sequential loop, so the fitted
+        // model is bit-identical at any `EMOD_THREADS`.
+        let pool = emod_par::Pool::from_env();
         while basis.len() + 2 <= config.max_terms.max(1) && basis.len() + 2 < n {
             if best_sse < 1e-10 * sst {
                 break; // interpolating already
             }
-            let mut best_addition: Option<(usize, Hinge, f64)> = None; // (parent, hinge, sse)
+            let mut candidates: Vec<(usize, usize, f64)> = Vec::new(); // (parent, var, knot)
             for (parent_idx, parent) in basis.iter().enumerate() {
                 if parent.degree() >= config.max_degree {
                     continue;
@@ -169,33 +174,40 @@ impl Mars {
                         continue;
                     }
                     for knot in knot_candidates(data, var, config.max_knots) {
-                        let plus = parent.extended(Hinge {
+                        candidates.push((parent_idx, var, knot));
+                    }
+                }
+            }
+            let scores = pool.map(&candidates, |_i, &(parent_idx, var, knot)| {
+                let parent = &basis[parent_idx];
+                let plus = parent.extended(Hinge {
+                    var,
+                    knot,
+                    direction: 1,
+                });
+                let minus = parent.extended(Hinge {
+                    var,
+                    knot,
+                    direction: -1,
+                });
+                let mut trial = basis.clone();
+                trial.push(plus);
+                trial.push(minus);
+                solve_weights(&trial, data).ok().map(|(_, sse)| sse)
+            });
+            let mut best_addition: Option<(usize, Hinge, f64)> = None; // (parent, hinge, sse)
+            for (&(parent_idx, var, knot), score) in candidates.iter().zip(scores) {
+                let Some(sse) = score else { continue };
+                if best_addition.as_ref().is_none_or(|b| sse < b.2) {
+                    best_addition = Some((
+                        parent_idx,
+                        Hinge {
                             var,
                             knot,
                             direction: 1,
-                        });
-                        let minus = parent.extended(Hinge {
-                            var,
-                            knot,
-                            direction: -1,
-                        });
-                        let mut trial = basis.clone();
-                        trial.push(plus);
-                        trial.push(minus);
-                        if let Ok((_, sse)) = solve_weights(&trial, data) {
-                            if best_addition.as_ref().is_none_or(|b| sse < b.2) {
-                                best_addition = Some((
-                                    parent_idx,
-                                    Hinge {
-                                        var,
-                                        knot,
-                                        direction: 1,
-                                    },
-                                    sse,
-                                ));
-                            }
-                        }
-                    }
+                        },
+                        sse,
+                    ));
                 }
             }
             match best_addition {
@@ -218,19 +230,26 @@ impl Mars {
         let mut best_model = (basis.clone(), weights.clone(), sse);
         let mut best_gcv = metrics::gcv(sse, n, basis.len(), config.gcv_penalty);
         while basis.len() > 1 {
-            // Remove the non-constant term whose deletion yields the best GCV.
-            let mut round_best: Option<(usize, f64, Vec<f64>, f64)> = None;
-            for remove in 1..basis.len() {
+            // Remove the non-constant term whose deletion yields the best
+            // GCV. Deletion trials are solved in parallel; the scan below
+            // keeps the sequential loop's lowest-index tie-breaking.
+            let removals: Vec<usize> = (1..basis.len()).collect();
+            let trials = pool.map(&removals, |_i, &remove| {
                 let mut trial = basis.clone();
                 trial.remove(remove);
-                if let Ok((w, s)) = solve_weights(&trial, data) {
+                solve_weights(&trial, data).ok().map(|(w, s)| {
                     // Clamp numerically-zero SSE so GCV ties resolve toward
                     // the smaller model instead of chasing rounding noise.
                     let s = if s < 1e-10 * sst { 0.0 } else { s };
                     let g = metrics::gcv(s, n, trial.len(), config.gcv_penalty);
-                    if round_best.as_ref().is_none_or(|b| g < b.1) {
-                        round_best = Some((remove, g, w, s));
-                    }
+                    (g, w, s)
+                })
+            });
+            let mut round_best: Option<(usize, f64, Vec<f64>, f64)> = None;
+            for (&remove, trial) in removals.iter().zip(trials) {
+                let Some((g, w, s)) = trial else { continue };
+                if round_best.as_ref().is_none_or(|b| g < b.1) {
+                    round_best = Some((remove, g, w, s));
                 }
             }
             match round_best {

@@ -138,12 +138,17 @@ pub struct RbfNetwork {
 impl RbfNetwork {
     /// Fits the network, selecting the hidden-layer size by BIC.
     ///
+    /// Candidate sizes are evaluated in parallel across `EMOD_THREADS`
+    /// workers; each candidate is a pure function of the data and the size,
+    /// and selection scans candidates in size order (first strictly-lower
+    /// BIC wins), so the fitted network is bit-identical at any worker
+    /// count.
+    ///
     /// # Errors
     ///
     /// Returns [`ModelError::NumericalFailure`] if no candidate size admits a
     /// least-squares solution.
     pub fn fit(data: &Dataset, config: RbfConfig) -> Result<Self> {
-        let mut best: Option<RbfNetwork> = None;
         let mut sizes: Vec<usize> = config
             .center_candidates
             .iter()
@@ -156,7 +161,7 @@ impl RbfNetwork {
                 "no candidate hidden-layer sizes".into(),
             ));
         }
-        for &size in &sizes {
+        let candidates = emod_par::Pool::from_env().map(&sizes, |_i, &size| {
             let tree = RegressionTree::fit(
                 data,
                 TreeConfig {
@@ -179,14 +184,19 @@ impl RbfNetwork {
                     (leaf.center.clone(), inv_radii)
                 })
                 .collect();
-            if let Ok(net) = Self::solve(data, &centers, config.kernel, config.linear_tail) {
-                let better = match &best {
-                    Some(b) => net.training_bic < b.training_bic,
-                    None => true,
-                };
-                if better {
-                    best = Some(net);
-                }
+            Ok(Self::solve(data, &centers, config.kernel, config.linear_tail).ok())
+        });
+        let mut best: Option<RbfNetwork> = None;
+        for candidate in candidates {
+            // A tree-fit error aborts the whole fit (first in size order),
+            // exactly as the sequential `?` did.
+            let Some(net) = candidate? else { continue };
+            let better = match &best {
+                Some(b) => net.training_bic < b.training_bic,
+                None => true,
+            };
+            if better {
+                best = Some(net);
             }
         }
         best.ok_or_else(|| {

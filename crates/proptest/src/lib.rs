@@ -163,7 +163,7 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`](crate::collection::vec).
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

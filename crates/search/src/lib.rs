@@ -141,6 +141,37 @@ impl GeneticSearch {
         R: Rng + ?Sized,
         F: FnMut(&[f64]) -> f64,
     {
+        self.run_with_evaluator(
+            &mut |population| population.iter().map(|p| objective(p)).collect(),
+            rng,
+        )
+    }
+
+    /// [`GeneticSearch::run`] with per-individual fitness evaluated in
+    /// parallel across `EMOD_THREADS` workers. The objective must be a pure
+    /// function of the point (hence `Fn + Sync`); under that contract the
+    /// result is bit-identical to [`GeneticSearch::run`] at any worker
+    /// count — fitness vectors come back in population order and all RNG
+    /// draws stay on the caller thread.
+    pub fn run_par<R, F>(&self, objective: F, rng: &mut R) -> SearchResult
+    where
+        R: Rng + ?Sized,
+        F: Fn(&[f64]) -> f64 + Sync,
+    {
+        let pool = emod_par::Pool::from_env();
+        self.run_with_evaluator(
+            &mut |population| pool.map(population, |_i, p| objective(p)),
+            rng,
+        )
+    }
+
+    /// The GA loop, generic over how a generation's fitness vector is
+    /// produced (sequentially or on a pool).
+    fn run_with_evaluator<R: Rng + ?Sized>(
+        &self,
+        evaluate: &mut dyn FnMut(&[DesignPoint]) -> Vec<f64>,
+        rng: &mut R,
+    ) -> SearchResult {
         let _span = telemetry::span("search.ga");
         let cfg = self.config;
         let mut evaluations = 0usize;
@@ -151,13 +182,8 @@ impl GeneticSearch {
 
         for gen in 0..cfg.generations {
             let _gen_span = telemetry::span("generation");
-            let fitness: Vec<f64> = population
-                .iter()
-                .map(|p| {
-                    evaluations += 1;
-                    objective(p)
-                })
-                .collect();
+            let fitness = evaluate(&population);
+            evaluations += fitness.len();
             // Track the global best.
             for (p, &f) in population.iter().zip(&fitness) {
                 if best.as_ref().is_none_or(|(_, bf)| f < *bf) {
@@ -195,9 +221,9 @@ impl GeneticSearch {
             population = next;
         }
         // Score the final generation too.
-        for p in &population {
-            evaluations += 1;
-            let f = objective(p);
+        let fitness = evaluate(&population);
+        evaluations += fitness.len();
+        for (p, &f) in population.iter().zip(&fitness) {
             if best.as_ref().is_none_or(|(_, bf)| f < *bf) {
                 best = Some((p.clone(), f));
             }
@@ -272,7 +298,7 @@ fn record_generation(gen: usize, fitness: &[f64], global_best: Option<f64>) {
 /// the parameter's levels (see [`GeneticSearch::freeze`]).
 pub fn tune_surrogate<R: Rng + ?Sized>(
     space: &ParameterSpace,
-    model: &dyn emod_models::Regressor,
+    model: &(dyn emod_models::Regressor + Sync),
     frozen: &[(&str, f64)],
     config: GaConfig,
     rng: &mut R,
@@ -281,7 +307,9 @@ pub fn tune_surrogate<R: Rng + ?Sized>(
     for &(name, value) in frozen {
         search = search.freeze(name, value);
     }
-    search.run(|raw| model.predict(&space.encode(raw)).max(1.0), rng)
+    // Surrogate predictions are pure, so fitness fans out across
+    // `EMOD_THREADS` workers with a bit-identical result.
+    search.run_par(|raw| model.predict(&space.encode(raw)).max(1.0), rng)
 }
 
 /// Pure random search baseline: evaluates `budget` random points.

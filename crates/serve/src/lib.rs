@@ -13,6 +13,8 @@
 //!   `list_models`, `predict`, `predict_batch`, `tune`, `stats` and
 //!   `shutdown`.
 
+#![warn(missing_docs)]
+
 pub mod artifact;
 pub mod client;
 pub mod codecs;

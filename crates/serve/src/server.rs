@@ -59,6 +59,10 @@ pub const MAX_LINE_BYTES: u64 = 1 << 20;
 /// is unset.
 pub const DEFAULT_MAX_INFLIGHT: u64 = 256;
 
+/// Smallest `predict_batch` that is sharded across the `EMOD_THREADS`
+/// pool; smaller batches predict inline on the request worker.
+pub const PARALLEL_BATCH_MIN: usize = 64;
+
 /// The commands the server understands. Per-command counters and latency
 /// histograms are only created for these names, so a garbage `cmd` cannot
 /// grow the telemetry registry without bound.
@@ -782,14 +786,27 @@ fn cmd_predict(registry: &ModelRegistry, req: &Json, batch: bool) -> Json {
             None => return err_response("predict needs a \"point\""),
         }
     };
-    let mut predictions = Vec::with_capacity(points.len());
+    let mut raws = Vec::with_capacity(points.len());
     for (i, p) in points.iter().enumerate() {
-        let raw = match parse_point(p, dim) {
-            Ok(r) => r,
+        match parse_point(p, dim) {
+            Ok(r) => raws.push(r),
             Err(e) => return err_response(format!("point {}: {}", i, e)),
-        };
-        predictions.push(Json::Num(art.model.predict(&art.space.encode(&raw))));
+        }
     }
+    // Shard large batches across the measurement pool: each prediction is a
+    // pure function of its point, so the response is bit-identical to the
+    // sequential loop at any `EMOD_THREADS`. Small batches stay inline —
+    // spawning workers costs more than the predictions themselves.
+    let pool = emod_par::Pool::from_env();
+    let predictions: Vec<Json> = if raws.len() >= PARALLEL_BATCH_MIN && pool.threads() > 1 {
+        pool.map(&raws, |_i, raw| {
+            Json::Num(art.model.predict(&art.space.encode(raw)))
+        })
+    } else {
+        raws.iter()
+            .map(|raw| Json::Num(art.model.predict(&art.space.encode(raw))))
+            .collect()
+    };
     telemetry::counter_add("serve.predictions", predictions.len() as u64);
     let mut fields = vec![
         ("ok", Json::Bool(true)),

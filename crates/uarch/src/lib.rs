@@ -46,3 +46,17 @@ pub use config::{FuPoolConfig, UarchConfig};
 pub use core::{energy_cost, op_energy, Core, PipeStats, SimResult};
 pub use memsys::{AccessKind, MemSys};
 pub use smarts::{simulate, simulate_sampled, SampleConfig, SampledResult};
+
+// The measurement pool (`emod-par`) ships simulation inputs to worker
+// threads and results back; this audit pins the whole `simulate_sampled`
+// surface as `Send + Sync` at compile time so a non-thread-safe field
+// (an `Rc`, a raw pointer, interior mutability) can never sneak into the
+// simulator and silently break parallel campaigns.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<UarchConfig>();
+    assert_send_sync::<SampleConfig>();
+    assert_send_sync::<SampledResult>();
+    assert_send_sync::<SimResult>();
+    assert_send_sync::<emod_isa::Program>();
+};
