@@ -1,9 +1,10 @@
 //! `emod-trace` — offline analyzer for `emod-telemetry` JSONL streams.
 //!
 //! ```text
-//! emod-trace tree  <file.jsonl>...  [--limit N]        per-trace span trees
-//! emod-trace flame <file.jsonl>...                     self-time table per span path
-//! emod-trace diff  <a.jsonl> <b.jsonl> [--threshold PCT]
+//! emod-trace tree    <file.jsonl>...  [--limit N]      per-trace span trees
+//! emod-trace flame   <file.jsonl>...                   self-time table per span path
+//! emod-trace diff    <a.jsonl> <b.jsonl> [--threshold PCT]
+//! emod-trace quality <file.jsonl>...                   model-quality summary
 //! ```
 //!
 //! `tree` reconstructs each trace (one unit of work: a server request, a
@@ -11,7 +12,10 @@
 //! hierarchy with total and self wall time. `flame` aggregates every span
 //! path across the run — where did the time actually go. `diff` compares
 //! two runs and **exits 1** when any span path's p50 regressed by more
-//! than the threshold (default 20%), so CI can gate on it.
+//! than the threshold (default 20%), so CI can gate on it. `quality`
+//! distills the server's `quality.prediction`/`quality.observation`/
+//! `quality_warn` events into extrapolation, disagreement, and
+//! accuracy-drift summaries per model.
 //!
 //! Exit codes: 0 clean, 1 diff found a regression, 2 usage/I/O error.
 
@@ -22,9 +26,10 @@ fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("error: {}", err);
     }
-    eprintln!("usage: emod-trace tree  <file.jsonl>... [--limit N]");
-    eprintln!("       emod-trace flame <file.jsonl>...");
-    eprintln!("       emod-trace diff  <a.jsonl> <b.jsonl> [--threshold PCT]");
+    eprintln!("usage: emod-trace tree    <file.jsonl>... [--limit N]");
+    eprintln!("       emod-trace flame   <file.jsonl>...");
+    eprintln!("       emod-trace diff    <a.jsonl> <b.jsonl> [--threshold PCT]");
+    eprintln!("       emod-trace quality <file.jsonl>...");
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {
@@ -58,6 +63,15 @@ fn read_all(paths: &[String]) -> Result<Vec<trace::SpanRec>, String> {
         spans.extend(read_spans(p)?.spans);
     }
     Ok(spans)
+}
+
+/// Reads and merges several JSONL files into one event list.
+fn read_all_events(paths: &[String]) -> Result<Vec<trace::EventRec>, String> {
+    let mut events = Vec::new();
+    for p in paths {
+        events.extend(read_spans(p)?.events);
+    }
+    Ok(events)
 }
 
 fn main() -> ExitCode {
@@ -141,6 +155,18 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             } else {
                 ExitCode::SUCCESS
+            }
+        }
+        "quality" => {
+            if files.is_empty() {
+                return usage("quality needs at least one JSONL file");
+            }
+            match read_all_events(&files) {
+                Ok(events) => {
+                    emit(&trace::render_quality(&trace::summarize_quality(&events)));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => usage(&e),
             }
         }
         other => usage(&format!("unknown mode {:?}", other)),

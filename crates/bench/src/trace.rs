@@ -4,9 +4,12 @@
 //! two runs.
 //!
 //! Works on any file written via `EMOD_TELEMETRY` — `repro` runs, the
-//! server's access/request stream, or several files merged. Only
-//! `"kind":"span"` records matter here; everything else is skipped (and
-//! counted, so truncated or mixed files are visible rather than silent).
+//! server's access/request stream, or several files merged. The span modes
+//! (`tree`, `flame`, `diff`) use `"kind":"span"` records; the `quality`
+//! mode distills `"kind":"event"` records (`quality.prediction`,
+//! `quality.observation`, `serve.quality_warn`) into a model-quality
+//! report. Everything else is skipped (and counted, so truncated or mixed
+//! files are visible rather than silent).
 
 use emod_serve::json::Json;
 use std::collections::{BTreeMap, HashMap};
@@ -31,18 +34,46 @@ pub struct SpanRec {
     pub parent_id: Option<String>,
 }
 
-/// Parse outcome: spans plus counts of what was skipped.
+/// One structured event record from a telemetry JSONL stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRec {
+    /// Timestamp, microseconds since the process telemetry epoch.
+    pub ts_us: f64,
+    /// Emitting subsystem (`serve`, `quality`, …).
+    pub subsystem: String,
+    /// Event name within the subsystem.
+    pub name: String,
+    /// The structured payload, verbatim.
+    pub fields: Json,
+}
+
+impl EventRec {
+    /// A numeric payload field, if present.
+    pub fn num(&self, key: &str) -> Option<f64> {
+        self.fields.get(key).and_then(Json::as_f64)
+    }
+
+    /// A string payload field, if present.
+    pub fn text(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).and_then(Json::as_str)
+    }
+}
+
+/// Parse outcome: spans and events plus counts of what was skipped.
 #[derive(Debug, Default)]
 pub struct Parsed {
     /// All span records, in file order (close order).
     pub spans: Vec<SpanRec>,
-    /// Non-span telemetry records (events) — expected, just not analyzed.
+    /// All structured event records, in file order.
+    pub events: Vec<EventRec>,
+    /// Non-span telemetry records (events, tables) — expected, only some
+    /// modes analyze them.
     pub other_records: usize,
     /// Lines that did not parse as JSON objects.
     pub bad_lines: usize,
 }
 
-/// Parses telemetry JSONL text, keeping the span records.
+/// Parses telemetry JSONL text, keeping the span and event records.
 pub fn parse_jsonl(text: &str) -> Parsed {
     let mut out = Parsed::default();
     for line in text.lines() {
@@ -56,6 +87,19 @@ pub fn parse_jsonl(text: &str) -> Parsed {
         };
         if v.get("kind").and_then(Json::as_str) != Some("span") {
             out.other_records += 1;
+            if v.get("kind").and_then(Json::as_str) == Some("event") {
+                if let (Some(subsystem), Some(name)) = (
+                    v.get("subsystem").and_then(Json::as_str),
+                    v.get("name").and_then(Json::as_str),
+                ) {
+                    out.events.push(EventRec {
+                        ts_us: v.get("ts_us").and_then(Json::as_f64).unwrap_or(0.0),
+                        subsystem: subsystem.to_string(),
+                        name: name.to_string(),
+                        fields: v.get("fields").cloned().unwrap_or(Json::Null),
+                    });
+                }
+            }
             continue;
         }
         let (Some(path), Some(dur_us)) = (
@@ -396,6 +440,187 @@ pub fn render_diff(rows: &[DiffRow], threshold_pct: f64, only_a: usize, only_b: 
     out
 }
 
+/// Per-model tallies inside a [`QualityReport`].
+#[derive(Debug, Default, Clone)]
+pub struct ModelQuality {
+    /// `quality.prediction` events for this model id.
+    pub predictions: usize,
+    /// `quality.observation` events for this model id.
+    pub observations: usize,
+    /// `serve.quality_warn` events for this model id.
+    pub warnings: usize,
+}
+
+/// A model-quality report distilled from telemetry events: prediction
+/// volume, extrapolation/disagreement distributions, threshold breaches,
+/// and shadow-accuracy drift.
+#[derive(Debug, Default)]
+pub struct QualityReport {
+    /// Total `quality.prediction` events.
+    pub predictions: usize,
+    /// Total `quality.observation` events.
+    pub observations: usize,
+    /// Extrapolation warnings (`serve.quality_warn`, kind=extrapolation).
+    pub warn_extrapolation: usize,
+    /// Disagreement warnings (`serve.quality_warn`, kind=disagreement).
+    pub warn_disagreement: usize,
+    /// Extrapolation scores, sorted ascending.
+    pub extrapolation: Vec<f64>,
+    /// Disagreement spreads, sorted ascending.
+    pub disagreement: Vec<f64>,
+    /// Per-observation absolute percentage errors, sorted ascending.
+    pub ape: Vec<f64>,
+    /// The last reported rolling shadow MAPE, if any observation carried
+    /// one.
+    pub last_shadow_mape: Option<f64>,
+    /// Per-model tallies, keyed by model id.
+    pub per_model: BTreeMap<String, ModelQuality>,
+}
+
+/// Exact nearest-rank quantile of an ascending-sorted slice.
+fn sorted_quantile(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    Some(sorted[rank - 1])
+}
+
+/// Distills the quality-relevant events out of a telemetry stream.
+pub fn summarize_quality(events: &[EventRec]) -> QualityReport {
+    let mut r = QualityReport::default();
+    for e in events {
+        match (e.subsystem.as_str(), e.name.as_str()) {
+            ("quality", "prediction") => {
+                r.predictions += 1;
+                if let Some(x) = e.num("extrapolation") {
+                    r.extrapolation.push(x);
+                }
+                if let Some(d) = e.num("disagreement") {
+                    r.disagreement.push(d);
+                }
+                if let Some(model) = e.text("model") {
+                    r.per_model
+                        .entry(model.to_string())
+                        .or_default()
+                        .predictions += 1;
+                }
+            }
+            ("quality", "observation") => {
+                r.observations += 1;
+                if let Some(a) = e.num("ape") {
+                    r.ape.push(a);
+                }
+                if let Some(m) = e.num("shadow_mape") {
+                    r.last_shadow_mape = Some(m);
+                }
+                if let Some(model) = e.text("model") {
+                    r.per_model
+                        .entry(model.to_string())
+                        .or_default()
+                        .observations += 1;
+                }
+            }
+            ("serve", "quality_warn") => {
+                match e.text("kind") {
+                    Some("extrapolation") => r.warn_extrapolation += 1,
+                    Some("disagreement") => r.warn_disagreement += 1,
+                    _ => {}
+                }
+                if let Some(model) = e.text("model") {
+                    r.per_model.entry(model.to_string()).or_default().warnings += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    r.extrapolation.sort_by(f64::total_cmp);
+    r.disagreement.sort_by(f64::total_cmp);
+    r.ape.sort_by(f64::total_cmp);
+    r
+}
+
+/// Formats a sorted distribution as `p50 … p95 … max …`, or a placeholder
+/// when no samples were recorded.
+fn dist_line(sorted: &[f64]) -> String {
+    match (
+        sorted_quantile(sorted, 0.50),
+        sorted_quantile(sorted, 0.95),
+        sorted.last(),
+    ) {
+        (Some(p50), Some(p95), Some(max)) => {
+            format!("p50 {:.3}  p95 {:.3}  max {:.3}", p50, p95, max)
+        }
+        _ => "no samples".to_string(),
+    }
+}
+
+/// Renders the quality report as the `emod-trace quality` text output.
+pub fn render_quality(r: &QualityReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "model-quality summary");
+    let _ = writeln!(
+        out,
+        "  predictions:   {} ({} scored for extrapolation, {} with disagreement)",
+        r.predictions,
+        r.extrapolation.len(),
+        r.disagreement.len()
+    );
+    let _ = writeln!(
+        out,
+        "  extrapolation: {}  [{} warning(s)]",
+        dist_line(&r.extrapolation),
+        r.warn_extrapolation
+    );
+    let _ = writeln!(
+        out,
+        "  disagreement:  {}  [{} warning(s)]",
+        dist_line(&r.disagreement),
+        r.warn_disagreement
+    );
+    let mape = r
+        .last_shadow_mape
+        .map(|m| format!("rolling MAPE {:.2}%", m))
+        .unwrap_or_else(|| "no rolling MAPE yet".to_string());
+    let _ = writeln!(
+        out,
+        "  observations:  {} ({}; per-obs APE {})",
+        r.observations,
+        mape,
+        dist_line(&r.ape)
+    );
+    if !r.per_model.is_empty() {
+        let width = r
+            .per_model
+            .keys()
+            .map(String::len)
+            .max()
+            .unwrap_or(5)
+            .max("model".len());
+        let _ = writeln!(
+            out,
+            "\n  {:<width$}  {:>6}  {:>4}  {:>5}",
+            "model",
+            "preds",
+            "obs",
+            "warns",
+            width = width
+        );
+        for (model, mq) in &r.per_model {
+            let _ = writeln!(
+                out,
+                "  {:<width$}  {:>6}  {:>4}  {:>5}",
+                model,
+                mq.predictions,
+                mq.observations,
+                mq.warnings,
+                width = width
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -509,5 +734,58 @@ mod tests {
         let report = render_diff(&rows, 20.0, 0, 0);
         assert!(report.contains("REGRESSED"), "{}", report);
         assert!(report.contains("regression(s) past 20%"), "{}", report);
+    }
+
+    #[test]
+    fn events_are_parsed_alongside_spans() {
+        let p = parse_jsonl(&fixture());
+        assert_eq!(p.events.len(), 1);
+        assert_eq!(p.events[0].subsystem, "t");
+        assert_eq!(p.events[0].name, "noise");
+    }
+
+    /// A synthetic quality stream: two predictions (one past the
+    /// extrapolation threshold), one warning, and two observations.
+    fn quality_fixture() -> String {
+        [
+            r#"{"ts_us":1,"kind":"event","subsystem":"quality","name":"prediction","fields":{"model":"m1","prediction":5000.0,"extrapolation":0.8,"disagreement":0.05}}"#,
+            r#"{"ts_us":2,"kind":"event","subsystem":"serve","name":"quality_warn","fields":{"kind":"extrapolation","model":"m1","value":4.2,"threshold":3.0}}"#,
+            r#"{"ts_us":3,"kind":"event","subsystem":"quality","name":"prediction","fields":{"model":"m1","prediction":9000.0,"extrapolation":4.2,"warn":"extrapolation"}}"#,
+            r#"{"ts_us":4,"kind":"event","subsystem":"quality","name":"observation","fields":{"model":"m1","predicted":5000.0,"measured":5250.0,"ape":4.761904761904762,"shadow_mape":4.76}}"#,
+            r#"{"ts_us":5,"kind":"event","subsystem":"quality","name":"observation","fields":{"model":"m2","predicted":100.0,"measured":110.0,"ape":9.090909090909092,"shadow_mape":6.93}}"#,
+            r#"{"ts_us":6,"kind":"event","subsystem":"serve","name":"access","fields":{"cmd":"predict"}}"#,
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn quality_summary_distills_events() {
+        let p = parse_jsonl(&quality_fixture());
+        let r = summarize_quality(&p.events);
+        assert_eq!(r.predictions, 2);
+        assert_eq!(r.observations, 2);
+        assert_eq!(r.warn_extrapolation, 1);
+        assert_eq!(r.warn_disagreement, 0);
+        assert_eq!(r.extrapolation, vec![0.8, 4.2]);
+        assert_eq!(r.disagreement, vec![0.05]);
+        assert_eq!(r.last_shadow_mape, Some(6.93));
+        assert_eq!(r.per_model["m1"].predictions, 2);
+        assert_eq!(r.per_model["m1"].observations, 1);
+        assert_eq!(r.per_model["m1"].warnings, 1);
+        assert_eq!(r.per_model["m2"].observations, 1);
+
+        let text = render_quality(&r);
+        assert!(text.contains("model-quality summary"), "{}", text);
+        assert!(text.contains("rolling MAPE 6.93%"), "{}", text);
+        assert!(text.contains("[1 warning(s)]"), "{}", text);
+        assert!(text.contains("m1"), "{}", text);
+    }
+
+    #[test]
+    fn quality_summary_of_empty_stream_is_calm() {
+        let r = summarize_quality(&[]);
+        let text = render_quality(&r);
+        assert!(text.contains("no samples"), "{}", text);
+        assert!(text.contains("no rolling MAPE yet"), "{}", text);
     }
 }

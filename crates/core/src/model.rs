@@ -91,6 +91,24 @@ impl SurrogateModel {
         }
     }
 
+    /// Decomposes `predict(x)` into labeled additive components (see
+    /// `emod_models::explain`): per-term contributions for linear models,
+    /// per-basis-function contributions for MARS, and bias/tail/unit
+    /// contributions for RBF networks. The component sum reconstructs the
+    /// prediction (bit-exactly for linear, to reassociation error for MARS
+    /// and RBF).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` does not match the model dimension.
+    pub fn explain(&self, x: &[f64]) -> Vec<emod_models::Attribution> {
+        match self {
+            SurrogateModel::Linear(m) => m.explain(x),
+            SurrogateModel::Mars(m) => m.explain(x),
+            SurrogateModel::Rbf(m) => m.explain(x),
+        }
+    }
+
     /// The MARS model, if that is the family (for interpretation).
     pub fn as_mars(&self) -> Option<&Mars> {
         match self {

@@ -1,0 +1,83 @@
+//! Per-prediction attribution: decomposing a prediction into labeled,
+//! additive components.
+//!
+//! Each model family exposes an `explain` method returning a vector of
+//! [`Attribution`] components whose values sum back to `predict(x)`:
+//!
+//! * [`crate::LinearModel::explain`] — one component per regression term
+//!   (intercept, mains, two-factor interactions); the sum is *bit-exact*
+//!   because the components are the very products the predictor adds.
+//! * [`crate::Mars::explain`] — one component per basis function
+//!   (`wₘ·Bₘ(x)`), labeled with its hinge product.
+//! * [`crate::RbfNetwork::explain`] — the bias, the linear-tail terms, and
+//!   one component per hidden unit (`wⱼ·K(dⱼ)`), labeled with the unit's
+//!   radius-normalized distance to its center.
+//!
+//! # Examples
+//!
+//! ```
+//! use emod_models::{Dataset, LinearModel, LinearTerms, Regressor};
+//!
+//! let xs = vec![vec![-1.0], vec![0.0], vec![1.0]];
+//! let ys = vec![1.0, 3.0, 5.0]; // y = 3 + 2x
+//! let model = LinearModel::fit(&Dataset::new(xs, ys)?, LinearTerms::MainEffects)?;
+//! let parts = model.explain(&[0.5]);
+//! let total: f64 = parts.iter().map(|a| a.value).sum();
+//! assert_eq!(total.to_bits(), model.predict(&[0.5]).to_bits());
+//! # Ok::<(), emod_models::ModelError>(())
+//! ```
+
+/// One additive component of a prediction decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribution {
+    /// Human-readable term label, e.g. `"intercept"`, `"x3"`, `"x0*x2"`,
+    /// `"h(x1-0.2500)"`, or `"unit4(d=0.812)"`.
+    pub term: String,
+    /// Sorted distinct predictor variables the component depends on (empty
+    /// for constant terms and RBF units, which depend on all variables).
+    pub variables: Vec<usize>,
+    /// Additive contribution to the prediction at the queried point.
+    pub value: f64,
+}
+
+impl Attribution {
+    /// Builds a component; `variables` is sorted and deduplicated.
+    pub fn new(term: impl Into<String>, mut variables: Vec<usize>, value: f64) -> Self {
+        variables.sort_unstable();
+        variables.dedup();
+        Attribution {
+            term: term.into(),
+            variables,
+            value,
+        }
+    }
+}
+
+/// Sums component values in order — the reconstruction consumers should
+/// compare against `predict(x)`.
+pub fn attribution_total(parts: &[Attribution]) -> f64 {
+    parts.iter().map(|a| a.value).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sorts_and_dedups_variables() {
+        let a = Attribution::new("x1*x0", vec![1, 0, 1], 2.5);
+        assert_eq!(a.variables, vec![0, 1]);
+        assert_eq!(a.term, "x1*x0");
+        assert_eq!(a.value, 2.5);
+    }
+
+    #[test]
+    fn total_sums_in_order() {
+        let parts = vec![
+            Attribution::new("a", vec![], 1.0),
+            Attribution::new("b", vec![], 2.0),
+        ];
+        assert_eq!(attribution_total(&parts), 3.0);
+        assert_eq!(attribution_total(&[]), 0.0);
+    }
+}

@@ -33,6 +33,7 @@
 
 pub mod codec;
 mod dataset;
+pub mod explain;
 mod linear;
 mod mars;
 pub mod metrics;
@@ -41,6 +42,7 @@ mod tree;
 
 pub use codec::{CodecError, CodecResult, Reader, Writer};
 pub use dataset::Dataset;
+pub use explain::{attribution_total, Attribution};
 pub use linear::{LinearModel, LinearTerms};
 pub use mars::{BasisFunction, Hinge, Mars, MarsConfig};
 pub use rbf::{Kernel, RbfConfig, RbfNetwork};

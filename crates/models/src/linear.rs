@@ -1,6 +1,6 @@
 //! Global parametric linear regression models (paper §4.1).
 
-use crate::{metrics, Dataset, ModelError, Regressor, Result};
+use crate::{metrics, Attribution, Dataset, ModelError, Regressor, Result};
 use emod_linalg::Matrix;
 
 /// Which terms a [`LinearModel`] includes.
@@ -154,6 +154,47 @@ impl LinearModel {
     /// Term structure the model was fit with.
     pub fn terms(&self) -> LinearTerms {
         self.terms
+    }
+
+    /// Decomposes `predict(x)` into one [`Attribution`] per regression term.
+    ///
+    /// The components are exactly the products the predictor sums, in the
+    /// same order, so their left-to-right sum is **bit-identical** to
+    /// [`Regressor::predict`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` does not match the model dimension.
+    pub fn explain(&self, x: &[f64]) -> Vec<Attribution> {
+        assert_eq!(x.len(), self.dim, "point dimension mismatch");
+        let expanded = Self::expand_point(x, self.terms);
+        let mut parts = Vec::with_capacity(expanded.len());
+        parts.push(Attribution::new(
+            "intercept",
+            Vec::new(),
+            expanded[0] * self.coefficients[0],
+        ));
+        for i in 0..self.dim {
+            parts.push(Attribution::new(
+                format!("x{}", i),
+                vec![i],
+                expanded[1 + i] * self.coefficients[1 + i],
+            ));
+        }
+        if self.terms == LinearTerms::TwoFactor {
+            let mut idx = 1 + self.dim;
+            for i in 0..self.dim {
+                for j in i + 1..self.dim {
+                    parts.push(Attribution::new(
+                        format!("x{}*x{}", i, j),
+                        vec![i, j],
+                        expanded[idx] * self.coefficients[idx],
+                    ));
+                    idx += 1;
+                }
+            }
+        }
+        parts
     }
 
     /// Serializes the fitted model into `w` (see [`crate::codec`]).

@@ -1,6 +1,6 @@
 //! Multivariate Adaptive Regression Splines (paper §4.2, Friedman 1991).
 
-use crate::{metrics, Dataset, ModelError, Regressor, Result};
+use crate::{metrics, Attribution, Dataset, ModelError, Regressor, Result};
 use emod_linalg::Matrix;
 
 /// One hinge factor `max(0, x_v - t)` or `max(0, t - x_v)`.
@@ -296,6 +296,43 @@ impl Mars {
     /// SSE of the selected model on the training data.
     pub fn training_sse(&self) -> f64 {
         self.training_sse
+    }
+
+    /// Decomposes `predict(x)` into one [`Attribution`] per basis function
+    /// (`wₘ·Bₘ(x)`, paper Equation 6). The constant basis is labeled
+    /// `"intercept"`; every other component is labeled with its hinge
+    /// product, e.g. `"h(x1-0.2500)*h(0.5000-x2)"`.
+    ///
+    /// The components are the same products the predictor sums, in the same
+    /// order, so their left-to-right sum reconstructs the prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` does not match the model dimension.
+    pub fn explain(&self, x: &[f64]) -> Vec<Attribution> {
+        assert_eq!(x.len(), self.dim, "point dimension mismatch");
+        self.basis
+            .iter()
+            .zip(&self.weights)
+            .map(|(b, w)| {
+                let term = if b.hinges.is_empty() {
+                    "intercept".to_string()
+                } else {
+                    b.hinges
+                        .iter()
+                        .map(|h| {
+                            if h.direction >= 0 {
+                                format!("h(x{}-{:.4})", h.var, h.knot)
+                            } else {
+                                format!("h({:.4}-x{})", h.knot, h.var)
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                        .join("*")
+                };
+                Attribution::new(term, b.variables(), w * b.eval(x))
+            })
+            .collect()
     }
 
     /// The variable sets the model found worth including — each entry is a

@@ -1,6 +1,8 @@
 //! Radial basis function networks (paper §4.3).
 
-use crate::{metrics, Dataset, ModelError, RegressionTree, Regressor, Result, TreeConfig};
+use crate::{
+    metrics, Attribution, Dataset, ModelError, RegressionTree, Regressor, Result, TreeConfig,
+};
 use emod_linalg::Matrix;
 
 /// RBF kernel functions (paper Equation 8).
@@ -256,6 +258,36 @@ impl RbfNetwork {
     /// Number of hidden units.
     pub fn unit_count(&self) -> usize {
         self.units.len()
+    }
+
+    /// Decomposes `predict(x)` into the bias, the linear-tail terms, and
+    /// one [`Attribution`] per hidden unit (`wⱼ·K(dⱼ)`). Unit labels carry
+    /// the radius-normalized distance from `x` to the unit's center, so the
+    /// nearest centers (the units whose weights dominate locally) are
+    /// directly readable from the decomposition.
+    ///
+    /// The component sum reconstructs the prediction to within floating-
+    /// point reassociation error (≤ 1e-9 relative in practice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` does not match the network dimension.
+    pub fn explain(&self, x: &[f64]) -> Vec<Attribution> {
+        assert_eq!(x.len(), self.dim, "point dimension mismatch");
+        let mut parts = Vec::with_capacity(1 + self.linear.len() + self.units.len());
+        parts.push(Attribution::new("bias", Vec::new(), self.bias));
+        for (i, (a, v)) in self.linear.iter().zip(x).enumerate() {
+            parts.push(Attribution::new(format!("x{}", i), vec![i], a * v));
+        }
+        for (j, u) in self.units.iter().enumerate() {
+            let d2 = u.norm_dist2(x);
+            parts.push(Attribution::new(
+                format!("unit{}(d={:.3})", j, d2.sqrt()),
+                Vec::new(),
+                u.weight * self.kernel.eval(d2, 1.0),
+            ));
+        }
+        parts
     }
 
     /// The kernel in use.

@@ -7,7 +7,7 @@
 //! history, and provenance (workload, input set, metric, family, scale,
 //! seed, train/test MAPE).
 //!
-//! # File format (version 1)
+//! # File format (version 2)
 //!
 //! ```text
 //! [ magic "EMODMDL\0" : 8 bytes ]
@@ -21,6 +21,12 @@
 //! model, datasets and history. All floating-point state round-trips through
 //! bit patterns, so a loaded artifact predicts **bit-identically** to the
 //! in-memory model it was saved from.
+//!
+//! Version 2 appends a presence-flagged [`DesignSummary`] of the training
+//! design (per-dimension hull bounds + nearest-neighbor distance scale) so
+//! the server can score how far a query extrapolates beyond the measured
+//! design. Version 1 files (no summary) still load; their extrapolation
+//! scoring is gracefully disabled ([`ModelArtifact::quality`] is `None`).
 
 use crate::codecs;
 use emod_core::builder::BuiltModel;
@@ -29,6 +35,7 @@ use emod_core::model::{ModelFamily, SurrogateModel};
 use emod_doe::ParameterSpace;
 use emod_models::codec::{CodecError, Reader, Writer};
 use emod_models::{metrics, Dataset, Regressor};
+use emod_quality::DesignSummary;
 use emod_workloads::{InputSet, Workload};
 use std::error::Error;
 use std::fmt;
@@ -37,7 +44,10 @@ use std::fmt;
 pub const MAGIC: [u8; 8] = *b"EMODMDL\0";
 
 /// Current artifact format version.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest artifact format version this build still reads.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// Error loading or validating a model artifact.
 #[derive(Debug)]
@@ -71,8 +81,8 @@ impl fmt::Display for ArtifactError {
             ArtifactError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported artifact format version {} (this build reads {})",
-                    v, FORMAT_VERSION
+                    "unsupported artifact format version {} (this build reads {}..={})",
+                    v, MIN_FORMAT_VERSION, FORMAT_VERSION
                 )
             }
             ArtifactError::Truncated { expected, actual } => write!(
@@ -186,6 +196,9 @@ pub struct ModelArtifact {
     pub test: Dataset,
     /// `(training size, test MAPE)` per build round.
     pub history: Vec<(usize, f64)>,
+    /// Summary of the training design for extrapolation scoring. `None` for
+    /// version-1 artifacts (scoring disabled) and for degenerate designs.
+    pub quality: Option<DesignSummary>,
 }
 
 impl ModelArtifact {
@@ -217,6 +230,7 @@ impl ModelArtifact {
             train: built.train.clone(),
             test: built.test.clone(),
             history: built.history.clone(),
+            quality: DesignSummary::from_design(&built.train),
         }
     }
 
@@ -274,6 +288,14 @@ impl ModelArtifact {
             w.put_u64(n as u64);
             w.put_f64(mape);
         }
+        // Version 2: presence-flagged training-design summary.
+        match &self.quality {
+            Some(summary) => {
+                w.put_u8(1);
+                summary.encode(&mut w);
+            }
+            None => w.put_u8(0),
+        }
         let payload = w.into_bytes();
 
         let mut out = Vec::with_capacity(28 + payload.len());
@@ -303,7 +325,7 @@ impl ModelArtifact {
             return Err(ArtifactError::BadMagic);
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(ArtifactError::UnsupportedVersion(version));
         }
         let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
@@ -358,6 +380,22 @@ impl ModelArtifact {
             let mape = r.get_f64()?;
             history.push((n, mape));
         }
+        // Version 1 payloads end here; extrapolation scoring stays disabled
+        // for them.
+        let quality = if version >= 2 {
+            match r.get_u8()? {
+                0 => None,
+                1 => Some(DesignSummary::decode(&mut r)?),
+                t => {
+                    return Err(ArtifactError::Codec(CodecError::BadValue(format!(
+                        "design summary presence flag {}",
+                        t
+                    ))))
+                }
+            }
+        } else {
+            None
+        };
         r.finish().map_err(ArtifactError::Codec)?;
         Ok(ModelArtifact {
             meta: ArtifactMeta {
@@ -377,6 +415,7 @@ impl ModelArtifact {
             train,
             test,
             history,
+            quality,
         })
     }
 
@@ -395,6 +434,7 @@ impl ModelArtifact {
             ("test_mape", self.meta.test_mape.into()),
             ("train_size", self.meta.train_size.into()),
             ("test_size", self.meta.test_size.into()),
+            ("extrapolation_scoring", Json::Bool(self.quality.is_some())),
         ])
     }
 }
@@ -429,12 +469,33 @@ mod tests {
                 train_size: 25,
                 test_size: 5,
             },
+            quality: DesignSummary::from_design(&train),
             space,
             model,
             train,
             test,
             history: vec![(25, 2.5)],
         }
+    }
+
+    /// Serializes `art` in the legacy version-1 layout (no design summary).
+    fn to_bytes_v1(art: &ModelArtifact) -> Vec<u8> {
+        let mut bytes = art.to_bytes();
+        // Strip the version-2 tail: the presence flag plus, when present,
+        // the encoded summary. Rebuilding the frame keeps length/checksum
+        // consistent with the shortened payload.
+        let tail = match &art.quality {
+            // flag + lo (u32 len + 8 per dim) + hi + ref_dist
+            Some(s) => 1 + 2 * (4 + 8 * s.dim()) + 8,
+            None => 1,
+        };
+        let payload = bytes[28..bytes.len() - tail].to_vec();
+        bytes.truncate(8);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        bytes
     }
 
     #[test]
@@ -444,12 +505,58 @@ mod tests {
         let back = ModelArtifact::from_bytes(&bytes).unwrap();
         assert_eq!(back.meta, art.meta);
         assert_eq!(back.history, art.history);
+        assert_eq!(back.quality, art.quality);
+        assert!(back.quality.is_some());
         for p in art.test.points() {
             assert_eq!(
                 art.model.predict(p).to_bits(),
                 back.model.predict(p).to_bits()
             );
         }
+        // Store → load is bit-identical at the byte level too.
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn v1_artifact_loads_with_scoring_disabled() {
+        let art = tiny_artifact();
+        let bytes = to_bytes_v1(&art);
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 1);
+        let back = ModelArtifact::from_bytes(&bytes).unwrap();
+        assert_eq!(back.meta, art.meta);
+        assert_eq!(back.quality, None);
+        for p in art.test.points() {
+            assert_eq!(
+                art.model.predict(p).to_bits(),
+                back.model.predict(p).to_bits()
+            );
+        }
+        // Re-saving upgrades the frame to the current version; the absent
+        // summary stays absent rather than being silently invented.
+        let rebytes = back.to_bytes();
+        assert_eq!(
+            u32::from_le_bytes(rebytes[8..12].try_into().unwrap()),
+            FORMAT_VERSION
+        );
+        assert_eq!(ModelArtifact::from_bytes(&rebytes).unwrap().quality, None);
+    }
+
+    #[test]
+    fn v2_bad_summary_flag_rejected() {
+        let art = tiny_artifact();
+        let mut bytes = to_bytes_v1(&art);
+        // Re-frame as v2 with a garbage presence flag appended.
+        let mut payload = bytes.split_off(28);
+        payload.push(7);
+        bytes.truncate(8);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert!(matches!(
+            ModelArtifact::from_bytes(&bytes),
+            Err(ArtifactError::Codec(_))
+        ));
     }
 
     #[test]

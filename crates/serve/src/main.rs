@@ -59,6 +59,14 @@ fn main() -> ExitCode {
                 }
                 None => return usage("--retries needs a non-negative integer"),
             },
+            "--version" | "-V" => {
+                println!(
+                    "emod-serve {} (artifact format v{})",
+                    env!("CARGO_PKG_VERSION"),
+                    emod_serve::artifact::FORMAT_VERSION
+                );
+                return ExitCode::SUCCESS;
+            }
             "--help" | "-h" => return usage(""),
             other if other.starts_with("--") => return usage(&format!("unknown option {}", other)),
             request => requests.push(request.to_string()),
@@ -85,6 +93,7 @@ fn usage(error: &str) -> ExitCode {
     }
     eprintln!("usage: emod-serve [--addr HOST:PORT] [--registry DIR] [--workers N]");
     eprintln!("       emod-serve --client [--addr HOST:PORT] [--retries N] '<json request>' [...]");
+    eprintln!("       emod-serve --version");
     if error.is_empty() {
         ExitCode::SUCCESS
     } else {
@@ -122,7 +131,11 @@ fn run_server(addr: &str, registry_root: Option<&str>, workers: usize) -> ExitCo
         ),
         Err(e) => eprintln!("emod-serve listening (addr unknown: {})", e),
     }
-    match srv.run() {
+    let outcome = srv.run();
+    // The JSONL sink buffers; without this the telemetry stream of a
+    // cleanly shut-down server is lost (globals are not dropped at exit).
+    emod_telemetry::flush();
+    match outcome {
         Ok(()) => {
             eprintln!("emod-serve: shut down cleanly");
             ExitCode::SUCCESS

@@ -315,6 +315,7 @@ mod tests {
             },
             space: ParameterSpace::new(vec![Parameter::flag("f")]),
             model,
+            quality: emod_quality::DesignSummary::from_design(&train),
             train: train_clone(),
             test: train_clone(),
             history: vec![],

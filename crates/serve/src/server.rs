@@ -7,9 +7,9 @@
 //! command: the accept loop stops, workers answer any request already on
 //! the wire with a refusal and exit.
 //!
-//! Commands: `list_models`, `predict`, `predict_batch`, `tune`, `stats`,
-//! `health`, `metrics`, `shutdown` — see the README "Serving" section for
-//! the wire format.
+//! Commands: `list_models`, `predict`, `predict_batch`, `explain`, `tune`,
+//! `observe`, `stats`, `health`, `metrics`, `shutdown` — see the README
+//! "Serving" section for the wire format.
 //!
 //! Observability: every request runs inside its own telemetry trace
 //! ([`emod_telemetry::trace_root`]), so spans opened by the handler (the
@@ -29,15 +29,25 @@
 //! `EMOD_DEADLINE_MS` answer `deadline_exceeded`. Error replies carry a
 //! machine-readable `"code"` and a `"retryable"` hint the client-side
 //! retry loop keys off. Fault probes: `serve.handle`.
+//!
+//! Model quality (see DESIGN.md §12): every `predict`/`explain` scores how
+//! far the query extrapolates beyond the artifact's training design
+//! (`serve.quality.extrapolation` histogram) and the spread between sibling
+//! model families (`serve.quality.disagreement`); scores past
+//! `EMOD_EXTRAP_WARN`/`EMOD_DISAGREE_WARN` emit `quality_warn` events and
+//! tag the access log. `observe` feeds ground-truth measurements back into
+//! a bounded shadow ring, exporting rolling-MAPE/max-error drift gauges.
 
-use crate::artifact::{family_from_name, family_slug, ModelArtifact};
+use crate::artifact::{family_from_name, family_slug, ModelArtifact, FORMAT_VERSION};
 use crate::json::Json;
 use crate::registry::ModelRegistry;
 use emod_compiler::OptConfig;
+use emod_core::model::ModelFamily;
 use emod_core::tune::{reference_configs, search_flags_surrogate};
 use emod_core::vars::{encode_point, COMPILER_PARAMS};
 use emod_faults as faults;
 use emod_models::Regressor;
+use emod_quality::{disagreement, PredictionLog, ShadowRing};
 use emod_telemetry as telemetry;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -70,7 +80,9 @@ const COMMANDS: &[&str] = &[
     "list_models",
     "predict",
     "predict_batch",
+    "explain",
     "tune",
+    "observe",
     "stats",
     "health",
     "metrics",
@@ -99,6 +111,17 @@ pub struct ServerState {
     in_flight: AtomicU64,
     max_inflight: u64,
     deadline_ms: Option<u64>,
+    quality: Mutex<QualityState>,
+}
+
+/// Shadow accuracy state: recent predictions (so a later ground-truth
+/// observation can be paired with what the model said at the time) and the
+/// bounded ring of `(prediction, measurement)` pairs driving the drift
+/// gauges. Both are capped at `EMOD_SHADOW_CAP` entries.
+#[derive(Debug)]
+struct QualityState {
+    predictions: PredictionLog,
+    shadow: ShadowRing,
 }
 
 impl ServerState {
@@ -116,6 +139,7 @@ impl ServerState {
             .ok()
             .and_then(|s| s.trim().parse::<u64>().ok())
             .filter(|&n| n > 0);
+        let cap = emod_quality::shadow_capacity();
         ServerState {
             registry,
             shutdown,
@@ -123,6 +147,10 @@ impl ServerState {
             in_flight: AtomicU64::new(0),
             max_inflight,
             deadline_ms,
+            quality: Mutex::new(QualityState {
+                predictions: PredictionLog::new(cap),
+                shadow: ShadowRing::new(cap),
+            }),
         }
     }
 
@@ -522,27 +550,40 @@ fn handle_request_on(state: &ServerState, conn_id: &str, request: &str) -> (Json
             .and_then(Json::as_str)
             .unwrap_or("")
             .to_string();
-        telemetry::event(
-            "serve",
-            "access",
-            &[
-                ("conn", conn_id.into()),
-                ("trace", trace_id.into()),
-                ("cmd", cmd.as_str().into()),
-                ("model", model.into()),
-                (
-                    "status",
-                    if status_ok {
-                        "ok".into()
-                    } else {
-                        "error".into()
-                    },
-                ),
-                ("latency_us", latency_us.into()),
-                ("bytes_in", request.len().into()),
-                ("bytes_out", response.to_string().len().into()),
-            ],
-        );
+        // Quality threshold breaches tag the access line so an operator can
+        // grep risky predictions straight out of the access log.
+        let quality_warn = response
+            .get("quality")
+            .and_then(|q| q.get("warnings"))
+            .and_then(Json::as_array)
+            .map(|ws| {
+                ws.iter()
+                    .filter_map(Json::as_str)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .unwrap_or_default();
+        let mut fields: Vec<(&str, telemetry::Value)> = vec![
+            ("conn", conn_id.into()),
+            ("trace", trace_id.into()),
+            ("cmd", cmd.as_str().into()),
+            ("model", model.into()),
+            (
+                "status",
+                if status_ok {
+                    "ok".into()
+                } else {
+                    "error".into()
+                },
+            ),
+            ("latency_us", latency_us.into()),
+            ("bytes_in", request.len().into()),
+            ("bytes_out", response.to_string().len().into()),
+        ];
+        if !quality_warn.is_empty() {
+            fields.push(("quality_warn", quality_warn.into()));
+        }
+        telemetry::event("serve", "access", &fields);
     }
     if let Some(threshold_ms) = slow_threshold_ms() {
         if latency_us / 1000.0 > threshold_ms {
@@ -633,9 +674,11 @@ fn dispatch(state: &ServerState, cmd: &str, parsed: &Json) -> (Json, bool) {
     }
     match cmd {
         "list_models" => (cmd_list_models(&state.registry), false),
-        "predict" => (cmd_predict(&state.registry, parsed, false), false),
-        "predict_batch" => (cmd_predict(&state.registry, parsed, true), false),
-        "tune" => (cmd_tune(&state.registry, parsed), false),
+        "predict" => (cmd_predict(state, parsed, false), false),
+        "predict_batch" => (cmd_predict(state, parsed, true), false),
+        "explain" => (cmd_explain(state, parsed), false),
+        "tune" => (cmd_tune(state, parsed), false),
+        "observe" => (cmd_observe(state, parsed), false),
         "stats" => (cmd_stats(state), false),
         "health" => (cmd_health(state), false),
         "metrics" => (cmd_metrics(state), false),
@@ -769,7 +812,166 @@ fn lookup_platform(name: &str) -> Result<emod_uarch::UarchConfig, String> {
         })
 }
 
-fn cmd_predict(registry: &ModelRegistry, req: &Json, batch: bool) -> Json {
+/// Sibling artifacts of `art`: same workload/input-set/metric/scale/seed
+/// under the other model families, when the registry holds them. Used for
+/// cross-family disagreement scoring.
+fn sibling_artifacts(registry: &ModelRegistry, art: &ModelArtifact) -> Vec<Arc<ModelArtifact>> {
+    ModelFamily::all()
+        .into_iter()
+        .filter(|f| *f != art.meta.family)
+        .filter_map(|f| {
+            let mut meta = art.meta.clone();
+            meta.family = f;
+            registry.load(&meta.id()).ok()
+        })
+        .collect()
+}
+
+/// Per-prediction model-quality signals (DESIGN.md §12).
+struct QualitySignals {
+    /// Normalized distance from the query to the training design (`None`
+    /// for v1 artifacts without a persisted [`emod_quality::DesignSummary`]).
+    extrapolation: Option<f64>,
+    /// Whether the query sits inside the training design's bounding box.
+    in_hull: Option<bool>,
+    /// Relative spread across sibling-family predictions (`None` when no
+    /// sibling artifact is registered).
+    disagreement: Option<f64>,
+    /// `(family slug, prediction)` per participating family, primary first.
+    family_predictions: Vec<(&'static str, f64)>,
+    /// Threshold breaches: `"extrapolation"` and/or `"disagreement"`.
+    warnings: Vec<&'static str>,
+}
+
+/// Scores one prediction: extrapolation against the artifact's persisted
+/// design summary, disagreement against sibling-family artifacts, and the
+/// `EMOD_EXTRAP_WARN`/`EMOD_DISAGREE_WARN` threshold checks. Records the
+/// `serve.quality.*` histograms/counters and emits a structured
+/// `quality_warn` event per breach.
+fn quality_signals(
+    art: &ModelArtifact,
+    siblings: &[Arc<ModelArtifact>],
+    raw: &[f64],
+    coded: &[f64],
+    prediction: f64,
+) -> QualitySignals {
+    let extrapolation = art
+        .quality
+        .as_ref()
+        .and_then(|s| s.extrapolation(art.train.points(), coded));
+    let in_hull = art.quality.as_ref().map(|s| s.in_hull(coded));
+    let mut family_predictions = vec![(family_slug(art.meta.family), prediction)];
+    for sib in siblings {
+        let p = sib.model.predict(&sib.space.encode(raw));
+        family_predictions.push((family_slug(sib.meta.family), p));
+    }
+    let spread: Vec<f64> = family_predictions.iter().map(|(_, p)| *p).collect();
+    let disagree = disagreement(&spread);
+    let mut warnings = Vec::new();
+    if let Some(x) = extrapolation {
+        telemetry::observe("serve.quality.extrapolation", x);
+        let threshold = emod_quality::extrap_warn_threshold();
+        if x >= threshold {
+            warnings.push("extrapolation");
+            telemetry::counter_add("serve.quality.extrap_warnings", 1);
+            telemetry::event(
+                "serve",
+                "quality_warn",
+                &[
+                    ("kind", "extrapolation".into()),
+                    ("model", art.id().as_str().into()),
+                    ("value", x.into()),
+                    ("threshold", threshold.into()),
+                ],
+            );
+        }
+    }
+    if let Some(d) = disagree {
+        telemetry::observe("serve.quality.disagreement", d);
+        telemetry::gauge_set("serve.quality.disagreement_last", d);
+        let threshold = emod_quality::disagree_warn_threshold();
+        if d >= threshold {
+            warnings.push("disagreement");
+            telemetry::counter_add("serve.quality.disagree_warnings", 1);
+            telemetry::event(
+                "serve",
+                "quality_warn",
+                &[
+                    ("kind", "disagreement".into()),
+                    ("model", art.id().as_str().into()),
+                    ("value", d.into()),
+                    ("threshold", threshold.into()),
+                ],
+            );
+        }
+    }
+    QualitySignals {
+        extrapolation,
+        in_hull,
+        disagreement: disagree,
+        family_predictions,
+        warnings,
+    }
+}
+
+/// The `"quality"` response block shared by `predict` and `explain`.
+fn quality_json(sig: &QualitySignals) -> Json {
+    Json::obj(vec![
+        (
+            "extrapolation",
+            sig.extrapolation.map_or(Json::Null, Json::Num),
+        ),
+        ("in_hull", sig.in_hull.map_or(Json::Null, Json::Bool)),
+        (
+            "disagreement",
+            sig.disagreement.map_or(Json::Null, Json::Num),
+        ),
+        (
+            "families",
+            Json::Obj(
+                sig.family_predictions
+                    .iter()
+                    .map(|(f, p)| (f.to_string(), Json::Num(*p)))
+                    .collect(),
+            ),
+        ),
+        (
+            "warnings",
+            Json::Arr(sig.warnings.iter().map(|w| Json::from(*w)).collect()),
+        ),
+    ])
+}
+
+/// Remembers `(model, point) -> prediction` so a later `observe` with the
+/// measured value can be paired with what the model actually said, and
+/// emits the `quality.prediction` trail event the `emod-trace quality`
+/// analyzer consumes.
+fn log_prediction(
+    state: &ServerState,
+    id: &str,
+    raw: &[f64],
+    predicted: f64,
+    sig: &QualitySignals,
+) {
+    telemetry::lock_or_recover(&state.quality)
+        .predictions
+        .log(id, raw, predicted);
+    let mut fields: Vec<(&str, telemetry::Value)> =
+        vec![("model", id.into()), ("prediction", predicted.into())];
+    if let Some(x) = sig.extrapolation {
+        fields.push(("extrapolation", x.into()));
+    }
+    if let Some(d) = sig.disagreement {
+        fields.push(("disagreement", d.into()));
+    }
+    if !sig.warnings.is_empty() {
+        fields.push(("warn", sig.warnings.join(",").as_str().into()));
+    }
+    telemetry::event("quality", "prediction", &fields);
+}
+
+fn cmd_predict(state: &ServerState, req: &Json, batch: bool) -> Json {
+    let registry = &state.registry;
     let art = match resolve_model(registry, req) {
         Ok(a) => a,
         Err(e) => return err_response(e),
@@ -814,17 +1016,155 @@ fn cmd_predict(registry: &ModelRegistry, req: &Json, batch: bool) -> Json {
         ("family", family_slug(art.meta.family).into()),
     ];
     if batch {
+        // Batch is the throughput path (sharded above): quality scoring is
+        // reserved for single predict/explain so the parallel speedup the
+        // bench gates on is not diluted by sequential sibling predicts.
         fields.push(("predictions", Json::Arr(predictions)));
     } else {
-        fields.push((
-            "prediction",
-            predictions.into_iter().next().expect("one point"),
-        ));
+        let prediction = predictions
+            .into_iter()
+            .next()
+            .and_then(|j| j.as_f64())
+            .expect("one numeric prediction");
+        let raw = &raws[0];
+        let coded = art.space.encode(raw);
+        let siblings = sibling_artifacts(registry, &art);
+        let sig = quality_signals(&art, &siblings, raw, &coded, prediction);
+        log_prediction(state, &art.id(), raw, prediction, &sig);
+        fields.push(("prediction", Json::Num(prediction)));
+        fields.push(("quality", quality_json(&sig)));
     }
     Json::obj(fields)
 }
 
-fn cmd_tune(registry: &ModelRegistry, req: &Json) -> Json {
+fn cmd_explain(state: &ServerState, req: &Json) -> Json {
+    let registry = &state.registry;
+    let art = match resolve_model(registry, req) {
+        Ok(a) => a,
+        Err(e) => return err_response(e),
+    };
+    let point = match req.get("point") {
+        Some(p) => p,
+        None => return err_response("explain needs a \"point\""),
+    };
+    let raw = match parse_point(point, art.space.len()) {
+        Ok(r) => r,
+        Err(e) => return err_response(format!("point: {}", e)),
+    };
+    let coded = art.space.encode(&raw);
+    let prediction = art.model.predict(&coded);
+    let parts = art.model.explain(&coded);
+    let reconstruction = emod_models::attribution_total(&parts);
+    let siblings = sibling_artifacts(registry, &art);
+    let sig = quality_signals(&art, &siblings, &raw, &coded, prediction);
+    log_prediction(state, &art.id(), &raw, prediction, &sig);
+    telemetry::counter_add("serve.explains", 1);
+    let attributions: Vec<Json> = parts
+        .iter()
+        .map(|a| {
+            Json::obj(vec![
+                ("term", a.term.as_str().into()),
+                (
+                    "variables",
+                    Json::Arr(a.variables.iter().map(|&v| Json::from(v)).collect()),
+                ),
+                ("value", a.value.into()),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("model", art.id().into()),
+        ("family", family_slug(art.meta.family).into()),
+        ("prediction", prediction.into()),
+        ("reconstruction", reconstruction.into()),
+        ("terms", attributions.len().into()),
+        ("attributions", Json::Arr(attributions)),
+        ("quality", quality_json(&sig)),
+    ])
+}
+
+/// `observe`: feed a ground-truth measurement back for a point the server
+/// predicted earlier. The pair enters the bounded shadow ring and refreshes
+/// the rolling accuracy-drift gauges (`serve.quality.shadow_*`).
+fn cmd_observe(state: &ServerState, req: &Json) -> Json {
+    let art = match resolve_model(&state.registry, req) {
+        Ok(a) => a,
+        Err(e) => return err_response(e),
+    };
+    let point = match req.get("point") {
+        Some(p) => p,
+        None => return err_response("observe needs a \"point\""),
+    };
+    let raw = match parse_point(point, art.space.len()) {
+        Ok(r) => r,
+        Err(e) => return err_response(format!("point: {}", e)),
+    };
+    let measured = match req.get("measured").and_then(Json::as_f64) {
+        Some(m) if m.is_finite() => m,
+        _ => return err_response("observe needs a finite numeric \"measured\" value"),
+    };
+    let id = art.id();
+    let mut quality = telemetry::lock_or_recover(&state.quality);
+    // Pair against what the server actually answered for this point if the
+    // prediction is still in the log; otherwise predict fresh (the model is
+    // deterministic, so the value is identical unless the artifact was
+    // republished in between).
+    let (predicted, paired) = match quality.predictions.lookup(&id, &raw) {
+        Some(p) => (p, true),
+        None => (art.model.predict(&art.space.encode(&raw)), false),
+    };
+    quality.shadow.record(predicted, measured);
+    let pairs = quality.shadow.len();
+    let observed = quality.shadow.observed();
+    let mape = quality.shadow.mape();
+    let max_ape = quality.shadow.max_ape();
+    drop(quality);
+    telemetry::counter_add("serve.quality.observations", 1);
+    if paired {
+        telemetry::counter_add("serve.quality.shadow_hits", 1);
+    }
+    telemetry::gauge_set("serve.quality.shadow_pairs", pairs as f64);
+    if let Some(m) = mape {
+        telemetry::gauge_set("serve.quality.shadow_mape", m);
+    }
+    if let Some(m) = max_ape {
+        telemetry::gauge_set("serve.quality.shadow_max_ape", m);
+    }
+    let ape = if measured != 0.0 {
+        Some(((predicted - measured) / measured).abs() * 100.0)
+    } else {
+        None
+    };
+    let mut fields: Vec<(&str, telemetry::Value)> = vec![
+        ("model", id.as_str().into()),
+        ("predicted", predicted.into()),
+        ("measured", measured.into()),
+        ("paired", paired.into()),
+    ];
+    if let Some(a) = ape {
+        fields.push(("ape", a.into()));
+    }
+    if let Some(m) = mape {
+        fields.push(("shadow_mape", m.into()));
+    }
+    telemetry::event("quality", "observation", &fields);
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("model", id.into()),
+        ("predicted", predicted.into()),
+        ("measured", measured.into()),
+        ("paired", Json::Bool(paired)),
+        ("ape", ape.map_or(Json::Null, Json::Num)),
+        ("shadow_pairs", pairs.into()),
+        ("shadow_observed", observed.into()),
+        ("shadow_mape", mape.map_or(Json::Null, Json::Num)),
+        ("shadow_max_ape", max_ape.map_or(Json::Null, Json::Num)),
+    ])
+}
+
+fn cmd_tune(state: &ServerState, req: &Json) -> Json {
+    let registry = &state.registry;
     // In a tune request "seed" seeds the GA; strip it before model
     // resolution so it is not mistaken for the artifact-selector seed.
     let selector = match req {
@@ -855,6 +1195,19 @@ fn cmd_tune(registry: &ModelRegistry, req: &Json) -> Json {
         .map(|(p, &v)| (p.name().to_string(), Json::Num(v)))
         .collect();
     telemetry::counter_add("serve.tunes", 1);
+    // The GA optimum is the query most likely to sit outside the training
+    // design, so score it like a single predict and remember it for a later
+    // `observe` with the measured cycles.
+    let coded_best = art.space.encode(&tuned.point);
+    let siblings = sibling_artifacts(registry, &art);
+    let sig = quality_signals(
+        &art,
+        &siblings,
+        &tuned.point,
+        &coded_best,
+        tuned.predicted_cycles,
+    );
+    log_prediction(state, &art.id(), &tuned.point, tuned.predicted_cycles, &sig);
     Json::obj(vec![
         ("ok", Json::Bool(true)),
         ("model", art.id().into()),
@@ -872,6 +1225,7 @@ fn cmd_tune(registry: &ModelRegistry, req: &Json) -> Json {
             Json::Bool(tuned.predicted_cycles < o2_pred),
         ),
         ("evaluations", tuned.evaluations.into()),
+        ("quality", quality_json(&sig)),
     ])
 }
 
@@ -884,6 +1238,12 @@ fn cmd_stats(state: &ServerState) -> Json {
     let snap = telemetry::snapshot();
     let counters: Vec<(String, Json)> = snap
         .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("serve."))
+        .map(|(name, &v)| (name.clone(), v.into()))
+        .collect();
+    let gauges: Vec<(String, Json)> = snap
+        .gauges
         .iter()
         .filter(|(name, _)| name.starts_with("serve."))
         .map(|(name, &v)| (name.clone(), v.into()))
@@ -918,6 +1278,7 @@ fn cmd_stats(state: &ServerState) -> Json {
         ("uptime_s", state.uptime_s().into()),
         ("in_flight", state.in_flight.load(Ordering::SeqCst).into()),
         ("counters", Json::Obj(counters)),
+        ("gauges", Json::Obj(gauges)),
         ("histograms", Json::Obj(histograms)),
     ])
 }
@@ -927,10 +1288,27 @@ fn cmd_health(state: &ServerState) -> Json {
     Json::obj(vec![
         ("ok", Json::Bool(true)),
         ("status", "ok".into()),
+        ("version", env!("CARGO_PKG_VERSION").into()),
+        ("artifact_format", u64::from(FORMAT_VERSION).into()),
         ("uptime_s", state.uptime_s().into()),
         ("models", models.into()),
         ("in_flight", state.in_flight.load(Ordering::SeqCst).into()),
     ])
+}
+
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double quote, and newline become `\\`, `\"`, and `\n`.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
 }
 
 /// Appends one exposition line: `name{labels} value`.
@@ -942,7 +1320,7 @@ fn push_metric(out: &mut String, name: &str, labels: &[(&str, &str)], value: f64
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!("{}=\"{}\"", k, v.replace('"', "'")));
+            out.push_str(&format!("{}=\"{}\"", k, escape_label_value(v)));
         }
         out.push('}');
     }
@@ -994,34 +1372,58 @@ pub fn render_metrics(state: &ServerState) -> String {
             ),
         }
     }
-    for (name, h) in &snap.histograms {
-        let Some(cmd) = name.strip_prefix("serve.latency_us.") else {
+    for (name, &v) in &snap.gauges {
+        let Some(rest) = name.strip_prefix("serve.") else {
             continue;
         };
-        let labels = [("cmd", cmd)];
+        // The in-flight gauge is rendered from server state above.
+        if rest == "in_flight" {
+            continue;
+        }
         push_metric(
             &mut out,
-            "emod_serve_command_latency_us_count",
-            &labels,
-            h.count as f64,
+            &format!("emod_serve_{}", rest.replace('.', "_")),
+            &[],
+            v,
         );
-        push_metric(
-            &mut out,
-            "emod_serve_command_latency_us_sum",
-            &labels,
-            h.sum,
-        );
-        for (q, tag) in [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
-            if let Some(value) = h.quantile(q) {
-                push_metric(
-                    &mut out,
-                    "emod_serve_command_latency_us",
-                    &[("cmd", cmd), ("quantile", tag)],
-                    value,
-                );
+    }
+    for (name, h) in &snap.histograms {
+        if let Some(cmd) = name.strip_prefix("serve.latency_us.") {
+            let labels = [("cmd", cmd)];
+            push_metric(
+                &mut out,
+                "emod_serve_command_latency_us_count",
+                &labels,
+                h.count as f64,
+            );
+            push_metric(
+                &mut out,
+                "emod_serve_command_latency_us_sum",
+                &labels,
+                h.sum,
+            );
+            for (q, tag) in [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                if let Some(value) = h.quantile(q) {
+                    push_metric(
+                        &mut out,
+                        "emod_serve_command_latency_us",
+                        &[("cmd", cmd), ("quantile", tag)],
+                        value,
+                    );
+                }
+            }
+        } else if let Some(signal) = name.strip_prefix("serve.quality.") {
+            let base = format!("emod_serve_quality_{}", signal.replace('.', "_"));
+            push_metric(&mut out, &format!("{}_count", base), &[], h.count as f64);
+            push_metric(&mut out, &format!("{}_sum", base), &[], h.sum);
+            for (q, tag) in [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                if let Some(value) = h.quantile(q) {
+                    push_metric(&mut out, &base, &[("quantile", tag)], value);
+                }
             }
         }
     }
+    debug_assert!(out.ends_with('\n'), "exposition must end with a newline");
     out
 }
 
@@ -1123,11 +1525,62 @@ mod tests {
         let text = resp.get("metrics").and_then(Json::as_str).unwrap();
         assert!(text.contains("emod_serve_up 1"), "{}", text);
         assert!(text.contains("emod_serve_uptime_seconds "), "{}", text);
+        assert!(text.ends_with('\n'), "exposition must end with a newline");
         for line in text.lines() {
             let (name, value) = line.rsplit_once(' ').expect(line);
             assert!(!name.is_empty());
             assert!(value.parse::<f64>().is_ok(), "{}", line);
         }
+    }
+
+    #[test]
+    fn label_values_are_prometheus_escaped() {
+        // Backslash, double quote, and newline must escape per the
+        // Prometheus text format, not be swapped for look-alikes.
+        let mut out = String::new();
+        push_metric(&mut out, "m", &[("k", "a\"b\\c\nd")], 1.0);
+        assert_eq!(out, "m{k=\"a\\\"b\\\\c\\nd\"} 1\n");
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("q\"q"), "q\\\"q");
+    }
+
+    #[test]
+    fn health_reports_version_and_artifact_format() {
+        let state = test_state("version");
+        let (resp, _) = handle_request(&state, "{\"cmd\":\"health\"}");
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{}", resp);
+        assert_eq!(
+            resp.get("version").and_then(Json::as_str),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        assert_eq!(
+            resp.get("artifact_format").and_then(Json::as_u64),
+            Some(u64::from(crate::artifact::FORMAT_VERSION))
+        );
+    }
+
+    #[test]
+    fn explain_and_observe_are_known_commands() {
+        let state = test_state("quality-cmds");
+        // Both route (no "unknown command") and fail with the selector help
+        // on an empty registry instead of panicking.
+        for req in [
+            "{\"cmd\":\"explain\",\"point\":\"o2@typical\"}",
+            "{\"cmd\":\"observe\",\"point\":\"o2@typical\",\"measured\":5000.0}",
+        ] {
+            let (resp, close) = handle_request(&state, req);
+            assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{}", resp);
+            let msg = resp.get("error").and_then(Json::as_str).unwrap();
+            assert!(msg.contains("workload"), "{}", msg);
+            assert!(!close);
+        }
+    }
+
+    #[test]
+    fn disagreement_helper_matches_quality_crate() {
+        // The serve layer re-exports the crate's spread definition.
+        let d = disagreement(&[90.0, 100.0, 110.0]).unwrap();
+        assert!((d - 0.2).abs() < 1e-12, "{}", d);
     }
 
     #[test]

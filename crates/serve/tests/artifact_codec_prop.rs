@@ -1,0 +1,158 @@
+//! Property tests for the versioned artifact codec across the v1 → v2
+//! schema bump: v2 artifacts round-trip bit-identically (payload *and*
+//! persisted design summary), legacy v1 frames still load with
+//! extrapolation scoring disabled but bit-identical predictions, and
+//! mutated or truncated frames are rejected with an error, never a panic.
+
+use emod_core::model::{ModelFamily, SurrogateModel};
+use emod_models::{Dataset, Regressor};
+use emod_quality::DesignSummary;
+use emod_serve::artifact::{fnv1a64, ArtifactMeta, ModelArtifact};
+use emod_serve::json::Json;
+use proptest::prelude::*;
+
+/// Builds an artifact from a random 2-D dataset with a smooth nonlinear
+/// response. `with_summary` controls whether the v2 design summary is
+/// attached.
+fn make_artifact(raw: &[f64], seed: u64, with_summary: bool) -> ModelArtifact {
+    let xs: Vec<Vec<f64>> = raw.chunks_exact(2).map(|c| c.to_vec()).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| 50.0 + 3.0 * x[0] - x[1] + 0.5 * x[0] * x[1])
+        .collect();
+    let n = xs.len();
+    let train = Dataset::new(xs.clone(), ys.clone()).unwrap();
+    let test = Dataset::new(xs[..n / 2].to_vec(), ys[..n / 2].to_vec()).unwrap();
+    let model = SurrogateModel::fit(&train, ModelFamily::Linear).unwrap();
+    let space = emod_doe::ParameterSpace::new(vec![
+        emod_doe::Parameter::flag("a"),
+        emod_doe::Parameter::discrete("b", 0.0, 10.0, 11),
+    ]);
+    let quality = if with_summary {
+        DesignSummary::from_design(&train)
+    } else {
+        None
+    };
+    ModelArtifact {
+        meta: ArtifactMeta {
+            workload: "181.mcf".into(),
+            input_set: "train".into(),
+            metric: "cycles".into(),
+            family: ModelFamily::Linear,
+            scale: "quick".into(),
+            seed,
+            train_mape: 1.5,
+            test_mape: 2.5,
+            train_size: n,
+            test_size: n / 2,
+        },
+        space,
+        model,
+        quality,
+        train,
+        test,
+        history: vec![(n, 2.5)],
+    }
+}
+
+/// Re-frames `art`'s serialized bytes in the legacy version-1 layout: the
+/// v2 tail (summary presence flag + encoded summary) is stripped and the
+/// header version/length/checksum recomputed.
+fn to_bytes_v1(art: &ModelArtifact) -> Vec<u8> {
+    let mut bytes = art.to_bytes();
+    let tail = match &art.quality {
+        Some(s) => 1 + 2 * (4 + 8 * s.dim()) + 8,
+        None => 1,
+    };
+    let payload = bytes[28..bytes.len() - tail].to_vec();
+    bytes.truncate(8);
+    bytes.extend_from_slice(&1u32.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn v2_round_trip_is_bit_identical(
+        raw in proptest::collection::vec(-1.0f64..1.0, 2 * 20),
+        seed in 0u64..10_000,
+    ) {
+        let art = make_artifact(&raw, seed, true);
+        let bytes = art.to_bytes();
+        let back = ModelArtifact::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back.meta, &art.meta);
+        prop_assert_eq!(&back.quality, &art.quality);
+        prop_assert!(back.quality.is_some());
+        for p in art.test.points() {
+            prop_assert_eq!(
+                art.model.predict(p).to_bits(),
+                back.model.predict(p).to_bits()
+            );
+        }
+        // Save → load → save reproduces the exact byte stream.
+        prop_assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn v1_frames_load_with_scoring_disabled(
+        raw in proptest::collection::vec(-1.0f64..1.0, 2 * 20),
+        seed in 0u64..10_000,
+    ) {
+        let art = make_artifact(&raw, seed, true);
+        let back = ModelArtifact::from_bytes(&to_bytes_v1(&art)).unwrap();
+        prop_assert_eq!(&back.meta, &art.meta);
+        prop_assert_eq!(&back.quality, &None);
+        for p in art.test.points() {
+            prop_assert_eq!(
+                art.model.predict(p).to_bits(),
+                back.model.predict(p).to_bits()
+            );
+        }
+        // The meta advertises scoring as disabled for the legacy load.
+        prop_assert_eq!(
+            back.meta_json().get("extrapolation_scoring"),
+            Some(&Json::Bool(false))
+        );
+    }
+
+    #[test]
+    fn summary_less_v2_artifacts_round_trip(
+        raw in proptest::collection::vec(-1.0f64..1.0, 2 * 20),
+    ) {
+        // A v2 artifact can legitimately carry no summary (degenerate
+        // training design); the presence flag must round-trip that too.
+        let art = make_artifact(&raw, 7, false);
+        let bytes = art.to_bytes();
+        let back = ModelArtifact::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back.quality, &None);
+        prop_assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn truncated_frames_rejected_not_panicking(
+        raw in proptest::collection::vec(-1.0f64..1.0, 2 * 20),
+        cut in 1usize..64,
+    ) {
+        let art = make_artifact(&raw, 3, true);
+        let bytes = art.to_bytes();
+        let keep = bytes.len().saturating_sub(cut);
+        prop_assert!(ModelArtifact::from_bytes(&bytes[..keep]).is_err());
+    }
+
+    #[test]
+    fn corrupted_payload_bytes_rejected(
+        raw in proptest::collection::vec(-1.0f64..1.0, 2 * 20),
+        flip in 28usize..200,
+    ) {
+        // Any single-bit flip in the payload breaks the FNV checksum.
+        let art = make_artifact(&raw, 5, true);
+        let mut bytes = art.to_bytes();
+        let i = 28 + (flip - 28) % (bytes.len() - 28);
+        bytes[i] ^= 0x40;
+        prop_assert!(ModelArtifact::from_bytes(&bytes).is_err());
+    }
+}

@@ -52,6 +52,7 @@ fn synthetic_artifact() -> ModelArtifact {
         },
         space,
         model,
+        quality: emod_quality::DesignSummary::from_design(&train),
         train,
         test,
         history: vec![(60, 0.2)],

@@ -1,0 +1,346 @@
+//! Model-quality acceptance test: a live TCP server with all three model
+//! families registered as siblings, driven predict → explain → tune →
+//! observe. Asserts that per-prediction attributions reconstruct the
+//! prediction (exactly for linear, to 1e-9 for MARS/RBF), that an
+//! out-of-design query scores higher extrapolation than an in-design one
+//! and trips the warning threshold, and that the extrapolation histogram,
+//! disagreement gauge, and rolling-MAPE drift gauge all surface in
+//! `metrics`/`stats` and the telemetry event stream.
+//!
+//! Own test binary: it installs a process-global telemetry sink and pins
+//! the quality warning thresholds via env vars (read once per process).
+
+use emod_core::model::{ModelFamily, SurrogateModel};
+use emod_core::vars::{design_space, COMPILER_PARAMS};
+use emod_models::Dataset;
+use emod_serve::artifact::{ArtifactMeta, ModelArtifact};
+use emod_serve::json::Json;
+use emod_serve::registry::ModelRegistry;
+use emod_serve::server::Server;
+use emod_telemetry as telemetry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// One synthetic artifact per family over the real design space, sharing
+/// every metadata field but `family` so they resolve as siblings.
+fn family_artifacts() -> Vec<ModelArtifact> {
+    let space = design_space();
+    let mut rng = StdRng::seed_from_u64(42);
+    let raw_points = emod_doe::lhs(&space, 80, &mut rng);
+    let xs: Vec<Vec<f64>> = raw_points.iter().map(|p| space.encode(p)).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| {
+            let compiler: f64 = x[..COMPILER_PARAMS].iter().sum();
+            let machine: f64 = x[COMPILER_PARAMS..].iter().sum();
+            5000.0 + 100.0 * compiler - 10.0 * machine
+        })
+        .collect();
+    let train = Dataset::new(xs.clone(), ys.clone()).unwrap();
+    ModelFamily::all()
+        .into_iter()
+        .map(|family| {
+            let model = SurrogateModel::fit(&train, family).unwrap();
+            ModelArtifact {
+                meta: ArtifactMeta {
+                    workload: "181.mcf".into(),
+                    input_set: "train".into(),
+                    metric: "cycles".into(),
+                    family,
+                    scale: "quick".into(),
+                    seed: 9001,
+                    train_mape: 0.1,
+                    test_mape: 0.2,
+                    train_size: 80,
+                    test_size: 20,
+                },
+                space: design_space(),
+                model,
+                quality: emod_quality::DesignSummary::from_design(&train),
+                train: train.clone(),
+                test: Dataset::new(xs[..20].to_vec(), ys[..20].to_vec()).unwrap(),
+                history: vec![(80, 0.2)],
+            }
+        })
+        .collect()
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn request(&mut self, body: &str) -> Json {
+        writeln!(self.writer, "{}", body).unwrap();
+        self.writer.flush().unwrap();
+        let mut line = String::new();
+        self.reader.read_line(&mut line).unwrap();
+        Json::parse(line.trim()).unwrap()
+    }
+}
+
+fn f64_field(v: &Json, key: &str) -> f64 {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("no numeric {:?} in {}", key, v))
+}
+
+/// A raw point well past every parameter's high level, so it codes far
+/// outside the `[-1, 1]` training hull.
+fn out_of_design_point(space: &emod_doe::ParameterSpace) -> Vec<f64> {
+    space
+        .parameters()
+        .iter()
+        .map(|p| {
+            let levels = p.levels();
+            let (lo, hi) = (levels[0], *levels.last().unwrap());
+            hi + (hi - lo) * 2.0
+        })
+        .collect()
+}
+
+#[test]
+fn quality_signals_flow_from_predict_to_metrics() {
+    // Pin the warning thresholds (read once per process) low enough that
+    // the out-of-design query below must trip both.
+    std::env::set_var("EMOD_EXTRAP_WARN", "0.0001");
+    std::env::set_var("EMOD_DISAGREE_WARN", "0.000000000001");
+
+    let dir = std::env::temp_dir().join(format!("emod-serve-quality-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = Arc::new(ModelRegistry::open(&dir).unwrap());
+    let arts = family_artifacts();
+    for art in &arts {
+        registry.store(art).unwrap();
+    }
+    let linear_id = arts[0].id();
+
+    let sink = telemetry::MemorySink::new();
+    telemetry::set_sink(Box::new(sink.clone()));
+
+    let server = Server::bind(Arc::clone(&registry), "127.0.0.1:0", 2).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    let mut client = Client::connect(addr);
+
+    // explain: attributions reconstruct the prediction for every family —
+    // exactly for linear, to 1e-9 relative for MARS/RBF.
+    for art in &arts {
+        let resp = client.request(&format!(
+            "{{\"cmd\":\"explain\",\"model\":\"{}\",\"point\":\"o2@typical\"}}",
+            art.id()
+        ));
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{}", resp);
+        let prediction = f64_field(&resp, "prediction");
+        let reconstruction = f64_field(&resp, "reconstruction");
+        match art.meta.family {
+            ModelFamily::Linear => assert_eq!(
+                prediction.to_bits(),
+                reconstruction.to_bits(),
+                "linear attributions must reconstruct the prediction exactly"
+            ),
+            _ => {
+                let tol = 1e-9 * prediction.abs().max(1.0);
+                assert!(
+                    (prediction - reconstruction).abs() <= tol,
+                    "{:?}: |{} - {}| > {}",
+                    art.meta.family,
+                    prediction,
+                    reconstruction,
+                    tol
+                );
+            }
+        }
+        let parts = resp.get("attributions").and_then(Json::as_array).unwrap();
+        assert!(parts.len() >= 2, "{}", resp);
+        for part in parts {
+            assert!(part.get("term").and_then(Json::as_str).is_some());
+            assert!(part.get("value").and_then(Json::as_f64).is_some());
+        }
+    }
+
+    // predict in-design: all three families participate in the quality
+    // block and the query sits inside the training hull.
+    let in_design = client.request(&format!(
+        "{{\"cmd\":\"predict\",\"model\":\"{}\",\"point\":\"o2@typical\"}}",
+        linear_id
+    ));
+    assert_eq!(
+        in_design.get("ok"),
+        Some(&Json::Bool(true)),
+        "{}",
+        in_design
+    );
+    let q_in = in_design.get("quality").unwrap();
+    assert_eq!(q_in.get("in_hull"), Some(&Json::Bool(true)), "{}", q_in);
+    let extrap_in = f64_field(q_in, "extrapolation");
+    assert!(extrap_in >= 0.0);
+    assert!(f64_field(q_in, "disagreement") >= 0.0);
+    let families = match q_in.get("families") {
+        Some(Json::Obj(pairs)) => pairs.len(),
+        other => panic!("families not an object: {:?}", other),
+    };
+    assert_eq!(families, 3, "{}", q_in);
+
+    // predict out-of-design: scores strictly higher extrapolation, leaves
+    // the hull, and trips the pinned warning thresholds.
+    let space = design_space();
+    let far = out_of_design_point(&space);
+    let far_json = Json::Arr(far.iter().map(|&v| Json::Num(v)).collect());
+    let out_design = client.request(&format!(
+        "{{\"cmd\":\"predict\",\"model\":\"{}\",\"point\":{}}}",
+        linear_id, far_json
+    ));
+    assert_eq!(
+        out_design.get("ok"),
+        Some(&Json::Bool(true)),
+        "{}",
+        out_design
+    );
+    let q_out = out_design.get("quality").unwrap();
+    assert_eq!(q_out.get("in_hull"), Some(&Json::Bool(false)), "{}", q_out);
+    let extrap_out = f64_field(q_out, "extrapolation");
+    assert!(
+        extrap_out > extrap_in,
+        "out-of-design {} must exceed in-design {}",
+        extrap_out,
+        extrap_in
+    );
+    let warnings: Vec<&str> = q_out
+        .get("warnings")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    assert!(warnings.contains(&"extrapolation"), "{:?}", warnings);
+
+    // tune scores its GA optimum like a predict.
+    let tuned = client.request(&format!(
+        "{{\"cmd\":\"tune\",\"model\":\"{}\",\"platform\":\"typical\",\"seed\":7}}",
+        linear_id
+    ));
+    assert_eq!(tuned.get("ok"), Some(&Json::Bool(true)), "{}", tuned);
+    assert!(tuned.get("quality").is_some(), "{}", tuned);
+
+    // observe: ground truth 5% off the prediction the server just made for
+    // the in-design point. The pair comes from the prediction log (paired)
+    // and the drift gauges move.
+    let predicted = f64_field(&in_design, "prediction");
+    let measured = predicted * 1.05;
+    let observed = client.request(&format!(
+        "{{\"cmd\":\"observe\",\"model\":\"{}\",\"point\":\"o2@typical\",\"measured\":{}}}",
+        linear_id, measured
+    ));
+    assert_eq!(observed.get("ok"), Some(&Json::Bool(true)), "{}", observed);
+    assert_eq!(observed.get("paired"), Some(&Json::Bool(true)));
+    assert_eq!(
+        f64_field(&observed, "predicted").to_bits(),
+        predicted.to_bits(),
+        "observe must pair against the logged prediction"
+    );
+    let mape = f64_field(&observed, "shadow_mape");
+    assert!((mape - 100.0 * (0.05 / 1.05)).abs() < 1e-6, "{}", mape);
+
+    // stats: quality counters, the disagreement/shadow gauges, and the
+    // extrapolation histogram all filter through.
+    let stats = client.request("{\"cmd\":\"stats\"}");
+    let counters = stats.get("counters").unwrap();
+    assert!(
+        counters
+            .get("serve.quality.extrap_warnings")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            >= 1,
+        "{}",
+        stats
+    );
+    let gauges = stats.get("gauges").unwrap();
+    for gauge in [
+        "serve.quality.disagreement_last",
+        "serve.quality.shadow_mape",
+        "serve.quality.shadow_pairs",
+    ] {
+        assert!(
+            gauges.get(gauge).and_then(Json::as_f64).is_some(),
+            "missing gauge {}: {}",
+            gauge,
+            stats
+        );
+    }
+    assert!(
+        stats
+            .get("histograms")
+            .and_then(|h| h.get("serve.quality.extrapolation"))
+            .is_some(),
+        "{}",
+        stats
+    );
+
+    // metrics: the same signals in the flat exposition.
+    let metrics = client.request("{\"cmd\":\"metrics\"}");
+    let text = metrics.get("metrics").and_then(Json::as_str).unwrap();
+    assert!(
+        text.contains("emod_serve_quality_extrapolation_count "),
+        "{}",
+        text
+    );
+    assert!(
+        text.contains("emod_serve_quality_disagreement_last "),
+        "{}",
+        text
+    );
+    assert!(text.contains("emod_serve_quality_shadow_mape "), "{}", text);
+
+    let bye = client.request("{\"cmd\":\"shutdown\"}");
+    assert_eq!(bye.get("ok"), Some(&Json::Bool(true)));
+    handle.join().unwrap();
+
+    // The telemetry stream carries the structured quality trail the
+    // emod-trace `quality` analyzer feeds on: per-prediction events, the
+    // observation, the threshold warning, and the tagged access line.
+    let events: Vec<Json> = sink
+        .lines()
+        .iter()
+        .filter_map(|l| Json::parse(l).ok())
+        .filter(|v| v.get("kind").and_then(Json::as_str) == Some("event"))
+        .collect();
+    let named = |sub: &str, name: &str| {
+        events
+            .iter()
+            .filter(|e| {
+                e.get("subsystem").and_then(Json::as_str) == Some(sub)
+                    && e.get("name").and_then(Json::as_str) == Some(name)
+            })
+            .count()
+    };
+    assert!(
+        named("quality", "prediction") >= 5,
+        "explains + predicts + tune"
+    );
+    assert!(named("quality", "observation") == 1);
+    assert!(named("serve", "quality_warn") >= 1);
+    let tagged_access = events.iter().any(|e| {
+        e.get("name").and_then(Json::as_str) == Some("access")
+            && e.get("fields")
+                .and_then(|f| f.get("quality_warn"))
+                .and_then(Json::as_str)
+                .is_some_and(|w| w.contains("extrapolation"))
+    });
+    assert!(tagged_access, "no access event tagged with quality_warn");
+
+    telemetry::disable_and_reset();
+    let _ = std::fs::remove_dir_all(dir);
+}

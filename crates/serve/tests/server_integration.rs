@@ -48,6 +48,7 @@ fn synthetic_artifact() -> ModelArtifact {
         },
         space,
         model,
+        quality: emod_quality::DesignSummary::from_design(&train),
         train,
         test,
         history: vec![(80, 0.2)],

@@ -9,6 +9,7 @@
 //! * [`linalg`] — dense matrices, Cholesky/QR, least squares
 //! * [`doe`] — parameter spaces, Latin hypercube sampling, D-optimal designs
 //! * [`models`] — linear regression, MARS, RBF networks, regression trees
+//! * [`quality`] — extrapolation scoring, cross-family disagreement, drift tracking
 //! * [`search`] — genetic-algorithm flag search
 //! * [`isa`] — the target RISC ISA and functional emulator
 //! * [`compiler`] — the Tinylang optimizing compiler (Table 1 flags/heuristics)
@@ -28,6 +29,7 @@ pub use emod_doe as doe;
 pub use emod_isa as isa;
 pub use emod_linalg as linalg;
 pub use emod_models as models;
+pub use emod_quality as quality;
 pub use emod_search as search;
 pub use emod_uarch as uarch;
 pub use emod_workloads as workloads;
