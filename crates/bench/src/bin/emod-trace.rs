@@ -5,6 +5,7 @@
 //! emod-trace flame   <file.jsonl>...                   self-time table per span path
 //! emod-trace diff    <a.jsonl> <b.jsonl> [--threshold PCT]
 //! emod-trace quality <file.jsonl>...                   model-quality summary
+//! emod-trace tiers   <file.jsonl>...                   tiered-measurement summary
 //! ```
 //!
 //! `tree` reconstructs each trace (one unit of work: a server request, a
@@ -15,7 +16,9 @@
 //! than the threshold (default 20%), so CI can gate on it. `quality`
 //! distills the server's `quality.prediction`/`quality.observation`/
 //! `quality_warn` events into extrapolation, disagreement, and
-//! accuracy-drift summaries per model.
+//! accuracy-drift summaries per model. `tiers` distills the measurer's
+//! `tier0_hit`/`measurement` events into per-tier hit and promotion
+//! counts — how much work the tier-0 surrogate actually absorbed.
 //!
 //! Exit codes: 0 clean, 1 diff found a regression, 2 usage/I/O error.
 
@@ -30,6 +33,7 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("       emod-trace flame   <file.jsonl>...");
     eprintln!("       emod-trace diff    <a.jsonl> <b.jsonl> [--threshold PCT]");
     eprintln!("       emod-trace quality <file.jsonl>...");
+    eprintln!("       emod-trace tiers   <file.jsonl>...");
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {
@@ -164,6 +168,18 @@ fn main() -> ExitCode {
             match read_all_events(&files) {
                 Ok(events) => {
                     emit(&trace::render_quality(&trace::summarize_quality(&events)));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => usage(&e),
+            }
+        }
+        "tiers" => {
+            if files.is_empty() {
+                return usage("tiers needs at least one JSONL file");
+            }
+            match read_all_events(&files) {
+                Ok(events) => {
+                    emit(&trace::render_tiers(&trace::summarize_tiers(&events)));
                     ExitCode::SUCCESS
                 }
                 Err(e) => usage(&e),

@@ -8,6 +8,8 @@
 //! EMOD_SCALE=paper cargo run --release -p emod-bench --bin repro -- all
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod experiments;
 pub mod scale;
 pub mod session;

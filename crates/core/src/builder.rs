@@ -200,6 +200,14 @@ impl ModelBuilder {
         self
     }
 
+    /// Enables (or disables, with `None`) tiered measurement for this
+    /// campaign (tests; production uses `EMOD_TIER0`). Replaces any router
+    /// the measurer already had, dropping its training state.
+    pub fn with_tier0(mut self, cfg: Option<emod_tier0::Tier0Config>) -> Self {
+        self.measurer.set_tier0(cfg);
+        self
+    }
+
     /// Design points quarantined so far (dropped after exhausting their
     /// retries).
     pub fn quarantined_points(&self) -> &[DesignPoint] {
@@ -366,11 +374,12 @@ impl ModelBuilder {
         let train_preds = model.predict_batch(train.points());
         let train_mape = metrics::mape(&train_preds, train.responses());
         let workload = self.measurer.workload().name();
+        let shares = self.measurer.cpi_stack().shares();
         telemetry::counter_add("core.builder.rounds", 1);
         telemetry::table_push(
             "builder.rounds",
             format!(
-                "{:<22} {:<8} round {}  train n={:<4} train MAPE {:>6.2}%  test n={:<4} test MAPE {:>6.2}%  fit {:.3}s",
+                "{:<22} {:<8} round {}  train n={:<4} train MAPE {:>6.2}%  test n={:<4} test MAPE {:>6.2}%  fit {:.3}s  stalls f/w/e {:.0}/{:.0}/{:.0}%",
                 workload,
                 family.name(),
                 round,
@@ -378,7 +387,10 @@ impl ModelBuilder {
                 train_mape,
                 test.len(),
                 test_mape,
-                fit_s
+                fit_s,
+                shares.fetch * 100.0,
+                shares.window * 100.0,
+                shares.exec * 100.0
             ),
         );
         telemetry::event(
@@ -393,6 +405,9 @@ impl ModelBuilder {
                 ("test_size", test.len().into()),
                 ("test_mape", test_mape.into()),
                 ("fit_s", fit_s.into()),
+                ("stall_fetch_share", shares.fetch.into()),
+                ("stall_window_share", shares.window.into()),
+                ("stall_exec_share", shares.exec.into()),
             ],
         );
     }

@@ -48,7 +48,8 @@ pub mod tune;
 pub mod vars;
 
 pub use builder::{BuildConfig, BuiltModel, ModelBuilder};
-pub use checkpoint::{Checkpoint, CHECKPOINT_ENV};
+pub use checkpoint::{Checkpoint, CheckpointEntry, CHECKPOINT_ENV};
+pub use emod_tier0::{Tier0Config, TierRouter};
 pub use measure::{MeasureError, Measurer, Metric};
 pub use model::{ModelFamily, SurrogateModel};
 pub use vars::{decode_point, design_space, DesignPointExt};

@@ -1,0 +1,225 @@
+//! Tiered-measurement integration properties (DESIGN.md §13):
+//!
+//! - the router never returns a tier-0 estimate whose recorded error bound
+//!   is under the operating point yet disagrees with SMARTS by more than
+//!   that bound (bound honesty, property-tested on seed workloads);
+//! - tiered campaigns are bit-identical at any worker count;
+//! - a SIGKILL-style checkpoint resume of a tiered campaign reproduces the
+//!   uninterrupted run bit-for-bit, including the checkpoint file bytes;
+//! - an unattainable error bound promotes sampled runs to full detailed
+//!   simulation (tier 2).
+
+use emod_compiler::OptConfig;
+use emod_core::measure::{BatchRetry, Measurer, Metric};
+use emod_core::vars::{design_space, encode_point};
+use emod_tier0::{Route, Tier0Config, TierRouter};
+use emod_uarch::{SampleConfig, UarchConfig};
+use emod_workloads::{InputSet, Workload};
+use proptest::prelude::*;
+
+fn fast_sample() -> SampleConfig {
+    SampleConfig {
+        window: 500,
+        interval: 100,
+        warmup: 1000,
+        fuel: u64::MAX,
+    }
+}
+
+/// A loose operating point so tier 0 actually fires within a test-sized
+/// campaign. The production default (1%) needs far more training data than
+/// a unit test can afford; the routing/bound machinery is identical.
+fn loose() -> Tier0Config {
+    Tier0Config {
+        err_bound: 0.4,
+        min_train: 12,
+        min_shadow: 4,
+        shadow_window: 32,
+        rbf_min: 24,
+        ..Tier0Config::default()
+    }
+}
+
+/// Design points varying three microarchitecture axes around the paper's
+/// "typical" machine at -O2, interleaved so consecutive points jump around
+/// the grid (training coverage before near-neighbour probes).
+fn point_pool() -> Vec<Vec<f64>> {
+    let space = design_space();
+    let base = encode_point(&OptConfig::o2(), &UarchConfig::typical());
+    let iw = space.index_of("issue-width").unwrap();
+    let ruu = space.index_of("ruu-size").unwrap();
+    let mem = space.index_of("memory-latency").unwrap();
+    let mut pool = Vec::new();
+    for a in space.parameters()[iw].levels() {
+        for b in space.parameters()[ruu].levels() {
+            for c in space.parameters()[mem].levels() {
+                let mut p = base.clone();
+                p[iw] = a;
+                p[ruu] = b;
+                p[mem] = c;
+                pool.push(p);
+            }
+        }
+    }
+    let n = pool.len();
+    let stride = [37usize, 41, 43, 47]
+        .into_iter()
+        .find(|s| gcd(*s, n) == 1)
+        .unwrap();
+    (0..n).map(|i| pool[(i * stride) % n].clone()).collect()
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn run_tiered_campaign(threads: usize, points: &[Vec<f64>]) -> (Vec<u64>, [u64; 3]) {
+    let w = Workload::by_name("bzip2").unwrap();
+    let mut m = Measurer::new(w, InputSet::Train, fast_sample());
+    m.set_tier0(Some(loose()));
+    m.set_threads(threads);
+    let mut bits = Vec::new();
+    for round in points.chunks(6) {
+        for r in m.try_measure_metric_batch(round, Metric::Cycles, &BatchRetry::single()) {
+            bits.push(r.expect("measurement").to_bits());
+        }
+    }
+    (bits, m.tier_counts())
+}
+
+#[test]
+fn tiered_campaign_is_bit_identical_across_worker_counts() {
+    let pool = point_pool();
+    let points = &pool[..42.min(pool.len())];
+    let (seq, seq_tiers) = run_tiered_campaign(1, points);
+    let (par, par_tiers) = run_tiered_campaign(8, points);
+    assert_eq!(seq, par, "tiered responses must not depend on EMOD_THREADS");
+    assert_eq!(
+        seq_tiers, par_tiers,
+        "tier decisions must not depend on EMOD_THREADS"
+    );
+    assert!(
+        seq_tiers[0] > 0,
+        "surrogate never fired at a 40% bound over 42 points: {:?}",
+        seq_tiers
+    );
+    assert!(seq_tiers[1] > 0, "some points must still sample");
+}
+
+#[test]
+fn tiered_checkpoint_resume_matches_uninterrupted_run() {
+    let dir_a = std::env::temp_dir().join(format!("emod-tier0-resume-{}", std::process::id()));
+    let dir_b = std::env::temp_dir().join(format!("emod-tier0-full-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+    let w = Workload::by_name("gzip").unwrap();
+    let pool = point_pool();
+    let points = &pool[..36.min(pool.len())];
+
+    // Interrupted: measure the first half, drop (the SIGKILL stand-in:
+    // per-entry flushes mean a real kill loses at most a torn tail line,
+    // which resume skips), then a fresh measurer resumes and finishes.
+    let mut first = Measurer::new(w, InputSet::Train, fast_sample());
+    first.set_tier0(Some(loose()));
+    first.attach_checkpoint(&dir_a);
+    for round in points[..18].chunks(6) {
+        for r in first.try_measure_metric_batch(round, Metric::Cycles, &BatchRetry::single()) {
+            r.expect("measurement");
+        }
+    }
+    drop(first);
+    let mut resumed = Measurer::new(w, InputSet::Train, fast_sample());
+    resumed.set_tier0(Some(loose()));
+    resumed.attach_checkpoint(&dir_a);
+    let mut resumed_bits = Vec::new();
+    for round in points.chunks(6) {
+        for r in resumed.try_measure_metric_batch(round, Metric::Cycles, &BatchRetry::single()) {
+            resumed_bits.push(r.expect("measurement").to_bits());
+        }
+    }
+
+    // Uninterrupted reference over its own checkpoint.
+    let mut full = Measurer::new(w, InputSet::Train, fast_sample());
+    full.set_tier0(Some(loose()));
+    full.attach_checkpoint(&dir_b);
+    let mut full_bits = Vec::new();
+    for round in points.chunks(6) {
+        for r in full.try_measure_metric_batch(round, Metric::Cycles, &BatchRetry::single()) {
+            full_bits.push(r.expect("measurement").to_bits());
+        }
+    }
+
+    assert_eq!(resumed_bits, full_bits, "resume must be bit-identical");
+    let file_a = std::fs::read(emod_core::Checkpoint::path_for(&dir_a, w.name(), "train")).unwrap();
+    let file_b = std::fs::read(emod_core::Checkpoint::path_for(&dir_b, w.name(), "train")).unwrap();
+    assert_eq!(
+        file_a, file_b,
+        "resumed checkpoint must converge to the uninterrupted file byte-for-byte"
+    );
+    let _ = std::fs::remove_dir_all(dir_a);
+    let _ = std::fs::remove_dir_all(dir_b);
+}
+
+#[test]
+fn unattainable_bound_promotes_to_detailed_simulation() {
+    let w = Workload::by_name("mcf").unwrap();
+    let mut m = Measurer::new(w, InputSet::Train, fast_sample());
+    // SMARTS can never certify 1e-12, so every sampled run escalates.
+    m.set_tier0(Some(Tier0Config {
+        err_bound: 1e-12,
+        ..Tier0Config::default()
+    }));
+    let p = encode_point(&OptConfig::o2(), &UarchConfig::typical());
+    let cycles = m.try_measure_metric(&p, Metric::Cycles).expect("measure");
+    assert!(cycles > 0.0);
+    assert_eq!(
+        m.tier_counts(),
+        [0, 0, 1],
+        "the one measurement must be tier 2"
+    );
+    assert_eq!(
+        m.last_rel_error(),
+        Some(0.0),
+        "detailed simulation is exact"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    // Bound honesty on seed workloads: whenever the router offers a
+    // surrogate answer, its recorded bound is at or under the operating
+    // point AND the estimate agrees with the SMARTS measurement to within
+    // that bound. Tier-0 answers do not train the router, mirroring the
+    // campaign flow.
+    #[test]
+    fn tier0_bound_is_honest_against_smarts(wsel in 0usize..2, seed in 0usize..997) {
+        let w = Workload::by_name(["bzip2", "gzip"][wsel]).unwrap();
+        let pool = point_pool();
+        let cfg = loose();
+        let mut m = Measurer::new(w, InputSet::Train, fast_sample());
+        let mut router = TierRouter::new(cfg.clone(), design_space());
+        for i in 0..24 {
+            let p = &pool[(seed + i * 31) % pool.len()];
+            // Untiered SMARTS truth (cached across repeats).
+            let y = m.try_measure_metric(p, Metric::Cycles).expect("measure");
+            match router.route(p) {
+                Route::Surrogate { estimate, bound } => {
+                    prop_assert!(bound <= cfg.err_bound + 1e-12, "bound {bound}");
+                    let err = (estimate - y).abs() / y;
+                    prop_assert!(
+                        err <= bound,
+                        "estimate disagrees with SMARTS by {:.4} but bound promised {:.4}",
+                        err,
+                        bound
+                    );
+                }
+                Route::Sampled { .. } => router.observe(p, y, 0, None),
+            }
+        }
+    }
+}

@@ -43,6 +43,8 @@
 //! faults::clear();
 //! ```
 
+#![warn(missing_docs)]
+
 use emod_telemetry as telemetry;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};

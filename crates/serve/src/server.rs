@@ -1086,7 +1086,10 @@ fn cmd_explain(state: &ServerState, req: &Json) -> Json {
 
 /// `observe`: feed a ground-truth measurement back for a point the server
 /// predicted earlier. The pair enters the bounded shadow ring and refreshes
-/// the rolling accuracy-drift gauges (`serve.quality.shadow_*`).
+/// the rolling accuracy-drift gauges (`serve.quality.shadow_*`). An
+/// optional `"tier"` string tags the observation with the measurement tier
+/// that produced it (`tier0`/`smarts`/`detailed`), echoed in the response
+/// and the `quality.observation` event.
 fn cmd_observe(state: &ServerState, req: &Json) -> Json {
     let art = match resolve_model(&state.registry, req) {
         Ok(a) => a,
@@ -1103,6 +1106,16 @@ fn cmd_observe(state: &ServerState, req: &Json) -> Json {
     let measured = match req.get("measured").and_then(Json::as_f64) {
         Some(m) if m.is_finite() => m,
         _ => return err_response("observe needs a finite numeric \"measured\" value"),
+    };
+    // Which measurement tier produced this ground truth ("tier0", "smarts",
+    // "detailed"). Optional and free-form: surrogate-produced observations
+    // carry the surrogate's own error, so drift consumers need the tag.
+    let tier = match req.get("tier") {
+        None => None,
+        Some(t) => match t.as_str() {
+            Some(s) => Some(s.to_string()),
+            None => return err_response("\"tier\" must be a string when present"),
+        },
     };
     let id = art.id();
     let mut quality = telemetry::lock_or_recover(&state.quality);
@@ -1148,6 +1161,9 @@ fn cmd_observe(state: &ServerState, req: &Json) -> Json {
     if let Some(m) = mape {
         fields.push(("shadow_mape", m.into()));
     }
+    if let Some(t) = &tier {
+        fields.push(("tier", t.as_str().into()));
+    }
     telemetry::event("quality", "observation", &fields);
     Json::obj(vec![
         ("ok", Json::Bool(true)),
@@ -1160,6 +1176,7 @@ fn cmd_observe(state: &ServerState, req: &Json) -> Json {
         ("shadow_observed", observed.into()),
         ("shadow_mape", mape.map_or(Json::Null, Json::Num)),
         ("shadow_max_ape", max_ape.map_or(Json::Null, Json::Num)),
+        ("tier", tier.map_or(Json::Null, Json::Str)),
     ])
 }
 

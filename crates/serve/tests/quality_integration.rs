@@ -253,6 +253,30 @@ fn quality_signals_flow_from_predict_to_metrics() {
     );
     let mape = f64_field(&observed, "shadow_mape");
     assert!((mape - 100.0 * (0.05 / 1.05)).abs() < 1e-6, "{}", mape);
+    assert_eq!(
+        observed.get("tier"),
+        Some(&Json::Null),
+        "untagged observation reports a null tier"
+    );
+
+    // observe with a producing-tier tag: the tag echoes back and lands in
+    // the quality.observation event for drift consumers.
+    let tagged = client.request(&format!(
+        "{{\"cmd\":\"observe\",\"model\":\"{}\",\"point\":\"o2@typical\",\"measured\":{},\"tier\":\"smarts\"}}",
+        linear_id, measured
+    ));
+    assert_eq!(tagged.get("ok"), Some(&Json::Bool(true)), "{}", tagged);
+    assert_eq!(
+        tagged.get("tier"),
+        Some(&Json::Str("smarts".to_string())),
+        "{}",
+        tagged
+    );
+    let bad_tier = client.request(&format!(
+        "{{\"cmd\":\"observe\",\"model\":\"{}\",\"point\":\"o2@typical\",\"measured\":{},\"tier\":3}}",
+        linear_id, measured
+    ));
+    assert_eq!(bad_tier.get("ok"), Some(&Json::Bool(false)), "{}", bad_tier);
 
     // stats: quality counters, the disagreement/shadow gauges, and the
     // extrapolation histogram all filter through.
@@ -330,7 +354,15 @@ fn quality_signals_flow_from_predict_to_metrics() {
         named("quality", "prediction") >= 5,
         "explains + predicts + tune"
     );
-    assert!(named("quality", "observation") == 1);
+    assert!(named("quality", "observation") == 2);
+    let tier_tagged = events.iter().any(|e| {
+        e.get("name").and_then(Json::as_str) == Some("observation")
+            && e.get("fields")
+                .and_then(|f| f.get("tier"))
+                .and_then(Json::as_str)
+                == Some("smarts")
+    });
+    assert!(tier_tagged, "no observation event carried the tier tag");
     assert!(named("serve", "quality_warn") >= 1);
     let tagged_access = events.iter().any(|e| {
         e.get("name").and_then(Json::as_str) == Some("access")

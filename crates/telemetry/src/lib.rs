@@ -39,6 +39,8 @@
 //! assert!(s.contains("demo.cache") && s.contains("miss rate"));
 //! ```
 
+#![warn(missing_docs)]
+
 mod json;
 mod registry;
 mod trace;

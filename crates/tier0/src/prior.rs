@@ -1,0 +1,332 @@
+//! Analytical CPI-stack prior: closed-form microarchitecture scaling laws
+//! calibrated from the stall breakdown of completed runs.
+//!
+//! The prior does not try to be accurate on its own — the learned residual
+//! stages absorb its misfit. Its job is to give the surrogate the right
+//! *shape* in the microarchitectural directions so the residual model only
+//! has to learn a smooth correction: a point with twice the memory latency
+//! and half the RUU should start from a higher window-stall estimate before
+//! any data-driven term is consulted.
+
+use emod_doe::ParameterSpace;
+use emod_uarch::CpiStack;
+
+/// Number of CPI-stack components tracked by the prior
+/// (base, fetch, window, exec, commit, redirect).
+pub const COMPONENTS: usize = 6;
+
+/// A flattened CPI-stack observation, decoupled from the simulator types so
+/// it can round-trip through checkpoint files as raw `f64` bit patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StackSample {
+    /// Overall cycles per instruction.
+    pub cpi: f64,
+    /// Fetch-stall CPI contribution (per dispatched instruction).
+    pub fetch: f64,
+    /// Window-full (RUU occupancy) CPI contribution.
+    pub window: f64,
+    /// Issue-wait (execution resource) CPI contribution.
+    pub exec: f64,
+    /// Commit-wait CPI contribution.
+    pub commit: f64,
+    /// Branch-redirect CPI contribution.
+    pub redirect: f64,
+}
+
+impl StackSample {
+    /// Residual CPI not explained by any stall charge, clamped at zero
+    /// (out-of-order stall charges overlap, so the stack may over-explain).
+    pub fn base(&self) -> f64 {
+        (self.cpi - (self.fetch + self.window + self.exec + self.commit + self.redirect)).max(0.0)
+    }
+
+    /// Components in calibration order: base, fetch, window, exec, commit,
+    /// redirect.
+    pub fn components(&self) -> [f64; COMPONENTS] {
+        [
+            self.base(),
+            self.fetch,
+            self.window,
+            self.exec,
+            self.commit,
+            self.redirect,
+        ]
+    }
+
+    /// Exact `f64` bit patterns (cpi, fetch, window, exec, commit,
+    /// redirect) for lossless JSONL checkpoint round-trips.
+    pub fn to_bits(&self) -> [u64; COMPONENTS] {
+        [
+            self.cpi.to_bits(),
+            self.fetch.to_bits(),
+            self.window.to_bits(),
+            self.exec.to_bits(),
+            self.commit.to_bits(),
+            self.redirect.to_bits(),
+        ]
+    }
+
+    /// Inverse of [`StackSample::to_bits`].
+    pub fn from_bits(bits: [u64; COMPONENTS]) -> Self {
+        StackSample {
+            cpi: f64::from_bits(bits[0]),
+            fetch: f64::from_bits(bits[1]),
+            window: f64::from_bits(bits[2]),
+            exec: f64::from_bits(bits[3]),
+            commit: f64::from_bits(bits[4]),
+            redirect: f64::from_bits(bits[5]),
+        }
+    }
+}
+
+impl From<CpiStack> for StackSample {
+    fn from(s: CpiStack) -> Self {
+        StackSample {
+            cpi: s.cpi,
+            fetch: s.fetch,
+            window: s.window,
+            exec: s.exec,
+            commit: s.commit,
+            redirect: s.redirect,
+        }
+    }
+}
+
+/// Raw-value indices of the microarchitecture parameters the scaling laws
+/// consult, resolved once per design space by name. Missing parameters
+/// (e.g. a compiler-only space) degrade gracefully to neutral scales.
+#[derive(Debug, Clone, Copy, Default)]
+struct FeatureMap {
+    issue_width: Option<usize>,
+    il1_size: Option<usize>,
+    ruu_size: Option<usize>,
+    mem_latency: Option<usize>,
+    bpred_size: Option<usize>,
+}
+
+impl FeatureMap {
+    fn from_space(space: &ParameterSpace) -> Self {
+        FeatureMap {
+            issue_width: space.index_of("issue-width"),
+            il1_size: space.index_of("il1-size"),
+            ruu_size: space.index_of("ruu-size"),
+            mem_latency: space.index_of("memory-latency"),
+            bpred_size: space.index_of("bpred-size"),
+        }
+    }
+
+    fn get(&self, idx: Option<usize>, raw: &[f64], default: f64) -> f64 {
+        idx.and_then(|i| raw.get(i))
+            .copied()
+            .filter(|v| v.is_finite())
+            .unwrap_or(default)
+    }
+
+    /// Per-component closed-form scale factors at a raw design point:
+    ///
+    /// - base / exec / commit scale with `1 / issue-width` (dispatch, FU
+    ///   pool and commit bandwidth are all width-bound);
+    /// - fetch scales with `1 / log2(il1-size)` (miss-rate pressure);
+    /// - window scales with `memory-latency / ruu-size` (Little's-law
+    ///   occupancy: latency to hide over window capacity);
+    /// - redirect scales with `1 / log2(bpred-size)`.
+    fn scales(&self, raw: &[f64]) -> [f64; COMPONENTS] {
+        let width = self.get(self.issue_width, raw, 4.0).max(1.0);
+        let il1 = self.get(self.il1_size, raw, 32768.0).max(2.0);
+        let ruu = self.get(self.ruu_size, raw, 64.0).max(2.0);
+        let mem = self.get(self.mem_latency, raw, 100.0).max(1.0);
+        let bpred = self.get(self.bpred_size, raw, 2048.0).max(2.0);
+        [
+            1.0 / width,
+            1.0 / il1.log2(),
+            mem / ruu,
+            1.0 / width,
+            1.0 / width,
+            1.0 / bpred.log2(),
+        ]
+    }
+}
+
+/// Streaming accumulator for the prior's calibration state.
+///
+/// Pure sums, so replaying observations in the same order reconstructs the
+/// exact same prior (checkpoint-resume determinism).
+#[derive(Debug, Clone, Default)]
+pub struct PriorCalibration {
+    ln_inst_sum: f64,
+    ln_inst_n: u64,
+    comp_sum: [f64; COMPONENTS],
+    scale_sum: [f64; COMPONENTS],
+    stack_n: u64,
+}
+
+impl PriorCalibration {
+    /// Folds one completed measurement into the calibration sums.
+    pub fn observe(
+        &mut self,
+        space: &ParameterSpace,
+        raw: &[f64],
+        instructions: u64,
+        stack: Option<&StackSample>,
+    ) {
+        if instructions > 0 {
+            self.ln_inst_sum += (instructions as f64).ln();
+            self.ln_inst_n += 1;
+        }
+        if let Some(s) = stack {
+            if s.cpi.is_finite() && s.cpi > 0.0 {
+                let comps = s.components();
+                let scales = FeatureMap::from_space(space).scales(raw);
+                for c in 0..COMPONENTS {
+                    self.comp_sum[c] += comps[c];
+                    self.scale_sum[c] += scales[c];
+                }
+                self.stack_n += 1;
+            }
+        }
+    }
+
+    /// Number of CPI-stack observations folded in so far.
+    pub fn stack_observations(&self) -> u64 {
+        self.stack_n
+    }
+
+    /// Freezes the current sums into a prior snapshot.
+    ///
+    /// `fallback_ln_y` is the mean log response of the training set; it is
+    /// used verbatim whenever the stack/instruction sums are too thin to
+    /// support the analytical form (the residual stages then carry the
+    /// entire signal).
+    pub fn snapshot(&self, space: &ParameterSpace, fallback_ln_y: f64) -> AnalyticPrior {
+        let feat = FeatureMap::from_space(space);
+        if self.stack_n == 0 || self.ln_inst_n == 0 {
+            return AnalyticPrior {
+                feat,
+                mean_ln_inst: 0.0,
+                comp_mean: [0.0; COMPONENTS],
+                scale_ref: [1.0; COMPONENTS],
+                fallback_ln_y,
+                analytic: false,
+            };
+        }
+        let sn = self.stack_n as f64;
+        let mut comp_mean = [0.0; COMPONENTS];
+        let mut scale_ref = [1.0; COMPONENTS];
+        for c in 0..COMPONENTS {
+            comp_mean[c] = self.comp_sum[c] / sn;
+            let s = self.scale_sum[c] / sn;
+            scale_ref[c] = if s.is_finite() && s > 1e-12 { s } else { 1.0 };
+        }
+        AnalyticPrior {
+            feat,
+            mean_ln_inst: self.ln_inst_sum / self.ln_inst_n as f64,
+            comp_mean,
+            scale_ref,
+            fallback_ln_y,
+            analytic: true,
+        }
+    }
+}
+
+/// An immutable prior snapshot: predicts `ln(cycles)` at a raw design
+/// point from mean instruction count and the scaled component-mean CPI
+/// stack.
+#[derive(Debug, Clone)]
+pub struct AnalyticPrior {
+    feat: FeatureMap,
+    mean_ln_inst: f64,
+    comp_mean: [f64; COMPONENTS],
+    scale_ref: [f64; COMPONENTS],
+    fallback_ln_y: f64,
+    analytic: bool,
+}
+
+impl AnalyticPrior {
+    /// Whether the snapshot carries a calibrated analytical form (versus
+    /// the flat fallback mean).
+    pub fn is_analytic(&self) -> bool {
+        self.analytic
+    }
+
+    /// Predicted `ln(response)` at a raw (unencoded) design point.
+    pub fn predict_ln(&self, raw: &[f64]) -> f64 {
+        if !self.analytic {
+            return self.fallback_ln_y;
+        }
+        let scales = self.feat.scales(raw);
+        let mut cpi = 0.0;
+        for (c, s) in scales.iter().enumerate().take(COMPONENTS) {
+            cpi += self.comp_mean[c] * (s / self.scale_ref[c]);
+        }
+        if !cpi.is_finite() || cpi <= 0.0 {
+            return self.fallback_ln_y;
+        }
+        self.mean_ln_inst + cpi.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emod_doe::{Parameter, ParameterSpace};
+
+    fn toy_space() -> ParameterSpace {
+        ParameterSpace::new(vec![
+            Parameter::log_discrete("issue-width", 1.0, 8.0, 4),
+            Parameter::log_discrete("ruu-size", 8.0, 256.0, 6),
+            Parameter::discrete("memory-latency", 50.0, 400.0, 8),
+        ])
+    }
+
+    fn stack(cpi: f64) -> StackSample {
+        StackSample {
+            cpi,
+            fetch: 0.1 * cpi,
+            window: 0.3 * cpi,
+            exec: 0.2 * cpi,
+            commit: 0.05 * cpi,
+            redirect: 0.05 * cpi,
+        }
+    }
+
+    #[test]
+    fn stack_sample_round_trips_through_bits() {
+        let s = stack(1.7324);
+        let back = StackSample::from_bits(s.to_bits());
+        assert_eq!(s, back);
+        assert!(s.base() > 0.0);
+        assert!((s.components().iter().sum::<f64>() - s.cpi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncalibrated_prior_falls_back_to_mean() {
+        let space = toy_space();
+        let calib = PriorCalibration::default();
+        let prior = calib.snapshot(&space, 3.5);
+        assert!(!prior.is_analytic());
+        assert_eq!(prior.predict_ln(&[4.0, 64.0, 100.0]), 3.5);
+    }
+
+    #[test]
+    fn prior_orders_points_by_width_and_latency() {
+        let space = toy_space();
+        let mut calib = PriorCalibration::default();
+        for _ in 0..8 {
+            calib.observe(&space, &[4.0, 64.0, 200.0], 1_000_000, Some(&stack(1.5)));
+        }
+        let prior = calib.snapshot(&space, 0.0);
+        assert!(prior.is_analytic());
+        // Wider issue ⇒ lower predicted cycles.
+        let narrow = prior.predict_ln(&[2.0, 64.0, 200.0]);
+        let wide = prior.predict_ln(&[8.0, 64.0, 200.0]);
+        assert!(wide < narrow, "wide {wide} !< narrow {narrow}");
+        // Higher memory latency ⇒ more window stall ⇒ more cycles.
+        let slow = prior.predict_ln(&[4.0, 64.0, 400.0]);
+        let fast = prior.predict_ln(&[4.0, 64.0, 50.0]);
+        assert!(slow > fast, "slow {slow} !> fast {fast}");
+        // At the calibration point the prior reproduces the observed scale.
+        let at = prior.predict_ln(&[4.0, 64.0, 200.0]);
+        let expect = (1_000_000f64).ln() + 1.5f64.ln();
+        assert!((at - expect).abs() < 1e-9, "at {at} expect {expect}");
+    }
+}

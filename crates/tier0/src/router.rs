@@ -1,0 +1,551 @@
+//! The tier router: fused surrogate, shadow error tracking and the
+//! promotion decision.
+
+use std::collections::VecDeque;
+
+use emod_doe::ParameterSpace;
+use emod_models::{Dataset, LinearModel, LinearTerms, RbfConfig, RbfNetwork, Regressor};
+
+use crate::prior::{AnalyticPrior, PriorCalibration, StackSample};
+use crate::Tier0Config;
+
+/// Which rung of the measurement hierarchy produced (or should produce) a
+/// value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Tier 0: the analytical + learned-residual surrogate.
+    Surrogate,
+    /// Tier 1: SMARTS statistically sampled simulation.
+    Sampled,
+    /// Tier 2: full detailed simulation.
+    Detailed,
+}
+
+impl Tier {
+    /// Stable numeric encoding used in checkpoints and telemetry
+    /// (`0` = surrogate, `1` = sampled, `2` = detailed).
+    pub fn index(self) -> u8 {
+        match self {
+            Tier::Surrogate => 0,
+            Tier::Sampled => 1,
+            Tier::Detailed => 2,
+        }
+    }
+
+    /// Inverse of [`Tier::index`].
+    pub fn from_index(i: u8) -> Option<Tier> {
+        match i {
+            0 => Some(Tier::Surrogate),
+            1 => Some(Tier::Sampled),
+            2 => Some(Tier::Detailed),
+            _ => None,
+        }
+    }
+
+    /// Short human-readable label (`tier0` / `smarts` / `detailed`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Surrogate => "tier0",
+            Tier::Sampled => "smarts",
+            Tier::Detailed => "detailed",
+        }
+    }
+}
+
+/// A routing decision for one design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Route {
+    /// Answer from the surrogate: the predicted response and the local
+    /// relative-error bound the router is willing to stand behind
+    /// (`bound <= err_bound` always holds here).
+    Surrogate {
+        /// Predicted response (same units as the measured metric).
+        estimate: f64,
+        /// Predicted relative-error bound at this point.
+        bound: f64,
+    },
+    /// Promote to SMARTS (or beyond): the surrogate's error bound at this
+    /// point — `f64::INFINITY` while the router is still warming up.
+    Sampled {
+        /// The bound that failed the operating-point test.
+        bound: f64,
+    },
+}
+
+/// One completed training observation.
+#[derive(Debug, Clone)]
+struct Obs {
+    raw: Vec<f64>,
+    x: Vec<f64>,
+    ln_y: f64,
+}
+
+/// One out-of-sample surrogate error, kept in the shadow ring.
+#[derive(Debug, Clone)]
+struct ShadowPoint {
+    x: Vec<f64>,
+    err: f64,
+}
+
+/// The frozen fused model: prior + linear residual + optional RBF residual,
+/// plus the geometry (relevance weights, training cloud) the error bound
+/// needs.
+#[derive(Debug, Clone)]
+struct Fused {
+    prior: AnalyticPrior,
+    linear: LinearModel,
+    rbf: Option<RbfNetwork>,
+    /// Per-dimension relevance weights (mean 1) derived from the linear
+    /// stage's main effects: distance along a direction the response
+    /// actually moves in counts for more.
+    weights: Vec<f64>,
+    train_x: Vec<Vec<f64>>,
+    /// Mean nearest-neighbour distance within the training cloud; the
+    /// yardstick for "how far outside the data is this query?".
+    mean_nn: f64,
+}
+
+impl Fused {
+    fn predict_ln(&self, raw: &[f64], x: &[f64]) -> f64 {
+        let mut v = self.prior.predict_ln(raw) + self.linear.predict(x);
+        if let Some(rbf) = &self.rbf {
+            v += rbf.predict(x);
+        }
+        v
+    }
+}
+
+fn wdist(weights: &[f64], a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    weights
+        .iter()
+        .zip(a.iter().zip(b))
+        .map(|(w, (p, q))| w * (p - q) * (p - q))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Tiered measurement router.
+///
+/// Feed it every completed SMARTS/detailed measurement via
+/// [`TierRouter::observe`]; ask it where to send the next point via
+/// [`TierRouter::route`]. All state evolves deterministically from the
+/// observation sequence, so replaying a checkpoint reconstructs identical
+/// routing behaviour.
+#[derive(Debug, Clone)]
+pub struct TierRouter {
+    cfg: Tier0Config,
+    space: ParameterSpace,
+    obs: Vec<Obs>,
+    calib: PriorCalibration,
+    shadow: VecDeque<ShadowPoint>,
+    model: Option<Fused>,
+    fitted_n: usize,
+}
+
+impl TierRouter {
+    /// Creates an untrained router over a design space.
+    pub fn new(cfg: Tier0Config, space: ParameterSpace) -> Self {
+        TierRouter {
+            cfg,
+            space,
+            obs: Vec::new(),
+            calib: PriorCalibration::default(),
+            shadow: VecDeque::new(),
+            model: None,
+            fitted_n: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Tier0Config {
+        &self.cfg
+    }
+
+    /// The design space the router encodes points over.
+    pub fn space(&self) -> &ParameterSpace {
+        &self.space
+    }
+
+    /// Completed observations folded in so far.
+    pub fn observations(&self) -> usize {
+        self.obs.len()
+    }
+
+    /// Out-of-sample errors currently in the shadow ring.
+    pub fn shadow_len(&self) -> usize {
+        self.shadow.len()
+    }
+
+    /// Whether a fused model has been fit yet.
+    pub fn is_fitted(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// Mean relative error over the shadow ring (the router's live
+    /// self-assessment), or `None` before any out-of-sample prediction.
+    pub fn shadow_mape(&self) -> Option<f64> {
+        if self.shadow.is_empty() {
+            return None;
+        }
+        Some(self.shadow.iter().map(|s| s.err).sum::<f64>() / self.shadow.len() as f64)
+    }
+
+    /// Surrogate estimate and local error bound at a raw design point,
+    /// regardless of whether the bound clears the operating point.
+    /// `None` until a model exists.
+    pub fn predict(&self, raw: &[f64]) -> Option<(f64, f64)> {
+        let model = self.model.as_ref()?;
+        let x = self.space.encode(raw);
+        let est = model.predict_ln(raw, &x).exp();
+        Some((est, self.bound_at(model, &x)))
+    }
+
+    /// Decides where to measure a raw design point.
+    ///
+    /// Returns [`Route::Surrogate`] only when a model exists, the shadow
+    /// ring is mature, the local error bound is at or under
+    /// [`Tier0Config::err_bound`], and the estimate is finite and positive.
+    pub fn route(&self, raw: &[f64]) -> Route {
+        let Some(model) = self.model.as_ref() else {
+            return Route::Sampled {
+                bound: f64::INFINITY,
+            };
+        };
+        if self.obs.len() < self.cfg.min_train || self.shadow.len() < self.cfg.min_shadow {
+            return Route::Sampled {
+                bound: f64::INFINITY,
+            };
+        }
+        let x = self.space.encode(raw);
+        let bound = self.bound_at(model, &x);
+        let estimate = model.predict_ln(raw, &x).exp();
+        if bound <= self.cfg.err_bound && estimate.is_finite() && estimate > 0.0 {
+            Route::Surrogate { estimate, bound }
+        } else {
+            Route::Sampled { bound }
+        }
+    }
+
+    /// Folds in one completed measurement (tier 1 or 2).
+    ///
+    /// Before training on the point, the current model (if any) predicts it
+    /// blind; that out-of-sample relative error enters the shadow ring that
+    /// future bounds are quoted from. Refits are triggered purely by
+    /// observation count.
+    pub fn observe(
+        &mut self,
+        raw: &[f64],
+        value: f64,
+        instructions: u64,
+        stack: Option<StackSample>,
+    ) {
+        if !(value.is_finite() && value > 0.0) {
+            return;
+        }
+        let x = self.space.encode(raw);
+        if let Some(model) = self.model.as_ref() {
+            let pred = model.predict_ln(raw, &x).exp();
+            if pred.is_finite() && pred > 0.0 {
+                self.shadow.push_back(ShadowPoint {
+                    x: x.clone(),
+                    err: (pred - value).abs() / value,
+                });
+                while self.shadow.len() > self.cfg.shadow_window {
+                    self.shadow.pop_front();
+                }
+            }
+        }
+        self.calib
+            .observe(&self.space, raw, instructions, stack.as_ref());
+        self.obs.push(Obs {
+            raw: raw.to_vec(),
+            x,
+            ln_y: value.ln(),
+        });
+        self.maybe_refit();
+    }
+
+    /// Local relative-error bound at a coded point: the worst shadow error
+    /// among the `shadow_k` nearest neighbours, inflated by how far the
+    /// query sits outside the training cloud, times the safety margin.
+    fn bound_at(&self, model: &Fused, x: &[f64]) -> f64 {
+        if self.shadow.len() < self.cfg.min_shadow {
+            return f64::INFINITY;
+        }
+        let d_nn = model
+            .train_x
+            .iter()
+            .map(|t| wdist(&model.weights, x, t))
+            .fold(f64::INFINITY, f64::min);
+        let inflation = if model.mean_nn > 1e-12 {
+            1.0 + d_nn / model.mean_nn
+        } else {
+            1.0 + d_nn
+        };
+        let mut near: Vec<(f64, f64)> = self
+            .shadow
+            .iter()
+            .map(|s| (wdist(&model.weights, x, &s.x), s.err))
+            .collect();
+        near.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let k = self.cfg.shadow_k.min(near.len());
+        let local = near[..k].iter().map(|(_, e)| *e).fold(0.0, f64::max);
+        // Floor by the ring-wide mean so a lucky cluster of tiny local
+        // errors cannot quote a bound tighter than the model's overall
+        // track record.
+        let global = near.iter().map(|(_, e)| *e).sum::<f64>() / near.len() as f64;
+        self.cfg.safety * local.max(global) * inflation
+    }
+
+    fn maybe_refit(&mut self) {
+        let n = self.obs.len();
+        if n < self.cfg.min_train {
+            return;
+        }
+        if self.model.is_some() && n < self.fitted_n + (self.fitted_n / 4).max(4) {
+            return;
+        }
+        self.refit(n);
+    }
+
+    fn refit(&mut self, n: usize) {
+        let fallback = self.obs.iter().map(|o| o.ln_y).sum::<f64>() / n as f64;
+        let prior = self.calib.snapshot(&self.space, fallback);
+        let xs: Vec<Vec<f64>> = self.obs.iter().map(|o| o.x.clone()).collect();
+        let t: Vec<f64> = self
+            .obs
+            .iter()
+            .map(|o| o.ln_y - prior.predict_ln(&o.raw))
+            .collect();
+        let Ok(data) = Dataset::new(xs.clone(), t.clone()) else {
+            return;
+        };
+        let Ok(linear) = LinearModel::fit(&data, LinearTerms::MainEffects) else {
+            return;
+        };
+        let rbf = if n >= self.cfg.rbf_min {
+            let u: Vec<f64> = self
+                .obs
+                .iter()
+                .zip(&t)
+                .map(|(o, ti)| ti - linear.predict(&o.x))
+                .collect();
+            Dataset::new(xs.clone(), u).ok().and_then(|d| {
+                RbfNetwork::fit(
+                    &d,
+                    RbfConfig {
+                        center_candidates: vec![4, 8, 12, 16, 24, 32],
+                        ..RbfConfig::default()
+                    },
+                )
+                .ok()
+            })
+        } else {
+            None
+        };
+        let dim = self.space.len();
+        let mut weights: Vec<f64> = (0..dim).map(|d| linear.main_effect(d).abs()).collect();
+        let mean = weights.iter().sum::<f64>() / dim as f64;
+        let floor = (0.05 * mean).max(1e-9);
+        for w in &mut weights {
+            *w += floor;
+        }
+        let mean = weights.iter().sum::<f64>() / dim as f64;
+        if mean > 0.0 {
+            for w in &mut weights {
+                *w /= mean;
+            }
+        }
+        let mean_nn = if xs.len() > 1 {
+            let mut total = 0.0;
+            for (i, a) in xs.iter().enumerate() {
+                let mut best = f64::INFINITY;
+                for (j, b) in xs.iter().enumerate() {
+                    if i != j {
+                        best = best.min(wdist(&weights, a, b));
+                    }
+                }
+                total += best;
+            }
+            total / xs.len() as f64
+        } else {
+            0.0
+        };
+        self.model = Some(Fused {
+            prior,
+            linear,
+            rbf,
+            weights,
+            train_x: xs,
+            mean_nn,
+        });
+        self.fitted_n = n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emod_doe::Parameter;
+
+    fn space() -> ParameterSpace {
+        ParameterSpace::new(vec![
+            Parameter::log_discrete("issue-width", 1.0, 8.0, 4),
+            Parameter::log_discrete("ruu-size", 8.0, 256.0, 6),
+            Parameter::discrete("memory-latency", 50.0, 400.0, 8),
+        ])
+    }
+
+    /// Smooth synthetic "cycles" ground truth over the toy space.
+    fn truth(raw: &[f64]) -> f64 {
+        let width = raw[0];
+        let ruu = raw[1];
+        let mem = raw[2];
+        1.0e6 * (0.6 + 1.6 / width + 0.05 * mem / ruu.sqrt())
+    }
+
+    fn grid() -> Vec<Vec<f64>> {
+        let sp = space();
+        let levels: Vec<Vec<f64>> = sp.parameters().iter().map(|p| p.levels()).collect();
+        let mut out = Vec::new();
+        for a in &levels[0] {
+            for b in &levels[1] {
+                for c in &levels[2] {
+                    out.push(vec![*a, *b, *c]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Deterministic interleave so train/probe points alternate across the
+    /// grid instead of being axis-sorted.
+    fn shuffled(points: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        let n = points.len();
+        let stride = 37; // coprime with 4*6*8 = 192
+        (0..n).map(|i| points[(i * stride) % n].clone()).collect()
+    }
+
+    fn trained_router(cfg: Tier0Config, train: &[Vec<f64>]) -> TierRouter {
+        let mut router = TierRouter::new(cfg, space());
+        for p in train {
+            router.observe(p, truth(p), 1_000_000, None);
+        }
+        router
+    }
+
+    #[test]
+    fn warms_up_before_answering() {
+        let cfg = Tier0Config {
+            err_bound: 0.5,
+            ..Tier0Config::default()
+        };
+        let pts = shuffled(grid());
+        let mut router = TierRouter::new(cfg.clone(), space());
+        for p in pts.iter().take(cfg.min_train - 1) {
+            assert!(matches!(
+                router.route(p),
+                Route::Sampled { bound } if bound.is_infinite()
+            ));
+            router.observe(p, truth(p), 1_000_000, None);
+        }
+        assert!(router.observations() == cfg.min_train - 1);
+    }
+
+    #[test]
+    fn surrogate_answers_are_within_their_own_bound() {
+        let cfg = Tier0Config {
+            err_bound: 0.2,
+            ..Tier0Config::default()
+        };
+        let pts = shuffled(grid());
+        let (train, probe) = pts.split_at(120);
+        let router = trained_router(cfg.clone(), train);
+        assert!(router.is_fitted());
+        let mut fired = 0usize;
+        for p in probe {
+            if let Route::Surrogate { estimate, bound } = router.route(p) {
+                fired += 1;
+                assert!(
+                    bound <= cfg.err_bound,
+                    "bound {bound} exceeds operating point"
+                );
+                let y = truth(p);
+                let err = (estimate - y).abs() / y;
+                assert!(
+                    err <= bound,
+                    "estimate off by {err:.4} but bound promised {bound:.4}"
+                );
+            }
+        }
+        assert!(fired > 0, "surrogate never fired on {} probes", probe.len());
+    }
+
+    #[test]
+    fn replaying_observations_reproduces_decisions_bitwise() {
+        let cfg = Tier0Config {
+            err_bound: 0.2,
+            ..Tier0Config::default()
+        };
+        let pts = shuffled(grid());
+        let (train, probe) = pts.split_at(100);
+        let a = trained_router(cfg.clone(), train);
+        let b = trained_router(cfg, train);
+        for p in probe {
+            match (a.route(p), b.route(p)) {
+                (
+                    Route::Surrogate {
+                        estimate: e1,
+                        bound: b1,
+                    },
+                    Route::Surrogate {
+                        estimate: e2,
+                        bound: b2,
+                    },
+                ) => {
+                    assert_eq!(e1.to_bits(), e2.to_bits());
+                    assert_eq!(b1.to_bits(), b2.to_bits());
+                }
+                (Route::Sampled { bound: b1 }, Route::Sampled { bound: b2 }) => {
+                    assert_eq!(b1.to_bits(), b2.to_bits());
+                }
+                (x, y) => panic!("divergent routes {x:?} vs {y:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tight_operating_point_stays_conservative() {
+        // At the default 1% bound on a function the model only fits to a
+        // few percent, the router must keep promoting rather than guess.
+        let pts = shuffled(grid());
+        let (train, probe) = pts.split_at(60);
+        let router = trained_router(Tier0Config::default(), train);
+        for p in probe.iter().take(20) {
+            if let Route::Surrogate { estimate, bound } = router.route(p) {
+                let y = truth(p);
+                let err = (estimate - y).abs() / y;
+                assert!(err <= bound, "fired at 1% with true err {err:.4}");
+            }
+        }
+    }
+
+    #[test]
+    fn tier_index_round_trips() {
+        for t in [Tier::Surrogate, Tier::Sampled, Tier::Detailed] {
+            assert_eq!(Tier::from_index(t.index()), Some(t));
+        }
+        assert_eq!(Tier::from_index(3), None);
+        assert_eq!(Tier::Surrogate.name(), "tier0");
+    }
+
+    #[test]
+    fn rejects_degenerate_values() {
+        let mut router = TierRouter::new(Tier0Config::default(), space());
+        router.observe(&[4.0, 64.0, 100.0], f64::NAN, 1000, None);
+        router.observe(&[4.0, 64.0, 100.0], 0.0, 1000, None);
+        router.observe(&[4.0, 64.0, 100.0], -1.0, 1000, None);
+        assert_eq!(router.observations(), 0);
+    }
+}

@@ -156,6 +156,97 @@ impl PipeStats {
             self.ruu_occ_sum as f64 / self.dispatches as f64
         }
     }
+
+    /// Folds another counter set into this one (all fields are additive).
+    pub fn merge(&mut self, other: &PipeStats) {
+        self.ruu_occ_sum += other.ruu_occ_sum;
+        self.dispatches += other.dispatches;
+        self.window_full_stalls += other.window_full_stalls;
+        self.fetch_stall_cycles += other.fetch_stall_cycles;
+        self.issue_wait_cycles += other.issue_wait_cycles;
+        self.commit_wait_cycles += other.commit_wait_cycles;
+        self.redirects += other.redirects;
+    }
+}
+
+/// A CPI stack: one simulation's cycles-per-instruction decomposed into the
+/// stall components [`PipeStats`] records, plus a `base` remainder
+/// (dataflow, execution and memory latency that no stall counter isolates).
+///
+/// Components are *approximate charges* in cycles per dispatched
+/// instruction — the stall counters of an out-of-order machine overlap, so
+/// the stack explains where time went rather than partitioning it exactly.
+/// `window` charges one cycle per window-full dispatch stall and `redirect`
+/// charges the front-end redirect penalty per misprediction.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CpiStack {
+    /// Total cycles per instruction being decomposed.
+    pub cpi: f64,
+    /// Remainder not attributed to a stall counter: issue-width-bound
+    /// dispatch plus dataflow/memory latency.
+    pub base: f64,
+    /// Instruction-cache fetch stalls per instruction.
+    pub fetch: f64,
+    /// Window-full (RUU occupancy) dispatch stalls per instruction.
+    pub window: f64,
+    /// Functional-unit (execution) wait cycles per instruction.
+    pub exec: f64,
+    /// Commit-bandwidth wait cycles per instruction.
+    pub commit: f64,
+    /// Branch-misprediction redirect penalty per instruction.
+    pub redirect: f64,
+}
+
+impl CpiStack {
+    /// Builds a stack from pipeline counters and the CPI they accompany.
+    /// With zero dispatches every component is zero and `base == cpi`.
+    pub fn from_pipe(pipe: &PipeStats, cpi: f64) -> CpiStack {
+        let n = pipe.dispatches as f64;
+        if n <= 0.0 {
+            return CpiStack {
+                cpi,
+                base: cpi,
+                ..CpiStack::default()
+            };
+        }
+        let fetch = pipe.fetch_stall_cycles as f64 / n;
+        let window = pipe.window_full_stalls as f64 / n;
+        let exec = pipe.issue_wait_cycles as f64 / n;
+        let commit = pipe.commit_wait_cycles as f64 / n;
+        let redirect = pipe.redirects as f64 * REDIRECT_PENALTY as f64 / n;
+        let base = (cpi - fetch - window - exec - commit - redirect).max(0.0);
+        CpiStack {
+            cpi,
+            base,
+            fetch,
+            window,
+            exec,
+            commit,
+            redirect,
+        }
+    }
+
+    /// The stack normalized to shares of the total CPI (components sum to
+    /// roughly 1 when no clamping occurred; all-zero when `cpi == 0`).
+    pub fn shares(&self) -> CpiStack {
+        if self.cpi <= 0.0 {
+            return CpiStack::default();
+        }
+        CpiStack {
+            cpi: 1.0,
+            base: self.base / self.cpi,
+            fetch: self.fetch / self.cpi,
+            window: self.window / self.cpi,
+            exec: self.exec / self.cpi,
+            commit: self.commit / self.cpi,
+            redirect: self.redirect / self.cpi,
+        }
+    }
+
+    /// Sum of the stall components (everything but `base`).
+    pub fn stall_total(&self) -> f64 {
+        self.fetch + self.window + self.exec + self.commit + self.redirect
+    }
 }
 
 /// Final counters of a simulation.
@@ -201,6 +292,13 @@ impl SimResult {
             self.cycles as f64 / self.instructions as f64
         }
     }
+
+    /// Decomposes this simulation's CPI into the stall components of
+    /// [`PipeStats`] — the per-component breakdown the tier-0 analytical
+    /// estimators calibrate against (DESIGN.md §13).
+    pub fn cpi_stack(&self) -> CpiStack {
+        CpiStack::from_pipe(&self.pipe, self.cpi())
+    }
 }
 
 /// The timing engine. Feed it the retired-instruction stream via
@@ -224,6 +322,9 @@ pub struct Core {
     retired: u64,
     op_energy_acc: f64,
     pipe: PipeStats,
+    /// Pipe counters folded in from phases before the last
+    /// [`Core::reset_timing`], so sampled runs keep a whole-run breakdown.
+    pipe_accum: PipeStats,
 }
 
 #[derive(Debug)]
@@ -308,6 +409,7 @@ impl Core {
             retired: 0,
             op_energy_acc: 0.0,
             pipe: PipeStats::default(),
+            pipe_accum: PipeStats::default(),
             cfg: cfg.clone(),
         }
     }
@@ -349,6 +451,7 @@ impl Core {
         self.redirect_pending = true;
         self.retired = 0;
         self.op_energy_acc = 0.0;
+        self.pipe_accum.merge(&self.pipe);
         self.pipe = PipeStats::default();
     }
 
@@ -501,6 +604,15 @@ impl Core {
             + self.cycles() as f64 * energy_cost::PER_CYCLE
     }
 
+    /// Whole-run pipeline counters: the current phase's plus everything
+    /// folded in by [`Core::reset_timing`] — for sampled runs this covers
+    /// every detailed phase, not just the last unit.
+    pub fn pipe_total(&self) -> PipeStats {
+        let mut total = self.pipe_accum.clone();
+        total.merge(&self.pipe);
+        total
+    }
+
     /// Packages final statistics (callers supply the architectural exit
     /// value from the functional core).
     pub fn result(&self, exit_value: i64) -> SimResult {
@@ -513,7 +625,7 @@ impl Core {
             dl1: self.mem.dl1_stats(),
             ul2: self.mem.ul2_stats(),
             energy: self.energy(),
-            pipe: self.pipe.clone(),
+            pipe: self.pipe_total(),
         }
     }
 }
@@ -793,6 +905,64 @@ mod tests {
             s.pipe.window_full_stalls,
             res.pipe.window_full_stalls
         );
+    }
+
+    #[test]
+    fn cpi_stack_components_are_consistent() {
+        let prog = counted_loop(2000, 4);
+        let res = simulate(&prog, &UarchConfig::typical()).unwrap();
+        let stack = res.cpi_stack();
+        assert!((stack.cpi - res.cpi()).abs() < 1e-12);
+        // Components are non-negative and the stack reassembles the CPI
+        // (base absorbs whatever the stall counters don't explain).
+        for c in [
+            stack.base,
+            stack.fetch,
+            stack.window,
+            stack.exec,
+            stack.commit,
+            stack.redirect,
+        ] {
+            assert!(c >= 0.0, "negative component in {:?}", stack);
+        }
+        // Charges overlap in an out-of-order machine, so the stack can only
+        // over-explain the CPI (base clamps at zero), never under-explain it.
+        assert!(
+            stack.base + stack.stall_total() >= stack.cpi - 1e-9,
+            "stack under-explains the CPI: {:?}",
+            stack
+        );
+        // Shares are the components normalized by the total CPI.
+        let sh = stack.shares();
+        assert!((sh.fetch - stack.fetch / stack.cpi).abs() < 1e-12);
+        assert!((sh.exec - stack.exec / stack.cpi).abs() < 1e-12);
+        assert_eq!(sh.cpi, 1.0);
+    }
+
+    #[test]
+    fn cpi_stack_degenerate_inputs() {
+        let empty = CpiStack::from_pipe(&PipeStats::default(), 1.5);
+        assert_eq!(empty.base, 1.5);
+        assert_eq!(empty.stall_total(), 0.0);
+        assert_eq!(CpiStack::default().shares(), CpiStack::default());
+    }
+
+    #[test]
+    fn pipe_stats_merge_is_additive() {
+        let mut a = PipeStats {
+            ruu_occ_sum: 10,
+            dispatches: 5,
+            window_full_stalls: 1,
+            fetch_stall_cycles: 2,
+            issue_wait_cycles: 3,
+            commit_wait_cycles: 4,
+            redirects: 1,
+        };
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.dispatches, 10);
+        assert_eq!(a.ruu_occ_sum, 20);
+        assert_eq!(a.redirects, 2);
     }
 
     #[test]

@@ -33,6 +33,8 @@
 //! assert!(result.cycles > 0);
 //! ```
 
+#![warn(missing_docs)]
+
 mod bpred;
 mod cache;
 mod config;
@@ -43,7 +45,7 @@ pub mod smarts;
 pub use bpred::BranchPredictor;
 pub use cache::{Cache, CacheStats};
 pub use config::{FuPoolConfig, UarchConfig};
-pub use core::{energy_cost, op_energy, Core, PipeStats, SimResult};
+pub use core::{energy_cost, op_energy, Core, CpiStack, PipeStats, SimResult};
 pub use memsys::{AccessKind, MemSys};
 pub use smarts::{simulate, simulate_sampled, SampleConfig, SampledResult};
 

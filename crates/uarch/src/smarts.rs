@@ -11,7 +11,7 @@
 //! instructions`, with a CLT-based confidence interval, as in the paper:
 //! "< 1% error (with 99.7% confidence)".
 
-use crate::core::{Core, SimResult};
+use crate::core::{Core, CpiStack, PipeStats, SimResult};
 use crate::memsys::AccessKind;
 use crate::UarchConfig;
 use emod_isa::{EmuError, Emulator, InstKind, Program, Retired, INST_BYTES};
@@ -60,6 +60,20 @@ pub struct SampledResult {
     /// Estimated total energy (mean per-instruction energy in measured
     /// windows × total instructions; same units as [`crate::op_energy`]).
     pub energy: f64,
+    /// Pipeline stall/occupancy counters accumulated over every *detailed*
+    /// phase (warm-up prefixes included; functional warming contributes
+    /// nothing). `pipe.dispatches` is the detailed-instruction count.
+    pub pipe: PipeStats,
+}
+
+impl SampledResult {
+    /// Decomposes the sampled CPI into the stall components observed during
+    /// detailed phases — the same breakdown as
+    /// [`SimResult::cpi_stack`](crate::SimResult::cpi_stack), computed per
+    /// detailed instruction.
+    pub fn cpi_stack(&self) -> CpiStack {
+        CpiStack::from_pipe(&self.pipe, self.cpi)
+    }
 }
 
 /// Runs a full detailed (unsampled) simulation.
@@ -213,6 +227,7 @@ pub fn simulate_sampled(
             windows: 0,
             exit_value,
             energy: core.energy(),
+            pipe: core.pipe_total(),
         };
         record_sampled_stats(&res, &core, exit_value, detailed_insts, 0.0);
         return Ok(res);
@@ -239,6 +254,7 @@ pub fn simulate_sampled(
         windows: window_cpis.len() as u64,
         exit_value,
         energy: mean_epi * executed as f64,
+        pipe: core.pipe_total(),
     };
     record_sampled_stats(&res, &core, exit_value, detailed_insts, var);
     Ok(res)
@@ -431,6 +447,35 @@ mod tests {
             res.rel_error >= 0.0 && res.rel_error < 0.2,
             "{}",
             res.rel_error
+        );
+    }
+
+    #[test]
+    fn sampled_pipe_counters_cover_all_detailed_phases() {
+        let prog = big_loop(400_000);
+        let cfg = UarchConfig::typical();
+        let sample = SampleConfig {
+            window: 500,
+            interval: 20,
+            warmup: 1000,
+            fuel: u64::MAX,
+        };
+        let res = simulate_sampled(&prog, &cfg, &sample).unwrap();
+        // Every detailed phase (warmup + window per unit) dispatches through
+        // the timing core; the accumulated counters must cover far more than
+        // one unit's worth.
+        assert!(res.windows > 10);
+        assert!(
+            res.pipe.dispatches > sample.warmup + sample.window,
+            "pipe stats cover only the last unit: {} dispatches",
+            res.pipe.dispatches
+        );
+        let stack = res.cpi_stack();
+        assert!((stack.cpi - res.cpi).abs() < 1e-12);
+        assert!(
+            stack.stall_total() > 0.0,
+            "no stall activity recorded: {:?}",
+            stack
         );
     }
 
