@@ -8,7 +8,12 @@
 //! performance trajectory to move. Each report records the median-of-N
 //! wall time for both worker counts, the speedup, throughput (Minst/s for
 //! measurement, predictions/s for serving) and an `identical` flag
-//! asserting the parallel run produced bit-identical results.
+//! asserting the parallel run produced bit-identical results. Every
+//! report opens with a schema-versioned metadata prefix (schema, bench
+//! phase, mode, reps, host/worker thread counts) in a stable field order;
+//! `--history FILE` additionally appends each report as one flat JSON
+//! line — the `BENCH_HISTORY.jsonl` feed that `emod-trace bench` judges
+//! for step regressions.
 //!
 //! A fourth phase (`BENCH_tier0.json`) times the same campaign untiered
 //! versus with tiered measurement enabled, recording the simulation-count
@@ -44,11 +49,18 @@ use std::time::Instant;
 
 const BENCH_SEED: u64 = 4242;
 
+/// Report metadata schema. Bump when field names/semantics change so
+/// `emod-trace bench` and history consumers can tell ages apart.
+/// Matches `emod_load::report::HISTORY_SCHEMA` — both feed the same
+/// `BENCH_HISTORY.jsonl`.
+const REPORT_SCHEMA: u64 = 2;
+
 struct Args {
     quick: bool,
     reps: usize,
     threads: usize,
     out: PathBuf,
+    history: Option<PathBuf>,
     check_speedup: Option<f64>,
 }
 
@@ -58,6 +70,7 @@ fn parse_args() -> Args {
         reps: 0, // resolved after --quick is known
         threads: emod_par::available_parallelism(),
         out: PathBuf::from("."),
+        history: None,
         check_speedup: None,
     };
     let mut reps_set = false;
@@ -75,6 +88,7 @@ fn parse_args() -> Args {
             }
             "--threads" => args.threads = parse_num(&value("--threads"), "--threads"),
             "--out" => args.out = PathBuf::from(value("--out")),
+            "--history" => args.history = Some(PathBuf::from(value("--history"))),
             "--check-speedup" => {
                 let v = value("--check-speedup");
                 args.check_speedup = Some(
@@ -84,7 +98,8 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: bench [--quick] [--reps N] [--threads N] [--out DIR] [--check-speedup X]"
+                    "usage: bench [--quick] [--reps N] [--threads N] [--out DIR] \
+                     [--history FILE] [--check-speedup X]"
                 );
                 std::process::exit(0);
             }
@@ -135,7 +150,11 @@ fn jnum(v: f64) -> String {
     }
 }
 
-fn write_report(dir: &Path, phase: &str, fields: &[(&str, String)]) {
+/// Writes `BENCH_{phase}.json` (pretty, one field per line, stable order)
+/// and — when `--history` was given — appends the same fields as one flat
+/// JSON line to the history file.
+fn write_report(args: &Args, phase: &str, fields: &[(&str, String)]) {
+    let dir: &Path = &args.out;
     let body: Vec<String> = fields
         .iter()
         .map(|(k, v)| format!("  \"{}\": {}", k, v))
@@ -144,10 +163,30 @@ fn write_report(dir: &Path, phase: &str, fields: &[(&str, String)]) {
     let json = format!("{{\n{}\n}}\n", body.join(",\n"));
     std::fs::write(&path, json).unwrap_or_else(|e| die(&format!("cannot write {:?}: {}", path, e)));
     println!("  wrote {}", path.display());
+    if let Some(history) = &args.history {
+        use std::io::Write;
+        let flat: Vec<String> = fields
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{}", k, v))
+            .collect();
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(history)
+            .unwrap_or_else(|e| die(&format!("cannot open {:?}: {}", history, e)));
+        writeln!(f, "{{{}}}", flat.join(","))
+            .unwrap_or_else(|e| die(&format!("cannot append {:?}: {}", history, e)));
+        println!("  appended to {}", history.display());
+    }
 }
 
-fn common_fields(args: &Args, reps: usize) -> Vec<(&'static str, String)> {
+/// The schema-versioned metadata prefix every report starts with:
+/// schema, bench phase, mode, reps, host thread count, worker count — in
+/// that order, always, so reports diff cleanly across runs.
+fn common_fields(args: &Args, reps: usize, phase: &str) -> Vec<(&'static str, String)> {
     vec![
+        ("schema", REPORT_SCHEMA.to_string()),
+        ("bench", format!("\"{}\"", phase)),
         (
             "mode",
             format!("\"{}\"", if args.quick { "quick" } else { "full" }),
@@ -191,8 +230,7 @@ fn bench_measure(args: &Args) -> f64 {
     );
     assert!(identical, "parallel campaign diverged from sequential");
 
-    let mut fields = vec![("bench", "\"measure\"".to_string())];
-    fields.extend(common_fields(args, args.reps));
+    let mut fields = common_fields(args, args.reps, "measure");
     fields.extend([
         ("workload", format!("\"{}\"", workload.name())),
         ("points", n_points.to_string()),
@@ -204,7 +242,7 @@ fn bench_measure(args: &Args) -> f64 {
         ("speedup", jnum(speedup)),
         ("identical", identical.to_string()),
     ]);
-    write_report(&args.out, "measure", &fields);
+    write_report(args, "measure", &fields);
     speedup
 }
 
@@ -253,8 +291,7 @@ fn bench_train(args: &Args) -> Dataset {
     );
     assert!(identical, "parallel training diverged from sequential");
 
-    let mut fields = vec![("bench", "\"train\"".to_string())];
-    fields.extend(common_fields(args, args.reps));
+    let mut fields = common_fields(args, args.reps, "train");
     fields.extend([
         ("workload", format!("\"{}\"", workload.name())),
         ("train_size", data.len().to_string()),
@@ -263,7 +300,7 @@ fn bench_train(args: &Args) -> Dataset {
         ("speedup", jnum(speedup)),
         ("identical", identical.to_string()),
     ]);
-    write_report(&args.out, "train", &fields);
+    write_report(args, "train", &fields);
     data
 }
 
@@ -298,8 +335,7 @@ fn bench_serve(args: &Args, data: &Dataset) {
     );
     assert!(identical, "parallel prediction diverged from sequential");
 
-    let mut fields = vec![("bench", "\"serve\"".to_string())];
-    fields.extend(common_fields(args, args.reps));
+    let mut fields = common_fields(args, args.reps, "serve");
     fields.extend([
         ("points", n_points.to_string()),
         ("wall_s_seq", jnum(wall_seq)),
@@ -309,7 +345,7 @@ fn bench_serve(args: &Args, data: &Dataset) {
         ("speedup", jnum(speedup)),
         ("identical", identical.to_string()),
     ]);
-    write_report(&args.out, "serve", &fields);
+    write_report(args, "serve", &fields);
 }
 
 /// Design points sweeping three machine axes around the paper's "typical"
@@ -427,8 +463,7 @@ fn bench_tier0(args: &Args) {
         sim_reduction, speedup, mape_untiered, mape_tiered, mape_delta_abs
     );
 
-    let mut fields = vec![("bench", "\"tier0\"".to_string())];
-    fields.extend(common_fields(args, args.reps));
+    let mut fields = common_fields(args, args.reps, "tier0");
     fields.extend([
         ("workload", format!("\"{}\"", workload.name())),
         ("points", n_campaign.to_string()),
@@ -446,7 +481,7 @@ fn bench_tier0(args: &Args) {
         ("mape_tiered", jnum(mape_tiered)),
         ("mape_delta_abs", jnum(mape_delta_abs)),
     ]);
-    write_report(&args.out, "tier0", &fields);
+    write_report(args, "tier0", &fields);
 }
 
 fn main() {

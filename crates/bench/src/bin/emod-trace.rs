@@ -6,6 +6,7 @@
 //! emod-trace diff    <a.jsonl> <b.jsonl> [--threshold PCT]
 //! emod-trace quality <file.jsonl>...                   model-quality summary
 //! emod-trace tiers   <file.jsonl>...                   tiered-measurement summary
+//! emod-trace bench   <BENCH_HISTORY.jsonl>... [--window N] [--threshold PCT] [--warn-only]
 //! ```
 //!
 //! `tree` reconstructs each trace (one unit of work: a server request, a
@@ -18,11 +19,16 @@
 //! `quality_warn` events into extrapolation, disagreement, and
 //! accuracy-drift summaries per model. `tiers` distills the measurer's
 //! `tier0_hit`/`measurement` events into per-tier hit and promotion
-//! counts — how much work the tier-0 surrogate actually absorbed.
+//! counts — how much work the tier-0 surrogate actually absorbed. `bench`
+//! reads `BENCH_HISTORY.jsonl` run history, prints per-metric trendlines,
+//! and **exits 1** when a windowed mean-shift finds a step regression in
+//! any judged metric (throughput down, p99/wall time up) — the CI gate
+//! over committed bench baselines; `--warn-only` reports without failing.
 //!
-//! Exit codes: 0 clean, 1 diff found a regression, 2 usage/I/O error.
+//! Exit codes: 0 clean, 1 diff/bench found a regression, 2 usage/I/O
+//! error.
 
-use emod_bench::trace;
+use emod_bench::{history, trace};
 use std::process::ExitCode;
 
 fn usage(err: &str) -> ExitCode {
@@ -34,6 +40,9 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("       emod-trace diff    <a.jsonl> <b.jsonl> [--threshold PCT]");
     eprintln!("       emod-trace quality <file.jsonl>...");
     eprintln!("       emod-trace tiers   <file.jsonl>...");
+    eprintln!(
+        "       emod-trace bench   <BENCH_HISTORY.jsonl>... [--window N] [--threshold PCT] [--warn-only]"
+    );
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {
@@ -90,7 +99,13 @@ fn main() -> ExitCode {
     // Split trailing options from file operands.
     let mut files: Vec<String> = Vec::new();
     let mut limit = 20usize;
-    let mut threshold = 20.0f64;
+    let mut threshold = if mode == "bench" {
+        history::DEFAULT_THRESHOLD_PCT
+    } else {
+        20.0
+    };
+    let mut window = history::DEFAULT_WINDOW;
+    let mut warn_only = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -108,6 +123,14 @@ fn main() -> ExitCode {
                 }
                 None => return usage("--threshold needs a number (percent)"),
             },
+            "--window" => match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => {
+                    window = n;
+                    i += 1;
+                }
+                _ => return usage("--window needs a positive integer"),
+            },
+            "--warn-only" => warn_only = true,
             opt if opt.starts_with("--") => return usage(&format!("unknown option {}", opt)),
             file => files.push(file.to_string()),
         }
@@ -183,6 +206,28 @@ fn main() -> ExitCode {
                     ExitCode::SUCCESS
                 }
                 Err(e) => usage(&e),
+            }
+        }
+        "bench" => {
+            if files.is_empty() {
+                return usage("bench needs at least one BENCH_HISTORY.jsonl file");
+            }
+            let mut text = String::new();
+            for path in &files {
+                match std::fs::read_to_string(path) {
+                    Ok(t) => text.push_str(&t),
+                    Err(e) => return usage(&format!("cannot read {}: {}", path, e)),
+                }
+            }
+            let h = history::parse_history(&text);
+            let verdicts = history::judge_history(&h, window, threshold);
+            emit(&history::render_bench_report(
+                &h, &verdicts, window, threshold,
+            ));
+            if verdicts.iter().any(|v| v.regressed) && !warn_only {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
             }
         }
         other => usage(&format!("unknown mode {:?}", other)),

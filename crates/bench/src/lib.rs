@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod history;
 pub mod scale;
 pub mod session;
 pub mod trace;

@@ -1,0 +1,92 @@
+//! Coordinated-omission correctness against a fault-injected slow server.
+//!
+//! A `delay` fault at `serve.handle` makes every request take ~20 ms of
+//! handler time. At 100 req/s on one connection the offered load exceeds
+//! the ~50 req/s service capacity, so the driver falls behind its intended
+//! timeline and a backlog builds. The open-loop latency (measured from the
+//! *intended* send time) must see that backlog in its tail, while the
+//! closed-loop service time (measured from the actual send) stays near the
+//! injected delay — the exact gap coordinated omission hides.
+//!
+//! Lives in its own integration-test binary because the fault plan is
+//! process-global.
+
+use emod_load::{build_schedule, quantiles_ms, run, Arrival, CommandMix, LoadConfig};
+use emod_serve::registry::ModelRegistry;
+use emod_serve::Server;
+use std::sync::Arc;
+
+#[test]
+fn open_loop_p99_exceeds_closed_loop_p99_under_saturation() {
+    let dir = std::env::temp_dir().join(format!("emod-load-co-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = Arc::new(ModelRegistry::open(&dir).unwrap());
+    let server = Server::bind(Arc::clone(&registry), "127.0.0.1:0", 2).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let shutdown = server.shutdown_handle();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+
+    // Install the slow-handler fault *after* bind so the server is up, and
+    // before any load request reaches `serve.handle`.
+    let plan = emod_faults::FaultPlan::parse("delay:serve.handle:20ms:always", 0).unwrap();
+    emod_faults::install(plan);
+
+    let cfg = LoadConfig {
+        addr,
+        rate: 100.0,
+        duration_s: 1.0,
+        connections: 1,
+        seed: 7,
+        arrival: Arrival::Fixed,
+        mix: CommandMix::default(),
+        ..LoadConfig::default()
+    };
+    let schedule = build_schedule(&cfg);
+    assert_eq!(schedule.len(), 100);
+    let result = run(&cfg, &schedule);
+    emod_faults::clear();
+
+    shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(result.samples.len(), 100);
+    let open: Vec<f64> = result.samples.iter().map(|s| s.latency_us).collect();
+    let closed: Vec<f64> = result.samples.iter().map(|s| s.service_us).collect();
+    let open_q = quantiles_ms(&open).unwrap();
+    let closed_q = quantiles_ms(&closed).unwrap();
+
+    // The strict inequality the satellite demands: the open-loop tail must
+    // be worse than the closed-loop tail of the very same run.
+    assert!(
+        open_q.p99 > closed_q.p99,
+        "open-loop p99 {:.2}ms must exceed closed-loop p99 {:.2}ms",
+        open_q.p99,
+        closed_q.p99
+    );
+    // And not marginally: the last scheduled request is intended at ~1s but
+    // cannot complete before ~2s of serialized 20ms handlers, so the
+    // open-loop tail carries hundreds of ms of backlog the closed-loop
+    // number never sees.
+    assert!(
+        open_q.p99 > 2.0 * closed_q.p99,
+        "open-loop p99 {:.2}ms should dwarf closed-loop p99 {:.2}ms under saturation",
+        open_q.p99,
+        closed_q.p99
+    );
+    assert!(
+        open_q.p99 > 100.0,
+        "open-loop p99 {:.2}ms should show the queueing backlog",
+        open_q.p99
+    );
+    // Every sample's open-loop latency is at least its service time by
+    // construction (intended <= actual send).
+    for s in &result.samples {
+        assert!(
+            s.latency_us >= s.service_us - 1.0,
+            "open-loop latency {:.0}us below service {:.0}us",
+            s.latency_us,
+            s.service_us
+        );
+    }
+}

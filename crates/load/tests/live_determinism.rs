@@ -1,0 +1,79 @@
+//! The deterministic prefix of a load summary must be byte-identical
+//! across repeated runs and across server worker counts — the property the
+//! CI `load-smoke` job compares between `EMOD_THREADS=1` and `=8` servers.
+
+use emod_load::{
+    build_report, build_schedule, run, schedule_digest, Arrival, CommandMix, LoadConfig,
+};
+use emod_serve::registry::ModelRegistry;
+use emod_serve::{Json, Server};
+use std::sync::Arc;
+
+/// The report with its `"measured"` (wall-clock) section removed.
+fn deterministic_prefix(report: &Json) -> String {
+    match report {
+        Json::Obj(pairs) => Json::Obj(
+            pairs
+                .iter()
+                .filter(|(k, _)| k != "measured")
+                .cloned()
+                .collect(),
+        )
+        .to_string(),
+        other => other.to_string(),
+    }
+}
+
+fn run_against(workers: usize, cfg_template: &LoadConfig) -> (String, usize) {
+    let dir =
+        std::env::temp_dir().join(format!("emod-load-det-{}-{}", workers, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = Arc::new(ModelRegistry::open(&dir).unwrap());
+    let server = Server::bind(Arc::clone(&registry), "127.0.0.1:0", workers).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let shutdown = server.shutdown_handle();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+
+    let cfg = LoadConfig {
+        addr,
+        ..cfg_template.clone()
+    };
+    let schedule = build_schedule(&cfg);
+    let digest = schedule_digest(&schedule);
+    let result = run(&cfg, &schedule);
+    shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let report = build_report(&cfg, &schedule, &digest, &result);
+    assert_eq!(
+        result.samples.len(),
+        schedule.len(),
+        "every request sampled"
+    );
+    (deterministic_prefix(&report), schedule.len())
+}
+
+#[test]
+fn summary_prefix_is_identical_across_server_worker_counts() {
+    let template = LoadConfig {
+        rate: 200.0,
+        duration_s: 0.5,
+        connections: 2,
+        seed: 11,
+        arrival: Arrival::Poisson,
+        mix: CommandMix::parse("predict=4,predict_batch=1").unwrap(),
+        ..LoadConfig::default()
+    };
+    // Both pools can serve the template's 2 persistent connections (the
+    // server parks one worker per connection); the point is that the pool
+    // size leaves no trace in the deterministic summary prefix.
+    let (prefix_small_pool, n1) = run_against(2, &template);
+    let (prefix_large_pool, n8) = run_against(8, &template);
+    assert_eq!(n1, n8);
+    assert!(n1 > 50, "expected a non-trivial schedule, got {}", n1);
+    assert_eq!(
+        prefix_small_pool, prefix_large_pool,
+        "deterministic summary prefix must not depend on server workers"
+    );
+}

@@ -71,6 +71,7 @@ pub fn is_retryable(resp: &Json) -> bool {
 pub struct Client {
     addr: String,
     policy: RetryPolicy,
+    timeout: Option<Duration>,
     conn: Option<BufReader<TcpStream>>,
     requests: u64,
 }
@@ -82,9 +83,21 @@ impl Client {
         Client {
             addr: addr.to_string(),
             policy: RetryPolicy::default(),
+            timeout: None,
             conn: None,
             requests: 0,
         }
+    }
+
+    /// Caps how long one request may block on connecting, writing, or
+    /// waiting for the reply. Without it a request to a server whose worker
+    /// pool is saturated by other persistent connections blocks forever;
+    /// with it the attempt fails (and the policy decides whether to retry).
+    /// Open-loop load drivers set this so a starved connection surfaces as
+    /// a transport error instead of wedging the whole run.
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = Some(timeout);
+        self
     }
 
     /// Replaces the retry policy.
@@ -102,6 +115,8 @@ impl Client {
     fn ensure_conn(&mut self) -> io::Result<&mut BufReader<TcpStream>> {
         if self.conn.is_none() {
             let stream = TcpStream::connect(&self.addr)?;
+            stream.set_read_timeout(self.timeout)?;
+            stream.set_write_timeout(self.timeout)?;
             self.conn = Some(BufReader::new(stream));
         }
         Ok(self.conn.as_mut().expect("connection just established"))

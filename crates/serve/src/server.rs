@@ -19,7 +19,14 @@
 //! `stats` reports per-command latency percentiles; `metrics` renders a
 //! flat text exposition an operator can scrape; requests slower than
 //! `EMOD_SLOW_MS` milliseconds are flagged with a `serve.slow_request`
-//! event and a log line.
+//! event and a log line. Accepted connections are timestamped on entry to
+//! the dispatch queue, so time-in-accept-queue (`serve.queue_wait_ms`, the
+//! `serve.queue_depth` gauge, a `queue_wait_ms` access-log field) is
+//! visible separately from handler latency. When `EMOD_SLO_P99_MS` /
+//! `EMOD_SLO_AVAIL` targets are set, a rolling window ([`crate::slo`])
+//! turns recent requests into burn-rate gauges (`serve.slo.*`) and rolling
+//! per-command percentiles (`serve.rolling.*`), surfaced in `stats`,
+//! `health` and the `metrics` exposition.
 //!
 //! Resilience (see DESIGN.md §10): request lines are capped at
 //! [`MAX_LINE_BYTES`] (`request_too_large`, connection closes); handler
@@ -41,6 +48,7 @@
 use crate::artifact::{family_from_name, family_slug, ModelArtifact, FORMAT_VERSION};
 use crate::json::Json;
 use crate::registry::ModelRegistry;
+use crate::slo::{SloConfig, SloSnapshot, SloTracker};
 use emod_compiler::OptConfig;
 use emod_core::model::ModelFamily;
 use emod_core::tune::{reference_configs, search_flags_surrogate};
@@ -109,9 +117,11 @@ pub struct ServerState {
     shutdown: Arc<AtomicBool>,
     start: Instant,
     in_flight: AtomicU64,
+    queue_depth: AtomicU64,
     max_inflight: u64,
     deadline_ms: Option<u64>,
     quality: Mutex<QualityState>,
+    slo: Mutex<SloTracker>,
 }
 
 /// Shadow accuracy state: recent predictions (so a later ground-truth
@@ -145,12 +155,32 @@ impl ServerState {
             shutdown,
             start: Instant::now(),
             in_flight: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
             max_inflight,
             deadline_ms,
             quality: Mutex::new(QualityState {
                 predictions: PredictionLog::new(cap),
                 shadow: ShadowRing::new(cap),
             }),
+            slo: Mutex::new(SloTracker::new(SloConfig::from_env())),
+        }
+    }
+
+    /// Distills the SLO rolling window. Burn-rate and rolling-latency
+    /// gauges are published here — at scrape time — rather than per
+    /// request, so idle servers pay nothing and a scrape always sees a
+    /// self-consistent window.
+    fn slo_snapshot(&self) -> SloSnapshot {
+        let snap = telemetry::lock_or_recover(&self.slo).snapshot();
+        snap.publish_gauges();
+        snap
+    }
+
+    fn record_slo(&self, cmd: &str, latency_ms: f64, ok: bool) {
+        // Resolve to the interned command name: bounds the tracker's label
+        // set exactly like the per-command counters.
+        if let Some(name) = COMMANDS.iter().find(|c| **c == cmd) {
+            telemetry::lock_or_recover(&self.slo).record(name, latency_ms, ok);
         }
     }
 
@@ -280,7 +310,10 @@ impl Server {
             Arc::clone(&self.registry),
             Arc::clone(&self.shutdown),
         ));
-        let (tx, rx) = mpsc::channel::<TcpStream>();
+        // Each accepted connection is stamped with its enqueue instant so
+        // the picking worker can report time-in-accept-queue separately
+        // from handler time (the `serve.queue_wait_ms` histogram).
+        let (tx, rx) = mpsc::channel::<(Instant, TcpStream)>();
         let rx = Arc::new(Mutex::new(rx));
         let mut handles = Vec::with_capacity(self.workers);
         for i in 0..self.workers {
@@ -300,9 +333,11 @@ impl Server {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     telemetry::counter_add("serve.connections", 1);
+                    let depth = state.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
+                    telemetry::gauge_set("serve.queue_depth", depth as f64);
                     // The only send failure is every worker having exited,
                     // which implies shutdown.
-                    if tx.send(stream).is_err() {
+                    if tx.send((Instant::now(), stream)).is_err() {
                         break;
                     }
                 }
@@ -321,7 +356,7 @@ impl Server {
     }
 }
 
-fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, state: &ServerState) {
+fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<(Instant, TcpStream)>>>, state: &ServerState) {
     loop {
         let next = {
             // Poison recovery: a panic while holding the receiver must not
@@ -331,7 +366,13 @@ fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, state: &ServerState) 
             guard.recv_timeout(Duration::from_millis(100))
         };
         match next {
-            Ok(stream) => handle_connection(stream, state),
+            Ok((enqueued, stream)) => {
+                let depth = state.queue_depth.fetch_sub(1, Ordering::SeqCst) - 1;
+                telemetry::gauge_set("serve.queue_depth", depth as f64);
+                let queue_wait_ms = enqueued.elapsed().as_secs_f64() * 1e3;
+                telemetry::observe("serve.queue_wait_ms", queue_wait_ms);
+                handle_connection(stream, state, queue_wait_ms)
+            }
             Err(RecvTimeoutError::Timeout) => {
                 if state.shutting_down() {
                     return;
@@ -342,7 +383,7 @@ fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, state: &ServerState) 
     }
 }
 
-fn handle_connection(stream: TcpStream, state: &ServerState) {
+fn handle_connection(stream: TcpStream, state: &ServerState, queue_wait_ms: f64) {
     // A finite read timeout lets the worker notice shutdown while a client
     // keeps the connection open without sending.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
@@ -363,6 +404,7 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
         &[
             ("conn", conn_id.as_str().into()),
             ("peer", peer.as_str().into()),
+            ("queue_wait_ms", queue_wait_ms.into()),
         ],
     );
     let mut requests = 0u64;
@@ -400,7 +442,11 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
                     continue;
                 }
                 requests += 1;
-                let (response, close) = handle_request_on(state, &conn_id, &request);
+                // Only the first request on a connection inherits the
+                // accept-queue wait — later requests start from an
+                // already-dispatched stream.
+                let wait = if requests == 1 { queue_wait_ms } else { 0.0 };
+                let (response, close) = handle_request_on(state, &conn_id, &request, wait);
                 if writeln!(writer, "{}", response).is_err() || writer.flush().is_err() {
                     break;
                 }
@@ -460,11 +506,17 @@ fn bad_response(msg: impl Into<String>) -> Json {
 /// Handles one request line, returning the response and whether the
 /// connection should close afterwards.
 pub fn handle_request(state: &ServerState, request: &str) -> (Json, bool) {
-    handle_request_on(state, "", request)
+    handle_request_on(state, "", request, 0.0)
 }
 
-/// [`handle_request`] with the owning connection's id for the access log.
-fn handle_request_on(state: &ServerState, conn_id: &str, request: &str) -> (Json, bool) {
+/// [`handle_request`] with the owning connection's id and accept-queue
+/// wait for the access log.
+fn handle_request_on(
+    state: &ServerState,
+    conn_id: &str,
+    request: &str,
+    queue_wait_ms: f64,
+) -> (Json, bool) {
     // The whole request is one trace: spans opened by the handler on this
     // thread (GA generations during tune, artifact loads, …) nest under it.
     let root = telemetry::trace_root("serve.request");
@@ -543,6 +595,11 @@ fn handle_request_on(state: &ServerState, conn_id: &str, request: &str) -> (Json
         telemetry::observe(&format!("serve.latency_us.{}", cmd), latency_us);
     }
     let status_ok = response.get("ok") == Some(&Json::Bool(true));
+    if known {
+        // Handler latency only — queue wait is tracked separately, so the
+        // SLO window measures the server, not the accept backlog.
+        state.record_slo(&cmd, latency_us / 1000.0, status_ok);
+    }
     if telemetry::enabled() {
         let trace_id = root.context().map(|c| c.trace_hex()).unwrap_or_default();
         let model = response
@@ -577,6 +634,7 @@ fn handle_request_on(state: &ServerState, conn_id: &str, request: &str) -> (Json
                 },
             ),
             ("latency_us", latency_us.into()),
+            ("queue_wait_ms", queue_wait_ms.into()),
             ("bytes_in", request.len().into()),
             ("bytes_out", response.to_string().len().into()),
         ];
@@ -1252,6 +1310,9 @@ fn quantile_json(h: &telemetry::HistogramSnapshot, q: f64) -> Json {
 }
 
 fn cmd_stats(state: &ServerState) -> Json {
+    // Publish burn-rate/rolling gauges before snapshotting so this very
+    // response's `gauges` section already carries them.
+    let slo = state.slo_snapshot();
     let snap = telemetry::snapshot();
     let counters: Vec<(String, Json)> = snap
         .counters
@@ -1294,6 +1355,7 @@ fn cmd_stats(state: &ServerState) -> Json {
         ("ok", Json::Bool(true)),
         ("uptime_s", state.uptime_s().into()),
         ("in_flight", state.in_flight.load(Ordering::SeqCst).into()),
+        ("slo", slo.to_json(true)),
         ("counters", Json::Obj(counters)),
         ("gauges", Json::Obj(gauges)),
         ("histograms", Json::Obj(histograms)),
@@ -1310,6 +1372,7 @@ fn cmd_health(state: &ServerState) -> Json {
         ("uptime_s", state.uptime_s().into()),
         ("models", models.into()),
         ("in_flight", state.in_flight.load(Ordering::SeqCst).into()),
+        ("slo", state.slo_snapshot().to_json(false)),
     ])
 }
 
@@ -1353,6 +1416,9 @@ fn push_metric(out: &mut String, name: &str, labels: &[(&str, &str)], value: f64
 /// line, Prometheus-style) from the `serve.*` slice of the telemetry
 /// registry plus the uptime/in-flight gauges.
 pub fn render_metrics(state: &ServerState) -> String {
+    // Refresh the scrape-time SLO gauges first so they land in this
+    // snapshot.
+    state.slo_snapshot();
     let snap = telemetry::snapshot();
     let mut out = String::with_capacity(1024);
     push_metric(&mut out, "emod_serve_up", &[], 1.0);
@@ -1397,6 +1463,26 @@ pub fn render_metrics(state: &ServerState) -> String {
         if rest == "in_flight" {
             continue;
         }
+        // Rolling per-command latency gauges get proper labels instead of
+        // a flattened name, so dashboards can select by cmd/quantile.
+        if let Some(cmd) = rest.strip_prefix("rolling.p50_ms.") {
+            push_metric(
+                &mut out,
+                "emod_serve_rolling_latency_ms",
+                &[("cmd", cmd), ("quantile", "0.5")],
+                v,
+            );
+            continue;
+        }
+        if let Some(cmd) = rest.strip_prefix("rolling.p99_ms.") {
+            push_metric(
+                &mut out,
+                "emod_serve_rolling_latency_ms",
+                &[("cmd", cmd), ("quantile", "0.99")],
+                v,
+            );
+            continue;
+        }
         push_metric(
             &mut out,
             &format!("emod_serve_{}", rest.replace('.', "_")),
@@ -1425,6 +1511,24 @@ pub fn render_metrics(state: &ServerState) -> String {
                         &mut out,
                         "emod_serve_command_latency_us",
                         &[("cmd", cmd), ("quantile", tag)],
+                        value,
+                    );
+                }
+            }
+        } else if name == "serve.queue_wait_ms" {
+            push_metric(
+                &mut out,
+                "emod_serve_queue_wait_ms_count",
+                &[],
+                h.count as f64,
+            );
+            push_metric(&mut out, "emod_serve_queue_wait_ms_sum", &[], h.sum);
+            for (q, tag) in [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                if let Some(value) = h.quantile(q) {
+                    push_metric(
+                        &mut out,
+                        "emod_serve_queue_wait_ms",
+                        &[("quantile", tag)],
                         value,
                     );
                 }
@@ -1500,6 +1604,49 @@ mod tests {
         state.in_flight.fetch_sub(1, Ordering::SeqCst);
         let (resp, _) = handle_request(&state, "{\"cmd\":\"list_models\"}");
         assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{}", resp);
+    }
+
+    #[test]
+    fn stats_and_health_carry_an_slo_section() {
+        let state = test_state("slo-sections");
+        let (_, _) = handle_request(&state, "{\"cmd\":\"health\"}");
+        let (stats, _) = handle_request(&state, "{\"cmd\":\"stats\"}");
+        let slo = stats.get("slo").expect("stats has slo section");
+        assert!(slo.get("window_requests").and_then(Json::as_u64).unwrap() >= 1);
+        assert!(slo.get("rolling").and_then(|r| r.get("health")).is_some());
+        // Without targets the burn rates are explicit nulls, not absent.
+        assert_eq!(slo.get("latency_burn"), Some(&Json::Null));
+        let (health, _) = handle_request(&state, "{\"cmd\":\"health\"}");
+        let brief = health.get("slo").expect("health has slo section");
+        assert!(brief.get("rolling").is_none(), "health slo stays brief");
+    }
+
+    #[test]
+    fn slo_window_tracks_errors_and_metrics_render_rolling_gauges() {
+        // Gauges only register when collection is on (Server::bind enables
+        // it in production; unit tests must opt in).
+        telemetry::enable();
+        let state = test_state("slo-burn");
+        for _ in 0..4 {
+            let (resp, _) = handle_request(&state, "{\"cmd\":\"list_models\"}");
+            assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        }
+        let (resp, _) = handle_request(&state, "{\"cmd\":\"predict\"}");
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        let (stats, _) = handle_request(&state, "{\"cmd\":\"stats\"}");
+        let slo = stats.get("slo").unwrap();
+        let n = slo.get("window_requests").and_then(Json::as_u64).unwrap();
+        let frac = slo.get("error_fraction").and_then(Json::as_f64).unwrap();
+        assert!(n >= 5);
+        assert!(frac > 0.0, "the failed predict must land in the window");
+        let text = render_metrics(&state);
+        assert!(
+            text.contains("emod_serve_rolling_latency_ms{cmd=\"predict\",quantile=\"0.99\"}"),
+            "rolling gauges missing from exposition:\n{}",
+            text
+        );
+        assert!(text.contains("emod_serve_slo_window_requests"));
+        assert!(text.contains("emod_serve_slo_error_fraction"));
     }
 
     #[test]
