@@ -6,6 +6,7 @@
 //! emod-trace diff    <a.jsonl> <b.jsonl> [--threshold PCT]
 //! emod-trace quality <file.jsonl>...                   model-quality summary
 //! emod-trace tiers   <file.jsonl>...                   tiered-measurement summary
+//! emod-trace rollout <file.jsonl>...                   canary-rollout lifecycle report
 //! emod-trace bench   <BENCH_HISTORY.jsonl>... [--window N] [--threshold PCT] [--warn-only]
 //! ```
 //!
@@ -19,7 +20,10 @@
 //! `quality_warn` events into extrapolation, disagreement, and
 //! accuracy-drift summaries per model. `tiers` distills the measurer's
 //! `tier0_hit`/`measurement` events into per-tier hit and promotion
-//! counts — how much work the tier-0 surrogate actually absorbed. `bench`
+//! counts — how much work the tier-0 surrogate actually absorbed.
+//! `rollout` distills the server's `rollout.*` lifecycle events (refresh
+//! enqueues, candidates, canary starts, promotions, rollbacks) into a
+//! timeline — the post-mortem view of a closed-loop model refresh. `bench`
 //! reads `BENCH_HISTORY.jsonl` run history, prints per-metric trendlines,
 //! and **exits 1** when a windowed mean-shift finds a step regression in
 //! any judged metric (throughput down, p99/wall time up) — the CI gate
@@ -40,6 +44,7 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("       emod-trace diff    <a.jsonl> <b.jsonl> [--threshold PCT]");
     eprintln!("       emod-trace quality <file.jsonl>...");
     eprintln!("       emod-trace tiers   <file.jsonl>...");
+    eprintln!("       emod-trace rollout <file.jsonl>...");
     eprintln!(
         "       emod-trace bench   <BENCH_HISTORY.jsonl>... [--window N] [--threshold PCT] [--warn-only]"
     );
@@ -191,6 +196,18 @@ fn main() -> ExitCode {
             match read_all_events(&files) {
                 Ok(events) => {
                     emit(&trace::render_quality(&trace::summarize_quality(&events)));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => usage(&e),
+            }
+        }
+        "rollout" => {
+            if files.is_empty() {
+                return usage("rollout needs at least one JSONL file");
+            }
+            match read_all_events(&files) {
+                Ok(events) => {
+                    emit(&trace::render_rollout(&trace::summarize_rollout(&events)));
                     ExitCode::SUCCESS
                 }
                 Err(e) => usage(&e),

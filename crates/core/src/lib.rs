@@ -44,6 +44,7 @@ pub mod checkpoint;
 pub mod interpret;
 pub mod measure;
 pub mod model;
+pub mod refresh;
 pub mod tune;
 pub mod vars;
 
@@ -52,4 +53,5 @@ pub use checkpoint::{Checkpoint, CheckpointEntry, CHECKPOINT_ENV};
 pub use emod_tier0::{Tier0Config, TierRouter};
 pub use measure::{MeasureError, Measurer, Metric};
 pub use model::{ModelFamily, SurrogateModel};
+pub use refresh::{augment_design, RefreshQueue, REFRESH_DIR_ENV};
 pub use vars::{decode_point, design_space, DesignPointExt};

@@ -5,6 +5,7 @@
 //!           [--seed N] [--arrivals fixed|poisson] [--mix SPEC]
 //!           [--workload W] [--batch N] [--timeout S] [--out FILE]
 //!           [--history FILE] [--print-schedule] [--max-error-rate X]
+//!           [--bench-label NAME]
 //! ```
 //!
 //! Every knob falls back to an `EMOD_LOAD_*` environment variable (see
@@ -12,7 +13,9 @@
 //! environment and still override per invocation. `--print-schedule`
 //! emits the deterministic schedule (and its digest) without touching the
 //! network — the determinism-smoke path. `--max-error-rate X` exits 1
-//! when the measured error rate exceeds `X`.
+//! when the measured error rate exceeds `X`. `--bench-label NAME` stamps
+//! reports/history lines with a scenario-specific `"bench"` label so runs
+//! like the CI canary-smoke load trend in their own series.
 
 use emod_load::{
     append_history, build_report, build_schedule, history_line, run, schedule_digest, Arrival,
@@ -62,6 +65,7 @@ fn usage() -> ! {
          \x20                [--seed N] [--arrivals fixed|poisson] [--mix SPEC]\n\
          \x20                [--workload W] [--batch N] [--timeout S] [--out FILE]\n\
          \x20                [--history FILE] [--print-schedule] [--max-error-rate X]\n\
+         \x20                [--bench-label NAME]\n\
          \n\
          Environment defaults: EMOD_LOAD_ADDR, EMOD_LOAD_RATE, EMOD_LOAD_DURATION_S,\n\
          EMOD_LOAD_CONNS, EMOD_LOAD_SEED, EMOD_LOAD_ARRIVALS, EMOD_LOAD_MIX."
@@ -120,6 +124,13 @@ fn parse_args() -> Args {
             "--workload" => args.cfg.workload = value("--workload"),
             "--batch" => args.cfg.batch = parse_usize(&value("--batch"), "--batch"),
             "--timeout" => args.cfg.timeout_s = parse_f64(&value("--timeout"), "--timeout"),
+            "--bench-label" => {
+                let v = value("--bench-label");
+                if v.trim().is_empty() {
+                    die("--bench-label needs a non-empty name");
+                }
+                args.cfg.bench_label = v;
+            }
             "--out" => args.out = Some(PathBuf::from(value("--out"))),
             "--history" => args.history = Some(PathBuf::from(value("--history"))),
             "--print-schedule" => args.print_schedule = true,

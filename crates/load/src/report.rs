@@ -139,7 +139,7 @@ pub fn build_report(
     ]);
     Json::obj(vec![
         ("schema", HISTORY_SCHEMA.into()),
-        ("bench", "load".into()),
+        ("bench", cfg.bench_label.as_str().into()),
         ("arrivals", cfg.arrival.as_str().into()),
         ("rate_rps", cfg.rate.into()),
         ("duration_s", cfg.duration_s.into()),
@@ -164,7 +164,14 @@ pub fn history_line(report: &Json) -> String {
     let lat = |k: &str| num(m.and_then(|m| m.get("latency_ms")).and_then(|l| l.get(k)));
     Json::obj(vec![
         ("schema", HISTORY_SCHEMA.into()),
-        ("bench", "load".into()),
+        (
+            "bench",
+            report
+                .get("bench")
+                .and_then(Json::as_str)
+                .unwrap_or("load")
+                .into(),
+        ),
         (
             "arrivals",
             report

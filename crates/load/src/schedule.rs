@@ -190,6 +190,11 @@ pub struct LoadConfig {
     /// starves some drivers — the timeout turns that into transport errors
     /// in the report instead of a wedged run. Not part of the schedule.
     pub timeout_s: f64,
+    /// The `"bench"` label stamped on reports and history lines
+    /// (`--bench-label`). Distinct labels keep scenario runs — e.g. the CI
+    /// canary-smoke load — in their own `emod-trace bench` series instead
+    /// of polluting the default `load` baseline. Not part of the schedule.
+    pub bench_label: String,
 }
 
 impl Default for LoadConfig {
@@ -205,6 +210,7 @@ impl Default for LoadConfig {
             workload: "gzip".to_string(),
             batch: 8,
             timeout_s: 30.0,
+            bench_label: "load".to_string(),
         }
     }
 }

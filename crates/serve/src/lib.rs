@@ -10,8 +10,12 @@
 //!   keyed by id, rooted at `EMOD_REGISTRY` (default `./registry`).
 //! * **Serving** — [`server::Server`] is a `std::net`/`std::thread` TCP
 //!   server speaking newline-delimited JSON ([`json::Json`]) with commands
-//!   `list_models`, `predict`, `predict_batch`, `tune`, `stats` and
-//!   `shutdown`.
+//!   `list_models`, `predict`, `predict_batch`, `tune`, `stats`,
+//!   `rollout`/`promote`/`rollback`/`refresh` and `shutdown`.
+//! * **Closed loop** — [`rollout`] is the canaried rollout state machine
+//!   over refresh-produced artifact versions, and [`refresh`] measures
+//!   enqueued design points, retrains, and publishes candidates the state
+//!   machine then canaries, promotes, or rolls back.
 
 #![warn(missing_docs)]
 
@@ -19,7 +23,9 @@ pub mod artifact;
 pub mod client;
 pub mod codecs;
 pub mod json;
+pub mod refresh;
 pub mod registry;
+pub mod rollout;
 pub mod server;
 pub mod slo;
 
@@ -27,5 +33,6 @@ pub use artifact::{ArtifactError, ArtifactMeta, ModelArtifact, FORMAT_VERSION};
 pub use client::{Client, RetryPolicy};
 pub use json::Json;
 pub use registry::{GcReport, ModelRegistry, REGISTRY_ENV};
+pub use rollout::{RolloutConfig, RolloutPhase, RolloutState};
 pub use server::Server;
 pub use slo::{SloConfig, SloSnapshot, SloTracker};

@@ -1,0 +1,421 @@
+//! Canaried rollout state machine for versioned model artifacts.
+//!
+//! A *rollout* tracks which artifact version of a base model id is serving
+//! traffic and where a refresh-produced candidate sits in its lifecycle:
+//!
+//! ```text
+//!                    retrain OK                 gate: shadow-MAPE improves
+//!   Steady ────────────────────▶ Candidate ──▶ Canary ───────────────────▶ Steady
+//!     ▲                              │            │        (promoted: active = canary,
+//!     │        any fault/regression  │            │         prev = old active)
+//!     └──────────────────────────────┴────────────┘
+//!                 (rolled_back: canary dropped, active unchanged)
+//! ```
+//!
+//! The state is persisted next to the artifacts (`<base>.rollout` in the
+//! registry root) so a restarted server resumes mid-rollout, and every
+//! transition appends a bounded [`RolloutEvent`] history surfaced through
+//! the `rollout` command and `emod-trace rollout`.
+//!
+//! Canary routing is a pure function of the request *content* — a seeded
+//! FNV-1a hash over the base id and the raw query point(s) — never of
+//! connection identity, worker index, or wall clock. The same request
+//! therefore routes to the same lane at any `EMOD_THREADS`, which keeps the
+//! determinism contract intact (asserted in CI at 1 vs 8 threads).
+
+use crate::artifact::fnv1a64;
+use crate::json::Json;
+
+/// Maximum events retained per rollout state (oldest dropped first).
+pub const MAX_EVENTS: usize = 64;
+
+/// Default canary traffic fraction (`EMOD_CANARY_FRACTION`).
+pub const DEFAULT_CANARY_FRACTION: f64 = 0.2;
+
+/// Default paired observations required before the shadow gate may decide
+/// (`EMOD_CANARY_MIN_OBS`).
+pub const DEFAULT_CANARY_MIN_OBS: usize = 8;
+
+/// Default rollback margin in shadow-MAPE percentage points
+/// (`EMOD_CANARY_REGRESS`).
+pub const DEFAULT_CANARY_REGRESS: f64 = 1.0;
+
+/// Default promotion margin in shadow-MAPE percentage points
+/// (`EMOD_CANARY_IMPROVE`).
+pub const DEFAULT_CANARY_IMPROVE: f64 = 0.0;
+
+/// Default SLO burn-rate ceiling on the canary (`EMOD_CANARY_MAX_BURN`).
+pub const DEFAULT_CANARY_MAX_BURN: f64 = 2.0;
+
+/// Where a rollout currently sits in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RolloutPhase {
+    /// No candidate in flight; all traffic goes to the active version.
+    Steady,
+    /// A refreshed version is published but not yet taking traffic.
+    Candidate,
+    /// A canary version is taking a deterministic fraction of traffic and
+    /// being shadow-scored against the active version.
+    Canary,
+}
+
+impl RolloutPhase {
+    /// The phase's wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RolloutPhase::Steady => "steady",
+            RolloutPhase::Candidate => "candidate",
+            RolloutPhase::Canary => "canary",
+        }
+    }
+
+    /// Parses a wire name back into a phase.
+    pub fn from_name(s: &str) -> Option<RolloutPhase> {
+        match s {
+            "steady" => Some(RolloutPhase::Steady),
+            "candidate" => Some(RolloutPhase::Candidate),
+            "canary" => Some(RolloutPhase::Canary),
+            _ => None,
+        }
+    }
+}
+
+/// One rollout lifecycle transition, kept in the state's bounded history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RolloutEvent {
+    /// Transition name: `candidate_published`, `canary_started`,
+    /// `promoted`, or `rolled_back`.
+    pub event: String,
+    /// The version the transition concerns (0 = the unversioned base file).
+    pub version: u64,
+    /// Human-readable cause (`shadow_mape_improved`, `retrain_fault`, …).
+    pub reason: String,
+}
+
+/// Persistent rollout state for one base model id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RolloutState {
+    /// The base artifact id this rollout manages versions of.
+    pub base: String,
+    /// Current lifecycle phase.
+    pub phase: RolloutPhase,
+    /// The version serving non-canary traffic (0 = the unversioned
+    /// `<base>.emod` file published by `repro publish`).
+    pub active: u64,
+    /// The candidate/canary version, when one is in flight.
+    pub canary: Option<u64>,
+    /// The previously active version — the rollback target after a promote.
+    pub prev: Option<u64>,
+    /// Fraction of traffic routed to the canary while in [`RolloutPhase::Canary`].
+    pub fraction: f64,
+    /// Bounded transition history, oldest first.
+    pub events: Vec<RolloutEvent>,
+}
+
+impl RolloutState {
+    /// A fresh steady state serving the unversioned base artifact.
+    pub fn steady(base: &str) -> RolloutState {
+        RolloutState {
+            base: base.to_string(),
+            phase: RolloutPhase::Steady,
+            active: 0,
+            canary: None,
+            prev: None,
+            fraction: 0.0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Records a transition in the bounded event history.
+    pub fn record(&mut self, event: &str, version: u64, reason: &str) {
+        self.events.push(RolloutEvent {
+            event: event.to_string(),
+            version,
+            reason: reason.to_string(),
+        });
+        if self.events.len() > MAX_EVENTS {
+            let excess = self.events.len() - MAX_EVENTS;
+            self.events.drain(..excess);
+        }
+    }
+
+    /// Every version id this rollout currently depends on: the active
+    /// version, an in-flight candidate/canary, and the rollback target.
+    /// `registry.gc()` must never collect any of them.
+    pub fn protected_versions(&self) -> Vec<u64> {
+        let mut out = vec![self.active];
+        if let Some(c) = self.canary {
+            out.push(c);
+        }
+        if let Some(p) = self.prev {
+            out.push(p);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Serializes the state (JSON object, stable field order).
+    pub fn to_json(&self) -> Json {
+        let events: Vec<Json> = self
+            .events
+            .iter()
+            .map(|e| {
+                Json::obj(vec![
+                    ("event", Json::from(e.event.as_str())),
+                    ("version", Json::from(e.version)),
+                    ("reason", Json::from(e.reason.as_str())),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("base", Json::from(self.base.as_str())),
+            ("phase", Json::from(self.phase.name())),
+            ("active", Json::from(self.active)),
+            ("canary", self.canary.map(Json::from).unwrap_or(Json::Null)),
+            ("prev", self.prev.map(Json::from).unwrap_or(Json::Null)),
+            ("fraction", Json::from(self.fraction)),
+            ("events", Json::Arr(events)),
+        ])
+    }
+
+    /// Deserializes a state written by [`RolloutState::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(v: &Json) -> Result<RolloutState, String> {
+        let base = v
+            .get("base")
+            .and_then(Json::as_str)
+            .ok_or("rollout state missing base")?
+            .to_string();
+        let phase = v
+            .get("phase")
+            .and_then(Json::as_str)
+            .and_then(RolloutPhase::from_name)
+            .ok_or("rollout state missing phase")?;
+        let active = v
+            .get("active")
+            .and_then(Json::as_u64)
+            .ok_or("rollout state missing active")?;
+        let opt = |key: &str| -> Result<Option<u64>, String> {
+            match v.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(j) => j
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| format!("rollout state: bad {}", key)),
+            }
+        };
+        let canary = opt("canary")?;
+        let prev = opt("prev")?;
+        let fraction = v.get("fraction").and_then(Json::as_f64).unwrap_or(0.0);
+        let mut events = Vec::new();
+        if let Some(arr) = v.get("events").and_then(Json::as_array) {
+            for e in arr {
+                let (Some(event), Some(version), Some(reason)) = (
+                    e.get("event").and_then(Json::as_str),
+                    e.get("version").and_then(Json::as_u64),
+                    e.get("reason").and_then(Json::as_str),
+                ) else {
+                    return Err("rollout state: bad event entry".to_string());
+                };
+                events.push(RolloutEvent {
+                    event: event.to_string(),
+                    version,
+                    reason: reason.to_string(),
+                });
+            }
+        }
+        Ok(RolloutState {
+            base,
+            phase,
+            active,
+            canary,
+            prev,
+            fraction: if fraction.is_finite() {
+                fraction.clamp(0.0, 1.0)
+            } else {
+                0.0
+            },
+            events,
+        })
+    }
+}
+
+/// The canary gate's configuration, read from `EMOD_CANARY_*` once per
+/// server (constructible directly in tests — no global cache).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RolloutConfig {
+    /// Fraction of traffic routed to a canary (`EMOD_CANARY_FRACTION`).
+    pub fraction: f64,
+    /// Routing-hash seed (`EMOD_CANARY_SEED`) — changing it reshuffles
+    /// which requests land on the canary without changing the fraction.
+    pub seed: u64,
+    /// Paired observations before the shadow gate may decide
+    /// (`EMOD_CANARY_MIN_OBS`).
+    pub min_obs: usize,
+    /// Promotion margin in shadow-MAPE points (`EMOD_CANARY_IMPROVE`).
+    pub improve_margin: f64,
+    /// Rollback margin in shadow-MAPE points (`EMOD_CANARY_REGRESS`).
+    pub regress_margin: f64,
+    /// SLO burn-rate ceiling during a canary (`EMOD_CANARY_MAX_BURN`);
+    /// exceeding it rolls back regardless of shadow accuracy.
+    pub max_burn: f64,
+}
+
+impl Default for RolloutConfig {
+    fn default() -> Self {
+        RolloutConfig {
+            fraction: DEFAULT_CANARY_FRACTION,
+            seed: 0,
+            min_obs: DEFAULT_CANARY_MIN_OBS,
+            improve_margin: DEFAULT_CANARY_IMPROVE,
+            regress_margin: DEFAULT_CANARY_REGRESS,
+            max_burn: DEFAULT_CANARY_MAX_BURN,
+        }
+    }
+}
+
+impl RolloutConfig {
+    /// Reads the `EMOD_CANARY_*` knobs (unparseable values keep defaults).
+    pub fn from_env() -> RolloutConfig {
+        let f64_var = |name: &str, default: f64| -> f64 {
+            match std::env::var(name) {
+                Ok(s) => match s.trim().parse::<f64>() {
+                    Ok(v) if v.is_finite() && v >= 0.0 => v,
+                    _ => default,
+                },
+                Err(_) => default,
+            }
+        };
+        let u64_var = |name: &str, default: u64| -> u64 {
+            std::env::var(name)
+                .ok()
+                .and_then(|s| s.trim().parse().ok())
+                .unwrap_or(default)
+        };
+        RolloutConfig {
+            fraction: f64_var("EMOD_CANARY_FRACTION", DEFAULT_CANARY_FRACTION).clamp(0.0, 1.0),
+            seed: u64_var("EMOD_CANARY_SEED", 0),
+            min_obs: u64_var("EMOD_CANARY_MIN_OBS", DEFAULT_CANARY_MIN_OBS as u64).max(1) as usize,
+            improve_margin: f64_var("EMOD_CANARY_IMPROVE", DEFAULT_CANARY_IMPROVE),
+            regress_margin: f64_var("EMOD_CANARY_REGRESS", DEFAULT_CANARY_REGRESS),
+            max_burn: f64_var("EMOD_CANARY_MAX_BURN", DEFAULT_CANARY_MAX_BURN),
+        }
+    }
+}
+
+/// The deterministic routing hash: seeded FNV-1a over the base id and the
+/// f64 bit patterns of every query point in the request.
+///
+/// Identical request content always produces the identical hash — across
+/// runs, restarts, connections, and any `EMOD_THREADS` value.
+pub fn route_hash(seed: u64, base: &str, points: &[Vec<f64>]) -> u64 {
+    let mut bytes = Vec::with_capacity(8 + base.len() + points.len() * 200);
+    bytes.extend_from_slice(&seed.to_le_bytes());
+    bytes.extend_from_slice(base.as_bytes());
+    for p in points {
+        for v in p {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    fnv1a64(&bytes)
+}
+
+/// Whether a request with the given routing hash lands on the canary lane.
+///
+/// Buckets the hash into 10,000 cells so fractions are honored to 0.01%.
+pub fn routes_to_canary(hash: u64, fraction: f64) -> bool {
+    // NaN or non-positive fractions route nothing to the canary.
+    if fraction.is_nan() || fraction <= 0.0 {
+        return false;
+    }
+    let cells = ((fraction.min(1.0) * 10_000.0).round() as u64).min(10_000);
+    hash % 10_000 < cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_state() -> RolloutState {
+        let mut st = RolloutState::steady("m");
+        st.phase = RolloutPhase::Canary;
+        st.active = 3;
+        st.canary = Some(4);
+        st.prev = Some(2);
+        st.fraction = 0.25;
+        st.record("candidate_published", 4, "refresh");
+        st.record("canary_started", 4, "fraction=0.25");
+        st
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let st = busy_state();
+        let back = RolloutState::from_json(&st.to_json()).unwrap();
+        assert_eq!(st, back);
+        // And through actual text, as persisted on disk.
+        let text = st.to_json().to_string();
+        let reparsed = RolloutState::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(st, reparsed);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_states() {
+        assert!(RolloutState::from_json(&Json::parse("{}").unwrap()).is_err());
+        let bad_phase = Json::parse(r#"{"base":"m","phase":"warp","active":0}"#).unwrap();
+        assert!(RolloutState::from_json(&bad_phase).is_err());
+    }
+
+    #[test]
+    fn protected_versions_cover_active_canary_and_prev() {
+        assert_eq!(busy_state().protected_versions(), vec![2, 3, 4]);
+        assert_eq!(RolloutState::steady("m").protected_versions(), vec![0]);
+    }
+
+    #[test]
+    fn event_history_is_bounded() {
+        let mut st = RolloutState::steady("m");
+        for i in 0..(MAX_EVENTS + 10) {
+            st.record("canary_started", i as u64, "r");
+        }
+        assert_eq!(st.events.len(), MAX_EVENTS);
+        assert_eq!(st.events[0].version, 10); // the oldest 10 were dropped
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_content_based() {
+        let p1 = vec![vec![0.1, 0.2, 0.3]];
+        let p2 = vec![vec![0.1, 0.2, 0.4]];
+        let h1 = route_hash(7, "model-a", &p1);
+        assert_eq!(h1, route_hash(7, "model-a", &p1));
+        assert_ne!(h1, route_hash(7, "model-a", &p2));
+        assert_ne!(h1, route_hash(8, "model-a", &p1));
+        assert_ne!(h1, route_hash(7, "model-b", &p1));
+    }
+
+    #[test]
+    fn routing_fraction_is_honored_approximately() {
+        let mut hits = 0usize;
+        let n = 4000usize;
+        for i in 0..n {
+            let pt = vec![vec![i as f64, (i * 31) as f64]];
+            if routes_to_canary(route_hash(42, "m", &pt), 0.2) {
+                hits += 1;
+            }
+        }
+        let share = hits as f64 / n as f64;
+        assert!(
+            (share - 0.2).abs() < 0.05,
+            "canary share {} far from fraction 0.2",
+            share
+        );
+        // Edge fractions.
+        assert!(!routes_to_canary(5, 0.0));
+        assert!(routes_to_canary(5, 1.0));
+        assert!(!routes_to_canary(5, f64::NAN));
+    }
+}

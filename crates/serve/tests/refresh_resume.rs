@@ -1,0 +1,177 @@
+//! Crash-resume acceptance test for the refresh cycle (the SIGKILL
+//! story): a cycle interrupted after its measurements landed in the
+//! JSONL checkpoint — but before the candidate artifact was published —
+//! must, on rerun, replay the completed measurements from the checkpoint
+//! and produce a byte-identical augmented design and candidate artifact.
+//!
+//! The interruption is simulated with a `panic:retrain.fit:once` fault:
+//! `run_refresh_cycle` opens the queue, registry, and checkpoint fresh
+//! from disk on every call, so each call behaves exactly like a new
+//! process over the same directories — what a SIGKILL'd worker's
+//! replacement sees. The fault fires *after* every pending point was
+//! measured (measurement streams into the checkpoint first, retraining
+//! comes after), which is the worst-case kill point: maximum completed
+//! work not yet published.
+//!
+//! Own test binary: it installs a process-global fault plan.
+
+use emod_core::model::{ModelFamily, SurrogateModel};
+use emod_core::vars::{design_space, COMPILER_PARAMS};
+use emod_faults::{self as faults, FaultPlan};
+use emod_models::Dataset;
+use emod_serve::artifact::{ArtifactMeta, ModelArtifact};
+use emod_serve::refresh::run_refresh_cycle;
+use emod_serve::registry::ModelRegistry;
+use emod_serve::rollout::{RolloutConfig, RolloutPhase};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::{Path, PathBuf};
+
+/// A synthetic artifact over the real design space whose metadata points
+/// at a real, quick-scale workload so the refresh cycle can measure.
+fn seed_artifact() -> ModelArtifact {
+    let space = design_space();
+    let mut rng = StdRng::seed_from_u64(42);
+    let raw_points = emod_doe::lhs(&space, 40, &mut rng);
+    let xs: Vec<Vec<f64>> = raw_points.iter().map(|p| space.encode(p)).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| 5000.0 + 100.0 * x[..COMPILER_PARAMS].iter().sum::<f64>())
+        .collect();
+    let train = Dataset::new(xs.clone(), ys.clone()).unwrap();
+    let test = Dataset::new(xs[..10].to_vec(), ys[..10].to_vec()).unwrap();
+    let model = SurrogateModel::fit(&train, ModelFamily::Linear).unwrap();
+    ModelArtifact {
+        meta: ArtifactMeta {
+            workload: "181.mcf".into(),
+            input_set: "train".into(),
+            metric: "cycles".into(),
+            family: ModelFamily::Linear,
+            scale: "quick".into(),
+            seed: 9001,
+            train_mape: 0.1,
+            test_mape: 0.2,
+            train_size: 40,
+            test_size: 10,
+        },
+        space,
+        model,
+        quality: emod_quality::DesignSummary::from_design(&train),
+        train,
+        test,
+        history: vec![(40, 0.2)],
+    }
+}
+
+/// Two design points to refresh with, identical across scenario runs.
+fn pending_points() -> Vec<Vec<f64>> {
+    let space = design_space();
+    let mut rng = StdRng::seed_from_u64(777);
+    emod_doe::lhs(&space, 2, &mut rng)
+}
+
+/// Seeds a registry + queue under `dir` and returns (registry, base id).
+fn seed_scenario(dir: &Path) -> (ModelRegistry, String) {
+    let art = seed_artifact();
+    let base = art.id();
+    let registry = ModelRegistry::open(dir.join("registry")).unwrap();
+    registry.store(&art).unwrap();
+    let mut queue = emod_core::refresh::RefreshQueue::open(&dir.join("refresh"), &base).unwrap();
+    for p in pending_points() {
+        assert!(queue.enqueue(&p));
+    }
+    (registry, base)
+}
+
+/// The `<base>@v1` artifact file's raw bytes.
+fn v1_bytes(dir: &Path, base: &str) -> Vec<u8> {
+    let reg_dir = dir.join("registry");
+    let mut matches: Vec<PathBuf> = std::fs::read_dir(&reg_dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.contains("@v1") && n.ends_with(".emod"))
+        })
+        .collect();
+    assert_eq!(matches.len(), 1, "exactly one v1 artifact for {}", base);
+    std::fs::read(matches.remove(0)).unwrap()
+}
+
+#[test]
+fn interrupted_cycle_resumes_to_byte_identical_artifact() {
+    let root = std::env::temp_dir().join(format!("emod-refresh-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let cfg = RolloutConfig::default();
+
+    // Scenario A: one uninterrupted cycle.
+    let clean = root.join("clean");
+    let (reg_a, base) = seed_scenario(&clean);
+    let out_a = run_refresh_cycle(&reg_a, &base, &clean.join("refresh"), &cfg)
+        .expect("uninterrupted cycle succeeds");
+    assert_eq!(out_a.version, 1);
+    assert_eq!(out_a.measured, 2);
+
+    // Scenario B: the first cycle dies at retraining — after both points
+    // were measured into the checkpoint, before anything was published.
+    let faulty = root.join("faulty");
+    let (reg_b, base_b) = seed_scenario(&faulty);
+    assert_eq!(base_b, base);
+    faults::install(FaultPlan::parse("panic:retrain.fit:once", 1).unwrap());
+    let err = run_refresh_cycle(&reg_b, &base, &faulty.join("refresh"), &cfg)
+        .expect_err("injected retrain fault aborts the cycle");
+    faults::clear();
+    assert!(err.contains("retrain"), "unexpected failure: {}", err);
+
+    // Interrupted-state invariants: the rollout degraded to Steady with a
+    // recorded rollback, the queue kept every unfinished point, no
+    // candidate artifact exists, and the measurements survive in the
+    // checkpoint for the rerun to replay.
+    let state = reg_b.load_rollout(&base).unwrap().expect("state persisted");
+    assert_eq!(state.phase, RolloutPhase::Steady);
+    assert!(state.events.iter().any(|e| e.event == "rolled_back"));
+    let queue = emod_core::refresh::RefreshQueue::open(&faulty.join("refresh"), &base).unwrap();
+    assert_eq!(queue.pending_len(), 2, "queue retains unpublished points");
+    assert!(reg_b.versions(&base).unwrap().is_empty());
+    // The measurement checkpoint (`<workload>__<set>.jsonl`, distinct from
+    // the `.queue.jsonl` queue file) holds the completed measurements.
+    let checkpointed = std::fs::read_dir(faulty.join("refresh"))
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .any(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            name.ends_with(".jsonl")
+                && !name.ends_with(".queue.jsonl")
+                && std::fs::metadata(e.path())
+                    .map(|m| m.len() > 0)
+                    .unwrap_or(false)
+        });
+    assert!(
+        checkpointed,
+        "measurements reached the checkpoint before the kill"
+    );
+
+    // The rerun — a fresh call over the same directories, exactly what a
+    // replacement worker does — replays the checkpoint and completes.
+    let out_b = run_refresh_cycle(&reg_b, &base, &faulty.join("refresh"), &cfg)
+        .expect("resumed cycle succeeds");
+    assert_eq!(out_b.version, 1);
+    assert_eq!(out_b.measured, 2);
+    let queue = emod_core::refresh::RefreshQueue::open(&faulty.join("refresh"), &base).unwrap();
+    assert_eq!(queue.pending_len(), 0, "resumed cycle drained the queue");
+
+    // The resumption contract: augmented design and published candidate
+    // are byte-identical to the uninterrupted run's.
+    let art_a = reg_a.load_version(&base, 1).unwrap();
+    let art_b = reg_b.load_version(&base, 1).unwrap();
+    assert_eq!(art_a.train.points(), art_b.train.points());
+    assert_eq!(art_a.train.responses(), art_b.train.responses());
+    assert_eq!(
+        v1_bytes(&clean, &base),
+        v1_bytes(&faulty, &base),
+        "interrupted-then-resumed artifact differs from the clean run's"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -1,0 +1,328 @@
+//! Closed-loop rollout acceptance test, in-process over `handle_request`:
+//! deterministic canary routing (bit-identical lanes and predictions at 1
+//! worker and 8 workers), shadow-gated auto-promotion on sustained
+//! improvement, auto-rollback on regression, fault-injected promotion
+//! failure degrading to last-known-good, and restart-resume of a live
+//! rollout from the persisted registry state. Every request in every
+//! scenario — including the failure-injected ones — must come back
+//! `ok`, the zero-dropped-requests contract.
+//!
+//! Own test binary: it sets the process-global `EMOD_THREADS` env knob
+//! and installs a process-global fault plan, so all scenarios run inside
+//! one `#[test]`.
+
+use emod_core::model::{ModelFamily, SurrogateModel};
+use emod_core::vars::{design_space, COMPILER_PARAMS};
+use emod_faults::{self as faults, FaultPlan};
+use emod_models::Dataset;
+use emod_serve::artifact::{ArtifactMeta, ModelArtifact};
+use emod_serve::json::Json;
+use emod_serve::registry::ModelRegistry;
+use emod_serve::rollout::{
+    route_hash, routes_to_canary, RolloutConfig, RolloutPhase, RolloutState,
+};
+use emod_serve::server::{handle_request, ServerState};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+/// Shared training design over the real space.
+fn train_design() -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let space = design_space();
+    let mut rng = StdRng::seed_from_u64(42);
+    let raw = emod_doe::lhs(&space, 60, &mut rng);
+    let xs = raw.iter().map(|p| space.encode(p)).collect();
+    (raw, xs)
+}
+
+/// The exact response surface the test's ground truth comes from.
+fn truth(x: &[f64]) -> f64 {
+    let compiler: f64 = x[..COMPILER_PARAMS].iter().sum();
+    let machine: f64 = x[COMPILER_PARAMS..].iter().sum();
+    5000.0 + 100.0 * compiler - 10.0 * machine
+}
+
+/// A linear-family artifact fit on `ys` over the shared design.
+fn artifact_on(xs: &[Vec<f64>], ys: &[f64]) -> ModelArtifact {
+    let train = Dataset::new(xs.to_vec(), ys.to_vec()).unwrap();
+    let model = SurrogateModel::fit(&train, ModelFamily::Linear).unwrap();
+    ModelArtifact {
+        meta: ArtifactMeta {
+            workload: "181.mcf".into(),
+            input_set: "train".into(),
+            metric: "cycles".into(),
+            family: ModelFamily::Linear,
+            scale: "quick".into(),
+            seed: 9001,
+            train_mape: 0.1,
+            test_mape: 0.2,
+            train_size: xs.len(),
+            test_size: 10,
+        },
+        space: design_space(),
+        model,
+        quality: emod_quality::DesignSummary::from_design(&train),
+        train: train.clone(),
+        test: Dataset::new(xs[..10].to_vec(), ys[..10].to_vec()).unwrap(),
+        history: vec![(xs.len(), 0.2)],
+    }
+}
+
+/// Warps the exact responses so a model fit on them has a clearly worse
+/// shadow MAPE than one fit on the exact surface.
+fn warped(ys: &[f64]) -> Vec<f64> {
+    ys.iter()
+        .enumerate()
+        .map(|(i, y)| y * (1.0 + 0.08 * ((i as f64) * 0.7).sin()))
+        .collect()
+}
+
+/// Seeds one registry: `active_ys` as the base artifact, `canary_ys` as
+/// version 1 with a live canary at `fraction`. Returns the base id.
+fn seed_rollout(dir: &Path, active_ys: &[f64], canary_ys: &[f64], fraction: f64) -> String {
+    let (_, xs) = train_design();
+    let active = artifact_on(&xs, active_ys);
+    let canary = artifact_on(&xs, canary_ys);
+    let base = active.id();
+    let registry = ModelRegistry::open(dir).unwrap();
+    registry.store(&active).unwrap();
+    registry.store_version(&canary, 1).unwrap();
+    let mut state = RolloutState::steady(&base);
+    state.phase = RolloutPhase::Canary;
+    state.canary = Some(1);
+    state.fraction = fraction;
+    state.record("canary_started", 1, "test");
+    registry.save_rollout(&state).unwrap();
+    base
+}
+
+fn server_on(dir: &Path, cfg: &RolloutConfig) -> ServerState {
+    let registry = Arc::new(ModelRegistry::open(dir).unwrap());
+    ServerState::new(registry, Arc::new(AtomicBool::new(false))).with_rollout_cfg(cfg.clone())
+}
+
+/// Sends `body`, asserting the reply is `ok` — no request may be dropped
+/// or failed at any point of any rollout.
+fn ok_request(state: &ServerState, body: &str) -> Json {
+    let (resp, _) = handle_request(state, body);
+    assert_eq!(
+        resp.get("ok"),
+        Some(&Json::Bool(true)),
+        "request failed: {} -> {}",
+        body,
+        resp
+    );
+    resp
+}
+
+fn predict_body(base: &str, point: &[f64]) -> String {
+    let pt: Vec<String> = point.iter().map(|v| format!("{}", v)).collect();
+    format!(
+        "{{\"cmd\":\"predict\",\"model\":\"{}\",\"point\":[{}]}}",
+        base,
+        pt.join(",")
+    )
+}
+
+fn observe_body(base: &str, point: &[f64], measured: f64) -> String {
+    let pt: Vec<String> = point.iter().map(|v| format!("{}", v)).collect();
+    format!(
+        "{{\"cmd\":\"observe\",\"model\":\"{}\",\"point\":[{}],\"measured\":{}}}",
+        base,
+        pt.join(","),
+        measured
+    )
+}
+
+/// Drives observes with exact ground truth until the shadow gate returns
+/// a terminal verdict, or the cap is hit. Returns the final verdict.
+fn drive_gate(state: &ServerState, base: &str, queries: &[Vec<f64>], cap: usize) -> String {
+    let space = design_space();
+    let mut sent = 0;
+    loop {
+        for q in queries {
+            let resp = ok_request(state, &observe_body(base, q, truth(&space.encode(q))));
+            sent += 1;
+            if let Some(v) = resp
+                .get("rollout")
+                .and_then(|r| r.get("verdict"))
+                .and_then(Json::as_str)
+            {
+                if v == "promote" || v == "rollback" {
+                    return v.to_string();
+                }
+            }
+            assert!(
+                sent < cap,
+                "shadow gate reached no verdict in {} observes",
+                cap
+            );
+        }
+    }
+}
+
+#[test]
+fn canary_lifecycle_routes_gates_and_degrades_deterministically() {
+    let root = std::env::temp_dir().join(format!("emod-rollout-int-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let space = design_space();
+    let (_, xs) = train_design();
+    let ys_exact: Vec<f64> = xs.iter().map(|x| truth(x)).collect();
+    let ys_warped = warped(&ys_exact);
+    let cfg = RolloutConfig {
+        fraction: 0.3,
+        seed: 7,
+        min_obs: 4,
+        improve_margin: 0.0,
+        regress_margin: 0.5,
+        max_burn: f64::INFINITY,
+    };
+    let mut rng = StdRng::seed_from_u64(99);
+    let queries = emod_doe::lhs(&space, 64, &mut rng);
+
+    // --- Routing determinism: the same predict stream at EMOD_THREADS=1
+    // and =8 must produce bit-identical lanes and predictions, and agree
+    // with the pure routing function.
+    let dir = root.join("routing");
+    let base = seed_rollout(&dir, &ys_warped, &ys_exact, cfg.fraction);
+    let run_pass = |threads: &str| -> Vec<(String, u64)> {
+        std::env::set_var(emod_par::THREADS_ENV, threads);
+        let state = server_on(&dir, &cfg);
+        let out = queries
+            .iter()
+            .map(|q| {
+                let resp = ok_request(&state, &predict_body(&base, q));
+                (
+                    resp.get("serving")
+                        .and_then(Json::as_str)
+                        .unwrap()
+                        .to_string(),
+                    resp.get("prediction")
+                        .and_then(Json::as_f64)
+                        .unwrap()
+                        .to_bits(),
+                )
+            })
+            .collect();
+        std::env::remove_var(emod_par::THREADS_ENV);
+        out
+    };
+    let lanes_1 = run_pass("1");
+    let lanes_8 = run_pass("8");
+    assert_eq!(lanes_1, lanes_8, "routing diverged across worker counts");
+    for (q, (lane, _)) in queries.iter().zip(&lanes_1) {
+        let expect = routes_to_canary(
+            route_hash(cfg.seed, &base, std::slice::from_ref(q)),
+            cfg.fraction,
+        );
+        assert_eq!(lane == "canary", expect);
+    }
+    let canary_hits = lanes_1.iter().filter(|(l, _)| l == "canary").count();
+    assert!(
+        canary_hits > 0 && canary_hits < queries.len(),
+        "fraction routing should split traffic, got {}/{}",
+        canary_hits,
+        queries.len()
+    );
+
+    // --- Restart-resume: a brand-new server over the same registry picks
+    // the rollout up mid-canary and routes identically.
+    let resumed = server_on(&dir, &cfg);
+    for (q, (lane, bits)) in queries.iter().zip(&lanes_1) {
+        let resp = ok_request(&resumed, &predict_body(&base, q));
+        assert_eq!(
+            resp.get("serving").and_then(Json::as_str),
+            Some(lane.as_str())
+        );
+        assert_eq!(
+            resp.get("prediction")
+                .and_then(Json::as_f64)
+                .map(f64::to_bits),
+            Some(*bits)
+        );
+    }
+
+    // --- Clean rollout: canary (exact surface) beats active (warped), so
+    // ground truth promotes it; the promotion persists.
+    let verdict = drive_gate(&resumed, &base, &queries, 200);
+    assert_eq!(verdict, "promote");
+    let registry = ModelRegistry::open(&dir).unwrap();
+    let state = registry.load_rollout(&base).unwrap().unwrap();
+    assert_eq!(state.phase, RolloutPhase::Steady);
+    assert_eq!(state.active, 1);
+    assert_eq!(state.prev, Some(0), "rollback target preserved");
+    assert!(state.events.iter().any(|e| e.event == "promoted"));
+    // Post-promotion traffic serves the new active version untracked by
+    // routing (no canary in flight).
+    let resp = ok_request(&resumed, &predict_body(&base, &queries[0]));
+    assert_eq!(resp.get("serving").and_then(Json::as_str), Some("active"));
+    assert_eq!(resp.get("version").and_then(Json::as_u64), Some(1));
+
+    // --- Regression rollback: canary (warped) is worse than active
+    // (exact); ground truth rolls it back and the active lane keeps serving.
+    let dir = root.join("regression");
+    let base = seed_rollout(&dir, &ys_exact, &ys_warped, cfg.fraction);
+    let state = server_on(&dir, &cfg);
+    let verdict = drive_gate(&state, &base, &queries, 200);
+    assert_eq!(verdict, "rollback");
+    let registry = ModelRegistry::open(&dir).unwrap();
+    let persisted = registry.load_rollout(&base).unwrap().unwrap();
+    assert_eq!(persisted.phase, RolloutPhase::Steady);
+    assert_eq!(persisted.active, 0, "last-known-good stays active");
+    assert_eq!(persisted.canary, None);
+    assert!(persisted.events.iter().any(|e| e.event == "rolled_back"));
+    let resp = ok_request(&state, &predict_body(&base, &queries[0]));
+    assert_eq!(resp.get("serving").and_then(Json::as_str), Some("active"));
+    assert_eq!(
+        resp.get("version").and_then(Json::as_u64),
+        Some(0),
+        "rolled-back rollout serves the unversioned last-known-good"
+    );
+
+    // --- Fault-injected promotion: the gate decides to promote, the
+    // promotion itself fails (injected I/O error), and the rollout
+    // degrades to the last-known-good active — never a half-promoted state.
+    let dir = root.join("promote-fault");
+    let base = seed_rollout(&dir, &ys_warped, &ys_exact, cfg.fraction);
+    let state = server_on(&dir, &cfg);
+    faults::install(FaultPlan::parse("io_error:canary.promote:once", 1).unwrap());
+    let verdict = drive_gate(&state, &base, &queries, 200);
+    faults::clear();
+    assert_eq!(
+        verdict, "rollback",
+        "failed promotion must degrade, not wedge"
+    );
+    let registry = ModelRegistry::open(&dir).unwrap();
+    let persisted = registry.load_rollout(&base).unwrap().unwrap();
+    assert_eq!(persisted.phase, RolloutPhase::Steady);
+    assert_eq!(persisted.active, 0, "half-promoted state must not persist");
+    assert_eq!(persisted.canary, None);
+    assert!(persisted.events.iter().any(|e| e.event == "rolled_back"));
+    // Serving continuity after the failure: requests still succeed from
+    // the last-known-good artifact.
+    ok_request(&state, &predict_body(&base, &queries[0]));
+
+    // --- Operator rollback: a live canary can be yanked by hand.
+    let dir = root.join("operator");
+    let base = seed_rollout(&dir, &ys_warped, &ys_exact, cfg.fraction);
+    let state = server_on(&dir, &cfg);
+    let resp = ok_request(
+        &state,
+        &format!(
+            "{{\"cmd\":\"rollback\",\"model\":\"{}\",\"reason\":\"drill\"}}",
+            base
+        ),
+    );
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+    let registry = ModelRegistry::open(&dir).unwrap();
+    let persisted = registry.load_rollout(&base).unwrap().unwrap();
+    assert_eq!(persisted.phase, RolloutPhase::Steady);
+    assert!(persisted
+        .events
+        .iter()
+        .any(|e| e.event == "rolled_back" && e.reason.contains("drill")));
+
+    let _ = std::fs::remove_dir_all(&root);
+}
