@@ -54,30 +54,55 @@ pub struct FuncDecl {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// `var name = expr;` — declares a local; its type is the initializer's.
-    VarDecl { name: String, init: Expr },
+    VarDecl {
+        /// Local name.
+        name: String,
+        /// Initializer expression.
+        init: Expr,
+    },
     /// `name = expr;`
-    Assign { name: String, value: Expr },
+    Assign {
+        /// Local name.
+        name: String,
+        /// Assigned expression.
+        value: Expr,
+    },
     /// `name[index] = expr;`
     StoreIndex {
+        /// Global array name.
         name: String,
+        /// Element index expression.
         index: Expr,
+        /// Stored expression.
         value: Expr,
     },
     /// `if (cond) { … } else { … }`
     If {
+        /// The condition.
         cond: Expr,
+        /// Then-branch statements.
         then_body: Vec<Stmt>,
+        /// Else-branch statements (empty when no `else`).
         else_body: Vec<Stmt>,
     },
     /// `while (cond) { … }`
-    While { cond: Expr, body: Vec<Stmt> },
+    While {
+        /// The loop condition.
+        cond: Expr,
+        /// Loop-body statements.
+        body: Vec<Stmt>,
+    },
     /// `for (name = init; cond; name = step) { … }` — sugar handled in the
     /// parser by desugaring into init + while, kept structured here so the
     /// lowering can form canonical counted loops.
     For {
+        /// Induction-variable initialization.
         init: Box<Stmt>,
+        /// The loop condition.
         cond: Expr,
+        /// Induction-variable step.
         step: Box<Stmt>,
+        /// Loop-body statements.
         body: Vec<Stmt>,
     },
     /// `return expr;`
@@ -89,21 +114,37 @@ pub enum Stmt {
 /// Binary operators at the AST level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BinExprOp {
+    /// Addition.
     Add,
+    /// Subtraction.
     Sub,
+    /// Multiplication.
     Mul,
+    /// Division.
     Div,
+    /// Remainder.
     Rem,
+    /// Shift left.
     Shl,
+    /// Shift right.
     Shr,
+    /// Bitwise and.
     BitAnd,
+    /// Bitwise or.
     BitOr,
+    /// Bitwise xor.
     BitXor,
+    /// Less than.
     Lt,
+    /// Less than or equal.
     Le,
+    /// Greater than.
     Gt,
+    /// Greater than or equal.
     Ge,
+    /// Equal.
     Eq,
+    /// Not equal.
     Ne,
     /// Logical and (operands normalized to 0/1, not short-circuit).
     And,
@@ -130,17 +171,35 @@ pub enum Expr {
     /// Variable reference.
     Var(String),
     /// Global array element read.
-    Index { name: String, index: Box<Expr> },
+    Index {
+        /// Global array name.
+        name: String,
+        /// Element index expression.
+        index: Box<Expr>,
+    },
     /// Function call.
-    Call { name: String, args: Vec<Expr> },
+    Call {
+        /// Callee name.
+        name: String,
+        /// Argument expressions, in order.
+        args: Vec<Expr>,
+    },
     /// Binary operation.
     Bin {
+        /// The operator.
         op: BinExprOp,
+        /// Left operand.
         lhs: Box<Expr>,
+        /// Right operand.
         rhs: Box<Expr>,
     },
     /// Unary operation.
-    Unary { op: UnaryOp, operand: Box<Expr> },
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// The operand.
+        operand: Box<Expr>,
+    },
     /// `float(e)` — int to float conversion.
     ToFloat(Box<Expr>),
     /// `int(e)` — float to int conversion.

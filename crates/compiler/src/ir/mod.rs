@@ -81,15 +81,25 @@ impl fmt::Display for Operand {
 /// Integer binary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
+    /// Wrapping addition.
     Add,
+    /// Wrapping subtraction.
     Sub,
+    /// Wrapping multiplication.
     Mul,
+    /// Division (faults on a zero divisor).
     Div,
+    /// Remainder (faults on a zero divisor).
     Rem,
+    /// Bitwise and.
     And,
+    /// Bitwise or.
     Or,
+    /// Bitwise xor.
     Xor,
+    /// Shift left.
     Shl,
+    /// Arithmetic shift right.
     Shr,
 }
 
@@ -112,20 +122,30 @@ impl BinOp {
 /// Float binary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FBinOp {
+    /// Float addition.
     Add,
+    /// Float subtraction.
     Sub,
+    /// Float multiplication.
     Mul,
+    /// Float division.
     Div,
 }
 
 /// Comparison predicates (used for both integer and float compares).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpOp {
+    /// Less than.
     Lt,
+    /// Less than or equal.
     Le,
+    /// Greater than.
     Gt,
+    /// Greater than or equal.
     Ge,
+    /// Equal.
     Eq,
+    /// Not equal.
     Ne,
 }
 
@@ -148,48 +168,97 @@ impl CmpOp {
 pub enum Instr {
     /// `dst = lhs <op> rhs` (integer).
     Bin {
+        /// The operator.
         op: BinOp,
+        /// Destination register.
         dst: VReg,
+        /// Left operand.
         lhs: Operand,
+        /// Right operand.
         rhs: Operand,
     },
     /// `dst = lhs <op> rhs` (float).
     FBin {
+        /// The operator.
         op: FBinOp,
+        /// Destination register.
         dst: VReg,
+        /// Left operand.
         lhs: Operand,
+        /// Right operand.
         rhs: Operand,
     },
     /// `dst = (lhs <op> rhs) as i64` (integer compare).
     Cmp {
+        /// The predicate.
         op: CmpOp,
+        /// Destination register.
         dst: VReg,
+        /// Left operand.
         lhs: Operand,
+        /// Right operand.
         rhs: Operand,
     },
     /// `dst = (lhs <op> rhs) as i64` (float compare).
     FCmp {
+        /// The predicate.
         op: CmpOp,
+        /// Destination register.
         dst: VReg,
+        /// Left operand.
         lhs: Operand,
+        /// Right operand.
         rhs: Operand,
     },
     /// `dst = src` (register or constant move; type from `dst`).
-    Copy { dst: VReg, src: Operand },
+    Copy {
+        /// Destination register.
+        dst: VReg,
+        /// Source operand.
+        src: Operand,
+    },
     /// `dst = src as f64`.
-    IntToFloat { dst: VReg, src: Operand },
+    IntToFloat {
+        /// Destination register.
+        dst: VReg,
+        /// Source operand.
+        src: Operand,
+    },
     /// `dst = src as i64` (truncating).
-    FloatToInt { dst: VReg, src: Operand },
+    FloatToInt {
+        /// Destination register.
+        dst: VReg,
+        /// Source operand.
+        src: Operand,
+    },
     /// `dst = mem64[addr]`; `dst`'s type selects integer vs float load.
-    Load { dst: VReg, addr: Operand },
+    Load {
+        /// Destination register.
+        dst: VReg,
+        /// Byte-address operand.
+        addr: Operand,
+    },
     /// `mem64[addr] = value`.
-    Store { addr: Operand, value: Operand },
+    Store {
+        /// Byte-address operand.
+        addr: Operand,
+        /// Value to store.
+        value: Operand,
+    },
     /// Software prefetch hint at `addr + offset` bytes.
-    Prefetch { addr: Operand, offset: i64 },
+    Prefetch {
+        /// Byte-address operand.
+        addr: Operand,
+        /// Byte offset ahead of `addr`.
+        offset: i64,
+    },
     /// `dst = callee(args…)`.
     Call {
+        /// Destination register, if the result is used.
         dst: Option<VReg>,
+        /// Index of the called function in [`Module::funcs`].
         callee: usize,
+        /// Argument operands, in ABI order.
         args: Vec<Operand>,
     },
 }
@@ -339,8 +408,11 @@ pub enum Terminator {
     Jump(BlockId),
     /// Two-way branch on `cond != 0`.
     Branch {
+        /// The branch condition.
         cond: Operand,
+        /// Successor when `cond != 0`.
         then_bb: BlockId,
+        /// Successor when `cond == 0`.
         else_bb: BlockId,
     },
     /// Function return.

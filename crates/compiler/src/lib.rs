@@ -38,6 +38,8 @@
 //! # Ok::<(), emod_compiler::CompileError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod codegen;
 pub mod front;
 pub mod ir;
@@ -56,7 +58,12 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompileError {
     /// Lexical or syntactic error, with a line number.
-    Parse { line: usize, message: String },
+    Parse {
+        /// 1-based source line of the error.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
     /// Semantic error (unknown name, type mismatch, arity …).
     Semantic(String),
     /// Resource limits exceeded during codegen (e.g. too many arguments).

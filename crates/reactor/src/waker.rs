@@ -1,0 +1,65 @@
+//! Cross-thread wakeup for a blocked poll: the classic self-pipe trick,
+//! built on a nonblocking `UnixStream` pair so no raw-fd lifetime
+//! management is needed.
+
+use std::io::{Read, Write};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+
+/// Wakes a [`crate::Poller`] blocked in `poll` from another thread.
+///
+/// The read half is registered with the poller under a reserved token; any
+/// thread holding a clone calls [`Waker::wake`], which makes the read half
+/// readable and the poll return. The event loop then calls
+/// [`Waker::drain`] so a burst of wakes collapses into one notification
+/// instead of leaving the pipe permanently readable.
+#[derive(Debug, Clone)]
+pub struct Waker {
+    inner: Arc<WakerInner>,
+}
+
+#[derive(Debug)]
+struct WakerInner {
+    read: UnixStream,
+    write: UnixStream,
+}
+
+impl Waker {
+    /// Creates a connected, nonblocking wake pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socketpair or fcntl failure.
+    pub fn new() -> std::io::Result<Waker> {
+        let (read, write) = UnixStream::pair()?;
+        read.set_nonblocking(true)?;
+        write.set_nonblocking(true)?;
+        Ok(Waker {
+            inner: Arc::new(WakerInner { read, write }),
+        })
+    }
+
+    /// The descriptor to register (readable interest) with the poller.
+    pub fn fd(&self) -> RawFd {
+        self.inner.read.as_raw_fd()
+    }
+
+    /// Makes the registered descriptor readable. Cheap and safe from any
+    /// thread; a full pipe (`WouldBlock`) means a wake is already pending,
+    /// which is exactly the desired state, so every outcome is success.
+    pub fn wake(&self) {
+        let _ = (&self.inner.write).write(&[1u8]);
+    }
+
+    /// Consumes all pending wake bytes. Call from the event loop each time
+    /// the waker token reports readable.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while let Ok(n) = (&self.inner.read).read(&mut buf) {
+            if n == 0 {
+                break;
+            }
+        }
+    }
+}

@@ -29,6 +29,8 @@
 //! assert_eq!(best.point, vec![1.0, 0.0, 8.0]);
 //! ```
 
+#![warn(missing_docs)]
+
 use emod_doe::{DesignPoint, ParameterSpace};
 use emod_telemetry as telemetry;
 use rand::Rng;

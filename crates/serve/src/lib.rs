@@ -16,13 +16,23 @@
 //!   over refresh-produced artifact versions, and [`refresh`] measures
 //!   enqueued design points, retrains, and publishes candidates the state
 //!   machine then canaries, promotes, or rolls back.
+//!
+//! The server offers two connection fronts selected by `EMOD_SERVE_FRONT`
+//! (DESIGN.md §16): the default blocking thread-per-connection pool, and
+//! a readiness reactor ([`reactor_front`], built on `emod-reactor`) that
+//! multiplexes thousands of connections onto `EMOD_REACTOR_WORKERS`
+//! handler threads with [`coalesce`]d predict batching and
+//! `EMOD_MODEL_REPLICAS` sharded artifact-cache replicas. Responses are
+//! byte-identical between fronts.
 
 #![warn(missing_docs)]
 
 pub mod artifact;
 pub mod client;
+pub mod coalesce;
 pub mod codecs;
 pub mod json;
+pub mod reactor_front;
 pub mod refresh;
 pub mod registry;
 pub mod rollout;
@@ -31,8 +41,9 @@ pub mod slo;
 
 pub use artifact::{ArtifactError, ArtifactMeta, ModelArtifact, FORMAT_VERSION};
 pub use client::{Client, RetryPolicy};
+pub use coalesce::CoalesceCfg;
 pub use json::Json;
-pub use registry::{GcReport, ModelRegistry, REGISTRY_ENV};
+pub use registry::{GcReport, ModelRegistry, ReplicaHint, REGISTRY_ENV, REPLICAS_ENV};
 pub use rollout::{RolloutConfig, RolloutPhase, RolloutState};
-pub use server::Server;
+pub use server::{Front, Server, FRONT_ENV};
 pub use slo::{SloConfig, SloSnapshot, SloTracker};

@@ -2,9 +2,12 @@
 //! `--client`.
 //!
 //! ```text
-//! emod-serve [--addr HOST:PORT] [--registry DIR] [--workers N]
+//! emod-serve [--addr HOST:PORT] [--registry DIR] [--workers N] [--front threads|reactor]
 //! emod-serve --client [--addr HOST:PORT] [--retries N] '<json request>' [...]
 //! ```
+//!
+//! `--front` overrides `EMOD_SERVE_FRONT` (default `threads`); see
+//! DESIGN.md §16 for the reactor front.
 //!
 //! In client mode each argument is sent as one request line and the response
 //! line is printed to stdout; the exit code is nonzero if any response does
@@ -14,7 +17,7 @@
 use emod_serve::client::Client;
 use emod_serve::json::Json;
 use emod_serve::registry::ModelRegistry;
-use emod_serve::server::{self, Server, DEFAULT_ADDR};
+use emod_serve::server::{self, Front, Server, DEFAULT_ADDR};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -23,6 +26,7 @@ fn main() -> ExitCode {
     let mut addr = DEFAULT_ADDR.to_string();
     let mut registry_root: Option<String> = None;
     let mut workers = 4usize;
+    let mut front: Option<Front> = None;
     let mut client = false;
     let mut retries = 3u32;
     let mut requests: Vec<String> = Vec::new();
@@ -51,6 +55,17 @@ fn main() -> ExitCode {
                     i += 1;
                 }
                 None => return usage("--workers needs a positive integer"),
+            },
+            "--front" => match args.get(i + 1).map(|f| f.as_str()) {
+                Some("threads") => {
+                    front = Some(Front::Threads);
+                    i += 1;
+                }
+                Some("reactor") => {
+                    front = Some(Front::Reactor);
+                    i += 1;
+                }
+                _ => return usage("--front needs 'threads' or 'reactor'"),
             },
             "--retries" => match args.get(i + 1).and_then(|r| r.parse().ok()) {
                 Some(r) => {
@@ -81,7 +96,7 @@ fn main() -> ExitCode {
     if client {
         run_client(&addr, retries, &requests)
     } else if requests.is_empty() {
-        run_server(&addr, registry_root.as_deref(), workers)
+        run_server(&addr, registry_root.as_deref(), workers, front)
     } else {
         usage("positional arguments are only valid with --client")
     }
@@ -91,7 +106,9 @@ fn usage(error: &str) -> ExitCode {
     if !error.is_empty() {
         eprintln!("error: {}", error);
     }
-    eprintln!("usage: emod-serve [--addr HOST:PORT] [--registry DIR] [--workers N]");
+    eprintln!(
+        "usage: emod-serve [--addr HOST:PORT] [--registry DIR] [--workers N] [--front threads|reactor]"
+    );
     eprintln!("       emod-serve --client [--addr HOST:PORT] [--retries N] '<json request>' [...]");
     eprintln!("       emod-serve --version");
     if error.is_empty() {
@@ -101,7 +118,12 @@ fn usage(error: &str) -> ExitCode {
     }
 }
 
-fn run_server(addr: &str, registry_root: Option<&str>, workers: usize) -> ExitCode {
+fn run_server(
+    addr: &str,
+    registry_root: Option<&str>,
+    workers: usize,
+    front: Option<Front>,
+) -> ExitCode {
     emod_telemetry::init_from_env();
     let registry = match registry_root {
         Some(root) => ModelRegistry::open(root),
@@ -115,19 +137,23 @@ fn run_server(addr: &str, registry_root: Option<&str>, workers: usize) -> ExitCo
         }
     };
     server::install_signal_handlers();
-    let srv = match Server::bind(registry.clone(), addr, workers) {
+    let mut srv = match Server::bind(registry.clone(), addr, workers) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: bind {}: {}", addr, e);
             return ExitCode::FAILURE;
         }
     };
+    if let Some(front) = front {
+        srv = srv.with_front(front);
+    }
     match srv.local_addr() {
         Ok(local) => eprintln!(
-            "emod-serve listening on {} (registry {}, {} workers)",
+            "emod-serve listening on {} (registry {}, {} workers, {} front)",
             local,
             registry.root().display(),
-            workers
+            workers,
+            srv.front().name()
         ),
         Err(e) => eprintln!("emod-serve listening (addr unknown: {})", e),
     }

@@ -435,6 +435,43 @@ fn refresh_tick(state: &ServerState, min_points: usize) {
     }
 }
 
+/// Spawns the optional background refresh worker shared by both fronts:
+/// with `EMOD_REFRESH_AUTO` set (and the closed loop enabled), a polling
+/// thread drains refresh queues that have accumulated
+/// `EMOD_REFRESH_MIN_POINTS` points, running one measure→retrain→canary
+/// cycle per eligible base.
+pub(crate) fn spawn_refresh_worker(
+    state: &Arc<ServerState>,
+) -> io::Result<Option<thread::JoinHandle<()>>> {
+    let auto_refresh = state.refresh_dir.is_some()
+        && std::env::var("EMOD_REFRESH_AUTO")
+            .map(|v| matches!(v.trim(), "1" | "true" | "on" | "yes"))
+            .unwrap_or(false);
+    if !auto_refresh {
+        return Ok(None);
+    }
+    let state = Arc::clone(state);
+    let poll_ms = std::env::var("EMOD_REFRESH_POLL_MS")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(500);
+    let min_points = std::env::var("EMOD_REFRESH_MIN_POINTS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(4);
+    let handle = thread::Builder::new()
+        .name("emod-serve-refresh".to_string())
+        .spawn(move || {
+            while !state.shutting_down() {
+                thread::sleep(Duration::from_millis(poll_ms));
+                refresh_tick(&state, min_points);
+            }
+        })?;
+    Ok(Some(handle))
+}
+
 /// Publishes the rollout gauges (`serve.rollout.*`) for the given state.
 /// Phase is encoded numerically: steady 0, candidate 1, canary 2; a
 /// missing canary version reads -1.
@@ -561,18 +598,70 @@ pub fn install_signal_handlers() {
 #[cfg(not(unix))]
 pub fn install_signal_handlers() {}
 
+/// Environment variable selecting the connection-handling front:
+/// `threads` (default — the blocking thread-per-connection pool) or
+/// `reactor` (the epoll readiness reactor, DESIGN.md §16). Responses are
+/// byte-identical between fronts; only scheduling differs.
+pub const FRONT_ENV: &str = "EMOD_SERVE_FRONT";
+
+/// Which connection-handling front [`Server::run`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Front {
+    /// Blocking thread-per-connection workers (`--workers` threads); one
+    /// parked worker per in-flight connection.
+    Threads,
+    /// Readiness reactor: one event loop multiplexing every connection,
+    /// `EMOD_REACTOR_WORKERS` handler threads, request coalescing.
+    Reactor,
+}
+
+impl Front {
+    /// Reads `EMOD_SERVE_FRONT`; unknown values fall back to `threads`
+    /// with a warning rather than failing startup.
+    pub fn from_env() -> Front {
+        match std::env::var(FRONT_ENV) {
+            Ok(v) if v.trim().eq_ignore_ascii_case("reactor") => Front::Reactor,
+            Ok(v) if v.trim().eq_ignore_ascii_case("threads") || v.trim().is_empty() => {
+                Front::Threads
+            }
+            Ok(v) => {
+                eprintln!(
+                    "emod-serve: unknown {}={:?}, using the threads front",
+                    FRONT_ENV, v
+                );
+                Front::Threads
+            }
+            Err(_) => Front::Threads,
+        }
+    }
+
+    /// The name the `stats`/startup log reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Front::Threads => "threads",
+            Front::Reactor => "reactor",
+        }
+    }
+}
+
 /// The prediction/tuning server.
 #[derive(Debug)]
 pub struct Server {
-    listener: TcpListener,
-    registry: Arc<ModelRegistry>,
-    shutdown: Arc<AtomicBool>,
-    workers: usize,
+    pub(crate) listener: TcpListener,
+    pub(crate) registry: Arc<ModelRegistry>,
+    pub(crate) shutdown: Arc<AtomicBool>,
+    pub(crate) workers: usize,
+    pub(crate) front: Front,
+    pub(crate) coalesce: Option<crate::coalesce::CoalesceCfg>,
+    /// Test override for `EMOD_DEADLINE_MS` (outer `None` = use the env).
+    deadline_override: Option<Option<u64>>,
 }
 
 impl Server {
     /// Binds to `addr` (use port 0 for an ephemeral port in tests) serving
-    /// models from `registry` with `workers` handler threads.
+    /// models from `registry` with `workers` handler threads. The front
+    /// comes from `EMOD_SERVE_FRONT`, coalescing from
+    /// `EMOD_COALESCE_WINDOW_US` (reactor front only).
     ///
     /// # Errors
     ///
@@ -586,7 +675,37 @@ impl Server {
             registry,
             shutdown: Arc::new(AtomicBool::new(false)),
             workers: workers.max(1),
+            front: Front::from_env(),
+            coalesce: crate::coalesce::CoalesceCfg::from_env(),
+            deadline_override: None,
         })
+    }
+
+    /// Overrides the connection front (tests/bench; production uses
+    /// `EMOD_SERVE_FRONT`).
+    pub fn with_front(mut self, front: Front) -> Server {
+        self.front = front;
+        self
+    }
+
+    /// Overrides the coalescing knobs (tests/bench; production uses
+    /// `EMOD_COALESCE_WINDOW_US` / `EMOD_COALESCE_MAX`). `None` disables
+    /// coalescing. Only the reactor front coalesces.
+    pub fn with_coalesce(mut self, cfg: Option<crate::coalesce::CoalesceCfg>) -> Server {
+        self.coalesce = cfg;
+        self
+    }
+
+    /// Overrides the per-request deadline (tests; production uses
+    /// `EMOD_DEADLINE_MS`).
+    pub fn with_deadline_ms(mut self, ms: Option<u64>) -> Server {
+        self.deadline_override = Some(ms);
+        self
+    }
+
+    /// The connection front [`Server::run`] will use.
+    pub fn front(&self) -> Front {
+        self.front
     }
 
     /// The bound socket address.
@@ -611,11 +730,21 @@ impl Server {
     ///
     /// Propagates accept-loop I/O failures other than `WouldBlock`.
     pub fn run(self) -> io::Result<()> {
+        let mut state = ServerState::new(Arc::clone(&self.registry), Arc::clone(&self.shutdown));
+        if let Some(deadline) = self.deadline_override {
+            state = state.with_deadline_ms(deadline);
+        }
+        let state = Arc::new(state);
+        telemetry::gauge_set("serve.registry.replicas", self.registry.replicas() as f64);
+        match self.front {
+            Front::Threads => self.run_threads(state),
+            Front::Reactor => crate::reactor_front::run(self, state),
+        }
+    }
+
+    /// The blocking thread-per-connection front.
+    fn run_threads(self, state: Arc<ServerState>) -> io::Result<()> {
         self.listener.set_nonblocking(true)?;
-        let state = Arc::new(ServerState::new(
-            Arc::clone(&self.registry),
-            Arc::clone(&self.shutdown),
-        ));
         // Each accepted connection is stamped with its enqueue instant so
         // the picking worker can report time-in-accept-queue separately
         // from handler time (the `serve.queue_wait_ms` histogram).
@@ -631,36 +760,8 @@ impl Server {
                     .spawn(move || worker_loop(&rx, &state))?,
             );
         }
-        // Optional background refresh worker: with `EMOD_REFRESH_AUTO` set
-        // (and the closed loop enabled), a polling thread drains refresh
-        // queues that have accumulated `EMOD_REFRESH_MIN_POINTS` points,
-        // running one measure→retrain→canary cycle per eligible base.
-        let auto_refresh = state.refresh_dir.is_some()
-            && std::env::var("EMOD_REFRESH_AUTO")
-                .map(|v| matches!(v.trim(), "1" | "true" | "on" | "yes"))
-                .unwrap_or(false);
-        if auto_refresh {
-            let state = Arc::clone(&state);
-            let poll_ms = std::env::var("EMOD_REFRESH_POLL_MS")
-                .ok()
-                .and_then(|s| s.trim().parse::<u64>().ok())
-                .filter(|&n| n > 0)
-                .unwrap_or(500);
-            let min_points = std::env::var("EMOD_REFRESH_MIN_POINTS")
-                .ok()
-                .and_then(|s| s.trim().parse::<usize>().ok())
-                .filter(|&n| n > 0)
-                .unwrap_or(4);
-            handles.push(
-                thread::Builder::new()
-                    .name("emod-serve-refresh".to_string())
-                    .spawn(move || {
-                        while !state.shutting_down() {
-                            thread::sleep(Duration::from_millis(poll_ms));
-                            refresh_tick(&state, min_points);
-                        }
-                    })?,
-            );
+        if let Some(h) = spawn_refresh_worker(&state)? {
+            handles.push(h);
         }
         loop {
             if self.shutdown.load(Ordering::SeqCst) || SIGNAL_SHUTDOWN.load(Ordering::SeqCst) {
@@ -764,11 +865,7 @@ fn handle_connection(stream: TcpStream, state: &ServerState, queue_wait_ms: f64)
                             ("bytes", line.len().into()),
                         ],
                     );
-                    let resp = err_code_response(
-                        "request_too_large",
-                        format!("request line exceeds {} bytes", MAX_LINE_BYTES),
-                        false,
-                    );
+                    let resp = too_large_response();
                     let _ = writeln!(writer, "{}", resp);
                     let _ = writer.flush();
                     break;
@@ -833,6 +930,17 @@ fn err_response(msg: impl Into<String>) -> Json {
     err_code_response("error", msg, false)
 }
 
+/// The oversized-request refusal both fronts send before closing the
+/// connection — kept in one place so the reactor front stays
+/// byte-identical with the blocking front.
+pub(crate) fn too_large_response() -> Json {
+    err_code_response(
+        "request_too_large",
+        format!("request line exceeds {} bytes", MAX_LINE_BYTES),
+        false,
+    )
+}
+
 /// An error response that also counts as a *bad* request (malformed JSON,
 /// missing or unknown command) under `serve.requests.bad`.
 fn bad_response(msg: impl Into<String>) -> Json {
@@ -854,10 +962,32 @@ fn handle_request_on(
     request: &str,
     queue_wait_ms: f64,
 ) -> (Json, bool) {
+    handle_request_full(state, conn_id, request, queue_wait_ms, Instant::now(), None)
+}
+
+/// A single-predict value the coalescer computed ahead of dispatch:
+/// `(version it was computed from, prediction)`. `cmd_predict` only uses
+/// it when the routed serving lane still matches that version — a rollout
+/// flipping between batch compute and dispatch falls back to computing
+/// inline, so responses never mix one lane's value with another's label.
+pub(crate) type Precomputed = (u64, f64);
+
+/// The full request pipeline with the caller-supplied arrival instant
+/// (deadline accounting for requests that waited in a coalescing window
+/// starts at arrival, not at dispatch) and an optional precomputed
+/// single-predict value.
+pub(crate) fn handle_request_full(
+    state: &ServerState,
+    conn_id: &str,
+    request: &str,
+    queue_wait_ms: f64,
+    arrived: Instant,
+    precomputed: Option<Precomputed>,
+) -> (Json, bool) {
     // The whole request is one trace: spans opened by the handler on this
     // thread (GA generations during tune, artifact loads, …) nest under it.
     let root = telemetry::trace_root("serve.request");
-    let start = Instant::now();
+    let start = arrived;
     let in_flight_now = state.enter_request();
     telemetry::counter_add("serve.requests.total", 1);
 
@@ -908,7 +1038,7 @@ fn handle_request_on(
             }
             (resp, false)
         }
-        Ok(parsed) => guarded_dispatch(state, &cmd, &parsed),
+        Ok(parsed) => guarded_dispatch(state, &cmd, &parsed, precomputed),
     };
 
     // Deadline check happens after the handler returns: the work is not
@@ -1016,9 +1146,14 @@ fn handle_request_on(
 /// a panicking handler (a model-family bug, an injected `panic` fault)
 /// answers `internal_error` and the worker thread survives to take the
 /// next request.
-fn guarded_dispatch(state: &ServerState, cmd: &str, parsed: &Json) -> (Json, bool) {
+fn guarded_dispatch(
+    state: &ServerState,
+    cmd: &str,
+    parsed: &Json,
+    precomputed: Option<Precomputed>,
+) -> (Json, bool) {
     let attempt = faults::catch_panic(|| {
-        faults::inject("serve.handle").map(|()| dispatch(state, cmd, parsed))
+        faults::inject("serve.handle").map(|()| dispatch(state, cmd, parsed, precomputed))
     });
     match attempt {
         Ok(Ok(result)) => result,
@@ -1062,7 +1197,12 @@ fn guarded_dispatch(state: &ServerState, cmd: &str, parsed: &Json) -> (Json, boo
 
 /// Routes a parsed request with a known command. During a graceful drain
 /// every command but `shutdown` is refused and the connection closes.
-fn dispatch(state: &ServerState, cmd: &str, parsed: &Json) -> (Json, bool) {
+fn dispatch(
+    state: &ServerState,
+    cmd: &str,
+    parsed: &Json,
+    precomputed: Option<Precomputed>,
+) -> (Json, bool) {
     if state.shutting_down() && cmd != "shutdown" {
         let refusal = if cmd == "health" {
             Json::obj(vec![
@@ -1077,8 +1217,8 @@ fn dispatch(state: &ServerState, cmd: &str, parsed: &Json) -> (Json, bool) {
     }
     match cmd {
         "list_models" => (cmd_list_models(&state.registry), false),
-        "predict" => (cmd_predict(state, parsed, false), false),
-        "predict_batch" => (cmd_predict(state, parsed, true), false),
+        "predict" => (cmd_predict(state, parsed, false, precomputed), false),
+        "predict_batch" => (cmd_predict(state, parsed, true, None), false),
         "explain" => (cmd_explain(state, parsed), false),
         "tune" => (cmd_tune(state, parsed), false),
         "observe" => (cmd_observe(state, parsed), false),
@@ -1507,6 +1647,79 @@ fn select_serving(
     }
 }
 
+/// Where a coalescable single-predict request would be served from, as
+/// determined by the side-effect-free routing peek
+/// ([`coalesce_classify`]): the group key plus the parsed point.
+#[derive(Debug)]
+pub(crate) struct CoalesceTarget {
+    /// Base artifact id the request resolves to.
+    pub base: String,
+    /// Version the steady/candidate rollout serves (0 = base file).
+    pub version: u64,
+    /// The request's parsed raw point.
+    pub raw: Vec<f64>,
+}
+
+/// Decides whether a request may enter a coalescing window, without side
+/// effects on routing state or telemetry counters. Refuses (`None`) for:
+///
+/// - anything that is not a single-point `predict`,
+/// - pinned `<base>@vN` model ids (they bypass lane routing),
+/// - bases with a **live canary** — the content hash splits that traffic
+///   across lanes per request, and lanes must never merge
+///   (`crates/serve/tests` asserts this), and
+/// - requests whose model or point will not resolve (the normal dispatch
+///   path produces the error response).
+pub(crate) fn coalesce_classify(state: &ServerState, parsed: &Json) -> Option<CoalesceTarget> {
+    if parsed.get("cmd").and_then(Json::as_str) != Some("predict") {
+        return None;
+    }
+    if let Some(id) = parsed.get("model").and_then(Json::as_str) {
+        if split_version(id).is_some() {
+            return None;
+        }
+    }
+    let art = resolve_model(&state.registry, parsed).ok()?;
+    let raw = parse_point(parsed.get("point")?, art.space.len()).ok()?;
+    let base = art.id();
+    let version = match state.with_rollout(&base, |e| (e.state.phase, e.state.active)) {
+        None => 0,
+        Some((RolloutPhase::Canary, _)) => return None,
+        Some((_, active)) => active,
+    };
+    Some(CoalesceTarget { base, version, raw })
+}
+
+/// Evaluates one coalesced group in a single batch, sharded through the
+/// `EMOD_THREADS` pool exactly like `predict_batch`. Returns the
+/// per-request predictions in input order, or `None` when the serving
+/// artifact fails to load — the caller then dispatches each request
+/// individually so the normal path reports the error.
+pub(crate) fn coalesce_predict_values(
+    state: &ServerState,
+    base: &str,
+    version: u64,
+    raws: &[Vec<f64>],
+) -> Option<Vec<f64>> {
+    let art = if version > 0 {
+        state.registry.load_version(base, version).ok()?
+    } else {
+        state.registry.load(base).ok()?
+    };
+    let pool = emod_par::Pool::from_env();
+    let values = if raws.len() >= PARALLEL_BATCH_MIN && pool.threads() > 1 {
+        pool.map(raws, |_i, raw| art.model.predict(&art.space.encode(raw)))
+    } else {
+        raws.iter()
+            .map(|raw| art.model.predict(&art.space.encode(raw)))
+            .collect()
+    };
+    telemetry::counter_add("serve.coalesce.batches", 1);
+    telemetry::counter_add("serve.coalesce.merged", raws.len() as u64);
+    telemetry::observe("serve.coalesce.batch_size", raws.len() as f64);
+    Some(values)
+}
+
 /// The canary gate, run on every `observe` while a canary is live: both
 /// lanes are scored against the ground truth, and the updated rolling
 /// shadow MAPEs plus the SLO burn rate drive the promote / hold /
@@ -1610,7 +1823,12 @@ fn observe_canary(
         .unwrap_or(Json::Null)
 }
 
-fn cmd_predict(state: &ServerState, req: &Json, batch: bool) -> Json {
+fn cmd_predict(
+    state: &ServerState,
+    req: &Json,
+    batch: bool,
+    precomputed: Option<Precomputed>,
+) -> Json {
     let registry = &state.registry;
     let art = match resolve_model(registry, req) {
         Ok(a) => a,
@@ -1640,12 +1858,22 @@ fn cmd_predict(state: &ServerState, req: &Json, batch: bool) -> Json {
     // the same lane regardless of connection or thread interleaving.
     let serving = select_serving(state, art, req, Some(&raws));
     let art = &serving.art;
+    // A coalesced request arrives with its prediction already computed by
+    // the batch pass — but only trust it when the routed lane still serves
+    // the version it was computed from (predictions are pure functions of
+    // (artifact, point), so equality of version implies equality of value).
+    let coalesced = match precomputed {
+        Some((v, p)) if !batch && serving.lane == "active" && serving.version == v => Some(p),
+        _ => None,
+    };
     // Shard large batches across the measurement pool: each prediction is a
     // pure function of its point, so the response is bit-identical to the
     // sequential loop at any `EMOD_THREADS`. Small batches stay inline —
     // spawning workers costs more than the predictions themselves.
     let pool = emod_par::Pool::from_env();
-    let predictions: Vec<Json> = if raws.len() >= PARALLEL_BATCH_MIN && pool.threads() > 1 {
+    let predictions: Vec<Json> = if let Some(p) = coalesced {
+        vec![Json::Num(p)]
+    } else if raws.len() >= PARALLEL_BATCH_MIN && pool.threads() > 1 {
         pool.map(&raws, |_i, raw| {
             Json::Num(art.model.predict(&art.space.encode(raw)))
         })

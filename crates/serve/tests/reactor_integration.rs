@@ -1,0 +1,425 @@
+//! Reactor-front acceptance tests: byte-identical A/B against the
+//! blocking threads front over real loopback TCP, coalescing merge and
+//! ordering, canary-lane isolation, per-request deadline errors inside a
+//! coalesced batch, and many-connection multiplexing on a tiny worker
+//! pool (the scenario that starves the threads front outright).
+//!
+//! Every scenario builds its servers with the `with_front` /
+//! `with_coalesce` / `with_deadline_ms` builders instead of process env,
+//! so the tests are safe under the default parallel test runner.
+
+use emod_core::model::{ModelFamily, SurrogateModel};
+use emod_core::vars::{design_space, COMPILER_PARAMS};
+use emod_models::Dataset;
+use emod_serve::artifact::{ArtifactMeta, ModelArtifact};
+use emod_serve::coalesce::CoalesceCfg;
+use emod_serve::json::Json;
+use emod_serve::registry::ModelRegistry;
+use emod_serve::rollout::{RolloutPhase, RolloutState};
+use emod_serve::server::{Front, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A linear-family artifact over the real 25-parameter space with a known
+/// response surface.
+fn artifact_on(xs: &[Vec<f64>], ys: &[f64]) -> ModelArtifact {
+    let train = Dataset::new(xs.to_vec(), ys.to_vec()).unwrap();
+    let model = SurrogateModel::fit(&train, ModelFamily::Linear).unwrap();
+    ModelArtifact {
+        meta: ArtifactMeta {
+            workload: "181.mcf".into(),
+            input_set: "train".into(),
+            metric: "cycles".into(),
+            family: ModelFamily::Linear,
+            scale: "quick".into(),
+            seed: 9001,
+            train_mape: 0.1,
+            test_mape: 0.2,
+            train_size: xs.len(),
+            test_size: 10,
+        },
+        space: design_space(),
+        model,
+        quality: emod_quality::DesignSummary::from_design(&train),
+        train: train.clone(),
+        test: Dataset::new(xs[..10].to_vec(), ys[..10].to_vec()).unwrap(),
+        history: vec![(xs.len(), 0.2)],
+    }
+}
+
+fn truth(x: &[f64]) -> f64 {
+    let compiler: f64 = x[..COMPILER_PARAMS].iter().sum();
+    let machine: f64 = x[COMPILER_PARAMS..].iter().sum();
+    5000.0 + 100.0 * compiler - 10.0 * machine
+}
+
+/// Seeds a fresh registry at `dir` with one synthetic artifact; returns
+/// its id and a batch of in-space query points.
+fn seed_registry(dir: &Path) -> (String, Vec<Vec<f64>>) {
+    let _ = std::fs::remove_dir_all(dir);
+    let space = design_space();
+    let mut rng = StdRng::seed_from_u64(42);
+    let raw = emod_doe::lhs(&space, 60, &mut rng);
+    let xs: Vec<Vec<f64>> = raw.iter().map(|p| space.encode(p)).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| truth(x)).collect();
+    let art = artifact_on(&xs, &ys);
+    let id = art.id();
+    let registry = ModelRegistry::open(dir).unwrap();
+    registry.store(&art).unwrap();
+    let mut qrng = StdRng::seed_from_u64(99);
+    let queries = emod_doe::lhs(&space, 48, &mut qrng);
+    (id, queries)
+}
+
+struct TestClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl TestClient {
+    fn connect(addr: std::net::SocketAddr) -> TestClient {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        TestClient {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    /// One request, returning the raw response line (byte comparisons).
+    fn request_raw(&mut self, body: &str) -> String {
+        writeln!(self.writer, "{}", body).unwrap();
+        self.writer.flush().unwrap();
+        self.read_line()
+    }
+
+    fn request(&mut self, body: &str) -> Json {
+        Json::parse(&self.request_raw(body)).unwrap()
+    }
+
+    /// Writes every line in one flush (pipelining), then reads that many
+    /// response lines back in order.
+    fn pipeline_raw(&mut self, bodies: &[String]) -> Vec<String> {
+        let mut block = String::new();
+        for b in bodies {
+            block.push_str(b);
+            block.push('\n');
+        }
+        self.writer.write_all(block.as_bytes()).unwrap();
+        self.writer.flush().unwrap();
+        (0..bodies.len()).map(|_| self.read_line()).collect()
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).unwrap();
+        assert!(!line.is_empty(), "server closed the connection early");
+        line.trim_end_matches(['\n', '\r']).to_string()
+    }
+}
+
+/// Binds a server on an ephemeral port and runs it on its own thread.
+fn spawn_server(server: Server) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    (addr, handle)
+}
+
+fn shutdown(addr: std::net::SocketAddr) {
+    let mut c = TestClient::connect(addr);
+    let bye = c.request("{\"cmd\":\"shutdown\"}");
+    assert_eq!(bye.get("ok"), Some(&Json::Bool(true)));
+}
+
+fn predict_body(id: &str, point: &[f64]) -> String {
+    let pt: Vec<String> = point.iter().map(|v| format!("{}", v)).collect();
+    format!(
+        "{{\"cmd\":\"predict\",\"model\":\"{}\",\"point\":[{}]}}",
+        id,
+        pt.join(",")
+    )
+}
+
+/// The fixed request mix the A/B comparison drives through both fronts:
+/// happy-path reads, batch predicts, and every protocol-level error shape.
+fn ab_request_mix(id: &str, queries: &[Vec<f64>]) -> Vec<String> {
+    let mut reqs = vec!["{\"cmd\":\"list_models\"}".to_string()];
+    for q in &queries[..8] {
+        reqs.push(predict_body(id, q));
+    }
+    let pts: Vec<String> = queries[..4]
+        .iter()
+        .map(|q| {
+            let pt: Vec<String> = q.iter().map(|v| format!("{}", v)).collect();
+            format!("[{}]", pt.join(","))
+        })
+        .collect();
+    reqs.push(format!(
+        "{{\"cmd\":\"predict_batch\",\"model\":\"{}\",\"points\":[{}]}}",
+        id,
+        pts.join(",")
+    ));
+    reqs.push("{\"cmd\":\"predict\",\"model\":\"no-such-model\",\"point\":\"o2@typical\"}".into());
+    reqs.push("{\"cmd\":\"nope\"}".into());
+    reqs.push("{not json".into());
+    reqs.push("{\"nocmd\":1}".into());
+    reqs.push(format!(
+        "{{\"cmd\":\"predict\",\"model\":\"{}\",\"point\":[1,2]}}",
+        id
+    ));
+    reqs
+}
+
+#[test]
+fn reactor_front_is_byte_identical_with_the_threads_front() {
+    let dir = std::env::temp_dir().join(format!("emod-reactor-ab-{}", std::process::id()));
+    let (id, queries) = seed_registry(&dir);
+    let requests = ab_request_mix(&id, &queries);
+
+    let threads_reg = Arc::new(ModelRegistry::open(&dir).unwrap());
+    let (threads_addr, threads_h) =
+        spawn_server(Server::bind(threads_reg, "127.0.0.1:0", 2).unwrap());
+    let reactor_reg = Arc::new(ModelRegistry::open(&dir).unwrap());
+    let (reactor_addr, reactor_h) = spawn_server(
+        Server::bind(reactor_reg, "127.0.0.1:0", 2)
+            .unwrap()
+            .with_front(Front::Reactor)
+            .with_coalesce(Some(CoalesceCfg {
+                window: Duration::from_micros(500),
+                max_batch: 64,
+            })),
+    );
+
+    let mut threads_client = TestClient::connect(threads_addr);
+    let mut reactor_client = TestClient::connect(reactor_addr);
+    for req in &requests {
+        let a = threads_client.request_raw(req);
+        let b = reactor_client.request_raw(req);
+        assert_eq!(a, b, "fronts disagree on request {}", req);
+    }
+
+    shutdown(threads_addr);
+    shutdown(reactor_addr);
+    threads_h.join().unwrap();
+    reactor_h.join().unwrap();
+}
+
+#[test]
+fn coalesced_pipeline_preserves_order_and_values() {
+    let dir = std::env::temp_dir().join(format!("emod-reactor-co-{}", std::process::id()));
+    let (id, queries) = seed_registry(&dir);
+    // Distinct points so a misordered demux would be visible in the
+    // prediction values, not just in sequencing metadata.
+    let bodies: Vec<String> = queries[..12].iter().map(|q| predict_body(&id, q)).collect();
+
+    let threads_reg = Arc::new(ModelRegistry::open(&dir).unwrap());
+    let (threads_addr, threads_h) =
+        spawn_server(Server::bind(threads_reg, "127.0.0.1:0", 2).unwrap());
+    let reactor_reg = Arc::new(ModelRegistry::open(&dir).unwrap());
+    let (reactor_addr, reactor_h) = spawn_server(
+        Server::bind(reactor_reg, "127.0.0.1:0", 2)
+            .unwrap()
+            .with_front(Front::Reactor)
+            .with_coalesce(Some(CoalesceCfg {
+                // A wide window so the whole pipelined burst lands in one
+                // group and flushes as a single batch.
+                window: Duration::from_millis(50),
+                max_batch: 64,
+            })),
+    );
+
+    let mut threads_client = TestClient::connect(threads_addr);
+    let expected: Vec<String> = bodies
+        .iter()
+        .map(|b| threads_client.request_raw(b))
+        .collect();
+    let mut reactor_client = TestClient::connect(reactor_addr);
+    let got = reactor_client.pipeline_raw(&bodies);
+    assert_eq!(
+        expected, got,
+        "coalesced responses drifted from threads front"
+    );
+
+    shutdown(threads_addr);
+    shutdown(reactor_addr);
+    threads_h.join().unwrap();
+    reactor_h.join().unwrap();
+}
+
+#[test]
+fn canary_routed_requests_are_never_coalesced_across_lanes() {
+    let dir = std::env::temp_dir().join(format!("emod-reactor-canary-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let space = design_space();
+    let mut rng = StdRng::seed_from_u64(42);
+    let raw = emod_doe::lhs(&space, 60, &mut rng);
+    let xs: Vec<Vec<f64>> = raw.iter().map(|p| space.encode(p)).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| truth(x)).collect();
+    // Active lane and canary lane fit different surfaces, so serving the
+    // wrong lane's artifact changes the prediction value.
+    let warped: Vec<f64> = ys
+        .iter()
+        .enumerate()
+        .map(|(i, y)| y * (1.0 + 0.08 * ((i as f64) * 0.7).sin()))
+        .collect();
+    let active = artifact_on(&xs, &warped);
+    let canary = artifact_on(&xs, &ys);
+    let base = active.id();
+    {
+        let registry = ModelRegistry::open(&dir).unwrap();
+        registry.store(&active).unwrap();
+        registry.store_version(&canary, 1).unwrap();
+        let mut state = RolloutState::steady(&base);
+        state.phase = RolloutPhase::Canary;
+        state.canary = Some(1);
+        state.fraction = 0.4;
+        state.record("canary_started", 1, "test");
+        registry.save_rollout(&state).unwrap();
+    }
+    let mut qrng = StdRng::seed_from_u64(7);
+    let queries = emod_doe::lhs(&space, 48, &mut qrng);
+    let bodies: Vec<String> = queries.iter().map(|q| predict_body(&base, q)).collect();
+
+    let threads_reg = Arc::new(ModelRegistry::open(&dir).unwrap());
+    let (threads_addr, threads_h) =
+        spawn_server(Server::bind(threads_reg, "127.0.0.1:0", 2).unwrap());
+    let reactor_reg = Arc::new(ModelRegistry::open(&dir).unwrap());
+    let (reactor_addr, reactor_h) = spawn_server(
+        Server::bind(reactor_reg, "127.0.0.1:0", 2)
+            .unwrap()
+            .with_front(Front::Reactor)
+            // Coalescing is ON; the classifier must still refuse every
+            // request for this base because a canary is live.
+            .with_coalesce(Some(CoalesceCfg {
+                window: Duration::from_millis(20),
+                max_batch: 64,
+            })),
+    );
+
+    let mut threads_client = TestClient::connect(threads_addr);
+    let expected: Vec<String> = bodies
+        .iter()
+        .map(|b| threads_client.request_raw(b))
+        .collect();
+    let mut reactor_client = TestClient::connect(reactor_addr);
+    let got = reactor_client.pipeline_raw(&bodies);
+    assert_eq!(expected, got, "canary lane routing drifted between fronts");
+
+    // The canary split actually exercised both lanes.
+    let lanes: Vec<&str> = got
+        .iter()
+        .map(|line| {
+            Json::parse(line)
+                .unwrap()
+                .get("serving")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string()
+        })
+        .map(|s| if s == "canary" { "canary" } else { "active" })
+        .collect();
+    assert!(lanes.contains(&"canary"), "no request routed to the canary");
+    assert!(
+        lanes.contains(&"active"),
+        "no request routed to the active lane"
+    );
+
+    shutdown(threads_addr);
+    shutdown(reactor_addr);
+    threads_h.join().unwrap();
+    reactor_h.join().unwrap();
+}
+
+#[test]
+fn deadline_expiry_mid_batch_returns_per_request_errors() {
+    let dir = std::env::temp_dir().join(format!("emod-reactor-dl-{}", std::process::id()));
+    let (id, queries) = seed_registry(&dir);
+
+    let registry = Arc::new(ModelRegistry::open(&dir).unwrap());
+    let (addr, handle) = spawn_server(
+        Server::bind(registry, "127.0.0.1:0", 2)
+            .unwrap()
+            .with_front(Front::Reactor)
+            // The coalescing window alone exceeds the deadline: every
+            // request that waits for the batch must individually answer
+            // `deadline_exceeded` (retryable), not hang or kill the
+            // connection.
+            .with_coalesce(Some(CoalesceCfg {
+                window: Duration::from_millis(300),
+                max_batch: 64,
+            }))
+            .with_deadline_ms(Some(25)),
+    );
+
+    let mut client = TestClient::connect(addr);
+    let bodies: Vec<String> = queries[..3].iter().map(|q| predict_body(&id, q)).collect();
+    let responses = client.pipeline_raw(&bodies);
+    for line in &responses {
+        let resp = Json::parse(line).unwrap();
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{}", line);
+        assert_eq!(
+            resp.get("code").and_then(Json::as_str),
+            Some("deadline_exceeded"),
+            "{}",
+            line
+        );
+        assert_eq!(resp.get("retryable"), Some(&Json::Bool(true)), "{}", line);
+    }
+    // The errors were per-request: the connection survives and a fast,
+    // uncoalesced command still succeeds within the deadline.
+    let listed = client.request("{\"cmd\":\"list_models\"}");
+    assert_eq!(listed.get("ok"), Some(&Json::Bool(true)));
+
+    shutdown(addr);
+    handle.join().unwrap();
+}
+
+#[test]
+fn reactor_multiplexes_many_connections_on_two_workers() {
+    let dir = std::env::temp_dir().join(format!("emod-reactor-many-{}", std::process::id()));
+    let (id, queries) = seed_registry(&dir);
+
+    let registry = Arc::new(ModelRegistry::open(&dir).unwrap());
+    let (addr, handle) = spawn_server(
+        Server::bind(registry, "127.0.0.1:0", 2)
+            .unwrap()
+            .with_front(Front::Reactor),
+    );
+
+    // 64 concurrently-open connections on a 2-worker pool: the threads
+    // front would serve the first two and starve the rest; the reactor
+    // must answer every one while they all stay open.
+    let mut clients: Vec<TestClient> = (0..64).map(|_| TestClient::connect(addr)).collect();
+    for (i, client) in clients.iter_mut().enumerate() {
+        let resp = client.request(&predict_body(&id, &queries[i % queries.len()]));
+        assert_eq!(
+            resp.get("ok"),
+            Some(&Json::Bool(true)),
+            "conn {}: {}",
+            i,
+            resp
+        );
+    }
+    // Second round in reverse order — no connection was quietly dropped.
+    for (i, client) in clients.iter_mut().enumerate().rev() {
+        let resp = client.request("{\"cmd\":\"health\"}");
+        assert_eq!(
+            resp.get("ok"),
+            Some(&Json::Bool(true)),
+            "conn {}: {}",
+            i,
+            resp
+        );
+    }
+    drop(clients);
+
+    shutdown(addr);
+    handle.join().unwrap();
+}
